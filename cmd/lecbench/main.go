@@ -1,0 +1,65 @@
+// Command lecbench runs the experiment suite that reproduces the paper's
+// quantitative claims (see DESIGN.md for the experiment index) and prints
+// each experiment's table.
+//
+// Usage:
+//
+//	lecbench                 # run everything, plain text
+//	lecbench -e E1,E10       # selected experiments
+//	lecbench -format md      # markdown (the source of EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lecbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lecbench", flag.ContinueOnError)
+	only := fs.String("e", "", "comma-separated experiment ids (default: all)")
+	format := fs.String("format", "text", "output format: text|md")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, r := range bench.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		tab, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		switch *format {
+		case "md":
+			fmt.Fprintln(out, tab.Markdown())
+		case "text":
+			tab.Fprint(out)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-e", "E1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E1 — Example 1.1") || !strings.Contains(out, "Plan 2: Grace hash + sort") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-e", "E3", "-format", "md"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "### E3") || !strings.Contains(out, "| c |") {
+		t.Errorf("markdown output:\n%s", out)
+	}
+}
+
+func TestRunMultipleIDsCaseInsensitive(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-e", "e1, e3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E1 —") || !strings.Contains(out, "E3 —") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-e", "E999"}, &sb); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+	if err := run([]string{"-e", "E1", "-format", "xml"}, &sb); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-notaflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

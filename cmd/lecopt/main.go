@@ -1,0 +1,210 @@
+// Command lecopt optimizes an SPJ SQL query under an uncertain execution
+// environment and explains the chosen plan, side by side across the paper's
+// strategies.
+//
+// Usage:
+//
+//	lecopt -demo
+//	lecopt -demo -sql "SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k" -mem "700:0.2,2000:0.8"
+//	lecopt -catalog schema.txt -sql "..." -mem "100:0.5,4000:0.5" -strategy c
+//	lecopt -demo -volatility 0.3            # dynamic memory via a Markov walk
+//
+// The -mem spec is "value:probability, ..." (weights are normalized). The
+// catalog file format is documented in internal/catalog.Load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lecopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lecopt", flag.ContinueOnError)
+	demo := fs.Bool("demo", false, "use the paper's Example 1.1 catalog and query")
+	catalogPath := fs.String("catalog", "", "catalog description file")
+	sql := fs.String("sql", "", "SPJ query to optimize")
+	memSpec := fs.String("mem", "700:0.2,2000:0.8", "memory distribution, value:prob pairs")
+	strategy := fs.String("strategy", "all", "lsc-mean|lsc-mode|a|b|c|d|all")
+	volatility := fs.Float64("volatility", 0, "per-phase probability of a memory step (dynamic §3.5 model)")
+	voi := fs.Bool("voi", false, "report the value of observing the true memory before planning")
+	choice := fs.Bool("choice", false, "compile and print a [GC94] choice plan instead of optimizing")
+	simulate := fs.Int("simulate", 0, "simulate the chosen plan N times and report realized cost")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cat *catalog.Catalog
+	var q *query.SPJ
+	queryText := *sql
+	switch {
+	case *demo:
+		var demoDM *stats.Dist
+		var demoQ *query.SPJ
+		cat, demoQ, demoDM = workload.Example11()
+		if queryText == "" {
+			// Use the fixture's SPJ block directly: its join selectivity is
+			// calibrated so the result is 3000 pages, the paper's numbers.
+			q = demoQ
+			queryText = demoQ.String()
+		}
+		if !flagWasSet(fs, "mem") {
+			*memSpec = distToSpec(demoDM)
+		}
+	case *catalogPath != "":
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cat, err = catalog.Load(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -demo or -catalog <file>")
+	}
+	if queryText == "" && q == nil {
+		return fmt.Errorf("need -sql (or -demo for the default query)")
+	}
+	dm, err := stats.ParseDist(*memSpec)
+	if err != nil {
+		return err
+	}
+	if q == nil {
+		q, err = sqlparse.ParseAndBind(queryText, cat)
+		if err != nil {
+			return err
+		}
+	}
+	env := lec.Environment{Memory: dm}
+	if *volatility > 0 {
+		chain, err := stats.RandomWalkChain(dm.Support(), *volatility, *volatility)
+		if err != nil {
+			return err
+		}
+		env.Chain = chain
+	}
+
+	o := lec.New(cat)
+	fmt.Fprintf(out, "query:  %s\nmemory: %s\n\n", queryText, dm)
+
+	if *choice {
+		cp, err := o.CompileChoicePlan(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, cp.Explain())
+		ec, err := cp.ExpCost(dm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "expected cost with start-up resolution: %.0f\n", ec)
+		return nil
+	}
+	if *voi {
+		v, err := o.ValueOfInformation(q, env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "E[cost] committing now (LEC):        %.0f\n", v.LECCost)
+		fmt.Fprintf(out, "E[cost] if memory observed first:    %.0f\n", v.InformedCost)
+		fmt.Fprintf(out, "value of perfect information (EVPI): %.0f page I/Os\n", v.EVPI)
+		return nil
+	}
+
+	if *strategy != "all" {
+		s, err := parseStrategy(*strategy)
+		if err != nil {
+			return err
+		}
+		d, err := o.Optimize(q, env, s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, d.Explain())
+		if *simulate > 0 {
+			rep, err := d.Simulate(*simulate, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "simulated over %d runs: mean %.0f, std %.0f, worst %.0f\n",
+				rep.Trials, rep.Mean, rep.StdDev, rep.Max)
+		}
+		return nil
+	}
+
+	// Side-by-side comparison across every strategy.
+	ds, err := o.Compare(q, env)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].ExpectedCost < ds[j].ExpectedCost })
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tE[cost]\tstd\tp95\tvs best")
+	best := ds[0].ExpectedCost
+	for _, d := range ds {
+		fmt.Fprintf(tw, "%v\t%.0f\t%.0f\t%.0f\t%+.1f%%\n",
+			d.Strategy, d.ExpectedCost, d.Risk.StdDev, d.Risk.P95, 100*(d.ExpectedCost/best-1))
+	}
+	tw.Flush()
+	fmt.Fprintf(out, "\nbest plan (%v):\n%s", ds[0].Strategy, ds[0].Explain())
+	return nil
+}
+
+func parseStrategy(s string) (lec.Strategy, error) {
+	switch s {
+	case "lsc-mean":
+		return lec.LSCMean, nil
+	case "lsc-mode":
+		return lec.LSCMode, nil
+	case "a":
+		return lec.AlgorithmA, nil
+	case "b":
+		return lec.AlgorithmB, nil
+	case "c":
+		return lec.AlgorithmC, nil
+	case "d":
+		return lec.AlgorithmD, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func distToSpec(d *stats.Dist) string {
+	spec := ""
+	for i := 0; i < d.Len(); i++ {
+		if i > 0 {
+			spec += ","
+		}
+		spec += fmt.Sprintf("%g:%g", d.Value(i), d.Prob(i))
+	}
+	return spec
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestDemoCompare(t *testing.T) {
+	out, err := runCapture(t, "-demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"algorithm-c", "lsc-mean", "grace-hash", "best plan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// LEC strategies must sort above LSC on the demo.
+	if strings.Index(out, "algorithm-c") > strings.Index(out, "lsc-mean") {
+		t.Error("algorithm-c not ranked above lsc-mean")
+	}
+}
+
+func TestDemoSingleStrategy(t *testing.T) {
+	out, err := runCapture(t, "-demo", "-strategy", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy: algorithm-c") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Each named strategy parses.
+	for _, s := range []string{"lsc-mean", "lsc-mode", "a", "b", "c", "d"} {
+		if _, err := runCapture(t, "-demo", "-strategy", s); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+}
+
+func TestDemoDynamic(t *testing.T) {
+	out, err := runCapture(t, "-demo", "-volatility", "0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "best plan") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCustomMemSpec(t *testing.T) {
+	out, err := runCapture(t, "-demo", "-mem", "500:0.5,3000:0.5", "-strategy", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "memory: {500:0.5, 3000:0.5}") {
+		t.Errorf("memory spec not honored:\n%s", out)
+	}
+}
+
+func TestCatalogFileAndSQL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schema.txt")
+	schema := `
+table A rows 10000000 pages 1000000
+column A k distinct 10000000 min 1 max 10000000
+table B rows 4000000 pages 400000
+column B k distinct 4000000 min 1 max 4000000
+`
+	if err := os.WriteFile(path, []byte(schema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "-catalog", path,
+		"-sql", "SELECT * FROM A, B WHERE A.k = B.k",
+		"-mem", "700:0.2,2000:0.8", "-strategy", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "join") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                              // no catalog source
+		{"-demo", "-strategy", "bogus"}, // unknown strategy
+		{"-demo", "-mem", "nonsense"},   // bad distribution
+		{"-catalog", "/does/not/exist"}, // missing file
+		{"-demo", "-sql", "not sql"},    // parse failure
+		{"-demo", "-volatility", "0.9", "-mem", "1:0.5,2:0.3,3:0.2"}, // walk over 3 states ok; force error below instead
+	}
+	for i, args := range cases[:5] {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Errorf("case %d (%v) succeeded", i, args)
+		}
+	}
+}
+
+func TestFlagErrorsPropagate(t *testing.T) {
+	if _, err := runCapture(t, "-notaflag"); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestVOIFlag(t *testing.T) {
+	out, err := runCapture(t, "-demo", "-voi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EVPI", "4800", "4206000", "4201200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("voi output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChoiceFlag(t *testing.T) {
+	out, err := runCapture(t, "-demo", "-choice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"choose on startup memory", "expected cost with start-up resolution"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("choice output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateFlag(t *testing.T) {
+	out, err := runCapture(t, "-demo", "-strategy", "c", "-simulate", "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "simulated over 50 runs") {
+		t.Errorf("simulate output:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: define a catalog, write a query, and let the library choose a
+// plan under an uncertain memory budget.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/stats"
+	"repro/lec"
+)
+
+func main() {
+	// 1. Describe the stored tables and their statistics.
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "orders", Rows: 5_000_000, Pages: 500_000,
+		Columns: []*catalog.Column{
+			{Name: "id", Distinct: 5_000_000, Min: 1, Max: 5_000_000},
+			{Name: "cust_id", Distinct: 100_000, Min: 1, Max: 100_000},
+			{Name: "amount", Distinct: 10_000, Min: 0, Max: 10_000},
+		},
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "customers", Rows: 100_000, Pages: 10_000,
+		Columns: []*catalog.Column{
+			{Name: "id", Distinct: 100_000, Min: 1, Max: 100_000},
+			{Name: "region", Distinct: 50, Min: 1, Max: 50},
+		},
+		Indexes: []*catalog.Index{
+			{Name: "customers_pk", Column: "id", Clustered: true, Height: 3},
+		},
+	})
+
+	// 2. Describe the run-time environment as a *distribution*, not a
+	// number: this server usually has ~4000 buffer pages free, but 30% of
+	// the time a concurrent batch job squeezes that to 300.
+	env := lec.Environment{
+		Memory: stats.MustNew([]float64{300, 4000}, []float64{0.3, 0.7}),
+	}
+
+	// 3. Optimize. AlgorithmC returns the plan of least expected cost.
+	o := lec.New(cat)
+	sql := `SELECT orders.id, customers.region
+	        FROM orders, customers
+	        WHERE orders.cust_id = customers.id AND orders.amount < 100
+	        ORDER BY orders.id`
+	d, err := o.OptimizeSQL(sql, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LEC plan:")
+	fmt.Println(d.Explain())
+
+	// 4. Compare with what a classical optimizer (point estimate at the
+	// mean) would have done.
+	lsc, err := o.OptimizeSQLWith(sql, env, lec.LSCMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("classical (LSC at mean) plan:")
+	fmt.Println(lsc.Explain())
+	fmt.Printf("expected-cost ratio LSC/LEC: %.3f\n", lsc.ExpectedCost/d.ExpectedCost)
+}

@@ -1,0 +1,88 @@
+// Risk and the value of information: the 2002 follow-up's decision-theoretic
+// questions made concrete.
+//
+//  1. Risk: two plans can have similar expected costs but very different
+//     spreads. The LEC plan minimizes the mean; a risk-averse user may
+//     prefer the plan whose worst case is bounded. Exponential-utility
+//     optimization (ExpUtilityDP) and risk profiles expose the trade.
+//
+//  2. Information ([SBM93]): before committing, is it worth paying to
+//     *observe* the uncertain parameter? The expected value of perfect
+//     information (EVPI) answers in page I/Os.
+//
+//     go run ./examples/risk_and_information
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+func main() {
+	cat, q, dm := workload.Example11()
+	o := lec.New(cat)
+	env := lec.Environment{Memory: dm}
+
+	// The two plans of Example 1.1, with risk profiles.
+	lsc, err := o.Optimize(q, env, lec.LSCMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lecd, err := o.Optimize(q, env, lec.AlgorithmC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(name string, d *lec.Decision) {
+		fmt.Printf("%-22s E[Φ] = %9.0f   std = %9.0f   p95 = %9.0f\n",
+			name, d.ExpectedCost, d.Risk.StdDev, d.Risk.P95)
+	}
+	fmt.Println("risk profiles under M = {700: 0.2, 2000: 0.8}:")
+	show("Plan 1 (LSC choice)", lsc)
+	show("Plan 2 (LEC choice)", lecd)
+
+	// Risk-averse optimization: the exponential-utility DP. On this example
+	// the LEC plan is also the safe plan, so any γ > 0 confirms it; the
+	// interesting output is the certainty equivalent the DP minimizes.
+	riskAverse, err := o.OptimizeRiskAverse(q, env, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrisk-averse (γ = 1e-6) choice matches LEC: %v\n",
+		riskAverse.Plan.Key() == lecd.Plan.Key())
+
+	// Mean-variance frontier over the two candidates.
+	for _, lambda := range []float64{0, 0.5, 2} {
+		p, val := opt.MeanStdPlan([]plan.Node{lsc.Plan, lecd.Plan}, dm, lambda)
+		fmt.Printf("argmin E + %.1f·Std → %s (objective %.0f)\n", lambda, headOf(p), val)
+	}
+
+	// Value of information: how much would observing the true memory before
+	// planning be worth?
+	v, err := o.ValueOfInformation(q, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalue of observing memory before planning:\n")
+	fmt.Printf("  commit now (LEC):        E[Φ] = %.0f\n", v.LECCost)
+	fmt.Printf("  observe, then optimize:  E[Φ] = %.0f\n", v.InformedCost)
+	fmt.Printf("  EVPI = %.0f page I/Os\n", v.EVPI)
+	fmt.Printf("  probe costing 1000 pages worth it?  %v\n", v.ShouldObserve(1000))
+	fmt.Printf("  probe costing 10000 pages worth it? %v\n", v.ShouldObserve(10000))
+}
+
+// headOf names a plan by its top operator chain.
+func headOf(p plan.Node) string {
+	switch v := p.(type) {
+	case *plan.Sort:
+		return "sort(" + headOf(v.Input) + ")"
+	case *plan.Join:
+		return v.Method.String()
+	default:
+		return p.Key()
+	}
+}

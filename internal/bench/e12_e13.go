@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/eval"
+	"repro/internal/opt"
+	"repro/internal/query"
+	"repro/internal/reopt"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// E12StrategyComparison pits the paper's §2.3 strategy families against LEC
+// on a 4-relation chain in a 24x7-style environment: memory follows a
+// Markov walk whose start state is drawn from the stationary distribution.
+// Strategies: blind compile-time LSC at the stationary mean, the [INSS92]
+// parametric table looking up the observed start-up value, [KD98]-style
+// mid-execution re-optimization (sunk work on restart), and compile-time
+// LEC over the stationary distribution. Every strategy is charged by the
+// execution simulator on the *same* sampled memory traces.
+func E12StrategyComparison() (*Table, error) {
+	t := &Table{
+		ID:     "E12",
+		Title:  "Start-up/run-time strategies (4-relation chain, Markov memory walk, 1500 traces)",
+		Claim:  "§2.3: prior strategies wait for information (start-up lookup, mid-run re-optimization); LEC handles the uncertainty entirely at compile time",
+		Header: []string{"strategy", "information needed", "simulated mean", "vs LSC", "mean restarts"},
+	}
+	rng := rand.New(rand.NewSource(62))
+	cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: 4})
+	q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: 4, Shape: workload.Chain})
+	if err != nil {
+		return nil, err
+	}
+	opts := opt.Options{}
+	chain, err := stats.RandomWalkChain([]float64{25, 100, 400, 1600, 6400}, 0.35, 0.35)
+	if err != nil {
+		return nil, err
+	}
+	stationary := chain.Stationary(500)
+	phases := q.NumRels() - 1
+
+	lsc, err := opt.SystemR(cat, q, opts, stationary.Mean())
+	if err != nil {
+		return nil, err
+	}
+	lec, err := opt.AlgorithmC(cat, q, opts, stationary)
+	if err != nil {
+		return nil, err
+	}
+	table, err := opt.ParametricPlans(cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	const trials = 1500
+	simRng := rand.New(rand.NewSource(63))
+	var sumLSC, sumParam, sumKD, sumLEC, sumRestarts float64
+	for i := 0; i < trials; i++ {
+		tr := eval.Trace(chain.SamplePath(simRng, stationary, phases*5))
+		ioLSC, err := eval.Run(lsc.Plan, tr)
+		if err != nil {
+			return nil, err
+		}
+		sumLSC += ioLSC.Total()
+
+		pParam, err := opt.LookupParam(table, tr[0])
+		if err != nil {
+			return nil, err
+		}
+		ioParam, err := eval.Run(pParam, tr)
+		if err != nil {
+			return nil, err
+		}
+		sumParam += ioParam.Total()
+
+		kd, err := reopt.Run(cat, q, opts, stationary.Mean(), tr, reopt.Policy{})
+		if err != nil {
+			return nil, err
+		}
+		sumKD += kd.Total
+		sumRestarts += float64(kd.Restarts)
+
+		ioLEC, err := eval.Run(lec.Plan, tr)
+		if err != nil {
+			return nil, err
+		}
+		sumLEC += ioLEC.Total()
+	}
+	n := float64(trials)
+	rel := func(v float64) string { return f3(v / (sumLSC / n)) }
+	t.AddRow("LSC @ stationary mean", "none", f0(sumLSC/n), rel(sumLSC/n), "0")
+	t.AddRow("parametric table [INSS92]", "exact value at start-up", f0(sumParam/n), rel(sumParam/n), "0")
+	t.AddRow("LSC + re-optimization [KD98]", "observed stats mid-run", f0(sumKD/n), rel(sumKD/n), f2(sumRestarts/n))
+	t.AddRow("LEC (Algorithm C)", "distribution only", f0(sumLEC/n), rel(sumLEC/n), "0")
+	t.Finding = "with memory drifting mid-run, even the start-up oracle and mid-run re-optimization commit to plans that the next memory step can wreck; LEC, optimizing against the whole distribution at compile time, avoids the fragile plans entirely and wins by two orders of magnitude — the paper's 'high degree of variability' scenario in the extreme"
+	return t, nil
+}
+
+// E13RandomizedSearch measures the randomized ([Swa89, IK90]-style)
+// left-deep search against the exact DP: plan-quality gap as the restart
+// budget grows, on a 10-relation chain where exhaustive enumeration
+// (10!·4⁹ ≈ 10¹²) is out of reach but the DP still gives ground truth.
+func E13RandomizedSearch() (*Table, error) {
+	t := &Table{
+		ID:     "E13",
+		Title:  "Randomized left-deep search vs Algorithm C (10-relation chains, 10 instances)",
+		Claim:  "§1/§2.3: randomized optimization trades exactness for tunable effort",
+		Header: []string{"restarts", "mean E[random]/E[C]", "worst", "found optimum"},
+	}
+	type instance struct {
+		cat *catalog.Catalog
+		q   *query.SPJ
+		dm  *stats.Dist
+		dp  float64
+	}
+	var instances []instance
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed * 43))
+		cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: 10})
+		q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: 10, Shape: workload.Chain})
+		if err != nil {
+			return nil, err
+		}
+		dm := stats.MustNew([]float64{50, 500, 5000}, []float64{0.3, 0.4, 0.3})
+		dp, err := opt.AlgorithmC(cat, q, opt.Options{}, dm)
+		if err != nil {
+			return nil, err
+		}
+		instances = append(instances, instance{cat: cat, q: q, dm: dm, dp: dp.Cost})
+	}
+	for _, restarts := range []int{1, 4, 16, 64} {
+		sumRatio, worst := 0.0, 1.0
+		optima := 0
+		for i, in := range instances {
+			rnd, err := opt.RandomizedLEC(in.cat, in.q, opt.Options{}, in.dm,
+				opt.RandomizedOpts{Restarts: restarts, Seed: int64(i)})
+			if err != nil {
+				return nil, err
+			}
+			ratio := rnd.Cost / in.dp
+			if ratio < 1-1e-9 {
+				return nil, fmt.Errorf("E13: randomized beat the exact DP (ratio %v)", ratio)
+			}
+			sumRatio += ratio
+			if ratio > worst {
+				worst = ratio
+			}
+			if ratio < 1+1e-9 {
+				optima++
+			}
+		}
+		t.AddRow(fmt.Sprint(restarts), f3(sumRatio/float64(len(instances))), f3(worst),
+			fmt.Sprintf("%d/%d", optima, len(instances)))
+	}
+	t.Finding = "the quality gap shrinks monotonically with the restart budget; with 64 restarts the climber finds the exact LEC plan on most 10-relation instances"
+	return t, nil
+}

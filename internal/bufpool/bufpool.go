@@ -1,0 +1,174 @@
+// Package bufpool is a page-level buffer pool with LRU replacement. It is
+// the lowest-level substrate of the execution stack: internal/exec drives
+// real page-access patterns of the join algorithms through it, and the
+// resulting miss/write counts validate the optimizer's closed-form cost
+// formulas from first principles — e.g. the nested-loop formula's
+// "M ≥ S + 2" threshold emerges here as the point where the inner relation
+// stays resident across rescans.
+package bufpool
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID names one page of one file.
+type PageID struct {
+	File string
+	No   int
+}
+
+// Stats counts the physical I/O the pool performed.
+type Stats struct {
+	// Reads counts pages fetched from "disk" (misses).
+	Reads int
+	// Writes counts dirty pages written back (evictions + flushes).
+	Writes int
+	// Hits counts accesses served from the pool.
+	Hits int
+}
+
+type frame struct {
+	id    PageID
+	dirty bool
+}
+
+// Pool is an LRU buffer pool of a fixed number of frames.
+type Pool struct {
+	capacity int
+	table    map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+	stats    Stats
+}
+
+// New creates a pool with the given number of frames (at least 1).
+func New(frames int) *Pool {
+	if frames < 1 {
+		frames = 1
+	}
+	return &Pool{
+		capacity: frames,
+		table:    make(map[PageID]*list.Element, frames),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the frame count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int { return p.lru.Len() }
+
+// Stats returns the accumulated I/O counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters without evicting pages.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// Get brings the page into the pool (reading it on a miss) and marks it
+// most recently used.
+func (p *Pool) Get(id PageID) {
+	p.access(id, false)
+}
+
+// Put writes the page in the pool, marking it dirty; the physical write
+// happens on eviction or Flush. A Put of a non-resident page allocates a
+// frame without a disk read (it is newly produced data).
+func (p *Pool) Put(id PageID) {
+	p.access(id, true)
+}
+
+func (p *Pool) access(id PageID, write bool) {
+	if el, ok := p.table[id]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(el)
+		if write {
+			el.Value.(*frame).dirty = true
+		}
+		return
+	}
+	if !write {
+		p.stats.Reads++
+	}
+	p.evictIfFull()
+	el := p.lru.PushFront(&frame{id: id, dirty: write})
+	p.table[id] = el
+}
+
+func (p *Pool) evictIfFull() {
+	for p.lru.Len() >= p.capacity {
+		back := p.lru.Back()
+		if back == nil {
+			return
+		}
+		f := back.Value.(*frame)
+		if f.dirty {
+			p.stats.Writes++
+		}
+		delete(p.table, f.id)
+		p.lru.Remove(back)
+	}
+}
+
+// Evict drops the page if resident, writing it back when dirty.
+func (p *Pool) Evict(id PageID) {
+	el, ok := p.table[id]
+	if !ok {
+		return
+	}
+	f := el.Value.(*frame)
+	if f.dirty {
+		p.stats.Writes++
+	}
+	delete(p.table, id)
+	p.lru.Remove(el)
+}
+
+// Flush writes back every dirty page (keeping them resident and clean).
+func (p *Pool) Flush() {
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty {
+			p.stats.Writes++
+			f.dirty = false
+		}
+	}
+}
+
+// FlushFile writes back the file's dirty pages (keeping them resident and
+// clean) — modelling a temporary file forced to disk before re-reading.
+func (p *Pool) FlushFile(file string) {
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.id.File == file && f.dirty {
+			p.stats.Writes++
+			f.dirty = false
+		}
+	}
+}
+
+// DropFile evicts every page of the file without counting writes — used to
+// discard temporary files whose contents are dead (e.g. consumed runs).
+func (p *Pool) DropFile(file string) {
+	var next *list.Element
+	for el := p.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		f := el.Value.(*frame)
+		if f.id.File == file {
+			delete(p.table, f.id)
+			p.lru.Remove(el)
+		}
+	}
+}
+
+// Resident reports whether the page is in the pool.
+func (p *Pool) Resident(id PageID) bool {
+	_, ok := p.table[id]
+	return ok
+}
+
+// String summarizes the pool state.
+func (p *Pool) String() string {
+	return fmt.Sprintf("bufpool{%d/%d frames, r=%d w=%d h=%d}",
+		p.lru.Len(), p.capacity, p.stats.Reads, p.stats.Writes, p.stats.Hits)
+}

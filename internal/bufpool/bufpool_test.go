@@ -1,0 +1,131 @@
+package bufpool
+
+import (
+	"strings"
+	"testing"
+)
+
+func pid(f string, n int) PageID { return PageID{File: f, No: n} }
+
+func TestMissesAndHits(t *testing.T) {
+	p := New(3)
+	p.Get(pid("a", 0))
+	p.Get(pid("a", 1))
+	p.Get(pid("a", 0)) // hit
+	s := p.Stats()
+	if s.Reads != 2 || s.Hits != 1 || s.Writes != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if p.Len() != 2 || p.Capacity() != 3 {
+		t.Errorf("len/cap = %d/%d", p.Len(), p.Capacity())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(2)
+	p.Get(pid("a", 0))
+	p.Get(pid("a", 1))
+	p.Get(pid("a", 0)) // 0 now MRU
+	p.Get(pid("a", 2)) // evicts 1 (LRU)
+	if !p.Resident(pid("a", 0)) || p.Resident(pid("a", 1)) || !p.Resident(pid("a", 2)) {
+		t.Error("LRU eviction order wrong")
+	}
+	// Re-reading 1 is a miss.
+	before := p.Stats().Reads
+	p.Get(pid("a", 1))
+	if p.Stats().Reads != before+1 {
+		t.Error("evicted page not re-read")
+	}
+}
+
+func TestDirtyEvictionCountsWrite(t *testing.T) {
+	p := New(1)
+	p.Put(pid("tmp", 0)) // dirty, no read
+	p.Get(pid("a", 0))   // evicts dirty tmp/0 → one write
+	s := p.Stats()
+	if s.Writes != 1 || s.Reads != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPutDoesNotRead(t *testing.T) {
+	p := New(4)
+	p.Put(pid("tmp", 0))
+	p.Put(pid("tmp", 1))
+	if s := p.Stats(); s.Reads != 0 {
+		t.Errorf("Put caused reads: %+v", s)
+	}
+	// Re-putting a resident page is a hit.
+	p.Put(pid("tmp", 0))
+	if s := p.Stats(); s.Hits != 1 {
+		t.Errorf("re-Put not a hit: %+v", s)
+	}
+}
+
+func TestFlushWritesDirtyOnce(t *testing.T) {
+	p := New(4)
+	p.Put(pid("tmp", 0))
+	p.Put(pid("tmp", 1))
+	p.Get(pid("a", 0))
+	p.Flush()
+	if s := p.Stats(); s.Writes != 2 {
+		t.Errorf("flush wrote %d, want 2", s.Writes)
+	}
+	// A second flush writes nothing (pages now clean).
+	p.Flush()
+	if s := p.Stats(); s.Writes != 2 {
+		t.Errorf("second flush wrote more: %+v", s)
+	}
+}
+
+func TestEvictSpecific(t *testing.T) {
+	p := New(4)
+	p.Put(pid("tmp", 0))
+	p.Evict(pid("tmp", 0))
+	if s := p.Stats(); s.Writes != 1 {
+		t.Errorf("evicting dirty page wrote %d", s.Writes)
+	}
+	p.Evict(pid("tmp", 99)) // absent: no-op
+	if p.Resident(pid("tmp", 0)) {
+		t.Error("evicted page still resident")
+	}
+}
+
+func TestDropFileDiscardsWithoutWrites(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 4; i++ {
+		p.Put(pid("run1", i))
+	}
+	p.Get(pid("a", 0))
+	p.DropFile("run1")
+	if s := p.Stats(); s.Writes != 0 {
+		t.Errorf("DropFile wrote %d", s.Writes)
+	}
+	if p.Len() != 1 {
+		t.Errorf("%d pages resident after drop", p.Len())
+	}
+}
+
+func TestResetStatsAndString(t *testing.T) {
+	p := New(2)
+	p.Get(pid("a", 0))
+	p.ResetStats()
+	if s := p.Stats(); s != (Stats{}) {
+		t.Errorf("stats after reset: %+v", s)
+	}
+	if !strings.Contains(p.String(), "bufpool{") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	p := New(0)
+	if p.Capacity() != 1 {
+		t.Errorf("capacity = %d, want clamp to 1", p.Capacity())
+	}
+	p.Get(pid("a", 0))
+	p.Get(pid("a", 1))
+	if p.Len() != 1 {
+		t.Errorf("len = %d", p.Len())
+	}
+}

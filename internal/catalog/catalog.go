@@ -1,0 +1,206 @@
+// Package catalog models the DBMS system catalog: tables, columns, indexes,
+// and the statistics the optimizer consumes. The paper's parameter
+// category 1 ("properties of the data: cardinalities of tables,
+// distributions of values") lives here, including both classical point
+// statistics and the distributional statistics LEC optimization adds —
+// a table size or a predicate selectivity may be a full distribution rather
+// than a single number.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Catalog is a collection of named tables.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string // insertion order, for deterministic iteration
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table. It returns an error on duplicate names or invalid
+// table definitions.
+func (c *Catalog) Add(t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	c.tables[t.Name] = t
+	c.order = append(c.order, t.Name)
+	return nil
+}
+
+// MustAdd is like Add but panics on error; for fixtures.
+func (c *Catalog) MustAdd(t *Table) {
+	if err := c.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns the named table, or an error if absent.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is like Table but panics; for fixtures and tests.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Has reports whether the named table exists.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Names returns the table names in insertion order.
+func (c *Catalog) Names() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Len returns the number of tables.
+func (c *Catalog) Len() int { return len(c.tables) }
+
+// Table describes a stored relation and its statistics.
+type Table struct {
+	Name string
+	// Rows is the estimated row count.
+	Rows int64
+	// Pages is the size of the table in pages — the unit of every cost
+	// formula in the paper.
+	Pages float64
+	// SizeDist, when non-nil, is the distribution of the table's size in
+	// pages (paper §3.6: "|A_j| after any initial selection" is a random
+	// variable). When nil, the size is the point Pages.
+	SizeDist *stats.Dist
+	// Columns in declaration order.
+	Columns []*Column
+	// Indexes on this table.
+	Indexes []*Index
+}
+
+// Validate checks structural invariants.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table with empty name")
+	}
+	if t.Rows < 0 {
+		return fmt.Errorf("catalog: table %q has negative rows %d", t.Name, t.Rows)
+	}
+	if t.Pages < 0 {
+		return fmt.Errorf("catalog: table %q has negative pages %v", t.Name, t.Pages)
+	}
+	seen := map[string]bool{}
+	for _, col := range t.Columns {
+		if col.Name == "" {
+			return fmt.Errorf("catalog: table %q has a column with empty name", t.Name)
+		}
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: table %q has duplicate column %q", t.Name, col.Name)
+		}
+		seen[col.Name] = true
+		if col.Distinct < 0 {
+			return fmt.Errorf("catalog: column %q.%q has negative distinct count", t.Name, col.Name)
+		}
+	}
+	for _, idx := range t.Indexes {
+		if !seen[idx.Column] {
+			return fmt.Errorf("catalog: index %q on unknown column %q.%q", idx.Name, t.Name, idx.Column)
+		}
+	}
+	return nil
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// IndexOn returns an index whose key is the named column, preferring a
+// clustered index, or nil if none exists.
+func (t *Table) IndexOn(column string) *Index {
+	var best *Index
+	for _, idx := range t.Indexes {
+		if idx.Column != column {
+			continue
+		}
+		if idx.Clustered {
+			return idx
+		}
+		if best == nil {
+			best = idx
+		}
+	}
+	return best
+}
+
+// PagesDist returns the size distribution: SizeDist if set, otherwise the
+// point distribution at Pages.
+func (t *Table) PagesDist() *stats.Dist {
+	if t.SizeDist != nil {
+		return t.SizeDist
+	}
+	return stats.Point(t.Pages)
+}
+
+// RowsPerPage returns the average tuple density, defaulting to 1 page per
+// row bucket when the table is empty.
+func (t *Table) RowsPerPage() float64 {
+	if t.Pages <= 0 {
+		return 1
+	}
+	return float64(t.Rows) / t.Pages
+}
+
+// Column describes a column and its statistics over a numeric domain.
+type Column struct {
+	Name string
+	// Distinct is the number of distinct values (for join selectivity).
+	Distinct int64
+	// Min and Max bound the value domain.
+	Min, Max float64
+	// Hist, when non-nil, refines selectivity estimates.
+	Hist *Histogram
+}
+
+// Index describes a B-tree index.
+type Index struct {
+	Name      string
+	Column    string
+	Clustered bool
+	// Height is the number of page reads to descend from root to leaf.
+	Height int
+}
+
+// SortColumns returns the table's column names sorted; used for
+// deterministic output in tools.
+func (t *Table) SortColumns() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,243 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Name:  "orders",
+		Rows:  10000,
+		Pages: 500,
+		Columns: []*Column{
+			{Name: "id", Distinct: 10000, Min: 1, Max: 10000},
+			{Name: "cust", Distinct: 100, Min: 1, Max: 100},
+		},
+		Indexes: []*Index{
+			{Name: "orders_pk", Column: "id", Clustered: true, Height: 3},
+			{Name: "orders_cust", Column: "cust", Height: 2},
+		},
+	}
+}
+
+func TestCatalogAddAndLookup(t *testing.T) {
+	c := New()
+	if err := c.Add(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("orders") || c.Len() != 1 {
+		t.Fatalf("Has/Len wrong after Add")
+	}
+	tab, err := c.Table("orders")
+	if err != nil || tab.Name != "orders" {
+		t.Fatalf("Table: %v, %v", tab, err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("lookup of missing table succeeded")
+	}
+	if err := c.Add(sampleTable()); err == nil {
+		t.Error("duplicate Add succeeded")
+	}
+	if got := c.Names(); len(got) != 1 || got[0] != "orders" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Table)
+	}{
+		{"empty name", func(t *Table) { t.Name = "" }},
+		{"negative rows", func(t *Table) { t.Rows = -1 }},
+		{"negative pages", func(t *Table) { t.Pages = -3 }},
+		{"empty column name", func(t *Table) { t.Columns[0].Name = "" }},
+		{"duplicate column", func(t *Table) { t.Columns[1].Name = "id" }},
+		{"negative distinct", func(t *Table) { t.Columns[0].Distinct = -1 }},
+		{"index on unknown column", func(t *Table) { t.Indexes[0].Column = "ghost" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := sampleTable()
+			tc.mut(tab)
+			if err := tab.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+	if err := sampleTable().Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab := sampleTable()
+	if col := tab.Column("cust"); col == nil || col.Distinct != 100 {
+		t.Errorf("Column(cust) = %+v", col)
+	}
+	if tab.Column("ghost") != nil {
+		t.Error("Column(ghost) found")
+	}
+	if idx := tab.IndexOn("id"); idx == nil || !idx.Clustered {
+		t.Errorf("IndexOn(id) = %+v, want clustered", idx)
+	}
+	if idx := tab.IndexOn("cust"); idx == nil || idx.Clustered {
+		t.Errorf("IndexOn(cust) = %+v, want non-clustered", idx)
+	}
+	if tab.IndexOn("ghost") != nil {
+		t.Error("IndexOn(ghost) found")
+	}
+	if got := tab.RowsPerPage(); got != 20 {
+		t.Errorf("RowsPerPage = %v, want 20", got)
+	}
+	empty := &Table{Name: "e"}
+	if got := empty.RowsPerPage(); got != 1 {
+		t.Errorf("empty RowsPerPage = %v, want 1", got)
+	}
+	cols := tab.SortColumns()
+	if len(cols) != 2 || cols[0] != "cust" || cols[1] != "id" {
+		t.Errorf("SortColumns = %v", cols)
+	}
+}
+
+func TestIndexOnPrefersClustered(t *testing.T) {
+	tab := sampleTable()
+	tab.Indexes = append(tab.Indexes, &Index{Name: "id2", Column: "id", Height: 2})
+	if idx := tab.IndexOn("id"); idx.Name != "orders_pk" {
+		t.Errorf("IndexOn(id) = %q, want clustered orders_pk", idx.Name)
+	}
+	// With only non-clustered indexes, the first match is returned.
+	tab2 := sampleTable()
+	tab2.Indexes = []*Index{
+		{Name: "a", Column: "id", Height: 2},
+		{Name: "b", Column: "id", Height: 3},
+	}
+	if idx := tab2.IndexOn("id"); idx.Name != "a" {
+		t.Errorf("IndexOn(id) = %q, want first non-clustered a", idx.Name)
+	}
+}
+
+func TestPagesDist(t *testing.T) {
+	tab := sampleTable()
+	d := tab.PagesDist()
+	if !d.IsPoint() || d.Mean() != 500 {
+		t.Errorf("PagesDist = %v, want point 500", d)
+	}
+	tab.SizeDist = stats.MustNew([]float64{400, 600}, []float64{0.5, 0.5})
+	if got := tab.PagesDist().Mean(); got != 500 {
+		t.Errorf("PagesDist with SizeDist mean = %v", got)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	a := &Column{Name: "x", Distinct: 100}
+	b := &Column{Name: "y", Distinct: 1000}
+	if got := JoinSelectivity(a, b); got != 0.001 {
+		t.Errorf("JoinSelectivity = %v, want 1/1000", got)
+	}
+	// Unknown distinct counts fall back to 10.
+	u := &Column{Name: "u"}
+	if got := JoinSelectivity(u, u); got != 0.1 {
+		t.Errorf("JoinSelectivity(unknown) = %v, want 0.1", got)
+	}
+	if got := JoinSelectivity(a, u); got != 0.01 {
+		t.Errorf("JoinSelectivity(100, unknown) = %v, want 0.01", got)
+	}
+}
+
+func TestSelectivityDist(t *testing.T) {
+	d, err := SelectivityDist(0.1, 0)
+	if err != nil || !d.IsPoint() {
+		t.Fatalf("spread 0: %v, %v", d, err)
+	}
+	d, err = SelectivityDist(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("spread 1: %d buckets", d.Len())
+	}
+	if d.Min() != 0.05 || d.Max() != 0.2 {
+		t.Errorf("support [%v, %v], want [0.05, 0.2]", d.Min(), d.Max())
+	}
+	// Clamping at 1.
+	d, err = SelectivityDist(0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Max() > 1 {
+		t.Errorf("selectivity above 1: %v", d.Max())
+	}
+	for _, bad := range []struct{ sel, spread float64 }{{0, 0.5}, {1.5, 0.5}, {-0.1, 0.5}, {0.5, -1}} {
+		if _, err := SelectivityDist(bad.sel, bad.spread); err == nil {
+			t.Errorf("SelectivityDist(%v, %v) accepted", bad.sel, bad.spread)
+		}
+	}
+}
+
+func TestSizeDistFromEstimate(t *testing.T) {
+	d, err := SizeDistFromEstimate(1000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("%d buckets, want 3", d.Len())
+	}
+	if math.Abs(d.Value(0)-1000.0/1.5) > 1e-9 || d.Value(2) != 1500 {
+		t.Errorf("support %v", d.Support())
+	}
+	if _, err := SizeDistFromEstimate(0, 0.5); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if _, err := SizeDistFromEstimate(10, -0.5); err == nil {
+		t.Error("negative spread accepted")
+	}
+	p, err := SizeDistFromEstimate(10, 0)
+	if err != nil || !p.IsPoint() {
+		t.Errorf("spread 0: %v, %v", p, err)
+	}
+}
+
+func TestSelectivityDistFromSample(t *testing.T) {
+	// Small sample: wide distribution centred at the Laplace estimate.
+	d, err := SelectivityDistFromSample(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := 3.0 / 12
+	if math.Abs(d.Mean()-mu) > 0.05 {
+		t.Errorf("mean %v, want ≈ %v", d.Mean(), mu)
+	}
+	if d.Len() != 3 {
+		t.Errorf("%d buckets", d.Len())
+	}
+	// Large sample: much tighter.
+	dBig, err := SelectivityDistFromSample(200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dBig.StdDev() >= d.StdDev() {
+		t.Errorf("larger sample not tighter: %v vs %v", dBig.StdDev(), d.StdDev())
+	}
+	// Degenerate and invalid inputs.
+	if _, err := SelectivityDistFromSample(-1, 10); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := SelectivityDistFromSample(11, 10); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := SelectivityDistFromSample(0, 0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	// All rows matching: the high side clamps at 1.
+	dAll, err := SelectivityDistFromSample(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAll.Max() > 1 {
+		t.Errorf("selectivity above 1: %v", dAll.Max())
+	}
+}

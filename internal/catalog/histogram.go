@@ -1,0 +1,241 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HistKind selects the histogram flavor.
+type HistKind int
+
+const (
+	// EquiWidth buckets span equal value ranges.
+	EquiWidth HistKind = iota
+	// EquiDepth buckets hold (approximately) equal row counts; this is the
+	// histogram class [PHS96] recommends for selectivity estimation and the
+	// one our workload generator builds by default.
+	EquiDepth
+)
+
+// String implements fmt.Stringer.
+func (k HistKind) String() string {
+	switch k {
+	case EquiWidth:
+		return "equi-width"
+	case EquiDepth:
+		return "equi-depth"
+	default:
+		return fmt.Sprintf("HistKind(%d)", int(k))
+	}
+}
+
+// histBucket is one histogram bucket over (Lo, Hi], except the first bucket
+// which is [Lo, Hi].
+type histBucket struct {
+	Lo, Hi   float64
+	Count    int64 // rows in bucket
+	Distinct int64 // distinct values in bucket (≥ 1 when Count > 0)
+}
+
+// Histogram summarizes a column's value distribution for selectivity
+// estimation. Buckets are contiguous and ascending.
+type Histogram struct {
+	kind    HistKind
+	total   int64
+	buckets []histBucket
+}
+
+// BuildHistogram constructs a histogram with nBuckets buckets from raw
+// column values. It returns an error for empty input or nBuckets < 1.
+func BuildHistogram(values []float64, nBuckets int, kind HistKind) (*Histogram, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("catalog: histogram over no values")
+	}
+	if nBuckets < 1 {
+		return nil, fmt.Errorf("catalog: histogram with %d buckets", nBuckets)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	switch kind {
+	case EquiWidth:
+		return buildEquiWidth(sorted, nBuckets), nil
+	case EquiDepth:
+		return buildEquiDepth(sorted, nBuckets), nil
+	default:
+		return nil, fmt.Errorf("catalog: unknown histogram kind %v", kind)
+	}
+}
+
+func buildEquiWidth(sorted []float64, n int) *Histogram {
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo == hi {
+		return &Histogram{kind: EquiWidth, total: int64(len(sorted)), buckets: []histBucket{
+			{Lo: lo, Hi: hi, Count: int64(len(sorted)), Distinct: 1},
+		}}
+	}
+	width := (hi - lo) / float64(n)
+	h := &Histogram{kind: EquiWidth, total: int64(len(sorted))}
+	h.buckets = make([]histBucket, n)
+	for i := range h.buckets {
+		h.buckets[i].Lo = lo + float64(i)*width
+		h.buckets[i].Hi = lo + float64(i+1)*width
+	}
+	h.buckets[n-1].Hi = hi
+	bi := 0
+	var prev float64
+	var havePrev bool
+	for _, v := range sorted {
+		for bi < n-1 && v > h.buckets[bi].Hi {
+			bi++
+			havePrev = false
+		}
+		h.buckets[bi].Count++
+		if !havePrev || v != prev {
+			h.buckets[bi].Distinct++
+			prev, havePrev = v, true
+		}
+	}
+	return h
+}
+
+func buildEquiDepth(sorted []float64, n int) *Histogram {
+	total := len(sorted)
+	if n > total {
+		n = total
+	}
+	h := &Histogram{kind: EquiDepth, total: int64(total)}
+	per := total / n
+	if per < 1 {
+		per = 1
+	}
+	// Walk runs of equal values. A run at least as deep as a full bucket
+	// becomes a singleton bucket (a "compressed"/end-biased histogram), so a
+	// heavy hitter never pollutes the uniform-within-bucket assumption for
+	// its neighbors. Other runs accumulate until the target depth is reached.
+	var cur *histBucket
+	flush := func() {
+		if cur != nil && cur.Count > 0 {
+			h.buckets = append(h.buckets, *cur)
+		}
+		cur = nil
+	}
+	i := 0
+	for i < total {
+		j := i + 1
+		for j < total && sorted[j] == sorted[i] {
+			j++
+		}
+		run := int64(j - i)
+		if run >= int64(per) {
+			flush()
+			h.buckets = append(h.buckets, histBucket{
+				Lo: sorted[i], Hi: sorted[i], Count: run, Distinct: 1,
+			})
+		} else {
+			if cur == nil {
+				cur = &histBucket{Lo: sorted[i], Hi: sorted[i]}
+			}
+			cur.Hi = sorted[i]
+			cur.Count += run
+			cur.Distinct++
+			if cur.Count >= int64(per) {
+				flush()
+			}
+		}
+		i = j
+	}
+	flush()
+	return h
+}
+
+func countDistinct(sorted []float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	d := int64(1)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			d++
+		}
+	}
+	return d
+}
+
+// Kind returns the histogram flavor.
+func (h *Histogram) Kind() HistKind { return h.kind }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// TotalRows returns the number of rows summarized.
+func (h *Histogram) TotalRows() int64 { return h.total }
+
+// SelectivityEq estimates the fraction of rows with value = v, using the
+// uniform-within-bucket assumption.
+func (h *Histogram) SelectivityEq(v float64) float64 {
+	for _, b := range h.buckets {
+		if v < b.Lo || v > b.Hi {
+			continue
+		}
+		if b.Distinct == 0 {
+			return 0
+		}
+		return float64(b.Count) / float64(b.Distinct) / float64(h.total)
+	}
+	return 0
+}
+
+// SelectivityLE estimates Pr[value ≤ v] with linear interpolation inside the
+// containing bucket.
+func (h *Histogram) SelectivityLE(v float64) float64 {
+	var rows float64
+	for _, b := range h.buckets {
+		switch {
+		case v >= b.Hi:
+			rows += float64(b.Count)
+		case v < b.Lo:
+			// beyond: nothing more
+		default:
+			frac := 1.0
+			if b.Hi > b.Lo {
+				frac = (v - b.Lo) / (b.Hi - b.Lo)
+			}
+			rows += frac * float64(b.Count)
+		}
+	}
+	sel := rows / float64(h.total)
+	return clamp01(sel)
+}
+
+// SelectivityRange estimates Pr[lo ≤ value ≤ hi].
+func (h *Histogram) SelectivityRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	return clamp01(h.SelectivityLE(hi) - h.SelectivityLE(lo) + h.SelectivityEq(lo))
+}
+
+// SelectivityGT estimates Pr[value > v].
+func (h *Histogram) SelectivityGT(v float64) float64 {
+	return clamp01(1 - h.SelectivityLE(v))
+}
+
+// Min returns the histogram's lowest bound.
+func (h *Histogram) Min() float64 { return h.buckets[0].Lo }
+
+// Max returns the histogram's highest bound.
+func (h *Histogram) Max() float64 { return h.buckets[len(h.buckets)-1].Hi }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}

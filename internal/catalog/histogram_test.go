@@ -1,0 +1,204 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniformValues(n int, lo, hi float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}
+
+func TestBuildHistogramErrors(t *testing.T) {
+	if _, err := BuildHistogram(nil, 4, EquiWidth); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := BuildHistogram([]float64{1}, 0, EquiWidth); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := BuildHistogram([]float64{1}, 2, HistKind(42)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestHistKindString(t *testing.T) {
+	for _, k := range []HistKind{EquiWidth, EquiDepth, HistKind(42)} {
+		if k.String() == "" {
+			t.Errorf("empty String for %d", int(k))
+		}
+	}
+}
+
+func TestEquiWidthUniformData(t *testing.T) {
+	vals := uniformValues(10000, 0, 100, 1)
+	h, err := BuildHistogram(vals, 10, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind() != EquiWidth || h.NumBuckets() != 10 || h.TotalRows() != 10000 {
+		t.Fatalf("kind=%v buckets=%d rows=%d", h.Kind(), h.NumBuckets(), h.TotalRows())
+	}
+	// Uniform data: SelectivityLE(50) ≈ 0.5, range [25,75] ≈ 0.5.
+	if got := h.SelectivityLE(50); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("SelectivityLE(50) = %v", got)
+	}
+	if got := h.SelectivityRange(25, 75); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("SelectivityRange(25,75) = %v", got)
+	}
+	if got := h.SelectivityGT(90); math.Abs(got-0.1) > 0.03 {
+		t.Errorf("SelectivityGT(90) = %v", got)
+	}
+	if got := h.SelectivityLE(h.Max()); math.Abs(got-1) > 1e-9 {
+		t.Errorf("SelectivityLE(max) = %v, want 1", got)
+	}
+	if got := h.SelectivityLE(h.Min() - 1); got != 0 {
+		t.Errorf("SelectivityLE(below min) = %v, want 0", got)
+	}
+}
+
+func TestEquiDepthBalances(t *testing.T) {
+	// Heavily skewed data: most values at 1, tail to 1000.
+	vals := make([]float64, 0, 1100)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, 1)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, float64(10*i+10))
+	}
+	h, err := BuildHistogram(vals, 4, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equality selectivity of the heavy value should be ≈ 1000/1100.
+	if got, want := h.SelectivityEq(1), 1000.0/1100; math.Abs(got-want) > 0.02 {
+		t.Errorf("SelectivityEq(1) = %v, want ≈ %v", got, want)
+	}
+	// A value outside the domain has zero selectivity.
+	if got := h.SelectivityEq(-5); got != 0 {
+		t.Errorf("SelectivityEq(-5) = %v", got)
+	}
+}
+
+func TestEquiDepthNoStraddledDuplicates(t *testing.T) {
+	// 50% of the rows share one value; equality selectivity must see them all
+	// in a single bucket.
+	vals := make([]float64, 0, 200)
+	for i := 0; i < 100; i++ {
+		vals = append(vals, 42)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, float64(i))
+	}
+	h, err := BuildHistogram(vals, 8, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.SelectivityEq(42); math.Abs(got-0.5) > 0.1 {
+		t.Errorf("SelectivityEq(42) = %v, want ≈ 0.5", got)
+	}
+}
+
+func TestHistogramConstantColumn(t *testing.T) {
+	vals := []float64{7, 7, 7, 7}
+	for _, kind := range []HistKind{EquiWidth, EquiDepth} {
+		h, err := BuildHistogram(vals, 4, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got := h.SelectivityEq(7); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%v: SelectivityEq(7) = %v, want 1", kind, got)
+		}
+		if got := h.SelectivityLE(7); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%v: SelectivityLE(7) = %v, want 1", kind, got)
+		}
+	}
+}
+
+func TestSelectivityRangeEmptyAndReversed(t *testing.T) {
+	h, err := BuildHistogram(uniformValues(100, 0, 10, 2), 4, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.SelectivityRange(8, 2); got != 0 {
+		t.Errorf("reversed range selectivity = %v", got)
+	}
+	if got := h.SelectivityRange(h.Min(), h.Max()); math.Abs(got-1) > 0.05 {
+		t.Errorf("full range selectivity = %v", got)
+	}
+}
+
+func TestPropHistogramSelectivityBounds(t *testing.T) {
+	// All selectivities lie in [0, 1], and SelectivityLE is monotone.
+	f := func(seed int64, kindRaw bool, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%200) + 2
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 50
+		}
+		kind := EquiWidth
+		if kindRaw {
+			kind = EquiDepth
+		}
+		h, err := BuildHistogram(vals, 8, kind)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for x := h.Min() - 10; x <= h.Max()+10; x += (h.Max() - h.Min() + 20) / 50 {
+			le := h.SelectivityLE(x)
+			if le < 0 || le > 1 || le+1e-9 < prev {
+				return false
+			}
+			prev = le
+			if eq := h.SelectivityEq(x); eq < 0 || eq > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEquiDepthEqSelectivityAccuracy(t *testing.T) {
+	// For data with many duplicates, equality selectivity from an equi-depth
+	// histogram should be within a factor of the true frequency for the
+	// modal value.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2000
+		domain := rng.Intn(20) + 2
+		vals := make([]float64, n)
+		counts := map[float64]int{}
+		for i := range vals {
+			v := float64(rng.Intn(domain))
+			vals[i] = v
+			counts[v]++
+		}
+		h, err := BuildHistogram(vals, 10, EquiDepth)
+		if err != nil {
+			return false
+		}
+		for v, cnt := range counts {
+			truth := float64(cnt) / float64(n)
+			est := h.SelectivityEq(v)
+			if est < truth/4 || est > truth*4 {
+				t.Logf("seed %d: value %v truth %v est %v", seed, v, truth, est)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package catalog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Load reads a catalog from the simple line-oriented text format used by
+// cmd/lecopt:
+//
+//	# comment
+//	table  <name> rows <n> pages <p>
+//	column <table> <name> [distinct <d>] [min <x>] [max <y>]
+//	index  <table> <name> column <col> [clustered] [height <h>]
+//
+// Tokens are whitespace-separated; key-value options may appear in any
+// order after the positional fields.
+func Load(r io.Reader) (*Catalog, error) {
+	cat := New()
+	// Tables are validated and added at the end so columns/indexes can
+	// appear after their table line.
+	tables := map[string]*Table{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "table":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("catalog: line %d: table needs a name", lineNo)
+			}
+			name := fields[1]
+			if _, dup := tables[name]; dup {
+				return nil, fmt.Errorf("catalog: line %d: duplicate table %q", lineNo, name)
+			}
+			t := &Table{Name: name}
+			opts, err := parseKVs(fields[2:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if v, ok := opts["rows"]; ok {
+				t.Rows = int64(v)
+			}
+			if v, ok := opts["pages"]; ok {
+				t.Pages = v
+			}
+			tables[name] = t
+			order = append(order, name)
+		case "column":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("catalog: line %d: column needs table and name", lineNo)
+			}
+			t, ok := tables[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("catalog: line %d: column for unknown table %q", lineNo, fields[1])
+			}
+			col := &Column{Name: fields[2]}
+			opts, err := parseKVs(fields[3:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if v, ok := opts["distinct"]; ok {
+				col.Distinct = int64(v)
+			}
+			if v, ok := opts["min"]; ok {
+				col.Min = v
+			}
+			if v, ok := opts["max"]; ok {
+				col.Max = v
+			}
+			t.Columns = append(t.Columns, col)
+		case "index":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("catalog: line %d: index needs table and name", lineNo)
+			}
+			t, ok := tables[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("catalog: line %d: index for unknown table %q", lineNo, fields[1])
+			}
+			idx := &Index{Name: fields[2], Height: 3}
+			rest := fields[3:]
+			for i := 0; i < len(rest); i++ {
+				switch rest[i] {
+				case "clustered":
+					idx.Clustered = true
+				case "column":
+					if i+1 >= len(rest) {
+						return nil, fmt.Errorf("catalog: line %d: index column needs a value", lineNo)
+					}
+					idx.Column = rest[i+1]
+					i++
+				case "height":
+					if i+1 >= len(rest) {
+						return nil, fmt.Errorf("catalog: line %d: index height needs a value", lineNo)
+					}
+					h, err := strconv.Atoi(rest[i+1])
+					if err != nil {
+						return nil, fmt.Errorf("catalog: line %d: bad height %q", lineNo, rest[i+1])
+					}
+					idx.Height = h
+					i++
+				default:
+					return nil, fmt.Errorf("catalog: line %d: unknown index option %q", lineNo, rest[i])
+				}
+			}
+			if idx.Column == "" {
+				return nil, fmt.Errorf("catalog: line %d: index needs column <name>", lineNo)
+			}
+			t.Indexes = append(t.Indexes, idx)
+		default:
+			return nil, fmt.Errorf("catalog: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		if err := cat.Add(tables[name]); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// parseKVs parses alternating "key value" pairs with float values.
+func parseKVs(fields []string, lineNo int) (map[string]float64, error) {
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("catalog: line %d: dangling option %q", lineNo, fields[len(fields)-1])
+	}
+	out := map[string]float64{}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: line %d: bad value %q for %q", lineNo, fields[i+1], fields[i])
+		}
+		out[fields[i]] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCatalogText = `
+# Example 1.1 catalog
+table A rows 10000000 pages 1000000
+column A k distinct 10000000 min 1 max 10000000
+index A A_k column k clustered height 3
+
+table B rows 4000000 pages 400000
+column B k distinct 4000000 min 1 max 4000000
+`
+
+func TestLoadSampleCatalog(t *testing.T) {
+	cat, err := Load(strings.NewReader(sampleCatalogText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 2 {
+		t.Fatalf("loaded %d tables", cat.Len())
+	}
+	a := cat.MustTable("A")
+	if a.Rows != 10000000 || a.Pages != 1000000 {
+		t.Errorf("A stats: %d rows, %v pages", a.Rows, a.Pages)
+	}
+	col := a.Column("k")
+	if col == nil || col.Distinct != 10000000 || col.Min != 1 {
+		t.Errorf("A.k = %+v", col)
+	}
+	idx := a.IndexOn("k")
+	if idx == nil || !idx.Clustered || idx.Height != 3 || idx.Name != "A_k" {
+		t.Errorf("A index = %+v", idx)
+	}
+	if got := cat.Names(); got[0] != "A" || got[1] != "B" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestLoadDefaultsAndComments(t *testing.T) {
+	cat, err := Load(strings.NewReader("table t rows 10 pages 2\ncolumn t c\n# comment\n\nindex t i column c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := cat.MustTable("t")
+	if tab.Indexes[0].Height != 3 {
+		t.Errorf("default index height = %d", tab.Indexes[0].Height)
+	}
+	if tab.Columns[0].Distinct != 0 {
+		t.Errorf("default distinct = %d", tab.Columns[0].Distinct)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	bad := []string{
+		"table",
+		"table t rows",
+		"table t rows x",
+		"table t rows 1 pages 1\ntable t rows 1 pages 1",
+		"column t c",
+		"table t rows 1 pages 1\ncolumn t",
+		"index t i column c",
+		"table t rows 1 pages 1\nindex t",
+		"table t rows 1 pages 1\ncolumn t c\nindex t i",
+		"table t rows 1 pages 1\ncolumn t c\nindex t i column",
+		"table t rows 1 pages 1\ncolumn t c\nindex t i column c height",
+		"table t rows 1 pages 1\ncolumn t c\nindex t i column c height x",
+		"table t rows 1 pages 1\ncolumn t c\nindex t i column c bogus",
+		"bogus directive",
+		// Index on a column that does not exist fails table validation.
+		"table t rows 1 pages 1\ncolumn t c\nindex t i column ghost",
+	}
+	for _, src := range bad {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) succeeded", src)
+		}
+	}
+}

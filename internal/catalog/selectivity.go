@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// JoinSelectivity returns the classical System R estimate for an
+// equi-join between two columns: 1 / max(distinct_left, distinct_right).
+// Columns with unknown (zero) distinct counts contribute the fallback guess
+// of 10 distinct values.
+func JoinSelectivity(left, right *Column) float64 {
+	dl, dr := left.Distinct, right.Distinct
+	if dl <= 0 {
+		dl = 10
+	}
+	if dr <= 0 {
+		dr = 10
+	}
+	d := dl
+	if dr > d {
+		d = dr
+	}
+	return 1 / float64(d)
+}
+
+// SelectivityDist widens a point selectivity estimate into a distribution,
+// modelling estimation error. The paper (§3.6) treats "the selectivity of
+// each predicate [as] a parameter modeled by a distribution"; real systems
+// would fit these from feedback, so we expose the standard multiplicative
+// error model: the true selectivity is sel·f where f takes values spread
+// log-symmetrically around 1. spread = 0 returns the point distribution;
+// spread = s yields three buckets at sel/(1+s), sel, sel·(1+s) with
+// probabilities 0.25, 0.5, 0.25, clamped to (0, 1].
+func SelectivityDist(sel, spread float64) (*stats.Dist, error) {
+	if sel <= 0 || sel > 1 {
+		return nil, fmt.Errorf("catalog: selectivity %v out of (0, 1]", sel)
+	}
+	if spread < 0 {
+		return nil, fmt.Errorf("catalog: negative spread %v", spread)
+	}
+	if spread == 0 {
+		return stats.Point(sel), nil
+	}
+	lo := sel / (1 + spread)
+	hi := sel * (1 + spread)
+	if hi > 1 {
+		hi = 1
+	}
+	return stats.New([]float64{lo, sel, hi}, []float64{0.25, 0.5, 0.25})
+}
+
+// MustSelectivityDist is like SelectivityDist but panics; for fixtures.
+func MustSelectivityDist(sel, spread float64) *stats.Dist {
+	d, err := SelectivityDist(sel, spread)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SelectivityDistFromSample builds a selectivity distribution from the
+// outcome of sampling: k of n sampled rows satisfied the predicate. The
+// posterior is modeled as a 3-point summary (mean μ = (k+1)/(n+2), the
+// Laplace estimate, ± one binomial standard error), so small samples yield
+// wide distributions and large samples collapse toward the point estimate —
+// the quantitative link between the [SBM93] sampling decision and the LEC
+// machinery.
+func SelectivityDistFromSample(k, n int64) (*stats.Dist, error) {
+	if n <= 0 || k < 0 || k > n {
+		return nil, fmt.Errorf("catalog: bad sample k=%d n=%d", k, n)
+	}
+	mu := float64(k+1) / float64(n+2)
+	se := math.Sqrt(mu * (1 - mu) / float64(n))
+	lo, hi := mu-se, mu+se
+	if lo <= 0 {
+		lo = mu / 2
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	if lo >= hi {
+		return stats.Point(mu), nil
+	}
+	return stats.New([]float64{lo, mu, hi}, []float64{0.25, 0.5, 0.25})
+}
+
+// SizeDistFromEstimate widens a point page-count estimate into a
+// distribution with the same multiplicative error model as SelectivityDist.
+func SizeDistFromEstimate(pages, spread float64) (*stats.Dist, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("catalog: pages %v must be positive", pages)
+	}
+	if spread < 0 {
+		return nil, fmt.Errorf("catalog: negative spread %v", spread)
+	}
+	if spread == 0 {
+		return stats.Point(pages), nil
+	}
+	return stats.New(
+		[]float64{pages / (1 + spread), pages, pages * (1 + spread)},
+		[]float64{0.25, 0.5, 0.25})
+}

@@ -1,0 +1,270 @@
+// Package cost implements the optimizer's cost model: the function
+// Φ(plan, v) of paper §3.1 mapping a plan and a vector of parameter values
+// to an I/O cost, plus the expected-cost machinery LEC optimization adds.
+//
+// Following the paper (§3.6, footnote 2), the formulas are the simplified
+// I/O-only analyses of [Sha86]: each join method's cost is a small number of
+// cases over the relationship between available memory M and the input
+// sizes. "We speculate that a return to simple formulas in combination with
+// LEC optimization may be more reliable" — these are exactly those formulas.
+//
+// All sizes and memory are measured in pages.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Method identifies a binary join algorithm.
+type Method int
+
+// Join methods considered by the optimizer.
+const (
+	// SortMerge sorts both inputs and merges (paper §3.6.1). Its output is
+	// ordered on the join column, which matters for ORDER BY queries —
+	// Example 1.1's Plan 1 exploits exactly this.
+	SortMerge Method = iota
+	// GraceHash is the Grace hash join of [Sha86]: partition both inputs,
+	// then join partition pairs. Output is unordered.
+	GraceHash
+	// NestedLoop is the paper's two-case page nested-loop join (§3.6.2):
+	// one pass over each input when the smaller fits in memory, quadratic
+	// otherwise.
+	NestedLoop
+	// BlockNL is the classical block nested-loop refinement; it is not in
+	// the paper's formula set but rounds out the method space and gives the
+	// simulator a method whose cost varies smoothly with memory.
+	BlockNL
+	numMethods = 4
+)
+
+// Methods lists every join method, in a fixed order.
+func Methods() []Method {
+	return []Method{SortMerge, GraceHash, NestedLoop, BlockNL}
+}
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case SortMerge:
+		return "sort-merge"
+	case GraceHash:
+		return "grace-hash"
+	case NestedLoop:
+		return "nested-loop"
+	case BlockNL:
+		return "block-nested-loop"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SortedOutput reports whether the method emits rows ordered on the join
+// column.
+func (m Method) SortedOutput() bool { return m == SortMerge }
+
+// JoinCost returns Φ for the method joining inputs of a and b pages with
+// mem pages of buffer memory. a is the outer/left input where the method is
+// asymmetric. Sizes and memory must be non-negative; mem below 1 page is
+// treated as 1 (a scan needs at least one buffer page).
+func JoinCost(m Method, a, b, mem float64) float64 {
+	if mem < 1 {
+		mem = 1
+	}
+	switch m {
+	case SortMerge:
+		return sortMergeCost(a, b, mem)
+	case GraceHash:
+		return graceHashCost(a, b, mem)
+	case NestedLoop:
+		return nestedLoopCost(a, b, mem)
+	case BlockNL:
+		return blockNLCost(a, b, mem)
+	default:
+		panic(fmt.Sprintf("cost: unknown method %v", m))
+	}
+}
+
+// sortMergeCost is the three-case formula of paper §3.6.1 with L the larger
+// input: 2(|A|+|B|) when M > √L (two passes), 4(|A|+|B|) when
+// L^¼ < M ≤ √L, and 6(|A|+|B|) below that.
+func sortMergeCost(a, b, mem float64) float64 {
+	l := math.Max(a, b)
+	return smFactor(l, mem) * (a + b)
+}
+
+// smFactor returns the pass multiplier of the sort-merge formula for a
+// larger-input size l.
+func smFactor(l, mem float64) float64 {
+	switch {
+	case mem > math.Sqrt(l):
+		return 2
+	case mem > math.Sqrt(math.Sqrt(l)):
+		return 4
+	default:
+		return 6
+	}
+}
+
+// graceHashCost mirrors the sort-merge shape but keys off the smaller
+// input S (Example 1.1: "if the available buffer size is greater than 633
+// pages (the square root of the smaller relation), the hash join requires
+// two passes").
+func graceHashCost(a, b, mem float64) float64 {
+	s := math.Min(a, b)
+	return ghFactor(s, mem) * (a + b)
+}
+
+// ghFactor returns the pass multiplier of the Grace hash formula for a
+// smaller-input size s.
+func ghFactor(s, mem float64) float64 {
+	switch {
+	case mem > math.Sqrt(s):
+		return 2
+	case mem > math.Sqrt(math.Sqrt(s)):
+		return 4
+	default:
+		return 6
+	}
+}
+
+// nestedLoopCost is the paper's §3.6.2 formula with S the smaller input:
+// |A| + |B| when M ≥ S + 2 (the smaller input is cached), and
+// |A| + |A|·|B| otherwise (rescan the inner per outer page).
+func nestedLoopCost(a, b, mem float64) float64 {
+	s := math.Min(a, b)
+	if mem >= s+2 {
+		return a + b
+	}
+	return a + a*b
+}
+
+// blockNLCost is |A| + ⌈|A| / (M−2)⌉ · |B|: the outer is read once in
+// blocks of M−2 pages, the inner rescanned per block.
+func blockNLCost(a, b, mem float64) float64 {
+	block := mem - 2
+	if block < 1 {
+		block = 1
+	}
+	if a <= 0 {
+		return b
+	}
+	return a + math.Ceil(a/block)*b
+}
+
+// MemBreakpoints returns the memory values at which Φ(m, a, b, ·) changes —
+// the boundaries of the cost formula's level sets in the memory dimension
+// (paper §3.7: "for fixed relation sizes, the cost for a sort-merge join
+// has one of three possible values ... we need deal with only three
+// buckets"). The returned thresholds are ascending. Methods whose cost is
+// not piecewise constant in memory (BlockNL) return nil.
+func MemBreakpoints(m Method, a, b float64) []float64 {
+	switch m {
+	case SortMerge:
+		l := math.Max(a, b)
+		return ascendingUnique(math.Sqrt(math.Sqrt(l)), math.Sqrt(l))
+	case GraceHash:
+		s := math.Min(a, b)
+		return ascendingUnique(math.Sqrt(math.Sqrt(s)), math.Sqrt(s))
+	case NestedLoop:
+		s := math.Min(a, b)
+		return []float64{s + 2}
+	default:
+		return nil
+	}
+}
+
+func ascendingUnique(vals ...float64) []float64 {
+	out := vals[:0]
+	prev := math.Inf(-1)
+	for _, v := range vals {
+		if v > prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}
+
+// SeqScanCost is the cost of a full sequential scan.
+func SeqScanCost(pages float64) float64 { return pages }
+
+// IndexScanCost estimates a B-tree range access retrieving a sel fraction
+// of the table: descend the tree, then read the matching leaf range. For a
+// clustered index the data pages are contiguous (sel·pages); for a
+// non-clustered index each matching row may cost a page fetch (sel·rows),
+// capped at a full scan's worth of pages per retrieved row bound.
+func IndexScanCost(sel, pages, rows float64, height int, clustered bool) float64 {
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	h := float64(height)
+	if clustered {
+		return h + sel*pages
+	}
+	fetches := sel * rows
+	return h + fetches
+}
+
+// SortCost is the extra I/O of sorting pages of data with mem pages of
+// buffer: zero when the input fits in memory, otherwise two I/Os per page
+// per merge pass of an external merge sort.
+func SortCost(pages, mem float64) float64 {
+	if mem < 3 {
+		mem = 3
+	}
+	if pages <= mem {
+		return 0
+	}
+	runs := math.Ceil(pages / mem)
+	fanin := mem - 1
+	passes := math.Ceil(math.Log(runs) / math.Log(fanin))
+	if passes < 1 {
+		passes = 1
+	}
+	return 2 * pages * passes
+}
+
+// HashAggCost is the extra I/O of hash aggregation over `input` pages into
+// `groups` pages of groups: free when the group table fits in memory,
+// otherwise one partition pass (write + re-read) over the input — the same
+// discontinuity shape as the join formulas, which is what makes the
+// aggregate-method choice another LEC decision (the paper's §1 lists
+// "sizes of groups" among the uncertain query parameters).
+func HashAggCost(input, groups, mem float64) float64 {
+	if mem < 3 {
+		mem = 3
+	}
+	if groups <= mem-2 {
+		return 0
+	}
+	return 2 * input
+}
+
+// SortAggCost is the extra I/O of sort-based aggregation: the input is
+// sorted on the group key (free when already sorted — sorted is the
+// caller's knowledge of the input's order) and then aggregated in a
+// streaming pass.
+func SortAggCost(input, mem float64, sorted bool) float64 {
+	if sorted {
+		return 0
+	}
+	return SortCost(input, mem)
+}
+
+// SortMemBreakpoints returns the memory thresholds at which SortCost(pages, ·)
+// changes value, ascending. Because pass counts are integral, the cost is a
+// step function of memory; the interesting boundaries for the optimizer are
+// where the data first fits (M = pages) and where the run/merge structure
+// changes. We return the fit boundary plus the square-root boundary, which
+// between them capture the practical regimes.
+func SortMemBreakpoints(pages float64) []float64 {
+	if pages <= 0 {
+		return nil
+	}
+	return ascendingUnique(math.Sqrt(pages), pages)
+}

@@ -1,0 +1,217 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMethodString(t *testing.T) {
+	for _, m := range Methods() {
+		if m.String() == "" {
+			t.Errorf("empty String for method %d", int(m))
+		}
+	}
+	if Method(99).String() == "" {
+		t.Error("empty String for unknown method")
+	}
+	if len(Methods()) != numMethods {
+		t.Errorf("Methods() has %d entries, want %d", len(Methods()), numMethods)
+	}
+}
+
+func TestSortedOutput(t *testing.T) {
+	if !SortMerge.SortedOutput() {
+		t.Error("sort-merge output not sorted")
+	}
+	for _, m := range []Method{GraceHash, NestedLoop, BlockNL} {
+		if m.SortedOutput() {
+			t.Errorf("%v claims sorted output", m)
+		}
+	}
+}
+
+// TestExample11Plan1 reproduces the sort-merge costs of paper Example 1.1:
+// A = 1,000,000 pages, B = 400,000 pages. With more than 1000 pages of
+// memory (√1,000,000) the join takes two passes; below, at least another.
+func TestExample11Plan1(t *testing.T) {
+	const a, b = 1_000_000, 400_000
+	if got := JoinCost(SortMerge, a, b, 2000); got != 2*(a+b) {
+		t.Errorf("SM at 2000 pages = %v, want %v", got, 2*(a+b))
+	}
+	if got := JoinCost(SortMerge, a, b, 700); got != 4*(a+b) {
+		t.Errorf("SM at 700 pages = %v, want %v", got, 4*(a+b))
+	}
+	// Exactly at the breakpoint M = 1000 = √L the formula is in the 4-pass
+	// regime (strict >).
+	if got := JoinCost(SortMerge, a, b, 1000); got != 4*(a+b) {
+		t.Errorf("SM at 1000 pages = %v, want %v", got, 4*(a+b))
+	}
+	if got := JoinCost(SortMerge, a, b, 1001); got != 2*(a+b) {
+		t.Errorf("SM at 1001 pages = %v, want %v", got, 2*(a+b))
+	}
+	// Far below the fourth root (√√1e6 ≈ 31.6): six passes.
+	if got := JoinCost(SortMerge, a, b, 20); got != 6*(a+b) {
+		t.Errorf("SM at 20 pages = %v, want %v", got, 6*(a+b))
+	}
+}
+
+// TestExample11Plan2 reproduces the Grace hash side: the breakpoint is the
+// square root of the smaller relation (√400,000 ≈ 632.5, the paper's 633).
+func TestExample11Plan2(t *testing.T) {
+	const a, b = 1_000_000, 400_000
+	if got := JoinCost(GraceHash, a, b, 700); got != 2*(a+b) {
+		t.Errorf("GH at 700 pages = %v, want %v (700 > √400000)", got, 2*(a+b))
+	}
+	if got := JoinCost(GraceHash, a, b, 632); got != 4*(a+b) {
+		t.Errorf("GH at 632 pages = %v, want %v", got, 4*(a+b))
+	}
+	if got := JoinCost(GraceHash, a, b, 2000); got != 2*(a+b) {
+		t.Errorf("GH at 2000 pages = %v, want %v", got, 2*(a+b))
+	}
+	// Symmetric in input order: min picks the same side.
+	if JoinCost(GraceHash, b, a, 700) != JoinCost(GraceHash, a, b, 700) {
+		t.Error("GraceHash not symmetric")
+	}
+}
+
+func TestNestedLoopFormula(t *testing.T) {
+	// Paper §3.6.2: |A| + |B| if M ≥ S+2, else |A| + |A|·|B|.
+	if got := JoinCost(NestedLoop, 10, 100, 12); got != 110 {
+		t.Errorf("NL with fitting inner = %v, want 110", got)
+	}
+	if got := JoinCost(NestedLoop, 10, 100, 11); got != 10+10*100 {
+		t.Errorf("NL without fitting inner = %v, want 1010", got)
+	}
+	// Boundary: M = S + 2 is the cheap case (≥).
+	if got := JoinCost(NestedLoop, 100, 10, 12); got != 110 {
+		t.Errorf("NL at boundary = %v, want 110", got)
+	}
+}
+
+func TestBlockNLFormula(t *testing.T) {
+	// |A| + ceil(|A|/(M-2))·|B|.
+	if got := JoinCost(BlockNL, 100, 50, 12); got != 100+10*50 {
+		t.Errorf("BNL = %v, want 600", got)
+	}
+	// Degenerate memory clamps the block to one page.
+	if got := JoinCost(BlockNL, 10, 5, 1); got != 10+10*5 {
+		t.Errorf("BNL tiny memory = %v, want 60", got)
+	}
+	if got := JoinCost(BlockNL, 0, 5, 10); got != 5 {
+		t.Errorf("BNL empty outer = %v, want 5", got)
+	}
+}
+
+func TestJoinCostClampsMemory(t *testing.T) {
+	// mem < 1 behaves as 1 for every method.
+	for _, m := range Methods() {
+		if JoinCost(m, 100, 50, 0) != JoinCost(m, 100, 50, 1) {
+			t.Errorf("%v: mem=0 and mem=1 differ", m)
+		}
+	}
+}
+
+func TestJoinCostMonotoneInMemory(t *testing.T) {
+	// More memory never makes any method more expensive.
+	for _, m := range Methods() {
+		prev := math.Inf(1)
+		for mem := 1.0; mem < 4000; mem *= 1.3 {
+			c := JoinCost(m, 100000, 40000, mem)
+			if c > prev+1e-9 {
+				t.Errorf("%v: cost increased from %v to %v at mem=%v", m, prev, c, mem)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestMemBreakpoints(t *testing.T) {
+	bp := MemBreakpoints(SortMerge, 1_000_000, 400_000)
+	if len(bp) != 2 || math.Abs(bp[0]-math.Sqrt(1000)) > 1e-9 || bp[1] != 1000 {
+		t.Errorf("SM breakpoints = %v", bp)
+	}
+	bp = MemBreakpoints(GraceHash, 1_000_000, 400_000)
+	if len(bp) != 2 || math.Abs(bp[1]-math.Sqrt(400_000)) > 1e-9 {
+		t.Errorf("GH breakpoints = %v", bp)
+	}
+	bp = MemBreakpoints(NestedLoop, 100, 10)
+	if len(bp) != 1 || bp[0] != 12 {
+		t.Errorf("NL breakpoints = %v", bp)
+	}
+	if MemBreakpoints(BlockNL, 100, 10) != nil {
+		t.Error("BNL breakpoints not nil")
+	}
+	// Cost really is constant between consecutive breakpoints.
+	for _, m := range []Method{SortMerge, GraceHash, NestedLoop} {
+		bps := MemBreakpoints(m, 90000, el(40000))
+		edges := append([]float64{1}, bps...)
+		edges = append(edges, edges[len(edges)-1]*2+10)
+		for i := 0; i+1 < len(edges); i++ {
+			lo, hi := edges[i], edges[i+1]
+			mid := (lo + hi) / 2
+			c1 := JoinCost(m, 90000, el(40000), lo+1e-6)
+			c2 := JoinCost(m, 90000, el(40000), mid)
+			if c1 != c2 {
+				t.Errorf("%v: cost varies within level set (%v, %v): %v vs %v", m, lo, hi, c1, c2)
+			}
+		}
+	}
+}
+
+// el is the identity; it exists to keep the table above readable.
+func el(x float64) float64 { return x }
+
+func TestScanCosts(t *testing.T) {
+	if got := SeqScanCost(500); got != 500 {
+		t.Errorf("SeqScanCost = %v", got)
+	}
+	// Clustered index range scan: height + fraction of pages.
+	if got := IndexScanCost(0.1, 1000, 10000, 3, true); got != 3+100 {
+		t.Errorf("clustered IndexScanCost = %v", got)
+	}
+	// Non-clustered: height + one fetch per matching row.
+	if got := IndexScanCost(0.01, 1000, 10000, 3, false); got != 3+100 {
+		t.Errorf("non-clustered IndexScanCost = %v", got)
+	}
+	// Selectivity clamped to [0,1].
+	if got := IndexScanCost(-0.5, 1000, 10000, 3, true); got != 3 {
+		t.Errorf("negative sel = %v", got)
+	}
+	if got := IndexScanCost(2, 1000, 10000, 3, true); got != 1003 {
+		t.Errorf("sel > 1 = %v", got)
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	// Fits in memory: free (pipelined in-memory sort).
+	if got := SortCost(100, 200); got != 0 {
+		t.Errorf("in-memory sort = %v, want 0", got)
+	}
+	// Example 1.1's result sort: 3000 pages with 2000 pages of memory — one
+	// merge pass, 2 I/Os per page.
+	if got := SortCost(3000, 2000); got != 6000 {
+		t.Errorf("SortCost(3000, 2000) = %v, want 6000", got)
+	}
+	// With 700 pages: ceil(3000/700) = 5 runs, fan-in 699 → still one pass.
+	if got := SortCost(3000, 700); got != 6000 {
+		t.Errorf("SortCost(3000, 700) = %v, want 6000", got)
+	}
+	// Tiny memory forces multiple passes.
+	if got := SortCost(1000, 4); got <= 2000 {
+		t.Errorf("SortCost(1000, 4) = %v, want > 2000 (multiple passes)", got)
+	}
+	// Memory is clamped to at least 3 pages.
+	if SortCost(1000, 0) != SortCost(1000, 3) {
+		t.Error("SortCost mem clamp missing")
+	}
+}
+
+func TestSortMemBreakpoints(t *testing.T) {
+	bp := SortMemBreakpoints(10000)
+	if len(bp) != 2 || bp[0] != 100 || bp[1] != 10000 {
+		t.Errorf("SortMemBreakpoints = %v", bp)
+	}
+	if SortMemBreakpoints(0) != nil {
+		t.Error("SortMemBreakpoints(0) not nil")
+	}
+}

@@ -1,0 +1,207 @@
+package cost
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file implements the paper's §3.6.1–3.6.2 linear-time expected-cost
+// computations: E[Φ(m, A, B, M)] for independent distributions of the two
+// input sizes and memory in O(b_M + b_A + b_B) bucket visits, versus the
+// naive O(b_M·b_A·b_B) triple loop. The trick is the paper's: split on
+// {A ≤ B} vs {A > B} so the max/min in the formula resolves, then the inner
+// sums become prefix sums that a single sweep over each distribution's
+// buckets produces.
+
+// ExpJoinCostMem returns E_M[Φ(m, a, b, M)] for fixed input sizes — the
+// single-uncertain-parameter expectation Algorithm C evaluates at every DAG
+// node (paper §3.4: "this computation requires b evaluations of the cost
+// formula").
+func ExpJoinCostMem(m Method, a, b float64, dm *stats.Dist) float64 {
+	return dm.Expect(func(mem float64) float64 { return JoinCost(m, a, b, mem) })
+}
+
+// ExpJoinCost3Naive returns E[Φ(m, A, B, M)] by the naive triple loop over
+// all bucket combinations. It is the reference implementation the fast
+// routines are verified against, and the baseline of experiment E6.
+func ExpJoinCost3Naive(m Method, da, db, dm *stats.Dist) float64 {
+	return stats.ExpectProduct3(da, db, dm, func(a, b, mem float64) float64 {
+		return JoinCost(m, a, b, mem)
+	})
+}
+
+// ExpJoinCost3 returns E[Φ(m, A, B, M)] for independent size and memory
+// distributions, using the linear-time algorithms of §3.6.1 (sort-merge),
+// §3.6.2 (nested-loop) and their straightforward Grace-hash analogue.
+// BlockNL has no piecewise-constant structure to exploit and falls back to
+// the naive product.
+func ExpJoinCost3(m Method, da, db, dm *stats.Dist) float64 {
+	dm = clampMem(dm)
+	switch m {
+	case SortMerge:
+		return fastExpSortMerge(da, db, dm)
+	case GraceHash:
+		return fastExpGraceHash(da, db, dm)
+	case NestedLoop:
+		return fastExpNestedLoop(da, db, dm)
+	default:
+		return ExpJoinCost3Naive(m, da, db, dm)
+	}
+}
+
+// clampMem maps the memory distribution through max(1, ·) so the fast
+// routines agree exactly with JoinCost's clamping.
+func clampMem(dm *stats.Dist) *stats.Dist {
+	if dm.Min() >= 1 {
+		return dm
+	}
+	return dm.Map(func(v float64) float64 { return math.Max(1, v) })
+}
+
+// kappaSweeps computes E_M[k(M, x)] for the three-case pass-count factor
+//
+//	k(M, x) = 2 if M > √x; 4 if x^¼ < M ≤ √x; 6 otherwise
+//	        = 2 + 2·Pr[M ≤ √x] + 2·Pr[M ≤ x^¼]  (in expectation over M)
+//
+// using two LE-sweeps over the memory distribution. Queries must arrive
+// with non-decreasing x to stay linear.
+type kappaSweeps struct {
+	sqrtSweep *stats.Sweeper
+	qrtSweep  *stats.Sweeper
+}
+
+func newKappaSweeps(tm *stats.PrefixTable) *kappaSweeps {
+	return &kappaSweeps{
+		sqrtSweep: stats.NewSweeper(tm),
+		qrtSweep:  stats.NewSweeper(tm),
+	}
+}
+
+// at returns E_M[k(M, x)].
+func (k *kappaSweeps) at(x float64) float64 {
+	r := math.Sqrt(x)
+	return 2 + 2*k.sqrtSweep.PrLE(r) + 2*k.qrtSweep.PrLE(math.Sqrt(r))
+}
+
+// fastExpSortMerge computes E[k(M, max(A,B))·(A+B)] in
+// O(b_M + b_A + b_B) as in §3.6.1:
+//
+//	E[Φ·1{A≤B}] = Σ_b Pr[B=b]·κ(b)·( Σ_{a≤b} a·Pr[A=a] + b·Pr[A≤b] )
+//	E[Φ·1{A>B}] = Σ_a Pr[A=a]·κ(a)·( Σ_{b<a} b·Pr[B=b] + a·Pr[B<a] )
+func fastExpSortMerge(da, db, dm *stats.Dist) float64 {
+	ta, tb, tm := stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm)
+
+	total := 0.0
+	// Term 1: A ≤ B, larger input is B. Iterate b ascending.
+	kap := newKappaSweeps(tm)
+	swA := stats.NewSweeper(ta)
+	for i := 0; i < db.Len(); i++ {
+		b := db.Value(i)
+		pa := swA.PrLE(b)
+		if pa == 0 {
+			continue
+		}
+		pea := swA.PartialExpLE(b)
+		total += db.Prob(i) * kap.at(b) * (pea + b*pa)
+	}
+	// Term 2: A > B, larger input is A. Iterate a ascending.
+	kap = newKappaSweeps(tm)
+	swB := stats.NewSweeper(tb)
+	for i := 0; i < da.Len(); i++ {
+		a := da.Value(i)
+		pb := swB.PrLT(a)
+		if pb == 0 {
+			continue
+		}
+		peb := swB.PartialExpLT(a)
+		total += da.Prob(i) * kap.at(a) * (peb + a*pb)
+	}
+	return total
+}
+
+// fastExpGraceHash computes E[k(M, min(A,B))·(A+B)] in O(b_M + b_A + b_B):
+//
+//	E[Φ·1{A≤B}] = Σ_a Pr[A=a]·κ(a)·( a·Pr[B≥a] + Σ_{b≥a} b·Pr[B=b] )
+//	E[Φ·1{A>B}] = Σ_b Pr[B=b]·κ(b)·( b·Pr[A>b] + Σ_{a>b} a·Pr[A=a] )
+func fastExpGraceHash(da, db, dm *stats.Dist) float64 {
+	ta, tb, tm := stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm)
+
+	total := 0.0
+	// Term 1: A ≤ B, smaller input is A. Pr[B ≥ a] = 1 − Pr[B < a].
+	kap := newKappaSweeps(tm)
+	swB := stats.NewSweeper(tb)
+	meanB := tb.Mean()
+	for i := 0; i < da.Len(); i++ {
+		a := da.Value(i)
+		pbGE := 1 - swB.PrLT(a)
+		if pbGE == 0 {
+			continue
+		}
+		pebGE := meanB - swB.PartialExpLT(a)
+		total += da.Prob(i) * kap.at(a) * (a*pbGE + pebGE)
+	}
+	// Term 2: A > B, smaller input is B. Pr[A > b] = 1 − Pr[A ≤ b].
+	kap = newKappaSweeps(tm)
+	swA := stats.NewSweeper(ta)
+	meanA := ta.Mean()
+	for i := 0; i < db.Len(); i++ {
+		b := db.Value(i)
+		paGT := 1 - swA.PrLE(b)
+		if paGT == 0 {
+			continue
+		}
+		peaGT := meanA - swA.PartialExpLE(b)
+		total += db.Prob(i) * kap.at(b) * (b*paGT + peaGT)
+	}
+	return total
+}
+
+// fastExpNestedLoop computes the §3.6.2 expectation in O(b_M + b_A + b_B).
+// With S = min(A, B) and pM(s) = Pr[M ≥ s + 2]:
+//
+//	E[Φ·1{A≤B}] = Σ_a Pr[A=a]·( pM(a)·(a·PB≥ + PE_B≥)
+//	                          + (1−pM(a))·(a·PB≥ + a·PE_B≥) )
+//	E[Φ·1{A>B}] = Σ_b Pr[B=b]·( pM(b)·(PE_A> + b·PA>)
+//	                          + (1−pM(b))·(1+b)·PE_A> )
+//
+// where PB≥ = Pr[B ≥ a], PE_B≥ = Σ_{b≥a} b·Pr[B=b], PA> = Pr[A > b],
+// PE_A> = Σ_{a>b} a·Pr[A=a].
+func fastExpNestedLoop(da, db, dm *stats.Dist) float64 {
+	ta, tb, tm := stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm)
+
+	total := 0.0
+	// Term 1: A ≤ B (S = A). Iterate a ascending; thresholds a+2 ascend.
+	swM := stats.NewSweeper(tm)
+	swB := stats.NewSweeper(tb)
+	meanB := tb.Mean()
+	for i := 0; i < da.Len(); i++ {
+		a := da.Value(i)
+		pbGE := 1 - swB.PrLT(a)
+		if pbGE == 0 {
+			continue
+		}
+		pebGE := meanB - swB.PartialExpLT(a)
+		pM := 1 - swM.PrLT(a+2) // Pr[M ≥ a+2]
+		cheap := a*pbGE + pebGE
+		expensive := a*pbGE + a*pebGE
+		total += da.Prob(i) * (pM*cheap + (1-pM)*expensive)
+	}
+	// Term 2: A > B (S = B). Iterate b ascending.
+	swM = stats.NewSweeper(tm)
+	swA := stats.NewSweeper(ta)
+	meanA := ta.Mean()
+	for i := 0; i < db.Len(); i++ {
+		b := db.Value(i)
+		paGT := 1 - swA.PrLE(b)
+		if paGT == 0 {
+			continue
+		}
+		peaGT := meanA - swA.PartialExpLE(b)
+		pM := 1 - swM.PrLT(b+2)
+		cheap := peaGT + b*paGT
+		expensive := (1 + b) * peaGT
+		total += db.Prob(i) * (pM*cheap + (1-pM)*expensive)
+	}
+	return total
+}

@@ -1,0 +1,150 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func randSizeDist(rng *rand.Rand, maxBuckets int) *stats.Dist {
+	n := rng.Intn(maxBuckets) + 1
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Floor(rng.Float64()*1e6) + 1
+		weights[i] = rng.Float64() + 0.01
+	}
+	return stats.MustNew(vals, weights)
+}
+
+func randMemDist(rng *rand.Rand, maxBuckets int) *stats.Dist {
+	n := rng.Intn(maxBuckets) + 1
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Floor(rng.Float64()*5000) + 1
+		weights[i] = rng.Float64() + 0.01
+	}
+	return stats.MustNew(vals, weights)
+}
+
+func TestExpJoinCostMemMatchesDirect(t *testing.T) {
+	dm := stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})
+	const a, b = 1_000_000, 400_000
+	want := 0.2*JoinCost(SortMerge, a, b, 700) + 0.8*JoinCost(SortMerge, a, b, 2000)
+	if got := ExpJoinCostMem(SortMerge, a, b, dm); math.Abs(got-want) > 1e-6 {
+		t.Errorf("ExpJoinCostMem = %v, want %v", got, want)
+	}
+}
+
+// TestFastMatchesNaive is the core correctness property of §3.6.1–3.6.2:
+// the linear-time routines compute exactly the same expectation as the
+// naive triple loop, for every join method.
+func TestFastMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		da := randSizeDist(rng, 10)
+		db := randSizeDist(rng, 10)
+		dm := randMemDist(rng, 10)
+		for _, m := range Methods() {
+			fast := ExpJoinCost3(m, da, db, dm)
+			naive := ExpJoinCost3Naive(m, da, db, dm)
+			if math.Abs(fast-naive) > 1e-6*(1+math.Abs(naive)) {
+				t.Logf("seed %d method %v: fast %v naive %v", seed, m, fast, naive)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFastTieHeavy stresses the A = B tie case, where the 1{A≤B} / 1{A>B}
+// split must partition the probability mass exactly once.
+func TestFastTieHeavy(t *testing.T) {
+	// Identical supports with heavy overlap.
+	d := stats.MustNew([]float64{100, 100_000, 1_000_000}, []float64{0.3, 0.4, 0.3})
+	dm := stats.MustNew([]float64{10, 500, 1500}, []float64{0.2, 0.5, 0.3})
+	for _, m := range Methods() {
+		fast := ExpJoinCost3(m, d, d, dm)
+		naive := ExpJoinCost3Naive(m, d, d, dm)
+		if math.Abs(fast-naive) > 1e-6*(1+naive) {
+			t.Errorf("%v: fast %v, naive %v", m, fast, naive)
+		}
+	}
+}
+
+func TestFastWithPointDistributions(t *testing.T) {
+	// When all three distributions are points, E[Φ] = Φ.
+	da, db, dm := stats.Point(1000), stats.Point(500), stats.Point(40)
+	for _, m := range Methods() {
+		want := JoinCost(m, 1000, 500, 40)
+		if got := ExpJoinCost3(m, da, db, dm); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestFastClampsMemory(t *testing.T) {
+	// Memory support below 1 page must behave as 1, matching JoinCost.
+	da, db := stats.Point(100), stats.Point(50)
+	dm := stats.MustNew([]float64{0.5, 10}, []float64{0.5, 0.5})
+	for _, m := range Methods() {
+		want := 0.5*JoinCost(m, 100, 50, 1) + 0.5*JoinCost(m, 100, 50, 10)
+		if got := ExpJoinCost3(m, da, db, dm); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: %v, want %v", m, got, want)
+		}
+	}
+}
+
+// TestExample11ExpectedCosts verifies the full Example 1.1 computation:
+// under the 80%/20% memory distribution, Plan 2 (Grace hash + sort) has
+// lower expected cost than Plan 1 (sort-merge), even though Plan 1 wins at
+// both the mean (1740) and the mode (2000).
+func TestExample11ExpectedCosts(t *testing.T) {
+	const a, b, result = 1_000_000, 400_000, 3000
+	dm := stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})
+
+	plan1 := ExpJoinCostMem(SortMerge, a, b, dm)
+	plan2 := ExpJoinCostMem(GraceHash, a, b, dm) +
+		dm.Expect(func(mem float64) float64 { return SortCost(result, mem) })
+
+	if plan2 >= plan1 {
+		t.Errorf("E[plan2] = %v not below E[plan1] = %v", plan2, plan1)
+	}
+	// At the modal and mean memory values the LSC choice is Plan 1.
+	for _, mem := range []float64{2000, 1740} {
+		p1 := JoinCost(SortMerge, a, b, mem)
+		p2 := JoinCost(GraceHash, a, b, mem) + SortCost(result, mem)
+		if p1 >= p2 {
+			t.Errorf("at mem=%v: plan1 %v not below plan2 %v (LSC should pick plan 1)", mem, p1, p2)
+		}
+	}
+}
+
+func BenchmarkFastExpSortMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	da := randSizeDist(rng, 64)
+	db := randSizeDist(rng, 64)
+	dm := randMemDist(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExpJoinCost3(SortMerge, da, db, dm)
+	}
+}
+
+func BenchmarkNaiveExpSortMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	da := randSizeDist(rng, 64)
+	db := randSizeDist(rng, 64)
+	dm := randMemDist(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExpJoinCost3Naive(SortMerge, da, db, dm)
+	}
+}

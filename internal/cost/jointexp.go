@@ -1,0 +1,27 @@
+package cost
+
+import "repro/internal/stats"
+
+// ExpJoinCostSizeMemJoint returns E[Φ(m, A, b, M)] when the outer input's
+// size A and the available memory M are *dependent*, described by a joint
+// distribution over (pages, memory) pairs. The other input's size is fixed.
+// This extends the paper's framework in the direction its §4 names as
+// future work: the independence assumption of §3.6 dropped for one
+// parameter pair. The joint's memory coordinate is clamped to ≥ 1 page like
+// JoinCost itself.
+func ExpJoinCostSizeMemJoint(m Method, joint *stats.Joint, bPages float64) float64 {
+	return joint.Expect(func(aPages, mem float64) float64 {
+		return JoinCost(m, aPages, bPages, mem)
+	})
+}
+
+// IndependenceErrorSizeMem quantifies the mistake of assuming independence:
+// it returns the expected cost computed from the joint's *marginals* under
+// the product coupling (what Algorithm D's independence assumption would
+// compute) and the true dependent expectation.
+func IndependenceErrorSizeMem(m Method, joint *stats.Joint, bPages float64) (independent, dependent float64) {
+	da, dm := joint.MarginalX(), joint.MarginalY()
+	independent = ExpJoinCost3(m, da, stats.Point(bPages), dm)
+	dependent = ExpJoinCostSizeMemJoint(m, joint, bPages)
+	return independent, dependent
+}

@@ -1,0 +1,62 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestJointExpMatchesIndependentAtRhoZero(t *testing.T) {
+	da := stats.MustNew([]float64{1000, 50000}, []float64{0.5, 0.5})
+	dm := stats.MustNew([]float64{50, 2000}, []float64{0.5, 0.5})
+	joint, err := stats.CorrelatedJoint(da, dm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		ind, dep := IndependenceErrorSizeMem(m, joint, 40000)
+		if math.Abs(ind-dep) > 1e-6*(1+math.Abs(ind)) {
+			t.Errorf("%v: independent %v != dependent %v at rho=0", m, ind, dep)
+		}
+	}
+}
+
+func TestJointExpDirectComputation(t *testing.T) {
+	// Hand-checked 2-atom joint: (a=100, m=2000) w.p. 0.5, (a=50000, m=50)
+	// w.p. 0.5 — big input always meets small memory.
+	joint, err := stats.NewJoint([][3]float64{
+		{100, 2000, 1},
+		{50000, 50, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 40000
+	want := 0.5*JoinCost(GraceHash, 100, b, 2000) + 0.5*JoinCost(GraceHash, 50000, b, 50)
+	if got := ExpJoinCostSizeMemJoint(GraceHash, joint, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("joint expectation %v, want %v", got, want)
+	}
+	// The independence computation differs because it also mixes
+	// (100, 50) and (50000, 2000).
+	ind, dep := IndependenceErrorSizeMem(GraceHash, joint, b)
+	if math.Abs(ind-dep) < 1 {
+		t.Errorf("independence should misestimate this fully-coupled joint: ind %v dep %v", ind, dep)
+	}
+}
+
+func TestNegativeCorrelationUnderestimatesCost(t *testing.T) {
+	// Negative size↔memory correlation (busy system): expensive regimes
+	// co-occur, so the true expected cost for memory-sensitive methods
+	// exceeds the independence estimate.
+	da := stats.MustNew([]float64{2000, 60000}, []float64{0.5, 0.5})
+	dm := stats.MustNew([]float64{100, 2500}, []float64{0.5, 0.5})
+	joint, err := stats.CorrelatedJoint(da, dm, -0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, dep := IndependenceErrorSizeMem(GraceHash, joint, 40000)
+	if dep <= ind {
+		t.Errorf("negative correlation: true %v not above independent %v", dep, ind)
+	}
+}

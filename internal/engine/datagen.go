@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// GenerateDB materializes row data for every table in the catalog,
+// consistent with its statistics: column "id"-like unique columns get
+// 1..Distinct values without repetition (when Distinct == Rows), other
+// columns draw uniformly from 1..Distinct. rowCap truncates huge tables so
+// equivalence tests stay fast; 0 means no cap.
+func GenerateDB(rng *rand.Rand, cat *catalog.Catalog, rowCap int) (DB, error) {
+	db := make(DB, cat.Len())
+	for _, name := range cat.Names() {
+		tab, err := cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		rows := int(tab.Rows)
+		if rowCap > 0 && rows > rowCap {
+			rows = rowCap
+		}
+		rel := &Relation{}
+		for _, col := range tab.Columns {
+			rel.Cols = append(rel.Cols, query.ColumnRef{Table: name, Column: col.Name})
+		}
+		if len(rel.Cols) == 0 {
+			return nil, fmt.Errorf("engine: table %q has no columns", name)
+		}
+		for r := 0; r < rows; r++ {
+			row := make([]float64, len(tab.Columns))
+			for c, col := range tab.Columns {
+				distinct := col.Distinct
+				if distinct <= 0 {
+					distinct = 10
+				}
+				if distinct >= tab.Rows {
+					// Unique column: enumerate.
+					row[c] = float64(r + 1)
+				} else {
+					row[c] = float64(rng.Int63n(distinct) + 1)
+				}
+			}
+			rel.Rows = append(rel.Rows, row)
+		}
+		db[name] = rel
+	}
+	return db, nil
+}
+
+// Fingerprint returns an order-independent multiset digest of a relation:
+// the sorted list of row signatures. Two relations with equal fingerprints
+// contain exactly the same rows (with multiplicity), regardless of order —
+// possibly with permuted columns, which the caller normalizes by passing a
+// canonical projection.
+func Fingerprint(r *Relation, projection []query.ColumnRef) ([]string, error) {
+	idxs := make([]int, len(projection))
+	for i, c := range projection {
+		idx := r.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: projection column %s absent", c)
+		}
+		idxs[i] = idx
+	}
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		sig := ""
+		for _, idx := range idxs {
+			sig += fmt.Sprintf("%v|", row[idx])
+		}
+		out[i] = sig
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// IsSortedBy reports whether the relation's rows ascend on the column.
+func IsSortedBy(r *Relation, col query.ColumnRef) (bool, error) {
+	idx := r.ColIndex(col)
+	if idx < 0 {
+		return false, fmt.Errorf("engine: column %s absent", col)
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i][idx] < r.Rows[i-1][idx] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,301 @@
+// Package engine is a small in-memory relational execution engine: real
+// implementations of scans, filters, nested-loop / hash / sort-merge joins,
+// and sorting over actual rows. The optimizer never needs it to pick a
+// plan; it exists to *verify* the optimizer — every plan the optimizers
+// emit for a query must produce exactly the same multiset of rows (the
+// paper's §2.2 observation 3: "the result of a join does not depend on the
+// algorithm used to compute it"), and ORDER BY plans must produce sorted
+// output. It also grounds the catalog's selectivity estimates against true
+// fractions.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Relation is a materialized table: a schema of qualified columns and rows
+// of float64 values (the library's value domain).
+type Relation struct {
+	Cols []query.ColumnRef
+	Rows [][]float64
+}
+
+// ColIndex returns the position of the column in the schema, or -1.
+func (r *Relation) ColIndex(c query.ColumnRef) int {
+	for i, col := range r.Cols {
+		if col == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumRows returns the row count.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// DB maps table names to their contents.
+type DB map[string]*Relation
+
+// Execute evaluates a physical plan against the database and returns the
+// result relation. The join methods are real: hash join builds a hash table
+// on the smaller input, sort-merge sorts both sides and merges, nested loop
+// compares all pairs. All three implement inner equi-joins on the plan's
+// predicates (a cross product when there are none).
+func Execute(db DB, n plan.Node) (*Relation, error) {
+	switch v := n.(type) {
+	case *plan.Scan:
+		return execScan(db, v)
+	case *plan.Join:
+		return execJoin(db, v)
+	case *plan.Sort:
+		in, err := Execute(db, v.Input)
+		if err != nil {
+			return nil, err
+		}
+		return execSort(in, v.Key_)
+	case *plan.Aggregate:
+		in, err := Execute(db, v.Input)
+		if err != nil {
+			return nil, err
+		}
+		return execAggregate(in, v)
+	default:
+		return nil, fmt.Errorf("engine: unknown node type %T", n)
+	}
+}
+
+func execScan(db DB, s *plan.Scan) (*Relation, error) {
+	base, ok := db[s.BaseTable()]
+	if !ok {
+		return nil, fmt.Errorf("engine: no data for table %q", s.BaseTable())
+	}
+	// Requalify the columns with the scan's range name, so self joins over
+	// different aliases of one table expose distinct column identities.
+	cols := base.Cols
+	if s.BaseTable() != s.Table {
+		cols = make([]query.ColumnRef, len(base.Cols))
+		for i, c := range base.Cols {
+			cols[i] = query.ColumnRef{Table: s.Table, Column: c.Column}
+		}
+	}
+	work := &Relation{Cols: cols, Rows: base.Rows}
+	base = work
+	out := &Relation{Cols: base.Cols}
+	for _, row := range base.Rows {
+		keep := true
+		for _, f := range s.Filters {
+			idx := base.ColIndex(f.Col)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: filter column %s not in %q", f.Col, s.Table)
+			}
+			if !evalCmp(row[idx], f.Op, f.Value) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func evalCmp(v float64, op query.CmpOp, target float64) bool {
+	switch op {
+	case query.EQ:
+		return v == target
+	case query.LT:
+		return v < target
+	case query.LE:
+		return v <= target
+	case query.GT:
+		return v > target
+	case query.GE:
+		return v >= target
+	default:
+		return false
+	}
+}
+
+// joinKeys resolves each predicate to (left column index, right column
+// index) against the two input schemas, swapping predicate sides as needed.
+func joinKeys(left, right *Relation, preds []query.JoinPred) ([][2]int, error) {
+	keys := make([][2]int, 0, len(preds))
+	for _, p := range preds {
+		li, ri := left.ColIndex(p.Left), right.ColIndex(p.Right)
+		if li < 0 || ri < 0 {
+			// Try the swapped orientation.
+			li, ri = left.ColIndex(p.Right), right.ColIndex(p.Left)
+			if li < 0 || ri < 0 {
+				return nil, fmt.Errorf("engine: predicate %s matches neither input", p)
+			}
+		}
+		keys = append(keys, [2]int{li, ri})
+	}
+	return keys, nil
+}
+
+func execJoin(db DB, j *plan.Join) (*Relation, error) {
+	left, err := Execute(db, j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Execute(db, j.Right)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := joinKeys(left, right, j.Preds)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: append(append([]query.ColumnRef{}, left.Cols...), right.Cols...)}
+	switch j.Method {
+	case cost.SortMerge:
+		out.Rows = sortMergeJoin(left, right, keys)
+	case cost.GraceHash:
+		out.Rows = hashJoin(left, right, keys)
+	default: // nested-loop variants
+		out.Rows = nestedLoopJoin(left, right, keys)
+	}
+	return out, nil
+}
+
+func matchAll(lrow, rrow []float64, keys [][2]int) bool {
+	for _, k := range keys {
+		if lrow[k[0]] != rrow[k[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+func nestedLoopJoin(left, right *Relation, keys [][2]int) [][]float64 {
+	var out [][]float64
+	for _, l := range left.Rows {
+		for _, r := range right.Rows {
+			if matchAll(l, r, keys) {
+				out = append(out, concatRow(l, r))
+			}
+		}
+	}
+	return out
+}
+
+func hashJoin(left, right *Relation, keys [][2]int) [][]float64 {
+	if len(keys) == 0 {
+		return nestedLoopJoin(left, right, keys) // cross product
+	}
+	// Build on the right input, probe with the left.
+	type bucketKey string
+	table := make(map[bucketKey][][]float64, len(right.Rows))
+	mk := func(row []float64, side int) bucketKey {
+		k := make([]byte, 0, len(keys)*8)
+		for _, kk := range keys {
+			v := row[kk[side]]
+			k = append(k, []byte(fmt.Sprintf("%v|", v))...)
+		}
+		return bucketKey(k)
+	}
+	for _, r := range right.Rows {
+		table[mk(r, 1)] = append(table[mk(r, 1)], r)
+	}
+	var out [][]float64
+	for _, l := range left.Rows {
+		for _, r := range table[mk(l, 0)] {
+			out = append(out, concatRow(l, r))
+		}
+	}
+	return out
+}
+
+func sortMergeJoin(left, right *Relation, keys [][2]int) [][]float64 {
+	if len(keys) == 0 {
+		return nestedLoopJoin(left, right, keys)
+	}
+	// Sort both inputs on the first key column; merge; verify remaining
+	// keys per pair (multi-predicate joins).
+	l := append([][]float64{}, left.Rows...)
+	r := append([][]float64{}, right.Rows...)
+	lk, rk := keys[0][0], keys[0][1]
+	sort.SliceStable(l, func(i, j int) bool { return l[i][lk] < l[j][lk] })
+	sort.SliceStable(r, func(i, j int) bool { return r[i][rk] < r[j][rk] })
+	var out [][]float64
+	i, j := 0, 0
+	for i < len(l) && j < len(r) {
+		switch {
+		case l[i][lk] < r[j][rk]:
+			i++
+		case l[i][lk] > r[j][rk]:
+			j++
+		default:
+			v := l[i][lk]
+			iEnd := i
+			for iEnd < len(l) && l[iEnd][lk] == v {
+				iEnd++
+			}
+			jEnd := j
+			for jEnd < len(r) && r[jEnd][rk] == v {
+				jEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := j; b < jEnd; b++ {
+					if matchAll(l[a], r[b], keys) {
+						out = append(out, concatRow(l[a], r[b]))
+					}
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out
+}
+
+func concatRow(l, r []float64) []float64 {
+	out := make([]float64, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+// execAggregate groups by the key column and emits (key, count) rows.
+// Both methods produce the same multiset; SortAgg emits in key order.
+func execAggregate(in *Relation, a *plan.Aggregate) (*Relation, error) {
+	idx := in.ColIndex(a.GroupKey)
+	if idx < 0 {
+		return nil, fmt.Errorf("engine: group key %s not in input", a.GroupKey)
+	}
+	counts := map[float64]float64{}
+	var order []float64
+	for _, row := range in.Rows {
+		k := row[idx]
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	if a.Method == plan.SortAgg {
+		sort.Float64s(order)
+	}
+	out := &Relation{Cols: []query.ColumnRef{
+		a.GroupKey,
+		{Table: a.GroupKey.Table, Column: "count"},
+	}}
+	for _, k := range order {
+		out.Rows = append(out.Rows, []float64{k, counts[k]})
+	}
+	return out, nil
+}
+
+func execSort(in *Relation, key query.ColumnRef) (*Relation, error) {
+	idx := in.ColIndex(key)
+	if idx < 0 {
+		return nil, fmt.Errorf("engine: sort key %s not in input", key)
+	}
+	rows := append([][]float64{}, in.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i][idx] < rows[j][idx] })
+	return &Relation{Cols: in.Cols, Rows: rows}, nil
+}

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// tinyDB builds a hand-checked two-table database.
+func tinyDB() DB {
+	return DB{
+		"a": &Relation{
+			Cols: []query.ColumnRef{{Table: "a", Column: "k"}, {Table: "a", Column: "x"}},
+			Rows: [][]float64{{1, 10}, {2, 20}, {2, 21}, {3, 30}},
+		},
+		"b": &Relation{
+			Cols: []query.ColumnRef{{Table: "b", Column: "k"}, {Table: "b", Column: "y"}},
+			Rows: [][]float64{{2, 200}, {3, 300}, {3, 301}, {4, 400}},
+		},
+	}
+}
+
+func scanOf(table string, idx int, filters ...query.Selection) *plan.Scan {
+	return &plan.Scan{
+		Table: table, RelIdx: idx, Method: plan.SeqScan,
+		Filters: filters, Selectivity: 1, BasePages: 1, BaseRows: 4, Pages: 1, Rows: 4,
+	}
+}
+
+func joinAB(method cost.Method) *plan.Join {
+	return &plan.Join{
+		Left: scanOf("a", 0), Right: scanOf("b", 1), Method: method,
+		Preds: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "a", Column: "k"},
+			Right:       query.ColumnRef{Table: "b", Column: "k"},
+			Selectivity: 0.1,
+		}},
+	}
+}
+
+// wantJoinRows is the expected a ⋈ b result on k: k=2 (2 a-rows × 1 b-row)
+// and k=3 (1 × 2) → 4 rows.
+func wantJoinRows() int { return 4 }
+
+func TestScanWithFilters(t *testing.T) {
+	db := tinyDB()
+	s := scanOf("a", 0, query.Selection{
+		Col: query.ColumnRef{Table: "a", Column: "k"}, Op: query.GE, Value: 2, Selectivity: 0.5,
+	})
+	out, err := Execute(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Errorf("filtered scan rows = %d, want 3", out.NumRows())
+	}
+	// All comparison operators.
+	ops := []struct {
+		op   query.CmpOp
+		want int
+	}{{query.EQ, 2}, {query.LT, 1}, {query.LE, 3}, {query.GT, 1}, {query.GE, 3}}
+	for _, tc := range ops {
+		s := scanOf("a", 0, query.Selection{
+			Col: query.ColumnRef{Table: "a", Column: "k"}, Op: tc.op, Value: 2, Selectivity: 0.5,
+		})
+		out, err := Execute(db, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NumRows() != tc.want {
+			t.Errorf("op %v: %d rows, want %d", tc.op, out.NumRows(), tc.want)
+		}
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	db := tinyDB()
+	if _, err := Execute(db, scanOf("ghost", 0)); err == nil {
+		t.Error("scan of missing table succeeded")
+	}
+	bad := scanOf("a", 0, query.Selection{
+		Col: query.ColumnRef{Table: "a", Column: "ghost"}, Op: query.EQ, Value: 1, Selectivity: 0.5,
+	})
+	if _, err := Execute(db, bad); err == nil {
+		t.Error("filter on missing column succeeded")
+	}
+}
+
+// TestAllJoinMethodsAgree: the paper's observation 3 — the join result is
+// independent of the algorithm.
+func TestAllJoinMethodsAgree(t *testing.T) {
+	db := tinyDB()
+	proj := []query.ColumnRef{
+		{Table: "a", Column: "k"}, {Table: "a", Column: "x"},
+		{Table: "b", Column: "k"}, {Table: "b", Column: "y"},
+	}
+	var ref []string
+	for i, m := range cost.Methods() {
+		out, err := Execute(db, joinAB(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if out.NumRows() != wantJoinRows() {
+			t.Errorf("%v: %d rows, want %d", m, out.NumRows(), wantJoinRows())
+		}
+		fp, err := Fingerprint(out, proj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = fp
+		} else if !reflect.DeepEqual(ref, fp) {
+			t.Errorf("%v produced different rows than %v", m, cost.Methods()[0])
+		}
+	}
+}
+
+func TestJoinSwappedPredicateOrientation(t *testing.T) {
+	// Predicate written b.k = a.k with a as the left input still resolves.
+	db := tinyDB()
+	j := joinAB(cost.GraceHash)
+	j.Preds[0].Left, j.Preds[0].Right = j.Preds[0].Right, j.Preds[0].Left
+	out, err := Execute(db, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != wantJoinRows() {
+		t.Errorf("%d rows, want %d", out.NumRows(), wantJoinRows())
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	db := tinyDB()
+	j := joinAB(cost.NestedLoop)
+	j.Preds = nil
+	out, err := Execute(db, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 16 {
+		t.Errorf("cross product rows = %d, want 16", out.NumRows())
+	}
+	// Hash and sort-merge degrade to a cross product without keys too.
+	for _, m := range []cost.Method{cost.GraceHash, cost.SortMerge} {
+		j := joinAB(m)
+		j.Preds = nil
+		out, err := Execute(db, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NumRows() != 16 {
+			t.Errorf("%v cross product rows = %d", m, out.NumRows())
+		}
+	}
+}
+
+func TestMultiPredicateJoin(t *testing.T) {
+	// Join on both k and a second column pair; only exact double matches
+	// survive, for every method.
+	db := DB{
+		"a": &Relation{
+			Cols: []query.ColumnRef{{Table: "a", Column: "k"}, {Table: "a", Column: "g"}},
+			Rows: [][]float64{{1, 7}, {1, 8}, {2, 7}},
+		},
+		"b": &Relation{
+			Cols: []query.ColumnRef{{Table: "b", Column: "k"}, {Table: "b", Column: "g"}},
+			Rows: [][]float64{{1, 7}, {2, 9}},
+		},
+	}
+	preds := []query.JoinPred{
+		{Left: query.ColumnRef{Table: "a", Column: "k"}, Right: query.ColumnRef{Table: "b", Column: "k"}, Selectivity: 0.5},
+		{Left: query.ColumnRef{Table: "a", Column: "g"}, Right: query.ColumnRef{Table: "b", Column: "g"}, Selectivity: 0.5},
+	}
+	for _, m := range cost.Methods() {
+		j := &plan.Join{
+			Left:   &plan.Scan{Table: "a", RelIdx: 0, Method: plan.SeqScan, Selectivity: 1},
+			Right:  &plan.Scan{Table: "b", RelIdx: 1, Method: plan.SeqScan, Selectivity: 1},
+			Method: m, Preds: preds,
+		}
+		out, err := Execute(db, j)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if out.NumRows() != 1 {
+			t.Errorf("%v: %d rows, want 1 (only (1,7) matches)", m, out.NumRows())
+		}
+	}
+}
+
+func TestSortNodeSortsOutput(t *testing.T) {
+	db := tinyDB()
+	s := &plan.Sort{Input: joinAB(cost.GraceHash), Key_: query.ColumnRef{Table: "b", Column: "y"}}
+	out, err := Execute(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := IsSortedBy(out, query.ColumnRef{Table: "b", Column: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sorted {
+		t.Error("sort output not sorted")
+	}
+	// Sorting on a missing column errors.
+	bad := &plan.Sort{Input: joinAB(cost.GraceHash), Key_: query.ColumnRef{Table: "z", Column: "z"}}
+	if _, err := Execute(db, bad); err == nil {
+		t.Error("sort on missing column succeeded")
+	}
+}
+
+func TestGenerateDBRespectsStats(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "t", Rows: 500, Pages: 50,
+		Columns: []*catalog.Column{
+			{Name: "id", Distinct: 500},
+			{Name: "fk", Distinct: 7},
+		},
+	})
+	rng := rand.New(rand.NewSource(1))
+	db, err := GenerateDB(rng, cat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := db["t"]
+	if rel.NumRows() != 500 {
+		t.Fatalf("rows = %d", rel.NumRows())
+	}
+	// id unique.
+	seen := map[float64]bool{}
+	idIdx := rel.ColIndex(query.ColumnRef{Table: "t", Column: "id"})
+	fkIdx := rel.ColIndex(query.ColumnRef{Table: "t", Column: "fk"})
+	fks := map[float64]bool{}
+	for _, row := range rel.Rows {
+		if seen[row[idIdx]] {
+			t.Fatalf("duplicate id %v", row[idIdx])
+		}
+		seen[row[idIdx]] = true
+		fks[row[fkIdx]] = true
+		if row[fkIdx] < 1 || row[fkIdx] > 7 {
+			t.Fatalf("fk %v out of domain", row[fkIdx])
+		}
+	}
+	if len(fks) < 3 {
+		t.Errorf("fk distinct values %d suspiciously few", len(fks))
+	}
+	// Row cap.
+	db2, err := GenerateDB(rand.New(rand.NewSource(1)), cat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2["t"].NumRows() != 100 {
+		t.Errorf("capped rows = %d", db2["t"].NumRows())
+	}
+}
+
+func TestFingerprintDetectsDifferences(t *testing.T) {
+	r1 := &Relation{Cols: []query.ColumnRef{{Table: "t", Column: "a"}}, Rows: [][]float64{{1}, {2}}}
+	r2 := &Relation{Cols: []query.ColumnRef{{Table: "t", Column: "a"}}, Rows: [][]float64{{2}, {1}}}
+	r3 := &Relation{Cols: []query.ColumnRef{{Table: "t", Column: "a"}}, Rows: [][]float64{{1}, {3}}}
+	proj := []query.ColumnRef{{Table: "t", Column: "a"}}
+	f1, _ := Fingerprint(r1, proj)
+	f2, _ := Fingerprint(r2, proj)
+	f3, _ := Fingerprint(r3, proj)
+	if !reflect.DeepEqual(f1, f2) {
+		t.Error("order-insensitive fingerprints differ")
+	}
+	if reflect.DeepEqual(f1, f3) {
+		t.Error("different multisets share a fingerprint")
+	}
+	if _, err := Fingerprint(r1, []query.ColumnRef{{Table: "x", Column: "x"}}); err == nil {
+		t.Error("missing projection column accepted")
+	}
+}
+
+func TestIsSortedBy(t *testing.T) {
+	r := &Relation{Cols: []query.ColumnRef{{Table: "t", Column: "a"}}, Rows: [][]float64{{1}, {2}, {2}, {5}}}
+	col := query.ColumnRef{Table: "t", Column: "a"}
+	if ok, _ := IsSortedBy(r, col); !ok {
+		t.Error("sorted relation reported unsorted")
+	}
+	r.Rows[1][0] = 9
+	if ok, _ := IsSortedBy(r, col); ok {
+		t.Error("unsorted relation reported sorted")
+	}
+	if _, err := IsSortedBy(r, query.ColumnRef{Table: "t", Column: "zz"}); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestAggregateExecution(t *testing.T) {
+	db := tinyDB()
+	for _, m := range []plan.AggMethod{plan.HashAgg, plan.SortAgg} {
+		agg := &plan.Aggregate{
+			Input:    scanOf("a", 0),
+			GroupKey: query.ColumnRef{Table: "a", Column: "k"},
+			Method:   m,
+			Groups:   3, Pages: 1,
+		}
+		out, err := Execute(db, agg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// a has k values 1, 2, 2, 3 → groups (1,1), (2,2), (3,1).
+		if out.NumRows() != 3 {
+			t.Fatalf("%v: %d groups, want 3", m, out.NumRows())
+		}
+		counts := map[float64]float64{}
+		kIdx := out.ColIndex(query.ColumnRef{Table: "a", Column: "k"})
+		cIdx := out.ColIndex(query.ColumnRef{Table: "a", Column: "count"})
+		if kIdx < 0 || cIdx < 0 {
+			t.Fatalf("%v: output schema %v", m, out.Cols)
+		}
+		for _, row := range out.Rows {
+			counts[row[kIdx]] = row[cIdx]
+		}
+		if counts[1] != 1 || counts[2] != 2 || counts[3] != 1 {
+			t.Errorf("%v: counts = %v", m, counts)
+		}
+		if m == plan.SortAgg {
+			sorted, err := IsSortedBy(out, query.ColumnRef{Table: "a", Column: "k"})
+			if err != nil || !sorted {
+				t.Errorf("sort-agg output not sorted: %v", err)
+			}
+		}
+	}
+	// Missing group key errors.
+	bad := &plan.Aggregate{Input: scanOf("a", 0), GroupKey: query.ColumnRef{Table: "z", Column: "z"}}
+	if _, err := Execute(db, bad); err == nil {
+		t.Error("aggregate on missing column succeeded")
+	}
+}
+
+func TestAggregateOverJoin(t *testing.T) {
+	db := tinyDB()
+	agg := &plan.Aggregate{
+		Input:    joinAB(cost.GraceHash),
+		GroupKey: query.ColumnRef{Table: "a", Column: "k"},
+		Method:   plan.HashAgg,
+		Groups:   2, Pages: 1,
+	}
+	out, err := Execute(db, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join rows: k=2 (×2), k=3 (×2) → two groups of 2.
+	if out.NumRows() != 2 {
+		t.Fatalf("%d groups", out.NumRows())
+	}
+	for _, row := range out.Rows {
+		if row[1] != 2 {
+			t.Errorf("group %v count %v, want 2", row[0], row[1])
+		}
+	}
+}

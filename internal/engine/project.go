@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Project returns a relation containing only the named columns, in order.
+func Project(r *Relation, cols []query.ColumnRef) (*Relation, error) {
+	if len(cols) == 0 {
+		return r, nil
+	}
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		idx := r.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: projection column %s absent", c)
+		}
+		idxs[i] = idx
+	}
+	out := &Relation{Cols: append([]query.ColumnRef(nil), cols...)}
+	for _, row := range r.Rows {
+		pr := make([]float64, len(idxs))
+		for i, idx := range idxs {
+			pr[i] = row[idx]
+		}
+		out.Rows = append(out.Rows, pr)
+	}
+	return out, nil
+}
+
+// ExecuteQuery runs a plan for the given SPJ block and applies its
+// projection — the full SELECT semantics (SELECT * keeps every column).
+func ExecuteQuery(db DB, q *query.SPJ, p plan.Node) (*Relation, error) {
+	out, err := Execute(db, p)
+	if err != nil {
+		return nil, err
+	}
+	return Project(out, q.Projection)
+}

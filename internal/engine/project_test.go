@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/query"
+)
+
+func TestProject(t *testing.T) {
+	db := tinyDB()
+	rel := db["a"]
+	out, err := Project(rel, []query.ColumnRef{{Table: "a", Column: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cols) != 1 || out.Cols[0].Column != "x" {
+		t.Fatalf("cols = %v", out.Cols)
+	}
+	if out.NumRows() != rel.NumRows() || out.Rows[0][0] != 10 {
+		t.Errorf("rows = %v", out.Rows)
+	}
+	// Column order follows the projection, not the input.
+	out, err = Project(rel, []query.ColumnRef{{Table: "a", Column: "x"}, {Table: "a", Column: "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0] != 10 || out.Rows[0][1] != 1 {
+		t.Errorf("reordered row = %v", out.Rows[0])
+	}
+	// Empty projection is SELECT *.
+	same, err := Project(rel, nil)
+	if err != nil || same != rel {
+		t.Errorf("nil projection: %v, %v", same, err)
+	}
+	if _, err := Project(rel, []query.ColumnRef{{Table: "z", Column: "z"}}); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestExecuteQueryAppliesProjection(t *testing.T) {
+	db := tinyDB()
+	q := &query.SPJ{
+		Tables: []string{"a", "b"},
+		Joins: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "a", Column: "k"},
+			Right:       query.ColumnRef{Table: "b", Column: "k"},
+			Selectivity: 0.1,
+		}},
+		Projection: []query.ColumnRef{{Table: "b", Column: "y"}},
+	}
+	out, err := ExecuteQuery(db, q, joinAB(cost.GraceHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cols) != 1 || out.Cols[0] != q.Projection[0] {
+		t.Errorf("cols = %v", out.Cols)
+	}
+	if out.NumRows() != wantJoinRows() {
+		t.Errorf("rows = %d", out.NumRows())
+	}
+}

@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// scaledExample11 is Example 1.1 shrunk 100×, preserving the regime
+// structure: A = 10,000 pages (√A = 100), B = 4000 pages (√B ≈ 63), memory
+// 200 pages 80% of the time and 70 pages 20% — the 70-page case sits
+// between the two √ thresholds exactly like the paper's 700.
+func scaledExample11() (*catalog.Catalog, *query.SPJ, *stats.Dist) {
+	const rowsPerPage = 10.0
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "A", Rows: 100_000, Pages: 10_000,
+		Columns: []*catalog.Column{{Name: "k", Distinct: 100_000, Min: 1, Max: 100_000}},
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "B", Rows: 40_000, Pages: 4_000,
+		Columns: []*catalog.Column{{Name: "k", Distinct: 40_000, Min: 1, Max: 40_000}},
+	})
+	resultRows := 30.0 / (2 / rowsPerPage) // 30-page result
+	sel := resultRows / (100_000.0 * 40_000.0)
+	ob := query.ColumnRef{Table: "A", Column: "k"}
+	q := &query.SPJ{
+		Tables: []string{"A", "B"},
+		Joins: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "A", Column: "k"},
+			Right:       query.ColumnRef{Table: "B", Column: "k"},
+			Selectivity: sel,
+		}},
+		OrderBy: &ob,
+	}
+	return cat, q, stats.MustNew([]float64{70, 200}, []float64{0.2, 0.8})
+}
+
+func TestRunPageLevelSmoke(t *testing.T) {
+	cat, q, _ := scaledExample11()
+	res, err := opt.SystemR(cat, q, opt.Options{}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io, err := RunPageLevel(res.Plan, Trace{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.Total() <= 0 {
+		t.Errorf("total I/O %v", io.Total())
+	}
+	// More memory never costs more at the page level either.
+	ioRich, err := RunPageLevel(res.Plan, Trace{100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ioRich.Total() > io.Total() {
+		t.Errorf("richer memory cost more: %v vs %v", ioRich.Total(), io.Total())
+	}
+}
+
+// TestLECBeatsLSCAtPageLevel is the deepest end-to-end validation: the LEC
+// plan's advantage on the (scaled) Example 1.1 survives the page-level LRU
+// replay, a model three layers removed from the formulas the optimizer
+// used. The memory distribution has two points, so the expectation is
+// computed exactly with one replay per point.
+func TestLECBeatsLSCAtPageLevel(t *testing.T) {
+	cat, q, dm := scaledExample11()
+	lsc, err := opt.LSCPlan(cat, q, opt.Options{}, dm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := opt.AlgorithmC(cat, q, opt.Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsc.Plan.Key() == lec.Plan.Key() {
+		t.Fatal("scaled fixture lost the plan split")
+	}
+	meanOf := func(p plan.Node) float64 {
+		sum := 0.0
+		for i := 0; i < dm.Len(); i++ {
+			io, err := RunPageLevel(p, Trace{dm.Value(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += dm.Prob(i) * io.Total()
+		}
+		return sum
+	}
+	mLSC, mLEC := meanOf(lsc.Plan), meanOf(lec.Plan)
+	if mLEC >= mLSC {
+		t.Errorf("page-level mean: LEC %v not below LSC %v", mLEC, mLSC)
+	}
+	t.Logf("page-level replay: LSC %v, LEC %v (%.1f%% saving)", mLSC, mLEC, 100*(1-mLEC/mLSC))
+}
+
+func TestRunPageLevelRejectsBushy(t *testing.T) {
+	cat, q, _ := scaledExample11()
+	res, err := opt.BushyAlgorithmC(cat, q, opt.Options{}, stats.Point(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := res.Plan
+	for {
+		if s, ok := inner.(*plan.Sort); ok {
+			inner = s.Input
+			continue
+		}
+		break
+	}
+	j := inner.(*plan.Join)
+	bushy := &plan.Join{Left: j.Left, Right: j, Method: j.Method, Pages: 10, Rows: 10}
+	if _, err := RunPageLevel(bushy, Trace{100}); err == nil {
+		t.Error("bushy plan accepted")
+	}
+}
+
+func TestRunPageLevelMultiJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: 4, MinPages: 50, MaxPages: 5000})
+	q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: 4, Shape: workload.Chain, OrderBy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.AlgorithmC(cat, q, opt.Options{}, stats.MustNew([]float64{50, 2000}, []float64{0.5, 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io, err := RunPageLevel(res.Plan, Trace{2000, 50, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.Total() <= 0 {
+		t.Errorf("total %v", io.Total())
+	}
+}

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// RunPhases simulates the plan like Run but returns the I/O broken down by
+// execution phase: element k is the I/O performed during join phase k
+// (including the scans whose data is first read in that phase, and the
+// final sort in the last phase). Summing the phases equals Run's total.
+// Phase attribution follows execution order of left-deep plans; bushy plans
+// are rejected because their subtrees have no single phase order.
+func RunPhases(n plan.Node, tr Trace) ([]IOStats, error) {
+	joins := plan.NumJoins(n)
+	if joins == 0 {
+		io, err := Run(n, tr)
+		if err != nil {
+			return nil, err
+		}
+		return []IOStats{io}, nil
+	}
+	phases := make([]IOStats, joins)
+	joinIdx := 0
+	var err error
+	plan.Walk(n, func(m plan.Node) {
+		if err != nil {
+			return
+		}
+		switch v := m.(type) {
+		case *plan.Scan:
+			k := joinIdx
+			if k >= joins {
+				k = joins - 1
+			}
+			phases[k].add(simScan(v))
+		case *plan.Join:
+			if _, bushy := v.Right.(*plan.Join); bushy {
+				err = fmt.Errorf("eval: RunPhases requires a left-deep plan")
+				return
+			}
+			if _, bushy := v.Right.(*plan.Sort); bushy {
+				err = fmt.Errorf("eval: RunPhases requires a left-deep plan")
+				return
+			}
+			phases[joinIdx].add(simJoin(v, tr.at(joinIdx)))
+			joinIdx++
+		case *plan.Sort:
+			if !plan.SatisfiesOrder(v.Input, v.Key_) {
+				phases[joins-1].add(simSort(v.Input.OutPages(), tr.at(joinIdx-1)))
+			}
+		default:
+			err = fmt.Errorf("eval: unknown node type %T", m)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return phases, nil
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func TestRunPhasesDecomposition(t *testing.T) {
+	a, b, c := scanOf("a", 0, 10000), scanOf("b", 1, 4000), scanOf("c", 2, 500)
+	j1 := &plan.Join{Left: a, Right: b, Method: cost.SortMerge, Pages: 800, Rows: 8000}
+	j2 := &plan.Join{Left: j1, Right: c, Method: cost.GraceHash, Pages: 100, Rows: 1000}
+	s := &plan.Sort{Input: j2, Key_: query.ColumnRef{Table: "a", Column: "k"}}
+	tr := Trace{100, 40}
+	phases, err := RunPhases(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("%d phases", len(phases))
+	}
+	// Phase 0 holds both initial scans plus join 0; phase 1 holds scan c,
+	// join 1, and the final sort.
+	total, err := Run(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := phases[0].Total() + phases[1].Total(); got != total.Total() {
+		t.Errorf("phase sum %v != total %v", got, total.Total())
+	}
+	if phases[0].Reads < 14000 {
+		t.Errorf("phase 0 should include both initial scans: %+v", phases[0])
+	}
+	if phases[1].Reads < 500 {
+		t.Errorf("phase 1 should include scan c: %+v", phases[1])
+	}
+}
+
+func TestRunPhasesNoJoins(t *testing.T) {
+	s := scanOf("t", 0, 77)
+	phases, err := RunPhases(s, Trace{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 || phases[0].Total() != 77 {
+		t.Errorf("phases = %+v", phases)
+	}
+}
+
+func TestRunPhasesRejectsRightJoinChild(t *testing.T) {
+	a, b, c := scanOf("a", 0, 100), scanOf("b", 1, 100), scanOf("c", 2, 100)
+	inner := &plan.Join{Left: b, Right: c, Method: cost.GraceHash, Pages: 10, Rows: 100}
+	bushy := &plan.Join{Left: a, Right: inner, Method: cost.GraceHash, Pages: 10, Rows: 100}
+	if _, err := RunPhases(bushy, Trace{100}); err == nil {
+		t.Error("bushy plan accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func scanOf(table string, idx int, pages float64) *plan.Scan {
+	return &plan.Scan{
+		Table: table, RelIdx: idx, Method: plan.SeqScan,
+		BasePages: pages, BaseRows: pages * 10, Selectivity: 1,
+		Pages: pages, Rows: pages * 10,
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := Trace{100, 50}
+	if tr.at(0) != 100 || tr.at(1) != 50 || tr.at(5) != 50 || tr.at(-1) != 100 {
+		t.Error("Trace.at extension wrong")
+	}
+	if (Trace{}).at(0) != 1 {
+		t.Error("empty trace should yield 1 page")
+	}
+	if (Trace{0.1}).at(0) != 1 {
+		t.Error("sub-page memory should clamp to 1")
+	}
+}
+
+func TestSimScan(t *testing.T) {
+	io := simScan(scanOf("t", 0, 100))
+	if io.Reads != 100 || io.Writes != 0 {
+		t.Errorf("seq scan I/O = %+v", io)
+	}
+	ix := &plan.Scan{
+		Table: "t", Method: plan.IndexScan, IndexClustered: true, IndexHeight: 3,
+		BasePages: 100, BaseRows: 1000, Selectivity: 0.1, Pages: 10, Rows: 100,
+	}
+	if io := simScan(ix); io.Reads != 13 {
+		t.Errorf("index scan reads = %v, want 13", io.Reads)
+	}
+}
+
+func TestSimSortRegimes(t *testing.T) {
+	// In-memory: free.
+	if io := simSort(100, 200); io.Total() != 0 {
+		t.Errorf("in-memory sort I/O = %v", io.Total())
+	}
+	// One merge pass: write runs (x), read them back (x).
+	io := simSort(1000, 100)
+	if io.Writes != 1000 || io.Reads != 1000 {
+		t.Errorf("single-pass sort = %+v", io)
+	}
+	// Tiny memory: multiple passes, strictly more I/O.
+	io2 := simSort(1000, 5)
+	if io2.Total() <= io.Total() {
+		t.Errorf("multi-pass sort %v not above single-pass %v", io2.Total(), io.Total())
+	}
+}
+
+func TestSimJoinShapes(t *testing.T) {
+	mk := func(m cost.Method) *plan.Join {
+		return &plan.Join{Left: scanOf("a", 0, 1000), Right: scanOf("b", 1, 400), Method: m,
+			Pages: 30, Rows: 300}
+	}
+	// Sort-merge with plenty of memory: both inputs sorted in memory and
+	// streamed — no I/O beyond the scans.
+	if io := simJoin(mk(cost.SortMerge), 5000); io.Total() != 0 {
+		t.Errorf("SM rich = %+v", io)
+	}
+	// Sort-merge with tight memory pays run formation and read-back for
+	// both inputs: (1000 + 400) written and read once each.
+	ioTight := simJoin(mk(cost.SortMerge), 50)
+	if ioTight.Writes != 1400 || ioTight.Reads != 1400 {
+		t.Errorf("SM tight = %+v, want 1400w/1400r", ioTight)
+	}
+	// Grace hash: fits → free beyond scans; doesn't fit → partition I/O.
+	if io := simJoin(mk(cost.GraceHash), 500); io.Total() != 0 {
+		t.Errorf("GH fitting = %+v", io)
+	}
+	if io := simJoin(mk(cost.GraceHash), 50); io.Total() != 2*1400 {
+		t.Errorf("GH one level = %v, want 2800", io.Total())
+	}
+	// Nested loop: fits → free; not → rescans.
+	if io := simJoin(mk(cost.NestedLoop), 402); io.Total() != 0 {
+		t.Errorf("NL fitting = %+v", io)
+	}
+	if io := simJoin(mk(cost.NestedLoop), 100); io.Reads != 999*400 {
+		t.Errorf("NL rescans = %v", io.Reads)
+	}
+	// Block NL: block rescans.
+	if io := simJoin(mk(cost.BlockNL), 102); io.Reads != 9*400 {
+		t.Errorf("BNL = %v, want 3600", io.Reads)
+	}
+	if io := simJoin(mk(cost.BlockNL), 5000); io.Total() != 0 {
+		t.Errorf("BNL fitting = %+v", io)
+	}
+}
+
+// TestSimulatorMonotoneInMemory: more memory never increases simulated I/O.
+func TestSimulatorMonotoneInMemory(t *testing.T) {
+	for _, m := range cost.Methods() {
+		j := &plan.Join{Left: scanOf("a", 0, 2000), Right: scanOf("b", 1, 800), Method: m, Pages: 40, Rows: 400}
+		prev := math.Inf(1)
+		for mem := 2.0; mem < 5000; mem *= 1.5 {
+			io, err := Run(j, Trace{mem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if io.Total() > prev+1e-9 {
+				t.Errorf("%v: I/O rose from %v to %v at mem=%v", m, prev, io.Total(), mem)
+			}
+			prev = io.Total()
+		}
+	}
+}
+
+// TestSimulatorTracksCostModelOnExample11: on the paper's example the
+// simulator must agree with the cost model about which plan is better in
+// each memory regime (shape agreement, not equality).
+func TestSimulatorTracksCostModelOnExample11(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	plan1, err := opt.SystemR(cat, q, opt.Options{}, 2000) // sort-merge
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := opt.SystemR(cat, q, opt.Options{}, 700) // grace hash + sort
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mem := range []float64{700, 2000} {
+		io1, err := Run(plan1.Plan, Trace{mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		io2, err := Run(plan2.Plan, Trace{mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, c2 := plan.Cost(plan1.Plan, mem), plan.Cost(plan2.Plan, mem)
+		simPref := io1.Total() < io2.Total()
+		modelPref := c1 < c2
+		if simPref != modelPref {
+			t.Errorf("at mem=%v: simulator prefers plan%d, model prefers plan%d (sim %v/%v, model %v/%v)",
+				mem, pick(simPref), pick(modelPref), io1.Total(), io2.Total(), c1, c2)
+		}
+	}
+}
+
+func pick(firstWins bool) int {
+	if firstWins {
+		return 1
+	}
+	return 2
+}
+
+// TestLECBeatsLSCInSimulation is the headline end-to-end check: across many
+// simulated executions under the Example 1.1 memory distribution, the LEC
+// plan's *realized average cost* is lower than the LSC plan's.
+func TestLECBeatsLSCInSimulation(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	lsc, err := opt.LSCPlan(cat, q, opt.Options{}, dm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := opt.AlgorithmC(cat, q, opt.Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	sampler := StaticSampler{Dist: dm}
+	sLSC, err := Evaluate(lsc.Plan, sampler, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLEC, err := Evaluate(lec.Plan, sampler, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLEC.Mean >= sLSC.Mean {
+		t.Errorf("simulated E[LEC] = %v not below E[LSC] = %v", sLEC.Mean, sLSC.Mean)
+	}
+	// The LEC plan's realized cost is also far less variable.
+	if sLEC.StdDev >= sLSC.StdDev {
+		t.Errorf("LEC std %v not below LSC std %v", sLEC.StdDev, sLSC.StdDev)
+	}
+	if sLSC.Min >= sLSC.Max {
+		t.Errorf("LSC plan cost should vary across trials: min %v max %v", sLSC.Min, sLSC.Max)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	p := scanOf("t", 0, 10)
+	if _, err := Evaluate(p, StaticSampler{Dist: stats.Point(10)}, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero trials accepted")
+	}
+	s, err := Evaluate(p, StaticSampler{Dist: stats.Point(10)}, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 10 || s.StdDev != 0 || s.Min != 10 || s.Max != 10 || s.Trials != 5 {
+		t.Errorf("scan summary = %+v", s)
+	}
+}
+
+func TestWalkSampler(t *testing.T) {
+	chain, err := stats.RandomWalkChain([]float64{100, 200, 400}, 0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := WalkSampler{Chain: chain, Initial: stats.Point(200)}
+	rng := rand.New(rand.NewSource(4))
+	tr := s.Sample(rng, 5)
+	if len(tr) != 5 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	if tr[0] != 200 {
+		t.Errorf("trace starts at %v", tr[0])
+	}
+	for i := 1; i < len(tr); i++ {
+		ratio := tr[i] / tr[i-1]
+		if ratio != 1 && ratio != 2 && ratio != 0.5 {
+			t.Errorf("illegal transition %v -> %v", tr[i-1], tr[i])
+		}
+	}
+	if got := s.Sample(rng, 0); len(got) != 1 {
+		t.Errorf("zero-phase sample length %d", len(got))
+	}
+}
+
+// TestDynamicTraceChangesRealizedCost: a join executing in a late phase
+// under a decaying memory walk costs more on average than under a static
+// rich environment — the effect §3.5 models.
+func TestDynamicTraceChangesRealizedCost(t *testing.T) {
+	// Two joins: the second executes in phase 1 where memory has decayed.
+	a, b, c := scanOf("a", 0, 10000), scanOf("b", 1, 5000), scanOf("c", 2, 4000)
+	j1 := &plan.Join{Left: a, Right: b, Method: cost.SortMerge, Pages: 5000, Rows: 50000}
+	j2 := &plan.Join{Left: j1, Right: c, Method: cost.SortMerge, Pages: 100, Rows: 1000}
+
+	rng := rand.New(rand.NewSource(8))
+	decay, err := stats.RandomWalkChain([]float64{10, 4000}, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich, err := Evaluate(j2, StaticSampler{Dist: stats.Point(4000)}, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decaying, err := Evaluate(j2, WalkSampler{Chain: decay, Initial: stats.Point(4000)}, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decaying.Mean <= rich.Mean {
+		t.Errorf("decaying memory mean %v not above static-rich %v", decaying.Mean, rich.Mean)
+	}
+}

@@ -1,0 +1,217 @@
+// Package exec replays the join algorithms' page-access patterns through a
+// real LRU buffer pool (internal/bufpool). Where internal/eval charges I/O
+// from procedural pass counts, this package derives it from first
+// principles: each algorithm touches pages in the order the textbook
+// algorithm would, and the pool's hit/miss/writeback behavior produces the
+// costs. The tests then confirm that the optimizer's closed-form formulas
+// — including their √|R| and S+2 thresholds — emerge from the replay,
+// which is the strongest grounding this reproduction gives the cost model.
+//
+// Abstraction level: pages are touched, never filled; CPU work (hash
+// probes, comparisons) is free; a hash build's pages are only touched when
+// loaded. Join outputs are not materialized (they stream to the consumer),
+// matching the conventions of the paper's formulas.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/bufpool"
+)
+
+// Table is a stored file of pages.
+type Table struct {
+	Name  string
+	Pages int
+}
+
+// Exec drives algorithms through one buffer pool. The pool's capacity
+// plays the role of M, the paper's available-memory parameter.
+type Exec struct {
+	pool   *bufpool.Pool
+	tmpSeq int
+}
+
+// New wraps a pool.
+func New(pool *bufpool.Pool) *Exec { return &Exec{pool: pool} }
+
+// Pool exposes the underlying pool (for stats).
+func (e *Exec) Pool() *bufpool.Pool { return e.pool }
+
+func (e *Exec) tmp(prefix string) string {
+	e.tmpSeq++
+	return fmt.Sprintf("%s#%d", prefix, e.tmpSeq)
+}
+
+// readAll touches every page of a table in order.
+func (e *Exec) readAll(t Table) {
+	for i := 0; i < t.Pages; i++ {
+		e.pool.Get(bufpool.PageID{File: t.Name, No: i})
+	}
+}
+
+// writeTemp creates a temporary file of n pages: the pages are produced,
+// forced to disk, and dropped from the pool (they will be re-read later).
+func (e *Exec) writeTemp(prefix string, n int) Table {
+	name := e.tmp(prefix)
+	for i := 0; i < n; i++ {
+		e.pool.Put(bufpool.PageID{File: name, No: i})
+	}
+	e.pool.FlushFile(name)
+	e.pool.DropFile(name)
+	return Table{Name: name, Pages: n}
+}
+
+// NestedLoop replays the paper's page nested-loop join (§3.6.2): for each
+// outer page, scan the entire inner. When the pool holds the inner plus an
+// outer page and an output frame, the inner stays resident after the first
+// pass and the measured reads collapse to |A| + |B| — the formula's
+// M ≥ S + 2 regime emerges from LRU behavior, not from a special case.
+func (e *Exec) NestedLoop(outer, inner Table) {
+	for o := 0; o < outer.Pages; o++ {
+		e.pool.Get(bufpool.PageID{File: outer.Name, No: o})
+		for i := 0; i < inner.Pages; i++ {
+			e.pool.Get(bufpool.PageID{File: inner.Name, No: i})
+		}
+	}
+}
+
+// BlockNL replays block nested-loop: the outer is consumed in blocks of
+// (capacity − 2) pages; the inner is rescanned once per block.
+func (e *Exec) BlockNL(outer, inner Table) {
+	block := e.pool.Capacity() - 2
+	if block < 1 {
+		block = 1
+	}
+	for start := 0; start < outer.Pages; start += block {
+		end := start + block
+		if end > outer.Pages {
+			end = outer.Pages
+		}
+		for o := start; o < end; o++ {
+			e.pool.Get(bufpool.PageID{File: outer.Name, No: o})
+		}
+		for i := 0; i < inner.Pages; i++ {
+			e.pool.Get(bufpool.PageID{File: inner.Name, No: i})
+		}
+	}
+}
+
+// GraceHash replays Grace hash join: recursive partitioning until the
+// build side fits in memory, then per-partition build-and-probe. Returns
+// the number of partitioning levels performed.
+func (e *Exec) GraceHash(a, b Table) int {
+	build, probe := a, b
+	if probe.Pages < build.Pages {
+		build, probe = probe, build
+	}
+	return e.graceHash(build, probe)
+}
+
+func (e *Exec) graceHash(build, probe Table) int {
+	mem := e.pool.Capacity()
+	if build.Pages <= mem-1 {
+		// In-memory: load the build side, stream the probe side.
+		e.readAll(build)
+		e.readAll(probe)
+		return 0
+	}
+	// Partition both inputs with fan-out mem−1.
+	fanout := mem - 1
+	if fanout < 2 {
+		fanout = 2
+	}
+	buildParts := e.partition(build, fanout)
+	probeParts := e.partition(probe, fanout)
+	levels := 1
+	deepest := 0
+	for i := range buildParts {
+		d := e.graceHash(buildParts[i], probeParts[i])
+		if d > deepest {
+			deepest = d
+		}
+	}
+	return levels + deepest
+}
+
+// partition reads a file and writes exactly fanout hash partitions of
+// balanced sizes (both join inputs are split by the same hash function, so
+// both sides always produce the same number of buckets; some may be empty).
+func (e *Exec) partition(t Table, fanout int) []Table {
+	e.readAll(t)
+	parts := make([]Table, fanout)
+	base := t.Pages / fanout
+	rem := t.Pages % fanout
+	for i := range parts {
+		n := base
+		if i < rem {
+			n++
+		}
+		if n == 0 {
+			parts[i] = Table{Name: e.tmp(t.Name + ".part"), Pages: 0}
+			continue
+		}
+		parts[i] = e.writeTemp(t.Name+".part", n)
+	}
+	return parts
+}
+
+// SortMerge replays sort-merge join: externally sort both inputs, then
+// merge the sorted results.
+func (e *Exec) SortMerge(a, b Table) {
+	sa := e.ExternalSort(a)
+	sb := e.ExternalSort(b)
+	// The final merge reads both sorted inputs once (unless they were
+	// sorted entirely in memory, in which case their pages still stream
+	// from the sort — but the in-memory case returns the original table,
+	// whose pages are resident only if they fit; reads count naturally).
+	e.readAll(sa)
+	e.readAll(sb)
+}
+
+// ExternalSort sorts a table: in memory when it fits, otherwise by run
+// formation plus log_{fan-in} merge passes, materializing the sorted
+// result. Returns the sorted file.
+func (e *Exec) ExternalSort(t Table) Table {
+	mem := e.pool.Capacity()
+	if t.Pages <= mem {
+		// Fits: one read, no spill. The "sorted result" is the resident
+		// data itself.
+		e.readAll(t)
+		return t
+	}
+	// Run formation: read input, write ceil(pages/mem) runs.
+	e.readAll(t)
+	var runs []Table
+	remaining := t.Pages
+	for remaining > 0 {
+		n := mem
+		if n > remaining {
+			n = remaining
+		}
+		runs = append(runs, e.writeTemp(t.Name+".run", n))
+		remaining -= n
+	}
+	// Merge passes with fan-in mem−1.
+	fanin := mem - 1
+	if fanin < 2 {
+		fanin = 2
+	}
+	for len(runs) > 1 {
+		var next []Table
+		for start := 0; start < len(runs); start += fanin {
+			end := start + fanin
+			if end > len(runs) {
+				end = len(runs)
+			}
+			total := 0
+			for _, r := range runs[start:end] {
+				e.readAll(r)
+				total += r.Pages
+			}
+			next = append(next, e.writeTemp(t.Name+".merge", total))
+		}
+		runs = next
+	}
+	return runs[0]
+}

@@ -1,0 +1,228 @@
+package opt
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestAlgorithmAExample11 shows Algorithm A already suffices for the
+// paper's example: the 700-page bucket generates Plan 2 as a candidate,
+// and the expected-cost comparison selects it.
+func TestAlgorithmAExample11(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	res, err := AlgorithmA(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := rootJoin(t, res.Plan); j.Method != cost.GraceHash {
+		t.Errorf("Algorithm A picked %v, want grace-hash", j.Method)
+	}
+	if want := 4_206_000.0; relDiff(res.Cost, want) > costTol {
+		t.Errorf("E[cost] = %v, want %v", res.Cost, want)
+	}
+}
+
+// TestHierarchyLSCgeAgeBgeC is the quality ordering the paper implies:
+// E[LSC] ≥ E[A] ≥ E[B] ≥ E[C] — A's candidates include the LSC-at-mean
+// plan, B's candidate pool contains A's, and C is exact.
+func TestHierarchyLSCgeAgeBgeC(t *testing.T) {
+	shapes := []workload.Topology{workload.Chain, workload.Star, workload.Clique}
+	for seed := int64(0); seed < 15; seed++ {
+		cat, q := randInstance(t, seed, 4, shapes[seed%3], seed%2 == 0)
+		dm := randMemDist3(seed + 31)
+		lsc, err := LSCPlan(cat, q, Options{}, dm, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := AlgorithmA(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AlgorithmB(cat, q, Options{TopC: 3}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1 + costTol
+		// Note: LSC ≥ A requires the mean to be one of A's buckets, which
+		// our Algorithm A does not add (it uses dm's support only), so we
+		// assert the weaker and always-true A ≥ C chain plus LSC ≥ C.
+		if a.Cost > lsc.Cost*tol && dmHasMean(dm) {
+			t.Errorf("seed %d: E[A] %v > E[LSC] %v", seed, a.Cost, lsc.Cost)
+		}
+		if b.Cost > a.Cost*tol {
+			t.Errorf("seed %d: E[B] %v > E[A] %v", seed, b.Cost, a.Cost)
+		}
+		if c.Cost > b.Cost*tol {
+			t.Errorf("seed %d: E[C] %v > E[B] %v", seed, c.Cost, b.Cost)
+		}
+		if c.Cost > lsc.Cost*tol {
+			t.Errorf("seed %d: E[C] %v > E[LSC] %v", seed, c.Cost, lsc.Cost)
+		}
+	}
+}
+
+func dmHasMean(dm *stats.Dist) bool {
+	m := dm.Mean()
+	for i := 0; i < dm.Len(); i++ {
+		if dm.Value(i) == m {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAlgorithmAIsNotExact hunts for an instance where Algorithm A misses
+// the true LEC plan — the paper's §3.2 caveat: "It is conceivable that a
+// plan not optimal for any m_i actually does better on average than any
+// candidate considered."
+func TestAlgorithmAIsNotExact(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 200 && !found; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Clique, seed%2 == 0)
+		dm := randMemDist3(seed * 13)
+		a, err := AlgorithmA(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cost > c.Cost*(1+1e-9) {
+			found = true
+			t.Logf("seed %d: E[A] = %v > E[C] = %v (gap %.2f%%)",
+				seed, a.Cost, c.Cost, 100*(a.Cost/c.Cost-1))
+		}
+	}
+	if !found {
+		t.Error("Algorithm A matched Algorithm C on all 200 instances; expected at least one gap")
+	}
+}
+
+// TestTopCPlansMatchExhaustive validates the top-c DP lists against a full
+// enumeration sorted by cost.
+func TestTopCPlansMatchExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		mem := []float64{30, 400, 3000}[seed%3]
+		for _, c := range []int{1, 2, 4, 8} {
+			_, costs, _, err := TopCPlans(cat, q, Options{}, mem, c)
+			if err != nil {
+				t.Fatalf("seed %d c %d: %v", seed, c, err)
+			}
+			all, err := EnumeratePlans(cat, q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			allCosts := make([]float64, len(all))
+			for i, p := range all {
+				allCosts[i] = plan.Cost(p, mem)
+			}
+			sort.Float64s(allCosts)
+			if len(costs) > len(allCosts) {
+				t.Fatalf("top-c returned more plans than exist")
+			}
+			for i, got := range costs {
+				if relDiff(got, allCosts[i]) > costTol {
+					t.Errorf("seed %d c=%d mem=%v: rank %d cost %v, exhaustive %v",
+						seed, c, mem, i, got, allCosts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProposition31Bound: no single top-c merge examines more than
+// c + c·ln c combinations.
+func TestProposition31Bound(t *testing.T) {
+	cat, q := randInstance(t, 3, 5, workload.Clique, true)
+	for _, c := range []int{1, 2, 3, 4, 8, 16, 32, 64} {
+		_, _, counters, err := TopCPlans(cat, q, Options{}, 500, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := MergeBound(c)
+		if float64(counters.MaxMergeCombos) > math.Ceil(bound) {
+			t.Errorf("c=%d: max merge combos %d exceeds bound %v",
+				c, counters.MaxMergeCombos, bound)
+		}
+		if counters.MaxMergeCombos == 0 {
+			t.Errorf("c=%d: merge counter never incremented", c)
+		}
+	}
+}
+
+// TestMergeBoundValues pins the analytic bound.
+func TestMergeBoundValues(t *testing.T) {
+	if MergeBound(1) != 1 {
+		t.Errorf("MergeBound(1) = %v", MergeBound(1))
+	}
+	if got, want := MergeBound(4), 4+4*math.Log(4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MergeBound(4) = %v, want %v", got, want)
+	}
+	if MergeBound(0) != 0 {
+		t.Errorf("MergeBound(0) = %v", MergeBound(0))
+	}
+}
+
+// TestAlgorithmBWithLargeCAchievesLEC: as c grows, B's candidate pool
+// covers the whole plan space and the exact LEC plan must appear.
+func TestAlgorithmBWithLargeCAchievesLEC(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, true)
+		dm := randMemDist3(seed + 77)
+		c, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AlgorithmB(cat, q, Options{TopC: 512}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(b.Cost, c.Cost) > costTol {
+			t.Errorf("seed %d: B with huge c %v != C %v", seed, b.Cost, c.Cost)
+		}
+	}
+}
+
+// TestAlgorithmBCandidatesCoverA: at every bucket value m_i, Algorithm B's
+// candidate pool contains a plan exactly as cheap as Algorithm A's winner
+// for that bucket (the top-1 entry of the top-c DP is the System R
+// optimum; plan identity can differ on cost ties).
+func TestAlgorithmBCandidatesCoverA(t *testing.T) {
+	cat, q := randInstance(t, 9, 4, workload.Star, false)
+	dm := randMemDist3(17)
+	bCands, _, err := AlgorithmBCandidates(cat, q, Options{TopC: 3}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bCands) == 0 {
+		t.Fatal("no B candidates")
+	}
+	for i := 0; i < dm.Len(); i++ {
+		mem := dm.Value(i)
+		sr, err := SystemR(cat, q, Options{}, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bBest := math.Inf(1)
+		for _, p := range bCands {
+			if c := plan.Cost(p, mem); c < bBest {
+				bBest = c
+			}
+		}
+		if relDiff(bBest, sr.Cost) > costTol {
+			t.Errorf("at m=%v: best B candidate costs %v, System R optimum %v", mem, bBest, sr.Cost)
+		}
+	}
+}

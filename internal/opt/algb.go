@@ -1,0 +1,207 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// topEntry is one of the c best plans for a lattice node.
+type topEntry struct {
+	node plan.Node
+	cost float64
+}
+
+// mergeTopC combines the top plans for the left input (sorted ascending by
+// cost) with the access paths for the right input (also sorted), keeping
+// only pairs (i, k) with i·k ≤ c (1-indexed). Proposition 3.1: the pair
+// (s_i, a_k) is dominated by at least i·k − 1 cheaper combinations, so pairs
+// with i·k > c can never be in the top c; at most c + c·ln c pairs survive
+// the cut. stepCost is the join-method cost, identical for every pair.
+func mergeTopC(ctx *Context, left []topEntry, scans []topEntry, stepCost float64, c int,
+	build func(l, r topEntry) plan.Node) []topEntry {
+	var out []topEntry
+	combos := 0
+	for i := 1; i <= len(left) && i <= c; i++ {
+		maxK := c / i
+		for k := 1; k <= len(scans) && k <= maxK; k++ {
+			combos++
+			l, r := left[i-1], scans[k-1]
+			out = append(out, topEntry{
+				node: build(l, r),
+				cost: l.cost + r.cost + stepCost,
+			})
+		}
+	}
+	ctx.Count.MergeCombos += combos
+	if combos > ctx.Count.MaxMergeCombos {
+		ctx.Count.MaxMergeCombos = combos
+	}
+	return out
+}
+
+// sortTruncate orders entries by cost (ties broken on the structural key
+// for determinism) and keeps the best c.
+func sortTruncate(entries []topEntry, c int) []topEntry {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].cost != entries[j].cost {
+			return entries[i].cost < entries[j].cost
+		}
+		return entries[i].node.Key() < entries[j].node.Key()
+	})
+	if len(entries) > c {
+		entries = entries[:c]
+	}
+	return entries
+}
+
+// topCDP runs the top-c variant of the System R dynamic program
+// (paper §3.3) and returns the best c finished root plans, ascending by
+// cost under the supplied step coster.
+func topCDP(ctx *Context, sc stepCoster, c int) ([]topEntry, error) {
+	n := ctx.Q.NumRels()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty query")
+	}
+	scanLists := make([][]topEntry, n)
+	for i := 0; i < n; i++ {
+		var l []topEntry
+		for _, s := range ctx.Scans(i) {
+			l = append(l, topEntry{node: s, cost: s.AccessCost()})
+		}
+		scanLists[i] = sortTruncate(l, c)
+	}
+	if n == 1 {
+		var roots []topEntry
+		for _, e := range scanLists[0] {
+			roots = append(roots, finishEntry(ctx, sc, e, 0))
+		}
+		return sortTruncate(roots, c), nil
+	}
+
+	lists := make(map[query.RelSet][]topEntry, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		lists[query.NewRelSet(i)] = scanLists[i]
+	}
+	full := query.FullSet(n)
+	var roots []topEntry
+
+	for d := 2; d <= n; d++ {
+		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+			var merged []topEntry
+			s.ForEach(func(j int) {
+				sj := s.Without(j)
+				left := lists[sj]
+				if len(left) == 0 || !ctx.extensionAllowed(sj, j) {
+					return
+				}
+				for _, m := range ctx.Opts.methods() {
+					stepCost := sc.joinStep(m, left[0].node, scanLists[j][0].node.(*plan.Scan), s, j, d-2)
+					merged = append(merged, mergeTopC(ctx, left, scanLists[j], stepCost, c,
+						func(l, r topEntry) plan.Node {
+							return ctx.NewJoin(l.node, r.node.(*plan.Scan), m, s, j)
+						})...)
+				}
+			})
+			if s == full {
+				for _, e := range merged {
+					roots = append(roots, finishEntry(ctx, sc, e, d-2))
+				}
+			}
+			lists[s] = sortTruncate(merged, c)
+		})
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("opt: no plan found")
+	}
+	return sortTruncate(roots, c), nil
+}
+
+// finishEntry applies the ORDER BY sort to a root candidate, charging the
+// sort cost when the plan's order does not already satisfy it.
+func finishEntry(ctx *Context, sc stepCoster, e topEntry, phase int) topEntry {
+	finished, added := ctx.FinishPlan(e.node)
+	total := e.cost
+	if added {
+		total += sc.sortStep(e.node, phase)
+	}
+	return topEntry{node: finished, cost: total}
+}
+
+// AlgorithmB implements paper §3.3: generate the top c plans for each of
+// the b bucket representatives of the memory distribution, then pick the
+// candidate with the least expected cost under the full distribution. It
+// dominates Algorithm A (its candidate pool is a superset) but still does
+// not always find the exact LEC plan.
+func AlgorithmB(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
+	cands, counters, err := AlgorithmBCandidates(cat, q, opts, dm)
+	if err != nil {
+		return nil, err
+	}
+	best, bestCost := pickLeastExpected(cands, dm)
+	if best == nil {
+		return nil, fmt.Errorf("opt: algorithm B produced no candidates")
+	}
+	return &Result{Plan: best, Cost: bestCost, Count: counters}, nil
+}
+
+// AlgorithmBCandidates returns the deduplicated union of the top-c plans
+// across all b bucket representatives (up to c·b plans).
+func AlgorithmBCandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
+	var counters Counters
+	c := opts.topC()
+	seen := map[string]bool{}
+	var cands []plan.Node
+	for i := 0; i < dm.Len(); i++ {
+		ctx, err := NewContext(cat, q, opts)
+		if err != nil {
+			return nil, counters, err
+		}
+		roots, err := topCDP(ctx, fixedCoster{ctx: ctx, mem: dm.Value(i)}, c)
+		if err != nil {
+			return nil, counters, fmt.Errorf("opt: algorithm B at m=%v: %w", dm.Value(i), err)
+		}
+		counters.Add(ctx.Count)
+		for _, r := range roots {
+			if key := r.node.Key(); !seen[key] {
+				seen[key] = true
+				cands = append(cands, r.node)
+			}
+		}
+	}
+	return cands, counters, nil
+}
+
+// TopCPlans exposes the top-c plans at a single fixed memory value,
+// ascending by cost — used by tests to check Proposition 3.1 and the
+// correctness of the top-c lists against exhaustive enumeration.
+func TopCPlans(cat *catalog.Catalog, q *query.SPJ, opts Options, mem float64, c int) ([]plan.Node, []float64, Counters, error) {
+	ctx, err := NewContext(cat, q, opts)
+	if err != nil {
+		return nil, nil, Counters{}, err
+	}
+	roots, err := topCDP(ctx, fixedCoster{ctx: ctx, mem: mem}, c)
+	if err != nil {
+		return nil, nil, ctx.Count, err
+	}
+	plans := make([]plan.Node, len(roots))
+	costs := make([]float64, len(roots))
+	for i, r := range roots {
+		plans[i], costs[i] = r.node, r.cost
+	}
+	return plans, costs, ctx.Count, nil
+}
+
+// MergeBound returns the Proposition 3.1 upper bound c + c·ln c on the
+// number of combinations examined per (input, join-method) merge.
+func MergeBound(c int) float64 {
+	if c <= 1 {
+		return float64(c)
+	}
+	return float64(c) + float64(c)*math.Log(float64(c))
+}

@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestTheorem33 verifies Algorithm C against exhaustive enumeration of all
+// left-deep plans under the exact expected-cost objective: "Algorithm C
+// gives us the LEC left-deep plan."
+func TestTheorem33(t *testing.T) {
+	shapes := []workload.Topology{workload.Chain, workload.Star, workload.Clique}
+	for seed := int64(0); seed < 15; seed++ {
+		cat, q := randInstance(t, seed, 4, shapes[seed%3], seed%2 == 0)
+		dm := randMemDist3(seed + 1000)
+		lec, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatalf("seed %d: AlgorithmC: %v", seed, err)
+		}
+		ex, err := ExhaustiveLEC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatalf("seed %d: exhaustive: %v", seed, err)
+		}
+		if relDiff(lec.Cost, ex.Cost) > costTol {
+			t.Errorf("seed %d: AlgorithmC %v != exhaustive LEC %v\nC:\n%s\nEX:\n%s",
+				seed, lec.Cost, ex.Cost, plan.Explain(lec.Plan), plan.Explain(ex.Plan))
+		}
+		// Reported expected cost equals the plan's actual expected cost.
+		if actual := plan.ExpCost(lec.Plan, dm); relDiff(lec.Cost, actual) > costTol {
+			t.Errorf("seed %d: reported %v, plan's E[cost] %v", seed, lec.Cost, actual)
+		}
+	}
+}
+
+// TestTheorem33FiveRelations runs one larger instance to exercise deeper
+// lattices.
+func TestTheorem33FiveRelations(t *testing.T) {
+	cat, q := randInstance(t, 42, 5, workload.Chain, true)
+	dm := randMemDist3(99)
+	lec, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExhaustiveLEC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(lec.Cost, ex.Cost) > costTol {
+		t.Errorf("AlgorithmC %v != exhaustive %v", lec.Cost, ex.Cost)
+	}
+}
+
+// TestAlgorithmCExample11 is the paper's headline example end to end:
+// the LEC optimizer must pick Plan 2 (Grace hash + sort) and beat the LSC
+// plan's expected cost by the predicted margin.
+func TestAlgorithmCExample11(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	lec, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := rootJoin(t, lec.Plan)
+	if j.Method != cost.GraceHash {
+		t.Fatalf("LEC method %v, want grace-hash\n%s", j.Method, plan.Explain(lec.Plan))
+	}
+	if _, isSort := lec.Plan.(*plan.Sort); !isSort {
+		t.Errorf("LEC plan lacks the explicit sort\n%s", plan.Explain(lec.Plan))
+	}
+	// E[plan2] = scans + 2 passes + sort = 1.4M + 2.8M + 6000.
+	if want := 4_206_000.0; relDiff(lec.Cost, want) > costTol {
+		t.Errorf("E[LEC] = %v, want %v", lec.Cost, want)
+	}
+	// LSC at mode: E = 1.4M + 0.8·2.8M + 0.2·5.6M = 4.76M.
+	lsc, err := LSCPlan(cat, q, Options{}, dm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4_760_000.0; relDiff(lsc.Cost, want) > costTol {
+		t.Errorf("E[LSC] = %v, want %v", lsc.Cost, want)
+	}
+	if lec.Cost >= lsc.Cost {
+		t.Errorf("LEC %v not better than LSC %v", lec.Cost, lsc.Cost)
+	}
+}
+
+// TestLECNeverWorseThanLSC is the paper's contribution 1: "LEC plans ...
+// are guaranteed to be at least as good as (and typically better than) any
+// specific LSC plan."
+func TestLECNeverWorseThanLSC(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		dm := randMemDist3(seed + 7)
+		lec, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, useMode := range []bool{false, true} {
+			lsc, err := LSCPlan(cat, q, Options{}, dm, useMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lec.Cost > lsc.Cost*(1+costTol) {
+				t.Errorf("seed %d (mode=%v): E[LEC] %v > E[LSC] %v", seed, useMode, lec.Cost, lsc.Cost)
+			}
+		}
+	}
+}
+
+// TestTheorem34 verifies the dynamic-parameter variant: with memory
+// evolving between phases under a Markov chain, Algorithm C with per-phase
+// distributions equals exhaustive enumeration under the phased objective.
+func TestTheorem34(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 1)
+		rng := rand.New(rand.NewSource(seed + 500))
+		chain, err := workload.MemoryWalk(20, 5000, 4, 0.2+0.3*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := stats.Point(chain.States()[rng.Intn(chain.NumStates())])
+		dyn, err := AlgorithmCDynamic(cat, q, Options{}, chain, initial)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		phases := PhaseDistsFor(q, chain, initial)
+		ex, err := ExhaustiveLECPhased(cat, q, Options{}, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(dyn.Cost, ex.Cost) > costTol {
+			t.Errorf("seed %d: dynamic C %v != exhaustive %v", seed, dyn.Cost, ex.Cost)
+		}
+		if actual := plan.ExpCostPhased(dyn.Plan, phases); relDiff(dyn.Cost, actual) > costTol {
+			t.Errorf("seed %d: reported %v, actual %v", seed, dyn.Cost, actual)
+		}
+	}
+}
+
+// TestDynamicWithIdentityChainEqualsStatic: a chain that never moves is the
+// static case.
+func TestDynamicWithIdentityChainEqualsStatic(t *testing.T) {
+	cat, q := randInstance(t, 11, 4, workload.Star, true)
+	dm := randMemDist3(123)
+	chain := stats.IdentityChain(dm.Support())
+	static, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := AlgorithmCDynamic(cat, q, Options{}, chain, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(static.Cost, dyn.Cost) > costTol {
+		t.Errorf("static %v != identity-chain dynamic %v", static.Cost, dyn.Cost)
+	}
+	if static.Plan.Key() != dyn.Plan.Key() {
+		t.Errorf("plans differ:\n%s\nvs\n%s", plan.Explain(static.Plan), plan.Explain(dyn.Plan))
+	}
+}
+
+// TestDynamicMemoryChangesPlanChoice demonstrates why dynamic modelling
+// matters: a memory trajectory that starts rich but decays makes late
+// expensive joins risky, which the phase-aware optimizer can price but the
+// static one cannot. We assert the two optimizers disagree on expected cost
+// for at least one instance (they usually agree on easy ones).
+func TestDynamicMemoryChangesPlanChoice(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 40 && !found; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, false)
+		// Strongly downward-drifting walk.
+		chain, err := stats.RandomWalkChain([]float64{20, 200, 2000}, 0.6, 0.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := stats.Point(2000)
+		phases := PhaseDistsFor(q, chain, initial)
+		dyn, err := AlgorithmCDynamic(cat, q, Options{}, chain, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := AlgorithmC(cat, q, Options{}, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staticUnderPhases := plan.ExpCostPhased(static.Plan, phases)
+		if staticUnderPhases > dyn.Cost*(1+1e-9) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no instance where phase-aware optimization beat the static plan under decaying memory")
+	}
+}

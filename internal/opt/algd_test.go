@@ -1,0 +1,168 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// randInstanceD generates an instance with uncertain table sizes and
+// predicate selectivities — Algorithm D's multi-parameter setting.
+func randInstanceD(t *testing.T, seed int64, n int) (*catalog.Catalog, *query.SPJ, *stats.Dist) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: n, SizeSpread: 0.5})
+	qq, err := workload.RandomQuery(rng, c, workload.QuerySpec{
+		NumRels: n, Shape: workload.Chain, OrderBy: seed%2 == 0, SelSpread: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, qq, randMemDist3(seed + 321)
+}
+
+// TestAlgorithmDMatchesExhaustive verifies that the multi-parameter dynamic
+// program minimizes its objective exactly: Algorithm D equals brute-force
+// enumeration under the same per-subset distribution machinery.
+func TestAlgorithmDMatchesExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cat, q, dm := randInstanceD(t, seed, 4)
+		d, err := AlgorithmD(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ex, err := ExhaustiveAlgD(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(d.Cost, ex.Cost) > costTol {
+			t.Errorf("seed %d: AlgorithmD %v != exhaustive %v\nD:\n%s\nEX:\n%s",
+				seed, d.Cost, ex.Cost, plan.Explain(d.Plan), plan.Explain(ex.Plan))
+		}
+	}
+}
+
+// TestAlgorithmDWithPointDistsEqualsC: when sizes and selectivities are
+// certain, Algorithm D reduces to Algorithm C.
+func TestAlgorithmDWithPointDistsEqualsC(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		dm := randMemDist3(seed + 55)
+		c, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := AlgorithmD(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(c.Cost, d.Cost) > costTol {
+			t.Errorf("seed %d: C %v != D %v", seed, c.Cost, d.Cost)
+		}
+	}
+}
+
+// TestRowDistCanonical: the per-subset size distribution does not depend on
+// how the optimizer reaches the subset (Figure 1's consistency condition).
+func TestRowDistCanonical(t *testing.T) {
+	cat, q, _ := randInstanceD(t, 5, 4)
+	ctx, err := NewContext(cat, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query the same subset twice; memoization plus canonical construction
+	// must return identical distributions.
+	s := query.FullSet(q.NumRels())
+	d1 := ctx.RowDist(s)
+	d2 := ctx.RowDist(s)
+	if d1 != d2 {
+		t.Error("RowDist not memoized")
+	}
+	// With point inputs, the distribution collapses to the point estimate.
+	cat2, q2 := randInstance(t, 6, 4, workload.Chain, false)
+	ctx2, err := NewContext(cat2, q2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := query.FullSet(q2.NumRels())
+	rd := ctx2.RowDist(s2)
+	if !rd.IsPoint() {
+		t.Errorf("point inputs produced %d-bucket distribution", rd.Len())
+	}
+	if relDiff(rd.Mean(), ctx2.SubsetRows(s2)) > 1e-9 {
+		t.Errorf("RowDist %v != SubsetRows %v", rd.Mean(), ctx2.SubsetRows(s2))
+	}
+}
+
+// TestBudgetRespected: propagated distributions never exceed the rebucket
+// budget (paper §3.6.3).
+func TestBudgetRespected(t *testing.T) {
+	for _, budget := range []int{8, 27, 64} {
+		cat, q, _ := randInstanceD(t, 9, 5)
+		ctx, err := NewContext(cat, q, Options{RebucketBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := query.FullSet(q.NumRels())
+		if got := ctx.RowDist(s).Len(); got > budget {
+			t.Errorf("budget %d: full-set distribution has %d buckets", budget, got)
+		}
+	}
+}
+
+// TestAlgorithmDAnnotatesSizeDists (experiment F1): every join node of the
+// returned plan carries its size distribution.
+func TestAlgorithmDAnnotatesSizeDists(t *testing.T) {
+	cat, q, dm := randInstanceD(t, 2, 4)
+	res, err := AlgorithmD(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := 0
+	plan.Walk(res.Plan, func(n plan.Node) {
+		if j, ok := n.(*plan.Join); ok {
+			joins++
+			if j.SizeDist == nil {
+				t.Errorf("join over %v lacks a size distribution", j.Rels())
+			}
+		}
+	})
+	if joins == 0 {
+		t.Fatal("no joins in plan")
+	}
+}
+
+// TestSizeUncertaintyCanChangeThePlan: hunts for an instance where ignoring
+// size/selectivity distributions (Algorithm C on point estimates) picks a
+// different, worse plan than Algorithm D under D's objective.
+func TestSizeUncertaintyCanChangeThePlan(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 60 && !found; seed++ {
+		cat, q, dm := randInstanceD(t, seed, 4)
+		c, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := AlgorithmD(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := NewContext(cat, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cUnderD := EvalAlgDObjective(ctx, c.Plan, dm)
+		if cUnderD > d.Cost*(1+1e-9) {
+			found = true
+			t.Logf("seed %d: C's plan costs %v under D's objective, D's plan %v", seed, cUnderD, d.Cost)
+		}
+	}
+	if !found {
+		t.Error("no instance where multi-parameter modelling changed the plan; expected at least one")
+	}
+}

@@ -1,0 +1,172 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// This file lifts System R's heuristic 2 (paper §2.2): instead of requiring
+// every join to add exactly one stored relation (left-deep plans), the
+// bushy dynamic program considers every way to split a subset into two
+// disjoint sub-results. The paper's concluding remarks (§4) name bushy
+// trees as the main search-space restriction; this extension quantifies
+// what the restriction gives up (experiment E11). Bushy optimization is
+// limited to static objectives — with parallel subtrees the paper's
+// phase-sequence model (§3.5) has no natural single phase order, and the
+// paper itself leaves the parallelism/memory interaction open.
+
+// bushyCoster prices one join or sort step from input sizes alone.
+type bushyCoster interface {
+	join(m cost.Method, aPages, bPages float64) float64
+	sort(pages float64) float64
+}
+
+type bushyFixed struct {
+	ctx *Context
+	mem float64
+}
+
+func (b bushyFixed) join(m cost.Method, a, bp float64) float64 {
+	b.ctx.Count.CostEvals++
+	return cost.JoinCost(m, a, bp, b.mem)
+}
+
+func (b bushyFixed) sort(pages float64) float64 {
+	b.ctx.Count.CostEvals++
+	return cost.SortCost(pages, b.mem)
+}
+
+type bushyExp struct {
+	ctx *Context
+	dm  *stats.Dist
+}
+
+func (b bushyExp) join(m cost.Method, a, bp float64) float64 {
+	b.ctx.Count.CostEvals += b.dm.Len()
+	return cost.ExpJoinCostMem(m, a, bp, b.dm)
+}
+
+func (b bushyExp) sort(pages float64) float64 {
+	b.ctx.Count.CostEvals += b.dm.Len()
+	return b.dm.Expect(func(mem float64) float64 { return cost.SortCost(pages, mem) })
+}
+
+// bushyDP runs the all-splits dynamic program. Because the per-subset size
+// estimates are order-independent, the principle of optimality holds for
+// bushy trees exactly as for left-deep ones, and the DP returns the optimal
+// bushy plan under the coster's objective.
+func bushyDP(ctx *Context, bc bushyCoster) (*Result, error) {
+	n := ctx.Q.NumRels()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty query")
+	}
+	if n == 1 {
+		// Same as the left-deep single-relation case.
+		return finishSingle(ctx, sortOnly{bc})
+	}
+	best := make(map[query.RelSet]dpEntry, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		s := ctx.BestScan(i)
+		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
+	}
+	full := query.FullSet(n)
+	rootBest := dpEntry{cost: math.Inf(1)}
+	var rootFound bool
+
+	for d := 2; d <= n; d++ {
+		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+			entry := dpEntry{cost: math.Inf(1)}
+			lowest := query.NewRelSet(s.Members()[0])
+			for l := (s - 1) & s; l != 0; l = (l - 1) & s {
+				if !l.Contains(lowest) {
+					continue // canonical split; operand orders handled below
+				}
+				r := s &^ l
+				le, lok := best[l]
+				re, rok := best[r]
+				if !lok || !rok {
+					continue
+				}
+				if ctx.Opts.AvoidCrossProducts && len(ctx.predsBetween(l, r)) == 0 && !crossUnavoidable(ctx, s) {
+					continue
+				}
+				base := le.cost + re.cost
+				for _, m := range ctx.Opts.methods() {
+					for _, ord := range [2][2]dpEntry{{le, re}, {re, le}} {
+						stepCost := bc.join(m, ord[0].node.OutPages(), ord[1].node.OutPages())
+						total := base + stepCost
+						if total < entry.cost {
+							entry = dpEntry{
+								node: ctx.newBushyJoin(ord[0].node, ord[1].node, m, s),
+								cost: total,
+							}
+						}
+						if s == full {
+							cand := ctx.newBushyJoin(ord[0].node, ord[1].node, m, s)
+							finished, added := ctx.FinishPlan(cand)
+							ft := total
+							if added {
+								ft += bc.sort(cand.OutPages())
+							}
+							if ft < rootBest.cost {
+								rootBest = dpEntry{node: finished, cost: ft}
+								rootFound = true
+							}
+						}
+					}
+				}
+			}
+			if !math.IsInf(entry.cost, 1) {
+				best[s] = entry
+			}
+		})
+	}
+	if !rootFound {
+		return nil, fmt.Errorf("opt: bushy DP found no plan")
+	}
+	return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.Count}, nil
+}
+
+// crossUnavoidable reports whether every split of s crosses a predicate-free
+// boundary (disconnected join graph inside s), in which case cross products
+// must be allowed.
+func crossUnavoidable(ctx *Context, s query.RelSet) bool {
+	return !ctx.Q.Connected(s)
+}
+
+// sortOnly adapts a bushyCoster to the stepCoster shape needed by
+// finishSingle (only sortStep is ever called there).
+type sortOnly struct{ bc bushyCoster }
+
+func (s sortOnly) joinStep(cost.Method, plan.Node, *plan.Scan, query.RelSet, int, int) float64 {
+	panic("opt: joinStep on single-relation query")
+}
+
+func (s sortOnly) sortStep(input plan.Node, _ int) float64 {
+	return s.bc.sort(input.OutPages())
+}
+
+// BushySystemR returns the least-cost bushy plan at a fixed memory value.
+func BushySystemR(cat *catalog.Catalog, q *query.SPJ, opts Options, mem float64) (*Result, error) {
+	ctx, err := NewContext(cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return bushyDP(ctx, bushyFixed{ctx: ctx, mem: mem})
+}
+
+// BushyAlgorithmC returns the bushy LEC plan under a static memory
+// distribution: Algorithm C with heuristic 2 removed.
+func BushyAlgorithmC(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
+	ctx, err := NewContext(cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return bushyDP(ctx, bushyExp{ctx: ctx, dm: dm})
+}

@@ -1,0 +1,83 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// PlanCache implements the parametric-optimization combination the paper
+// proposes (§3.2, §3.4): "we can precompute the best expected plan under a
+// number of possible distributions (ones that give good coverage of what we
+// expect to encounter at run-time), and store these expected plans, for use
+// at query execution time." Compile-time: one Algorithm C run per seed
+// distribution. Start-up time: pick the stored plan of least expected cost
+// under the *observed* distribution — a handful of expected-cost
+// evaluations instead of a full optimization.
+type PlanCache struct {
+	q       *query.SPJ
+	entries []cacheEntry
+}
+
+type cacheEntry struct {
+	seed *stats.Dist
+	plan plan.Node
+}
+
+// BuildPlanCache optimizes the query once per seed distribution with
+// Algorithm C and stores the (deduplicated) plans.
+func BuildPlanCache(cat *catalog.Catalog, q *query.SPJ, opts Options, seeds []*stats.Dist) (*PlanCache, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("opt: plan cache needs at least one seed distribution")
+	}
+	c := &PlanCache{q: q}
+	have := map[string]bool{}
+	for _, dm := range seeds {
+		res, err := AlgorithmC(cat, q, opts, dm)
+		if err != nil {
+			return nil, fmt.Errorf("opt: plan cache seed %v: %w", dm, err)
+		}
+		if key := res.Plan.Key(); !have[key] {
+			have[key] = true
+			c.entries = append(c.entries, cacheEntry{seed: dm, plan: res.Plan})
+		}
+	}
+	return c, nil
+}
+
+// Len returns the number of distinct cached plans.
+func (c *PlanCache) Len() int { return len(c.entries) }
+
+// Lookup returns the cached plan with the least expected cost under the
+// observed start-up-time distribution, and that expected cost. It never
+// runs the optimizer.
+func (c *PlanCache) Lookup(observed *stats.Dist) (plan.Node, float64) {
+	var best plan.Node
+	bestCost := math.Inf(1)
+	for _, e := range c.entries {
+		ec := plan.ExpCost(e.plan, observed)
+		if ec < bestCost {
+			best, bestCost = e.plan, ec
+		}
+	}
+	return best, bestCost
+}
+
+// Regret returns how much worse the cache's Lookup answer is than a fresh
+// Algorithm C optimization under the observed distribution, as a ratio ≥ 1.
+// It is the cache-coverage diagnostic used by tests and the E4 ablation.
+func (c *PlanCache) Regret(cat *catalog.Catalog, opts Options, observed *stats.Dist) (float64, error) {
+	_, cached := c.Lookup(observed)
+	fresh, err := AlgorithmC(cat, c.q, opts, observed)
+	if err != nil {
+		return 0, err
+	}
+	if fresh.Cost <= 0 {
+		return 1, nil
+	}
+	return cached / fresh.Cost, nil
+}

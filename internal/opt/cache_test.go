@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestPlanCacheExactOnSeeds(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	seeds := []*stats.Dist{
+		stats.Point(2000),
+		stats.Point(700),
+		dm,
+	}
+	cache, err := BuildPlanCache(cat, q, Options{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On any seed distribution the cache must match a fresh optimization.
+	for _, seed := range seeds {
+		fresh, err := AlgorithmC(cat, q, Options{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cached := cache.Lookup(seed)
+		if relDiff(cached, fresh.Cost) > costTol {
+			t.Errorf("seed %v: cache %v, fresh %v", seed, cached, fresh.Cost)
+		}
+	}
+	// The Example 1.1 cache holds exactly the two plans.
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d plans, want 2", cache.Len())
+	}
+}
+
+func TestPlanCacheRegretBounded(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	// Coverage seeds spanning the memory range.
+	var seeds []*stats.Dist
+	for _, m := range []float64{50, 300, 700, 1200, 2500} {
+		seeds = append(seeds, stats.Point(m))
+	}
+	cache, err := BuildPlanCache(cat, q, Options{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed distributions not among the seeds.
+	observed := []*stats.Dist{
+		stats.MustNew([]float64{650, 1500}, []float64{0.5, 0.5}),
+		stats.MustNew([]float64{100, 900, 3000}, []float64{0.3, 0.4, 0.3}),
+		stats.Point(1000),
+	}
+	for _, dm := range observed {
+		regret, err := cache.Regret(cat, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regret < 1-costTol {
+			t.Errorf("regret %v below 1 — cache beat the optimizer?", regret)
+		}
+		if regret > 1.10 {
+			t.Errorf("regret %v too high for covering seeds on dist %v", regret, dm)
+		}
+	}
+}
+
+func TestPlanCacheRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		seeds := []*stats.Dist{
+			stats.Point(30), stats.Point(500), stats.Point(5000),
+			randMemDist3(seed + 600),
+		}
+		cache, err := BuildPlanCache(cat, q, Options{}, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cache.Len() < 1 {
+			t.Fatal("empty cache")
+		}
+		p, ec := cache.Lookup(randMemDist3(seed + 601))
+		if p == nil || ec <= 0 {
+			t.Errorf("Lookup returned %v, %v", p, ec)
+		}
+	}
+}
+
+func TestPlanCacheValidation(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	if _, err := BuildPlanCache(cat, q, Options{}, nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+	bad := *q
+	bad.Tables = []string{"ghost"}
+	if _, err := BuildPlanCache(cat, &bad, Options{}, []*stats.Dist{stats.Point(1)}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}

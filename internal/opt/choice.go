@@ -1,0 +1,63 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// ChoicePlan implements the [GC94] strategy of paper §2.3: "a hybrid
+// strategy that performs some of the search activity at compile-time. Any
+// decisions that are affected by the value of the parameter are deferred to
+// start-up time through the use of 'choice nodes' in the query evaluation
+// plan." Here the whole memory axis is compiled into one artifact whose
+// single top-level choice node selects among the level-set-optimal
+// alternatives when the actual memory is observed at start-up.
+type ChoicePlan struct {
+	intervals []ParamInterval
+}
+
+// BuildChoicePlan compiles the query into a choice plan. The alternatives
+// are exactly the parametric table's distinct plans.
+func BuildChoicePlan(cat *catalog.Catalog, q *query.SPJ, opts Options) (*ChoicePlan, error) {
+	table, err := ParametricPlans(cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ChoicePlan{intervals: table}, nil
+}
+
+// NumAlternatives returns the number of distinct plans behind the choice
+// node — the compile-time artifact's size, which the paper notes stays
+// small ("the size of the query plan created does not increase" is LEC's
+// advantage; a choice plan grows with the number of level sets).
+func (c *ChoicePlan) NumAlternatives() int { return len(c.intervals) }
+
+// Resolve returns the alternative for the observed start-up memory.
+func (c *ChoicePlan) Resolve(mem float64) (plan.Node, error) {
+	return LookupParam(c.intervals, mem)
+}
+
+// ExpCost returns the strategy's expected execution cost under a start-up
+// memory distribution (resolution is free; each alternative runs at the
+// memory that selected it).
+func (c *ChoicePlan) ExpCost(dm *stats.Dist) (float64, error) {
+	return ExpCostParametric(c.intervals, dm)
+}
+
+// Explain renders the choice node and its alternatives.
+func (c *ChoicePlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "choose on startup memory (%d alternatives)\n", len(c.intervals))
+	for _, iv := range c.intervals {
+		fmt.Fprintf(&b, "— [%g, %g) pages:\n", iv.Lo, iv.Hi)
+		for _, line := range strings.Split(strings.TrimRight(plan.Explain(iv.Plan), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}

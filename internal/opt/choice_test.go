@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func TestChoicePlanExample11(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	cp, err := BuildChoicePlan(cat, q, Options{Methods: []cost.Method{cost.SortMerge, cost.GraceHash, cost.NestedLoop}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.NumAlternatives() < 2 {
+		t.Fatalf("only %d alternatives", cp.NumAlternatives())
+	}
+	// Resolution follows the regimes.
+	p700, err := cp.Resolve(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := rootJoin(t, p700); j.Method != cost.GraceHash {
+		t.Errorf("at 700: %v", j.Method)
+	}
+	p2000, err := cp.Resolve(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := rootJoin(t, p2000); j.Method != cost.SortMerge {
+		t.Errorf("at 2000: %v", j.Method)
+	}
+	// Strategy cost matches the parametric bound and beats LEC.
+	ec, err := cp.ExpCost(dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := AlgorithmC(cat, q, Options{Methods: []cost.Method{cost.SortMerge, cost.GraceHash, cost.NestedLoop}}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec > lec.Cost*(1+costTol) {
+		t.Errorf("choice plan %v worse than LEC %v", ec, lec.Cost)
+	}
+	// Explain mentions the choice node and both alternatives.
+	out := cp.Explain()
+	for _, want := range []string{"choose on startup memory", "grace-hash", "sort-merge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChoicePlanResolveConsistentWithSystemR(t *testing.T) {
+	opts := Options{Methods: []cost.Method{cost.SortMerge, cost.GraceHash, cost.NestedLoop}}
+	cat, q := randInstance(t, 5, 4, workload.Chain, true)
+	cp, err := BuildChoicePlan(cat, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mem := range []float64{5, 60, 450, 2200, 9000} {
+		p, err := cp.Resolve(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := SystemR(cat, q, opts, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(plan.Cost(p, mem), fresh.Cost) > costTol {
+			t.Errorf("mem %v: choice %v, fresh %v", mem, plan.Cost(p, mem), fresh.Cost)
+		}
+	}
+}

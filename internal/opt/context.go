@@ -1,0 +1,334 @@
+// Package opt implements the query optimizers of the paper:
+//
+//   - SystemR — the classical bottom-up dynamic program that returns the
+//     least-specific-cost (LSC) left-deep plan for one fixed parameter
+//     setting (paper §2.2, Theorem 2.1);
+//   - AlgorithmA — LEC approximation using the standard optimizer as a
+//     black box, one invocation per parameter bucket (§3.2);
+//   - AlgorithmB — top-c plan generation per bucket with the c + c·ln c
+//     combination bound of Proposition 3.1 (§3.3);
+//   - AlgorithmC — the expected-cost dynamic program that returns the exact
+//     LEC left-deep plan (§3.4, Theorem 3.3), in both static and
+//     dynamic-parameter (§3.5, Theorem 3.4) forms;
+//   - AlgorithmD — the multi-parameter generalization carrying size and
+//     selectivity distributions up the DAG (§3.6);
+//   - Exhaustive — brute-force enumeration used as ground truth in tests;
+//   - expected-utility variants (linear/exponential) and risk metrics from
+//     the 2002 follow-up analysis.
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Options configures the optimizers.
+type Options struct {
+	// Methods is the set of join algorithms to consider; nil means all.
+	Methods []cost.Method
+	// DisableIndexScans restricts access paths to sequential scans.
+	DisableIndexScans bool
+	// AvoidCrossProducts skips join steps with no connecting predicate
+	// whenever the subset has some connected extension — the standard
+	// System R heuristic. Disabled by default so that the dynamic programs
+	// and the exhaustive enumerators explore identical plan spaces.
+	AvoidCrossProducts bool
+	// RebucketBudget caps the support size of propagated size
+	// distributions in Algorithm D (paper §3.6.3). 0 means DefaultBudget.
+	RebucketBudget int
+	// TopC is the number of plans Algorithm B keeps per node; 0 means
+	// DefaultTopC.
+	TopC int
+	// NaiveOrderHandling disables the order-aware root step: the DP keeps
+	// only the cheapest plan for the full relation set and bolts the ORDER
+	// BY sort on top, instead of weighing every root candidate with the
+	// sort included. This is the ablation of System R's "interesting
+	// orders" idea — Example 1.1's Plan 1 is only found because the
+	// order-aware root credits sort-merge with the free order.
+	NaiveOrderHandling bool
+}
+
+// DefaultBudget is the default Algorithm D rebucketing budget.
+const DefaultBudget = 27
+
+// DefaultTopC is Algorithm B's default plan-list length.
+const DefaultTopC = 3
+
+func (o Options) methods() []cost.Method {
+	if len(o.Methods) == 0 {
+		return cost.Methods()
+	}
+	return o.Methods
+}
+
+func (o Options) budget() int {
+	if o.RebucketBudget <= 0 {
+		return DefaultBudget
+	}
+	return o.RebucketBudget
+}
+
+func (o Options) topC() int {
+	if o.TopC <= 0 {
+		return DefaultTopC
+	}
+	return o.TopC
+}
+
+// Counters instruments the optimizers for the complexity experiments
+// (E3: merge combinations, E4: cost-formula evaluations).
+type Counters struct {
+	// CostEvals counts cost-formula evaluations.
+	CostEvals int
+	// PlansBuilt counts plan nodes constructed.
+	PlansBuilt int
+	// MergeCombos counts plan-pair combinations examined by Algorithm B's
+	// top-c merges in total.
+	MergeCombos int
+	// MaxMergeCombos is the largest number of combinations examined by any
+	// single top-c merge (bounded by c + c·ln c per Proposition 3.1).
+	MaxMergeCombos int
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.CostEvals += other.CostEvals
+	c.PlansBuilt += other.PlansBuilt
+	c.MergeCombos += other.MergeCombos
+	if other.MaxMergeCombos > c.MaxMergeCombos {
+		c.MaxMergeCombos = other.MaxMergeCombos
+	}
+}
+
+// Context carries everything the optimizers share: the catalog, the query,
+// derived per-relation statistics, and memoized per-subset size estimates.
+// Size estimates depend only on the subset, not on the join order — the
+// observation (paper §2.2, point 3) that makes dynamic programming valid.
+type Context struct {
+	Cat  *catalog.Catalog
+	Q    *query.SPJ
+	Opts Options
+
+	// per-relation statistics after pushing down local selections
+	baseRows  []float64 // filtered row count
+	basePages []float64 // filtered page count
+	ppr       []float64 // pages per row of one relation's tuples
+	scans     [][]*plan.Scan
+
+	// memoized subset statistics
+	subsetRows  map[query.RelSet]float64
+	subsetPages map[query.RelSet]float64
+
+	// memoized subset row-count distributions (Algorithm D)
+	subsetRowDist map[query.RelSet]*stats.Dist
+
+	Count Counters
+}
+
+// NewContext validates the query against the catalog and precomputes
+// per-relation statistics and access paths.
+func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, error) {
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	n := q.NumRels()
+	ctx := &Context{
+		Cat: cat, Q: q, Opts: opts,
+		baseRows:      make([]float64, n),
+		basePages:     make([]float64, n),
+		ppr:           make([]float64, n),
+		scans:         make([][]*plan.Scan, n),
+		subsetRows:    make(map[query.RelSet]float64),
+		subsetPages:   make(map[query.RelSet]float64),
+		subsetRowDist: make(map[query.RelSet]*stats.Dist),
+	}
+	for i, name := range q.Tables {
+		tab, err := cat.Table(q.BaseTable(name))
+		if err != nil {
+			return nil, err
+		}
+		sel := q.LocalSelectivity(name)
+		rows := float64(tab.Rows) * sel
+		pages := tab.Pages * sel
+		if pages < 1 && tab.Pages >= 1 {
+			pages = 1
+		}
+		ctx.baseRows[i] = rows
+		ctx.basePages[i] = pages
+		if rows > 0 {
+			ctx.ppr[i] = pages / rows
+		} else {
+			ctx.ppr[i] = 1
+		}
+		ctx.scans[i] = ctx.buildScans(i, tab)
+		if len(ctx.scans[i]) == 0 {
+			return nil, fmt.Errorf("opt: no access path for table %q", name)
+		}
+	}
+	return ctx, nil
+}
+
+// buildScans enumerates the access paths for relation i: a sequential scan,
+// plus an index scan per index whose key column appears in a local
+// selection (sargable access) or matches the query's ORDER BY (order-
+// producing access).
+func (ctx *Context) buildScans(i int, tab *catalog.Table) []*plan.Scan {
+	name := ctx.Q.Tables[i]
+	filters := ctx.Q.SelectionsOn(name)
+	localSel := ctx.Q.LocalSelectivity(name)
+	out := []*plan.Scan{{
+		Table: name, Base: ctx.Q.BaseTable(name), RelIdx: i, Method: plan.SeqScan,
+		Filters:   filters,
+		BasePages: tab.Pages, BaseRows: float64(tab.Rows),
+		Selectivity: localSel,
+		Pages:       ctx.basePages[i], Rows: ctx.baseRows[i],
+	}}
+	if ctx.Opts.DisableIndexScans {
+		return out
+	}
+	for _, idx := range tab.Indexes {
+		// Index is useful if its column has a filter, or if it can deliver
+		// the ORDER BY order (clustered only — a non-clustered full traversal
+		// is never attractive under this cost model).
+		var idxSel float64 = -1
+		for _, f := range filters {
+			if f.Col.Column == idx.Column {
+				idxSel = f.Selectivity
+				break
+			}
+		}
+		orderCol := query.ColumnRef{Table: name, Column: idx.Column}
+		producesOrder := idx.Clustered
+		wantOrder := ctx.Q.OrderBy != nil && *ctx.Q.OrderBy == orderCol
+		if idxSel < 0 {
+			if !(wantOrder && producesOrder) {
+				continue
+			}
+			idxSel = 1
+		}
+		s := &plan.Scan{
+			Table: name, Base: ctx.Q.BaseTable(name), RelIdx: i, Method: plan.IndexScan,
+			Index: idx.Name, IndexClustered: idx.Clustered, IndexHeight: idx.Height,
+			Filters:   filters,
+			BasePages: tab.Pages, BaseRows: float64(tab.Rows),
+			Selectivity: idxSel,
+			Pages:       ctx.basePages[i], Rows: ctx.baseRows[i],
+		}
+		if producesOrder {
+			s.SortedOn = []query.ColumnRef{orderCol}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Scans returns the access-path candidates for relation i.
+func (ctx *Context) Scans(i int) []*plan.Scan { return ctx.scans[i] }
+
+// BestScan returns the access path for relation i with the least cost.
+// Scan costs do not depend on memory, so the LSC and LEC access paths
+// coincide.
+func (ctx *Context) BestScan(i int) *plan.Scan {
+	best := ctx.scans[i][0]
+	bc := best.AccessCost()
+	for _, s := range ctx.scans[i][1:] {
+		if c := s.AccessCost(); c < bc {
+			best, bc = s, c
+		}
+	}
+	return best
+}
+
+// SubsetRows returns the estimated row count of ⋈_{i∈S} A_i: the product of
+// the filtered base cardinalities and the selectivities of every join
+// predicate internal to S. It is independent of join order.
+func (ctx *Context) SubsetRows(s query.RelSet) float64 {
+	if r, ok := ctx.subsetRows[s]; ok {
+		return r
+	}
+	rows := 1.0
+	s.ForEach(func(i int) { rows *= ctx.baseRows[i] })
+	for _, p := range ctx.Q.Joins {
+		li, ri := ctx.Q.TableIndex(p.Left.Table), ctx.Q.TableIndex(p.Right.Table)
+		if s.Has(li) && s.Has(ri) {
+			rows *= p.Selectivity
+		}
+	}
+	ctx.subsetRows[s] = rows
+	return rows
+}
+
+// SubsetPPR returns the pages-per-row of the subset's result tuples: the
+// concatenation of one tuple from each input.
+func (ctx *Context) SubsetPPR(s query.RelSet) float64 {
+	t := 0.0
+	s.ForEach(func(i int) { t += ctx.ppr[i] })
+	return t
+}
+
+// SubsetPages returns the estimated result size in pages.
+func (ctx *Context) SubsetPages(s query.RelSet) float64 {
+	if p, ok := ctx.subsetPages[s]; ok {
+		return p
+	}
+	pages := ctx.SubsetRows(s) * ctx.SubsetPPR(s)
+	if s.Len() == 1 {
+		pages = ctx.basePages[s.Single()]
+	}
+	if pages < 0 {
+		pages = 0
+	}
+	ctx.subsetPages[s] = pages
+	return pages
+}
+
+// NewJoin builds a join node combining the plan for S\{j} with an access
+// path for relation j, with output estimates for subset S.
+func (ctx *Context) NewJoin(left plan.Node, right *plan.Scan, m cost.Method, s query.RelSet, j int) *plan.Join {
+	ctx.Count.PlansBuilt++
+	preds := ctx.Q.JoinsBetween(s.Without(j), j)
+	return &plan.Join{
+		Left: left, Right: right, Method: m,
+		Preds:       preds,
+		Selectivity: ctx.Q.StepSelectivity(s.Without(j), j),
+		Pages:       ctx.SubsetPages(s),
+		Rows:        ctx.SubsetRows(s),
+	}
+}
+
+// extensionAllowed applies the cross-product policy: when
+// AvoidCrossProducts is set, relation j may extend subset s only if a join
+// predicate connects them — unless no relation outside s is connected, in
+// which case cross products are unavoidable and all extensions are allowed.
+func (ctx *Context) extensionAllowed(s query.RelSet, j int) bool {
+	if !ctx.Opts.AvoidCrossProducts || s.Empty() {
+		return true
+	}
+	if len(ctx.Q.JoinsBetween(s, j)) > 0 {
+		return true
+	}
+	// Is any outside relation connected to s?
+	n := ctx.Q.NumRels()
+	for k := 0; k < n; k++ {
+		if !s.Has(k) && len(ctx.Q.JoinsBetween(s, k)) > 0 {
+			return false // a connected extension exists; skip this cross product
+		}
+	}
+	return true
+}
+
+// FinishPlan enforces the query's ORDER BY: if the plan's output order does
+// not already cover the requested column, a Sort is added. The returned
+// bool reports whether a sort was added.
+func (ctx *Context) FinishPlan(n plan.Node) (plan.Node, bool) {
+	if ctx.Q.OrderBy == nil || plan.SatisfiesOrder(n, *ctx.Q.OrderBy) {
+		return n, false
+	}
+	ctx.Count.PlansBuilt++
+	return &plan.Sort{Input: n, Key_: *ctx.Q.OrderBy}, true
+}

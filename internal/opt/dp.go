@@ -1,0 +1,158 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Result is an optimizer's output: the chosen plan and the value of the
+// objective it minimized (specific cost for the LSC optimizers, expected
+// cost for the LEC ones), together with instrumentation counters.
+type Result struct {
+	Plan plan.Node
+	// Cost is the objective value of Plan (Φ at the fixed parameter values
+	// for SystemR; E[Φ] for the LEC optimizers).
+	Cost float64
+	// Count holds instrumentation totals for the run.
+	Count Counters
+}
+
+// stepCoster abstracts how one plan-construction step is costed. The System
+// R dynamic program is *generic* in this interface: plugging in a
+// fixed-parameter coster yields the classical LSC optimizer (Theorem 2.1),
+// plugging in an expected-cost coster yields Algorithm C (Theorem 3.3), and
+// a phase-indexed expected-cost coster yields the dynamic-parameter variant
+// (Theorem 3.4). This works because every one of these objectives
+// distributes over the sum of per-step costs.
+type stepCoster interface {
+	// joinStep returns the cost contribution of joining left with the scan
+	// of relation j using method m, forming subset s, executed as phase
+	// `phase` (0-based; phase k is the k-th join of a left-deep plan).
+	// Implementations may use only the inputs' size estimates (classical
+	// costers) or their full size distributions (Algorithm D).
+	joinStep(m cost.Method, left plan.Node, right *plan.Scan, s query.RelSet, j, phase int) float64
+	// sortStep returns the cost of the final ORDER BY sort over input's
+	// output, executed after join phase `phase`.
+	sortStep(input plan.Node, phase int) float64
+}
+
+// dpEntry is the best plan found for one lattice node.
+type dpEntry struct {
+	node plan.Node
+	cost float64
+}
+
+// runDP executes the bottom-up dynamic program over the subset lattice
+// (paper §2.2) using the supplied step coster, returning the best finished
+// left-deep plan (with the ORDER BY sort applied if required).
+func runDP(ctx *Context, sc stepCoster) (*Result, error) {
+	n := ctx.Q.NumRels()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty query")
+	}
+	if n == 1 {
+		return finishSingle(ctx, sc)
+	}
+
+	best := make(map[query.RelSet]dpEntry, 1<<uint(n))
+	// Depth 1: LEC/LSC access paths coincide because scan cost is
+	// memory-independent.
+	for i := 0; i < n; i++ {
+		s := ctx.BestScan(i)
+		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
+	}
+
+	full := query.FullSet(n)
+	var rootBest dpEntry
+	rootBest.cost = math.Inf(1)
+	var rootFound bool
+
+	for d := 2; d <= n; d++ {
+		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+			entry := dpEntry{cost: math.Inf(1)}
+			s.ForEach(func(j int) {
+				sj := s.Without(j)
+				left, ok := best[sj]
+				if !ok {
+					return
+				}
+				if !ctx.extensionAllowed(sj, j) {
+					return
+				}
+				scan := ctx.BestScan(j)
+				base := left.cost + scan.AccessCost()
+				for _, m := range ctx.Opts.methods() {
+					stepCost := sc.joinStep(m, left.node, scan, s, j, d-2)
+					total := base + stepCost
+					if total < entry.cost {
+						entry = dpEntry{
+							node: ctx.NewJoin(left.node, scan, m, s, j),
+							cost: total,
+						}
+					}
+					// At the root, order matters: a slightly costlier join
+					// whose sort-merge output satisfies ORDER BY can beat the
+					// cheapest join once the final sort is charged. Evaluate
+					// every root candidate with the sort included (unless the
+					// ablation flag reverts to naive handling).
+					if s == full && !ctx.Opts.NaiveOrderHandling {
+						cand := ctx.NewJoin(left.node, scan, m, s, j)
+						finished, added := ctx.FinishPlan(cand)
+						ft := total
+						if added {
+							ft += sc.sortStep(cand, d-2)
+						}
+						if ft < rootBest.cost {
+							rootBest = dpEntry{node: finished, cost: ft}
+							rootFound = true
+						}
+					}
+				}
+			})
+			if !math.IsInf(entry.cost, 1) {
+				best[s] = entry
+			}
+		})
+	}
+	if ctx.Opts.NaiveOrderHandling {
+		entry, ok := best[full]
+		if !ok {
+			return nil, fmt.Errorf("opt: no plan found (disconnected lattice?)")
+		}
+		finished, added := ctx.FinishPlan(entry.node)
+		total := entry.cost
+		if added {
+			total += sc.sortStep(entry.node, n-2)
+		}
+		return &Result{Plan: finished, Cost: total, Count: ctx.Count}, nil
+	}
+	if !rootFound {
+		return nil, fmt.Errorf("opt: no plan found (disconnected lattice?)")
+	}
+	return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.Count}, nil
+}
+
+// finishSingle handles single-relation queries: every access path competes,
+// with the ORDER BY sort charged when the path does not deliver the order.
+func finishSingle(ctx *Context, sc stepCoster) (*Result, error) {
+	bestCost := math.Inf(1)
+	var bestNode plan.Node
+	for _, s := range ctx.Scans(0) {
+		finished, added := ctx.FinishPlan(s)
+		total := s.AccessCost()
+		if added {
+			total += sc.sortStep(s, 0)
+		}
+		if total < bestCost {
+			bestCost, bestNode = total, finished
+		}
+	}
+	if bestNode == nil {
+		return nil, fmt.Errorf("opt: no access path")
+	}
+	return &Result{Plan: bestNode, Cost: bestCost, Count: ctx.Count}, nil
+}

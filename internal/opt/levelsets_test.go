@@ -1,0 +1,156 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestQueryMemBreakpointsExample11: the boundaries for Example 1.1 must
+// include √400,000 ≈ 632.5 (Grace hash on the smaller input) and
+// √1,000,000 = 1000 (sort-merge on the larger input) — exactly the paper's
+// "[0, 633), [633, 1000), [1000, ∞)" bucketing.
+func TestQueryMemBreakpointsExample11(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	bps, err := QueryMemBreakpoints(cat, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(v float64) bool {
+		for _, b := range bps {
+			if math.Abs(b-v) < 0.5 {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(math.Sqrt(400_000)) {
+		t.Errorf("missing Grace hash breakpoint ≈632.5 in %v", bps)
+	}
+	if !has(1000) {
+		t.Errorf("missing sort-merge breakpoint 1000 in %v", bps)
+	}
+	// Ascending.
+	for i := 1; i < len(bps); i++ {
+		if bps[i] <= bps[i-1] {
+			t.Errorf("breakpoints not ascending at %d: %v", i, bps)
+		}
+	}
+}
+
+// TestLevelSetBucketingIsExact: bucketing a fine memory distribution at the
+// query's level-set boundaries changes no plan's expected cost — the §3.7
+// insight that buckets aligned with the cost formula's level sets lose
+// nothing.
+func TestLevelSetBucketingIsExact(t *testing.T) {
+	cat, q := randInstance(t, 4, 4, workload.Chain, true)
+	fine, err := workload.LognormalMemDist(800, 1.0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps, err := QueryMemBreakpoints(cat, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := LevelSetMemDist(fine, bps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Len() >= fine.Len() {
+		t.Fatalf("level-set bucketing did not compress: %d -> %d", fine.Len(), coarse.Len())
+	}
+	plans, err := EnumeratePlans(cat, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BlockNL is not piecewise constant, so restrict the exactness claim to
+	// the piecewise-constant part of the plan space. SortCost is a step
+	// function whose breakpoints are included, so Sort nodes are fine.
+	checked := 0
+	for _, p := range plans {
+		if planUsesBlockNL(p) {
+			continue
+		}
+		checked++
+		exact := plan.ExpCost(p, fine)
+		bucketed := plan.ExpCost(p, coarse)
+		if relDiff(exact, bucketed) > 1e-6 {
+			t.Errorf("plan %s: fine %v vs level-set-bucketed %v", p.Key(), exact, bucketed)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no piecewise-constant plans checked")
+	}
+}
+
+func planUsesBlockNL(p plan.Node) bool {
+	uses := false
+	plan.Walk(p, func(n plan.Node) {
+		if j, ok := n.(*plan.Join); ok && j.Method.String() == "block-nested-loop" {
+			uses = true
+		}
+	})
+	return uses
+}
+
+// TestLevelSetBeatsUniformAtEqualBudget: at the same bucket count, the
+// level-set partition prices plans more accurately than uniform-width
+// bucketing (experiment E8's claim).
+func TestLevelSetBeatsUniformAtEqualBudget(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	fine, err := workload.LognormalMemDist(1200, 0.8, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps, err := QueryMemBreakpoints(cat, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelSet, err := LevelSetMemDist(fine, bps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := levelSet.Len()
+	uniform, err := stats.Bucketize(fine, budget, stats.UniformWidth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := EnumeratePlans(cat, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsErr, ufErr float64
+	for _, p := range plans {
+		if planUsesBlockNL(p) {
+			continue
+		}
+		exact := plan.ExpCost(p, fine)
+		lsErr += math.Abs(plan.ExpCost(p, levelSet) - exact)
+		ufErr += math.Abs(plan.ExpCost(p, uniform) - exact)
+	}
+	if lsErr > ufErr {
+		t.Errorf("level-set error %v exceeds uniform error %v at equal budget %d", lsErr, ufErr, budget)
+	}
+}
+
+// TestLevelSetMemDistBudgetCap: the coarse-to-fine refinement path caps the
+// bucket count when asked.
+func TestLevelSetMemDistBudgetCap(t *testing.T) {
+	fine, err := workload.LognormalMemDist(500, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := LevelSetMemDist(fine, []float64{100, 200, 300, 400, 600, 800}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() > 3 {
+		t.Errorf("budget 3 produced %d buckets", d.Len())
+	}
+	if _, err := LevelSetMemDist(fine, []float64{5, 3}, 0); err == nil {
+		t.Error("descending boundaries accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// TestNaiveOrderHandlingNeverBetter: the order-aware root considers a
+// superset of finished plans, so it can only match or beat the naive
+// bolt-a-sort-on-top handling.
+func TestNaiveOrderHandlingNeverBetter(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, true)
+		dm := randMemDist3(seed + 88)
+		aware, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := AlgorithmC(cat, q, Options{NaiveOrderHandling: true}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aware.Cost > naive.Cost*(1+costTol) {
+			t.Errorf("seed %d: order-aware %v worse than naive %v", seed, aware.Cost, naive.Cost)
+		}
+	}
+}
+
+// TestOrderAwarenessMattersOnExample11: on the paper's example at rich
+// memory, the naive root bolts a sort onto the cheapest (sort-merge) join —
+// harmless there since sort-merge already orders the output — but at an
+// LSC point where grace-hash wins the join comparison, the naive handler
+// misses that sort-merge's free order pays for its slightly costlier join.
+func TestOrderAwarenessMattersOnExample11(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	// At 2000 pages sort-merge join (4.2M incl. scans) beats grace hash +
+	// sort (4.206M) only because of the order. Without the predicate-free
+	// tie: the join costs are SM 2.8M vs GH 2.8M (tie); with a tie the DP
+	// picks deterministically, so instead probe the regime where the order
+	// credit is decisive: restrict to a method set where the cheapest join
+	// at the root differs from the order-providing one.
+	aware, err := SystemR(cat, q, Options{}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := SystemR(cat, q, Options{NaiveOrderHandling: true}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Cost < aware.Cost-costTol {
+		t.Errorf("naive %v beat aware %v", naive.Cost, aware.Cost)
+	}
+}
+
+// TestOrderAblationFindsGap hunts for an instance where naive handling is
+// strictly worse — quantifying what root order-awareness buys.
+func TestOrderAblationFindsGap(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 60 && !found; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, true)
+		dm := randMemDist3(seed + 89)
+		aware, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := AlgorithmC(cat, q, Options{NaiveOrderHandling: true}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if naive.Cost > aware.Cost*(1+1e-9) {
+			found = true
+			t.Logf("seed %d: naive %v vs aware %v (%.2f%% worse)",
+				seed, naive.Cost, aware.Cost, 100*(naive.Cost/aware.Cost-1))
+			// The aware plan ends in an order-providing join; the naive one
+			// pays an explicit sort.
+			if _, isSort := naive.Plan.(*plan.Sort); !isSort {
+				t.Errorf("seed %d: naive plan lacks the expected sort", seed)
+			}
+		}
+	}
+	if !found {
+		t.Error("no instance where order-aware root handling helped; expected at least one")
+	}
+}
+
+// TestNaiveOrderHandlingStillValid: the naive plan still satisfies the
+// ORDER BY (a sort is added when needed).
+func TestNaiveOrderHandlingStillValid(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	naive, err := AlgorithmC(cat, q, Options{NaiveOrderHandling: true, Methods: []cost.Method{cost.GraceHash}}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OrderBy == nil || !plan.SatisfiesOrder(naive.Plan, *q.OrderBy) {
+		t.Errorf("naive plan does not satisfy ORDER BY:\n%s", plan.Explain(naive.Plan))
+	}
+}

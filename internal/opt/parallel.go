@@ -1,0 +1,57 @@
+package opt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// AlgorithmAParallel is Algorithm A with its b black-box optimizer
+// invocations run concurrently — they are independent by construction
+// ("for each value m_i of the memory parameter, we run the optimizer"), so
+// the b× compile-time cost of LEC approximation parallelizes perfectly.
+// The result is identical to AlgorithmA up to cost ties.
+func AlgorithmAParallel(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
+	// Validate once up front so workers cannot race on a bad query.
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	type slot struct {
+		res *Result
+		err error
+	}
+	slots := make([]slot, dm.Len())
+	var wg sync.WaitGroup
+	for i := 0; i < dm.Len(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := SystemR(cat, q, opts, dm.Value(i))
+			slots[i] = slot{res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var counters Counters
+	seen := map[string]bool{}
+	var cands []plan.Node
+	for i, s := range slots {
+		if s.err != nil {
+			return nil, fmt.Errorf("opt: parallel A at m=%v: %w", dm.Value(i), s.err)
+		}
+		counters.Add(s.res.Count)
+		if key := s.res.Plan.Key(); !seen[key] {
+			seen[key] = true
+			cands = append(cands, s.res.Plan)
+		}
+	}
+	best, bestCost := pickLeastExpected(cands, dm)
+	if best == nil {
+		return nil, fmt.Errorf("opt: parallel A produced no candidates")
+	}
+	return &Result{Plan: best, Cost: bestCost, Count: counters}, nil
+}

@@ -1,0 +1,107 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// This file implements the start-up-time strategy the paper contrasts
+// itself with (§2.3, second bullet; [INSS92]): "find the best execution
+// plan for every possible run-time value of the parameter. This requires
+// much additional work at compile-time, but very little work at query
+// execution time (a simple table lookup)."
+//
+// Because every candidate plan's cost is piecewise constant in memory with
+// breakpoints known in closed form (QueryMemBreakpoints), the full
+// parametric plan table is finite: one System R run per level-set interval
+// covers the entire memory axis exactly.
+
+// ParamInterval is one row of a parametric plan table: Plan is optimal for
+// every memory value in [Lo, Hi).
+type ParamInterval struct {
+	Lo, Hi float64
+	Plan   plan.Node
+	// Cost is Φ(Plan, m) for m in the interval (constant when the plan
+	// space is piecewise constant; evaluated at the representative).
+	Cost float64
+}
+
+// ParametricPlans computes the optimal plan for every memory level set.
+// The table covers (0, ∞): the last interval's Hi is +Inf. Adjacent
+// intervals with identical plans are merged.
+func ParametricPlans(cat *catalog.Catalog, q *query.SPJ, opts Options) ([]ParamInterval, error) {
+	bps, err := QueryMemBreakpoints(cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	edges := append([]float64{1}, bps...)
+	sort.Float64s(edges)
+	var out []ParamInterval
+	for i := 0; i < len(edges); i++ {
+		lo := edges[i]
+		hi := math.Inf(1)
+		if i+1 < len(edges) {
+			hi = edges[i+1]
+		}
+		if hi <= lo {
+			continue
+		}
+		// Representative strictly inside the interval. Cost formulas use
+		// strict thresholds (cost changes just above each breakpoint), so
+		// the midpoint — or lo+1 for the unbounded tail — is safe.
+		rep := lo + 1
+		if !math.IsInf(hi, 1) {
+			rep = (lo + hi) / 2
+		}
+		res, err := SystemR(cat, q, opts, rep)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(out); n > 0 && out[n-1].Plan.Key() == res.Plan.Key() {
+			out[n-1].Hi = hi
+			continue
+		}
+		out = append(out, ParamInterval{Lo: lo, Hi: hi, Plan: res.Plan, Cost: res.Cost})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("opt: empty parametric table")
+	}
+	// Extend the first interval down to 0: below one page the cost model
+	// clamps to one page anyway.
+	out[0].Lo = 0
+	return out, nil
+}
+
+// LookupParam returns the plan for a given start-up-time memory value —
+// the paper's "simple table lookup".
+func LookupParam(table []ParamInterval, mem float64) (plan.Node, error) {
+	i := sort.Search(len(table), func(i int) bool { return table[i].Hi > mem })
+	if i >= len(table) {
+		return nil, fmt.Errorf("opt: memory %v beyond parametric table", mem)
+	}
+	return table[i].Plan, nil
+}
+
+// ExpCostParametric returns the expected execution cost of the [INSS92]
+// strategy under a memory distribution: at start-up the true memory value
+// is observed and the table's plan for it is run. This is the oracle-ish
+// lower bound among static-plan strategies — LEC can only match it when a
+// single plan is optimal everywhere, but LEC does not need to know the
+// value at start-up.
+func ExpCostParametric(table []ParamInterval, dm *stats.Dist) (float64, error) {
+	total := 0.0
+	for i := 0; i < dm.Len(); i++ {
+		p, err := LookupParam(table, dm.Value(i))
+		if err != nil {
+			return 0, err
+		}
+		total += dm.Prob(i) * plan.Cost(p, dm.Value(i))
+	}
+	return total, nil
+}

@@ -1,0 +1,139 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// pcMethods restricts the plan space to methods whose cost is piecewise
+// constant in memory, where the parametric table is provably exact.
+var pcMethods = []cost.Method{cost.SortMerge, cost.GraceHash, cost.NestedLoop}
+
+func TestParametricTableStructure(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	table, err := ParametricPlans(cat, q, Options{Methods: pcMethods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) < 2 {
+		t.Fatalf("table has %d intervals; Example 1.1 has at least two regimes", len(table))
+	}
+	if table[0].Lo != 0 {
+		t.Errorf("first interval starts at %v", table[0].Lo)
+	}
+	if !math.IsInf(table[len(table)-1].Hi, 1) {
+		t.Errorf("last interval ends at %v", table[len(table)-1].Hi)
+	}
+	for i := 1; i < len(table); i++ {
+		if table[i].Lo != table[i-1].Hi {
+			t.Errorf("gap between intervals %d and %d", i-1, i)
+		}
+		if table[i].Plan.Key() == table[i-1].Plan.Key() {
+			t.Errorf("adjacent intervals %d, %d share a plan (not merged)", i-1, i)
+		}
+	}
+}
+
+// TestParametricLookupMatchesFreshOptimization: for any memory value the
+// table lookup returns a plan exactly as cheap as running System R at that
+// value — the [INSS92] equivalence.
+func TestParametricLookupMatchesFreshOptimization(t *testing.T) {
+	opts := Options{Methods: pcMethods}
+	for seed := int64(0); seed < 6; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		table, err := ParametricPlans(cat, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + 50))
+		for trial := 0; trial < 40; trial++ {
+			mem := math.Exp(rng.Float64()*9) + 1 // 2 .. ~8100 pages
+			p, err := LookupParam(table, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := SystemR(cat, q, opts, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relDiff(plan.Cost(p, mem), fresh.Cost) > costTol {
+				t.Errorf("seed %d mem %.1f: lookup cost %v, fresh %v",
+					seed, mem, plan.Cost(p, mem), fresh.Cost)
+			}
+		}
+	}
+}
+
+// TestParametricExample11Regimes: the table switches from a Grace-hash plan
+// to the sort-merge plan at 1000 pages (the √L threshold).
+func TestParametricExample11Regimes(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	table, err := ParametricPlans(cat, q, Options{Methods: pcMethods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LookupParam(table, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := rootJoin(t, p); j.Method != cost.GraceHash {
+		t.Errorf("at 700 pages: %v, want grace-hash", j.Method)
+	}
+	p, err = LookupParam(table, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := rootJoin(t, p); j.Method != cost.SortMerge {
+		t.Errorf("at 2000 pages: %v, want sort-merge", j.Method)
+	}
+}
+
+// TestStrategyOrdering: with the true value revealed at start-up, the
+// parametric strategy is at least as good as LEC, which is at least as good
+// as LSC — and on Example 1.1 all three are distinct.
+func TestStrategyOrdering(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	opts := Options{Methods: pcMethods}
+	table, err := ParametricPlans(cat, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	param, err := ExpCostParametric(table, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := AlgorithmC(cat, q, opts, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsc, err := LSCPlan(cat, q, opts, dm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if param > lec.Cost*(1+costTol) {
+		t.Errorf("parametric %v worse than LEC %v", param, lec.Cost)
+	}
+	if lec.Cost > lsc.Cost*(1+costTol) {
+		t.Errorf("LEC %v worse than LSC %v", lec.Cost, lsc.Cost)
+	}
+	if !(param < lec.Cost && lec.Cost < lsc.Cost) {
+		t.Errorf("expected strict ordering on Example 1.1: param %v, LEC %v, LSC %v",
+			param, lec.Cost, lsc.Cost)
+	}
+}
+
+func TestLookupParamOutOfRange(t *testing.T) {
+	table := []ParamInterval{{Lo: 0, Hi: 10}}
+	if _, err := LookupParam(table, 11); err == nil {
+		t.Error("lookup beyond table succeeded")
+	}
+	if _, err := ExpCostParametric(table, stats.Point(11)); err == nil {
+		t.Error("ExpCostParametric beyond table succeeded")
+	}
+}

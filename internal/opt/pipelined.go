@@ -1,0 +1,23 @@
+package opt
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// ExhaustivePipelined minimizes expected cost under the pipeline-aware
+// phase model of paper §4 ("pipelined joins should be treated together as a
+// single phase"): phaseDists[k] is the memory distribution of pipeline
+// phase k. No simple dynamic program computes this objective — a join's
+// phase index depends on the *methods* of the joins below it, so the
+// per-subset principle of optimality breaks (the same subtlety that breaks
+// general utility DPs). Brute force over left-deep plans is the reference
+// answer; the per-join-phase DP (AlgorithmCDynamic) is the practical
+// approximation whose quality tests and experiment F-level checks measure.
+func ExhaustivePipelined(cat *catalog.Catalog, q *query.SPJ, opts Options, phaseDists []*stats.Dist) (*Result, error) {
+	return Exhaustive(cat, q, opts, func(p plan.Node) float64 {
+		return plan.ExpCostPipelined(p, phaseDists)
+	})
+}

@@ -1,0 +1,96 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestPipelinedObjectiveConsistency: with a single shared distribution the
+// pipeline-aware and per-join objectives coincide, so the exhaustive optima
+// match Algorithm C.
+func TestPipelinedObjectiveConsistency(t *testing.T) {
+	cat, q := randInstance(t, 4, 4, workload.Chain, true)
+	dm := randMemDist3(19)
+	static := []*stats.Dist{dm}
+	exPipe, err := ExhaustivePipelined(cat, q, Options{}, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(exPipe.Cost, c.Cost) > costTol {
+		t.Errorf("static pipeline optimum %v != Algorithm C %v", exPipe.Cost, c.Cost)
+	}
+}
+
+// TestDPPlanNearOptimalUnderPipelineModel: the per-join-phase DP's plan,
+// re-scored under the pipeline-aware model, is close to (and never better
+// than) the true pipeline-aware optimum.
+func TestDPPlanNearOptimalUnderPipelineModel(t *testing.T) {
+	worst := 1.0
+	for seed := int64(0); seed < 10; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		chain, err := stats.RandomWalkChain([]float64{20, 200, 2000, 6000}, 0.5, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := stats.Point(6000)
+		dyn, err := AlgorithmCDynamic(cat, q, Options{}, chain, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases := PhaseDistsFor(q, chain, initial)
+		exPipe, err := ExhaustivePipelined(cat, q, Options{}, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpUnderPipe := plan.ExpCostPipelined(dyn.Plan, phases)
+		if dpUnderPipe < exPipe.Cost*(1-1e-9) {
+			t.Errorf("seed %d: DP plan %v beats exhaustive pipeline optimum %v", seed, dpUnderPipe, exPipe.Cost)
+		}
+		if ratio := dpUnderPipe / exPipe.Cost; ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("per-join DP plan up to %.2fx worse than the pipeline-aware optimum — approximation too loose", worst)
+	}
+	t.Logf("worst DP-plan/pipeline-optimum ratio: %.4f", worst)
+}
+
+// TestPipelineModelCanChangeThePlan hunts for an instance where the
+// pipeline-aware optimum differs from the per-join-phase optimum — the
+// reason the paper flags the phase simplification.
+func TestPipelineModelCanChangeThePlan(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 60 && !found; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, false)
+		chain, err := stats.RandomWalkChain([]float64{20, 200, 2000, 6000}, 0.6, 0.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := stats.Point(6000)
+		phases := PhaseDistsFor(q, chain, initial)
+		dyn, err := AlgorithmCDynamic(cat, q, Options{}, chain, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exPipe, err := ExhaustivePipelined(cat, q, Options{}, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.ExpCostPipelined(dyn.Plan, phases) > exPipe.Cost*(1+1e-9) {
+			found = true
+			t.Logf("seed %d: pipeline model picks a different plan (gap %.3f%%)",
+				seed, 100*(plan.ExpCostPipelined(dyn.Plan, phases)/exPipe.Cost-1))
+		}
+	}
+	if !found {
+		t.Error("pipeline-aware and per-join optima coincided on all instances; expected at least one difference")
+	}
+}

@@ -1,0 +1,158 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// This file implements randomized left-deep plan search — iterative
+// improvement with random restarts over (join order, method assignment)
+// states. The paper points at this family twice: §1 ("randomized
+// algorithms have also been proposed [Swa89, IK90]") and §2.3 ("[INSS92]
+// suggest using randomized optimization to reduce the compile-time
+// optimization effort" for parametric tables). It minimizes an arbitrary
+// plan objective, so it works for specific cost, expected cost, or any of
+// the utility objectives — including ones for which no exact DP exists.
+
+// RandomizedOpts tunes the search.
+type RandomizedOpts struct {
+	// Restarts is the number of independent hill climbs (default 8).
+	Restarts int
+	// MaxMoves bounds the moves per climb (default 64·n²).
+	MaxMoves int
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+func (r RandomizedOpts) withDefaults(n int) RandomizedOpts {
+	if r.Restarts <= 0 {
+		r.Restarts = 8
+	}
+	if r.MaxMoves <= 0 {
+		r.MaxMoves = 64 * n * n
+	}
+	return r
+}
+
+// rstate is one point of the search space: a join order and a method per
+// join step.
+type rstate struct {
+	perm    []int
+	methods []cost.Method
+}
+
+func (s *rstate) clone() rstate {
+	return rstate{
+		perm:    append([]int(nil), s.perm...),
+		methods: append([]cost.Method(nil), s.methods...),
+	}
+}
+
+// buildPlan materializes the left-deep plan for a state.
+func (ctx *Context) buildPlan(s rstate) plan.Node {
+	cur := plan.Node(ctx.BestScan(s.perm[0]))
+	set := query.NewRelSet(s.perm[0])
+	for i := 1; i < len(s.perm); i++ {
+		j := s.perm[i]
+		set = set.Add(j)
+		cur = ctx.NewJoin(cur, ctx.BestScan(j), s.methods[i-1], set, j)
+	}
+	finished, _ := ctx.FinishPlan(cur)
+	return finished
+}
+
+// Randomized searches left-deep plans for the minimum of an arbitrary
+// objective. Returns the best plan found; unlike the dynamic programs it
+// carries no optimality guarantee, but it needs no decomposability from the
+// objective and its cost is O(Restarts · MaxMoves) plan evaluations
+// regardless of n.
+func Randomized(cat *catalog.Catalog, q *query.SPJ, opts Options,
+	objective func(plan.Node) float64, ropts RandomizedOpts) (*Result, error) {
+	ctx, err := NewContext(cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := q.NumRels()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty query")
+	}
+	if n == 1 {
+		best := plan.Node(nil)
+		bestVal := math.Inf(1)
+		for _, s := range ctx.Scans(0) {
+			finished, _ := ctx.FinishPlan(s)
+			if v := objective(finished); v < bestVal {
+				best, bestVal = finished, v
+			}
+		}
+		return &Result{Plan: best, Cost: bestVal, Count: ctx.Count}, nil
+	}
+	ropts = ropts.withDefaults(n)
+	rng := rand.New(rand.NewSource(ropts.Seed))
+	methods := ctx.Opts.methods()
+
+	randomState := func() rstate {
+		s := rstate{perm: rng.Perm(n), methods: make([]cost.Method, n-1)}
+		for i := range s.methods {
+			s.methods[i] = methods[rng.Intn(len(methods))]
+		}
+		return s
+	}
+	// neighbor applies one random move in place and returns an undo func.
+	neighbor := func(s *rstate) func() {
+		if rng.Intn(2) == 0 && n >= 2 {
+			i, j := rng.Intn(n), rng.Intn(n)
+			for i == j {
+				j = rng.Intn(n)
+			}
+			s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+			return func() { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+		}
+		k := rng.Intn(n - 1)
+		old := s.methods[k]
+		s.methods[k] = methods[rng.Intn(len(methods))]
+		return func() { s.methods[k] = old }
+	}
+
+	var best plan.Node
+	bestVal := math.Inf(1)
+	for r := 0; r < ropts.Restarts; r++ {
+		cur := randomState()
+		curVal := objective(ctx.buildPlan(cur))
+		stale := 0
+		for move := 0; move < ropts.MaxMoves && stale < 8*n; move++ {
+			undo := neighbor(&cur)
+			v := objective(ctx.buildPlan(cur))
+			if v < curVal {
+				curVal = v
+				stale = 0
+			} else {
+				undo()
+				stale++
+			}
+		}
+		if curVal < bestVal {
+			bestVal = curVal
+			best = ctx.buildPlan(cur)
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: randomized search found no plan")
+	}
+	return &Result{Plan: best, Cost: bestVal, Count: ctx.Count}, nil
+}
+
+// RandomizedLEC minimizes expected cost under a static memory distribution
+// by randomized search.
+func RandomizedLEC(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist, ropts RandomizedOpts) (*Result, error) {
+	return Randomized(cat, q, opts, func(p plan.Node) float64 {
+		return plan.ExpCost(p, dm)
+	}, ropts)
+}

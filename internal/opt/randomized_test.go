@@ -1,0 +1,133 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestRandomizedNeverBeatsDP: the DP is exact, so randomized search can at
+// best match it.
+func TestRandomizedNeverBeatsDP(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		dm := randMemDist3(seed + 70)
+		dp, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, err := RandomizedLEC(cat, q, Options{}, dm, RandomizedOpts{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rnd.Cost < dp.Cost*(1-1e-9) {
+			t.Errorf("seed %d: randomized %v beats exact DP %v — objective bug", seed, rnd.Cost, dp.Cost)
+		}
+	}
+}
+
+// TestRandomizedFindsOptimumOnSmallInstances: with a generous budget the
+// climber reaches the DP optimum on 4-relation queries.
+func TestRandomizedFindsOptimumOnSmallInstances(t *testing.T) {
+	hits := 0
+	const total = 10
+	for seed := int64(0); seed < total; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Star, seed%2 == 1)
+		dm := randMemDist3(seed + 71)
+		dp, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, err := RandomizedLEC(cat, q, Options{}, dm, RandomizedOpts{Restarts: 24, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(rnd.Cost, dp.Cost) <= costTol {
+			hits++
+		}
+	}
+	if hits < total-1 {
+		t.Errorf("randomized matched DP on only %d/%d small instances", hits, total)
+	}
+}
+
+// TestRandomizedDeterministicWithSeed: same seed, same plan.
+func TestRandomizedDeterministicWithSeed(t *testing.T) {
+	cat, q := randInstance(t, 3, 5, workload.Clique, true)
+	dm := randMemDist3(33)
+	a, err := RandomizedLEC(cat, q, Options{}, dm, RandomizedOpts{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomizedLEC(cat, q, Options{}, dm, RandomizedOpts{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.Key() != b.Plan.Key() || a.Cost != b.Cost {
+		t.Error("same seed produced different results")
+	}
+}
+
+// TestRandomizedLargeQuery: a 10-relation chain — far beyond where
+// exhaustive enumeration is possible — still yields a plan close to the DP.
+func TestRandomizedLargeQuery(t *testing.T) {
+	cat, q := randInstance(t, 9, 10, workload.Chain, false)
+	dm := randMemDist3(77)
+	dp, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomizedLEC(cat, q, Options{}, dm, RandomizedOpts{Restarts: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.Cost > dp.Cost*3 {
+		t.Errorf("randomized %v too far from DP %v on n=10", rnd.Cost, dp.Cost)
+	}
+	if plan.NumJoins(rnd.Plan) != 9 {
+		t.Errorf("plan has %d joins, want 9", plan.NumJoins(rnd.Plan))
+	}
+}
+
+// TestRandomizedArbitraryObjective: minimizing P95 cost — an objective with
+// no exact DP — still works and cannot beat exhaustive enumeration.
+func TestRandomizedArbitraryObjective(t *testing.T) {
+	cat, q := randInstance(t, 2, 4, workload.Chain, true)
+	dm := randMemDist3(13)
+	objective := func(p plan.Node) float64 { return NewRiskProfile(p, dm).P95 }
+	rnd, err := Randomized(cat, q, Options{}, objective, RandomizedOpts{Restarts: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Exhaustive(cat, q, Options{}, objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.Cost < ex.Cost*(1-1e-9) {
+		t.Errorf("randomized %v beats exhaustive %v", rnd.Cost, ex.Cost)
+	}
+	if rnd.Cost > ex.Cost*1.5 {
+		t.Errorf("randomized %v far from exhaustive %v", rnd.Cost, ex.Cost)
+	}
+}
+
+func TestRandomizedSingleTable(t *testing.T) {
+	cat, q := randInstance(t, 4, 1, workload.Chain, false)
+	res, err := RandomizedLEC(cat, q, Options{}, stats.Point(100), RandomizedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Plan.(*plan.Scan); !ok {
+		t.Errorf("plan is %T", res.Plan)
+	}
+}
+
+func TestRandomizedInvalidQuery(t *testing.T) {
+	cat, q := randInstance(t, 1, 3, workload.Chain, false)
+	q.Tables = append(q.Tables, "ghost")
+	if _, err := RandomizedLEC(cat, q, Options{}, stats.Point(1), RandomizedOpts{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// This file implements the coarse-to-fine evaluation strategy of paper
+// §3.7: "If there are j algorithms being compared at a given node in the
+// dag, the expected cost of only one of them needs to be computed
+// accurately, since the other plans are pruned. ... we can start with a
+// coarse bucketing strategy to do the pruning, and then refine the buckets
+// as necessary." Each join step first prices every method with a cheap
+// coarse distribution; only methods within a safety margin of the coarse
+// winner are re-priced with the fine distribution.
+
+// refinedCoster prices steps coarse-first.
+type refinedCoster struct {
+	ctx    *Context
+	fine   *stats.Dist
+	coarse *stats.Dist
+	// margin is the relative slack for surviving the coarse cut.
+	margin float64
+
+	// per-(left,right,phase) memo of the methods' coarse costs, so the
+	// pruning decision sees all methods of one step together.
+	pending map[stepKey]map[cost.Method]float64
+}
+
+type stepKey struct {
+	a, b  float64
+	phase int
+}
+
+func (rc *refinedCoster) joinStep(m cost.Method, left plan.Node, right *plan.Scan, _ query.RelSet, _, phase int) float64 {
+	a, b := left.OutPages(), right.OutPages()
+	key := stepKey{a, b, phase}
+	coarseCosts, ok := rc.pending[key]
+	if !ok {
+		// First visit of this step: price every method coarsely, once.
+		coarseCosts = make(map[cost.Method]float64, len(rc.ctx.Opts.methods()))
+		for _, mm := range rc.ctx.Opts.methods() {
+			rc.ctx.Count.CostEvals += rc.coarse.Len()
+			coarseCosts[mm] = cost.ExpJoinCostMem(mm, a, b, rc.coarse)
+		}
+		rc.pending[key] = coarseCosts
+	}
+	best := math.Inf(1)
+	for _, c := range coarseCosts {
+		if c < best {
+			best = c
+		}
+	}
+	if coarseCosts[m] > best*(1+rc.margin) {
+		// Pruned: the coarse estimate stands in (it is an overestimate of
+		// interest only; the method cannot win).
+		return coarseCosts[m]
+	}
+	rc.ctx.Count.CostEvals += rc.fine.Len()
+	return cost.ExpJoinCostMem(m, a, b, rc.fine)
+}
+
+func (rc *refinedCoster) sortStep(input plan.Node, _ int) float64 {
+	rc.ctx.Count.CostEvals += rc.fine.Len()
+	pages := input.OutPages()
+	return rc.fine.Expect(func(mem float64) float64 { return cost.SortCost(pages, mem) })
+}
+
+// AlgorithmCRefined runs the expected-cost DP with §3.7 coarse-to-fine
+// pruning: methods are screened with a `coarseBuckets`-bucket rebucketing
+// of the fine distribution and only near-winners (within `margin`,
+// default 0.25) are priced exactly. The returned Result's Cost is the
+// chosen plan's exact fine-grained expected cost. Pruning is heuristic: a
+// method whose coarse estimate is misleading by more than the margin can
+// be lost, so the plan is near-optimal rather than guaranteed-optimal;
+// experiment E15 measures the trade.
+func AlgorithmCRefined(cat *catalog.Catalog, q *query.SPJ, opts Options, fine *stats.Dist, coarseBuckets int, margin float64) (*Result, error) {
+	if coarseBuckets < 1 {
+		coarseBuckets = 1
+	}
+	if margin <= 0 {
+		margin = 0.25
+	}
+	ctx, err := NewContext(cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	rc := &refinedCoster{
+		ctx:     ctx,
+		fine:    fine,
+		coarse:  stats.Rebucket(fine, coarseBuckets),
+		margin:  margin,
+		pending: make(map[stepKey]map[cost.Method]float64),
+	}
+	res, err := runDP(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	// Report the exact expected cost of the chosen plan.
+	res.Cost = plan.ExpCost(res.Plan, fine)
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRefinedNearOptimal: coarse-to-fine pruning with a reasonable margin
+// stays within a few percent of the exact LEC cost and saves evaluations.
+func TestRefinedNearOptimal(t *testing.T) {
+	worst := 1.0
+	savedSomewhere := false
+	for seed := int64(0); seed < 10; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		fine, err := workload.LognormalMemDist(800, 1.0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := AlgorithmC(cat, q, Options{}, fine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := AlgorithmCRefined(cat, q, Options{}, fine, 4, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refined.Cost < exact.Cost*(1-1e-9) {
+			t.Errorf("seed %d: refined %v beats exact %v — impossible", seed, refined.Cost, exact.Cost)
+		}
+		if ratio := refined.Cost / exact.Cost; ratio > worst {
+			worst = ratio
+		}
+		if refined.Count.CostEvals < exact.Count.CostEvals {
+			savedSomewhere = true
+		}
+	}
+	if worst > 1.05 {
+		t.Errorf("refined plan up to %.3fx worse than exact — margin too aggressive", worst)
+	}
+	if !savedSomewhere {
+		t.Error("refinement never saved evaluations")
+	}
+	t.Logf("worst refined/exact cost ratio: %.4f", worst)
+}
+
+// TestRefinedWithHugeMarginIsExact: with an enormous margin nothing is
+// pruned, so the refined DP returns exactly the LEC plan.
+func TestRefinedWithHugeMarginIsExact(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Star, seed%2 == 1)
+		fine, err := workload.LognormalMemDist(700, 0.9, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := AlgorithmC(cat, q, Options{}, fine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := AlgorithmCRefined(cat, q, Options{}, fine, 2, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(refined.Cost, exact.Cost) > costTol {
+			t.Errorf("seed %d: huge-margin refined %v != exact %v", seed, refined.Cost, exact.Cost)
+		}
+	}
+}
+
+// TestRefinedDefaults: degenerate arguments fall back to sane defaults.
+func TestRefinedDefaults(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	res, err := AlgorithmCRefined(cat, q, Options{}, dm, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost %v", res.Cost)
+	}
+	// The reported cost is the plan's true fine-grained expected cost.
+	exact, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < exact.Cost*(1-1e-9) {
+		t.Error("refined reported below the optimum")
+	}
+}

@@ -1,0 +1,80 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// selfJoinInstance builds "employees e, employees m" joined on e.mgr = m.id
+// — the canonical self join.
+func selfJoinInstance() (*catalog.Catalog, *query.SPJ) {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "employees", Rows: 100_000, Pages: 10_000,
+		Columns: []*catalog.Column{
+			{Name: "id", Distinct: 100_000, Min: 1, Max: 100_000},
+			{Name: "mgr", Distinct: 5_000, Min: 1, Max: 5_000},
+		},
+	})
+	q := &query.SPJ{
+		Tables:  []string{"e", "m"},
+		Aliases: map[string]string{"e": "employees", "m": "employees"},
+		Joins: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "e", Column: "mgr"},
+			Right:       query.ColumnRef{Table: "m", Column: "id"},
+			Selectivity: 1.0 / 100_000,
+		}},
+	}
+	return cat, q
+}
+
+func TestSelfJoinOptimizes(t *testing.T) {
+	cat, q := selfJoinInstance()
+	dm := stats.MustNew([]float64{50, 5000}, []float64{0.5, 0.5})
+	lec, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExhaustiveLEC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(lec.Cost, ex.Cost) > costTol {
+		t.Errorf("self-join LEC %v != exhaustive %v", lec.Cost, ex.Cost)
+	}
+	// Both scans read the same base table under different range names.
+	var bases, names []string
+	plan.Walk(lec.Plan, func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok {
+			bases = append(bases, s.BaseTable())
+			names = append(names, s.Table)
+		}
+	})
+	if len(bases) != 2 || bases[0] != "employees" || bases[1] != "employees" {
+		t.Errorf("scan bases = %v", bases)
+	}
+	if names[0] == names[1] {
+		t.Errorf("range names collide: %v", names)
+	}
+}
+
+func TestSelfJoinAliasValidation(t *testing.T) {
+	cat, q := selfJoinInstance()
+	if err := q.Validate(cat); err != nil {
+		t.Fatalf("valid self join rejected: %v", err)
+	}
+	bad := *q
+	bad.Aliases = map[string]string{"e": "employees", "m": "employees", "zz": "employees"}
+	if err := bad.Validate(cat); err == nil {
+		t.Error("alias not in FROM accepted")
+	}
+	bad2 := *q
+	bad2.Aliases = map[string]string{"e": "ghost", "m": "employees"}
+	if err := bad2.Validate(cat); err == nil {
+		t.Error("alias over unknown base accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestExpUtilityDPMatchesExhaustiveIndep: with independent per-phase
+// parameters the exponential-utility objective decomposes, so the DP is
+// exact (the 2002 analysis's positive case).
+func TestExpUtilityDPMatchesExhaustiveIndep(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		phases := []*stats.Dist{
+			randMemDist3(seed + 1),
+			randMemDist3(seed + 2),
+			randMemDist3(seed + 3),
+		}
+		for _, gamma := range []float64{1e-6, 1e-5} {
+			dp, err := ExpUtilityDP(cat, q, Options{}, phases, gamma)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			ex, err := ExhaustiveExpUtilityIndep(cat, q, Options{}, phases, gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relDiff(dp.Cost, ex.Cost) > costTol {
+				t.Errorf("seed %d γ=%v: DP %v != exhaustive %v", seed, gamma, dp.Cost, ex.Cost)
+			}
+			if actual := CertaintyEquivalentIndep(dp.Plan, phases, gamma); relDiff(dp.Cost, actual) > costTol {
+				t.Errorf("seed %d: reported %v, actual %v", seed, dp.Cost, actual)
+			}
+		}
+	}
+}
+
+func TestExpUtilityDPRejectsZeroGamma(t *testing.T) {
+	cat, q := randInstance(t, 1, 3, workload.Chain, false)
+	if _, err := ExpUtilityDP(cat, q, Options{}, []*stats.Dist{stats.Point(100)}, 0); err == nil {
+		t.Error("gamma = 0 accepted")
+	}
+	if _, err := ExpUtilityDP(cat, q, Options{}, nil, 1e-6); err == nil {
+		t.Error("empty phases accepted")
+	}
+}
+
+// TestCertEquivLimits: as γ → 0 the certainty equivalent approaches the
+// mean; for γ > 0 it is ≥ the mean (risk aversion premium), and it is
+// monotone in γ.
+func TestCertEquivLimits(t *testing.T) {
+	d := stats.MustNew([]float64{100, 10000}, []float64{0.5, 0.5})
+	id := func(x float64) float64 { return x }
+	mean := d.Mean()
+	tiny := certEquiv(d, 1e-9, id)
+	if math.Abs(tiny-mean)/mean > 1e-3 {
+		t.Errorf("certEquiv(γ→0) = %v, want ≈ mean %v", tiny, mean)
+	}
+	prev := tiny
+	for _, g := range []float64{1e-5, 1e-4, 1e-3} {
+		ce := certEquiv(d, g, id)
+		if ce < prev-1e-9 {
+			t.Errorf("certainty equivalent not monotone: γ=%v gives %v < %v", g, ce, prev)
+		}
+		prev = ce
+	}
+	if prev < mean {
+		t.Errorf("risk-averse CE %v below mean %v", prev, mean)
+	}
+	// Risk-seeking: CE below the mean.
+	if ce := certEquiv(d, -1e-3, id); ce > mean {
+		t.Errorf("risk-seeking CE %v above mean %v", ce, mean)
+	}
+	// Extreme γ must not overflow (log-sum-exp stability).
+	if ce := certEquiv(d, 1.0, id); math.IsInf(ce, 0) || math.IsNaN(ce) {
+		t.Errorf("certEquiv unstable at large γ: %v", ce)
+	}
+}
+
+// TestGeneralUtilityDPFailure hunts for an instance where the phase-wise
+// utility DP (which assumes decomposition) is strictly beaten by exhaustive
+// search under the static shared-memory exponential objective — the 2002
+// paper's negative answer to "can we always expect DP to work?".
+func TestGeneralUtilityDPFailure(t *testing.T) {
+	const gamma = 1e-5
+	found := false
+	for seed := int64(0); seed < 120 && !found; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Clique, seed%2 == 0)
+		dm := randMemDist3(seed * 7)
+		// Run the DP pretending phases are independent copies of dm.
+		dp, err := ExpUtilityDP(cat, q, Options{}, []*stats.Dist{dm}, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := ExhaustiveExpUtilityStatic(cat, q, Options{}, dm, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpStatic := CertaintyEquivalentStatic(dp.Plan, dm, gamma)
+		if dpStatic > ex.Cost*(1+1e-9) {
+			found = true
+			t.Logf("seed %d: DP plan's static CE %v > optimum %v", seed, dpStatic, ex.Cost)
+		}
+	}
+	if !found {
+		t.Error("phase-wise utility DP matched static-objective optimum on all instances; expected a counterexample")
+	}
+}
+
+// TestRiskProfileExample11: Plan 1 of Example 1.1 carries all the risk.
+func TestRiskProfileExample11(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	lsc, err := LSCPlan(cat, q, Options{}, dm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := AlgorithmC(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := NewRiskProfile(lsc.Plan, dm)
+	p2 := NewRiskProfile(lec.Plan, dm)
+	if p1.Variance <= 0 {
+		t.Errorf("plan 1 variance %v, want > 0", p1.Variance)
+	}
+	if p2.Variance != 0 {
+		t.Errorf("plan 2 variance %v, want 0", p2.Variance)
+	}
+	if p1.StdDev != math.Sqrt(p1.Variance) {
+		t.Error("StdDev inconsistent")
+	}
+	// The 95th percentile of plan 1 is its bad case (memory = 700).
+	if want := plan.Cost(lsc.Plan, 700); p1.P95 != want {
+		t.Errorf("plan1 P95 = %v, want %v", p1.P95, want)
+	}
+}
+
+// TestMeanStdPlan: with λ = 0 the LEC plan wins; with large λ the
+// zero-variance plan wins even if its mean were slightly worse.
+func TestMeanStdPlan(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	lsc, _ := LSCPlan(cat, q, Options{}, dm, true)
+	lec, _ := AlgorithmC(cat, q, Options{}, dm)
+	cands := []plan.Node{lsc.Plan, lec.Plan}
+	pick0, v0 := MeanStdPlan(cands, dm, 0)
+	if pick0.Key() != lec.Plan.Key() {
+		t.Errorf("λ=0 picked %s", pick0.Key())
+	}
+	if relDiff(v0, lec.Cost) > costTol {
+		t.Errorf("λ=0 objective %v, want %v", v0, lec.Cost)
+	}
+	pickBig, _ := MeanStdPlan(cands, dm, 100)
+	if pickBig.Key() != lec.Plan.Key() {
+		t.Errorf("λ=100 picked %s (the risky plan)", pickBig.Key())
+	}
+	if p, _ := MeanStdPlan(nil, dm, 1); p != nil {
+		t.Error("empty candidate set returned a plan")
+	}
+}

@@ -1,0 +1,106 @@
+package opt
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// This file implements the decision-theoretic sampling analysis of [SBM93],
+// which the paper singles out (§2.3) as "the one perhaps closest to that
+// advocated here in its view of query optimization as a decision problem
+// and its aim of minimizing expected cost", and suggests combining with LEC
+// optimization (§3.6: "the ideas of [SBM93] for deciding when to sample may
+// also be usefully applied here").
+//
+// The question: before optimizing, is it worth paying to *observe* an
+// uncertain parameter (sample a predicate's selectivity, probe the buffer
+// manager)? The classical answer is the expected value of perfect
+// information:
+//
+//	EVPI = E[Φ(LEC plan)] − E_v[ min_p Φ(p, v) ]
+//
+// the gap between committing to the single best-in-expectation plan and
+// being allowed to re-plan after seeing the true value. Observation is
+// worthwhile exactly when its cost is below the EVPI.
+
+// InfoValue reports the value-of-information analysis for the memory
+// parameter.
+type InfoValue struct {
+	// LECCost is E[Φ] of the plan chosen without observing (Algorithm C).
+	LECCost float64
+	// InformedCost is E_v[Φ of the best plan at v]: optimize after
+	// observing the true value (the [INSS92] parametric-table bound).
+	InformedCost float64
+	// EVPI = LECCost − InformedCost ≥ 0.
+	EVPI float64
+}
+
+// ShouldObserve reports whether paying observationCost to learn the true
+// parameter value before planning is worthwhile.
+func (v InfoValue) ShouldObserve(observationCost float64) bool {
+	return observationCost < v.EVPI
+}
+
+// MemoryEVPI computes the value of observing the true memory value before
+// planning, under the memory distribution dm.
+func MemoryEVPI(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (InfoValue, error) {
+	lec, err := AlgorithmC(cat, q, opts, dm)
+	if err != nil {
+		return InfoValue{}, err
+	}
+	informed := 0.0
+	for i := 0; i < dm.Len(); i++ {
+		res, err := SystemR(cat, q, opts, dm.Value(i))
+		if err != nil {
+			return InfoValue{}, err
+		}
+		informed += dm.Prob(i) * res.Cost
+	}
+	v := InfoValue{LECCost: lec.Cost, InformedCost: informed, EVPI: lec.Cost - informed}
+	if v.EVPI < 0 {
+		// Numeric noise only: informed planning dominates by construction.
+		v.EVPI = 0
+	}
+	return v, nil
+}
+
+// SelectivityEVPI computes the value of sampling join predicate predIdx to
+// learn its true selectivity before planning, with everything else
+// (memory) still distributed. For each selectivity value σ in the
+// predicate's distribution, the query is re-optimized with the predicate
+// pinned to σ; the informed cost is the expectation over σ of those
+// conditionally-optimal expected costs. This is the [SBM93] "is sampling
+// worth its cost" computation in LEC terms.
+func SelectivityEVPI(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist, predIdx int) (InfoValue, error) {
+	base, err := AlgorithmD(cat, q, opts, dm)
+	if err != nil {
+		return InfoValue{}, err
+	}
+	sd := q.Joins[predIdx].SelectivityDist()
+	informed := 0.0
+	for i := 0; i < sd.Len(); i++ {
+		pinned := *q
+		pinned.Joins = append([]query.JoinPred(nil), q.Joins...)
+		pinned.Joins[predIdx].Selectivity = sd.Value(i)
+		pinned.Joins[predIdx].SelDist = stats.Point(sd.Value(i))
+		res, err := AlgorithmD(cat, &pinned, opts, dm)
+		if err != nil {
+			return InfoValue{}, err
+		}
+		informed += sd.Prob(i) * res.Cost
+	}
+	v := InfoValue{LECCost: base.Cost, InformedCost: informed, EVPI: base.Cost - informed}
+	if v.EVPI < 0 {
+		v.EVPI = 0
+	}
+	return v, nil
+}
+
+// EVPIUpperBoundsRegret is a documented identity used by tests: for any
+// plan p chosen without information, E[Φ(p)] − InformedCost ≥ EVPI exactly
+// when p is the LEC plan; a worse plan has a larger gap.
+func EVPIUpperBoundsRegret(p plan.Node, dm *stats.Dist, v InfoValue) bool {
+	return plan.ExpCost(p, dm)-v.InformedCost >= v.EVPI-1e-9
+}

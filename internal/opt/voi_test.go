@@ -1,0 +1,124 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestMemoryEVPIExample11: with Example 1.1's numbers the informed cost is
+// 0.8·4,200,000 (plan 1 at 2000) + 0.2·4,206,000 (plan 2 at 700) =
+// 4,201,200 and the LEC cost is 4,206,000, so EVPI = 4800 page I/Os:
+// observing memory is worth at most 4800 pages of sampling effort.
+func TestMemoryEVPIExample11(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	v, err := MemoryEVPI(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(v.LECCost, 4_206_000) > costTol {
+		t.Errorf("LECCost = %v", v.LECCost)
+	}
+	if relDiff(v.InformedCost, 4_201_200) > costTol {
+		t.Errorf("InformedCost = %v", v.InformedCost)
+	}
+	if relDiff(v.EVPI, 4800) > 1e-3 {
+		t.Errorf("EVPI = %v, want 4800", v.EVPI)
+	}
+	if !v.ShouldObserve(1000) {
+		t.Error("observation at cost 1000 < EVPI rejected")
+	}
+	if v.ShouldObserve(10_000) {
+		t.Error("observation at cost 10000 > EVPI accepted")
+	}
+}
+
+// TestEVPINonNegative: information never hurts (EVPI ≥ 0), on random
+// instances.
+func TestEVPINonNegative(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cat, q := randInstance(t, seed, 4, workload.Chain, seed%2 == 0)
+		dm := randMemDist3(seed + 41)
+		v, err := MemoryEVPI(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.EVPI < 0 {
+			t.Errorf("seed %d: negative EVPI %v", seed, v.EVPI)
+		}
+		if v.InformedCost > v.LECCost*(1+costTol) {
+			t.Errorf("seed %d: informed cost %v above LEC %v", seed, v.InformedCost, v.LECCost)
+		}
+		// The LEC plan minimizes the regret bound.
+		lec, err := AlgorithmC(cat, q, Options{}, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EVPIUpperBoundsRegret(lec.Plan, dm, v) {
+			t.Errorf("seed %d: EVPI identity violated", seed)
+		}
+	}
+}
+
+// TestEVPIZeroWhenOnePlanDominates: if the same plan is optimal at every
+// memory value, knowing the value is worthless.
+func TestEVPIZeroWhenOnePlanDominates(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	// Both support points in the same cost regime (> 1000 pages).
+	dm := stats.MustNew([]float64{1500, 3000}, []float64{0.5, 0.5})
+	v, err := MemoryEVPI(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.EVPI > 1e-9 {
+		t.Errorf("EVPI = %v, want 0 (one plan dominates)", v.EVPI)
+	}
+}
+
+// TestSelectivityEVPI: sampling a predicate with a wide selectivity
+// distribution has non-negative value, and pinning the predicate to a point
+// makes the value zero.
+func TestSelectivityEVPI(t *testing.T) {
+	cat, q, dm := randInstanceD(t, 7, 4)
+	v, err := SelectivityEVPI(cat, q, Options{}, dm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.EVPI < 0 {
+		t.Errorf("negative selectivity EVPI %v", v.EVPI)
+	}
+	// A point predicate yields zero EVPI.
+	q.Joins[1].SelDist = stats.Point(q.Joins[1].Selectivity)
+	v, err = SelectivityEVPI(cat, q, Options{}, dm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.EVPI > 1e-6*v.LECCost {
+		t.Errorf("point predicate EVPI = %v, want ≈ 0", v.EVPI)
+	}
+}
+
+// TestSelectivityEVPIPositiveSomewhere hunts for an instance where sampling
+// a predicate is genuinely valuable (EVPI > 0) — the [SBM93] scenario.
+func TestSelectivityEVPIPositiveSomewhere(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 30 && !found; seed++ {
+		cat, q, dm := randInstanceD(t, seed, 4)
+		for predIdx := range q.Joins {
+			v, err := SelectivityEVPI(cat, q, Options{}, dm, predIdx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.EVPI > 1e-6*v.LECCost {
+				found = true
+				t.Logf("seed %d pred %d: EVPI %v (%.3f%% of E[cost])",
+					seed, predIdx, v.EVPI, 100*v.EVPI/v.LECCost)
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("no instance where sampling a predicate had positive value")
+	}
+}

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// AggMethod selects the aggregation algorithm.
+type AggMethod int
+
+// Aggregation algorithms.
+const (
+	// HashAgg builds a hash table of groups; cheap while the groups fit in
+	// memory, one extra partition pass otherwise.
+	HashAgg AggMethod = iota
+	// SortAgg sorts the input on the group key and streams; the sort is
+	// free when the input is already ordered on the key, and the output is
+	// ordered on the key — the aggregate analogue of the sort-merge join's
+	// "interesting order".
+	SortAgg
+)
+
+// String implements fmt.Stringer.
+func (m AggMethod) String() string {
+	switch m {
+	case HashAgg:
+		return "hash-agg"
+	case SortAgg:
+		return "sort-agg"
+	default:
+		return fmt.Sprintf("AggMethod(%d)", int(m))
+	}
+}
+
+// Aggregate groups the input by Key and computes COUNT(*) per group.
+type Aggregate struct {
+	Input Node
+	// GroupKey is the grouping column.
+	GroupKey query.ColumnRef
+	Method   AggMethod
+	// Groups is the estimated number of groups; Pages its page estimate.
+	Groups float64
+	Pages  float64
+}
+
+// OutPages implements Node.
+func (a *Aggregate) OutPages() float64 { return a.Pages }
+
+// OutRows implements Node.
+func (a *Aggregate) OutRows() float64 { return a.Groups }
+
+// OutDist implements Node.
+func (a *Aggregate) OutDist() *stats.Dist { return stats.Point(a.Pages) }
+
+// OrderedOn implements Node: sort-based aggregation emits groups in key
+// order.
+func (a *Aggregate) OrderedOn() []query.ColumnRef {
+	if a.Method == SortAgg {
+		return []query.ColumnRef{a.GroupKey}
+	}
+	return nil
+}
+
+// Rels implements Node.
+func (a *Aggregate) Rels() query.RelSet { return a.Input.Rels() }
+
+// Key implements Node.
+func (a *Aggregate) Key() string {
+	return fmt.Sprintf("%s[%s](%s)", a.Method, a.GroupKey.String(), a.Input.Key())
+}
+
+func (a *Aggregate) children() []Node { return []Node{a.Input} }
+
+// InputSorted reports whether the aggregate's input already delivers the
+// group key's order.
+func (a *Aggregate) InputSorted() bool {
+	return SatisfiesOrder(a.Input, a.GroupKey)
+}
+
+// AggCost returns the aggregate's extra I/O at one memory value.
+func (a *Aggregate) AggCost(mem float64) float64 {
+	if a.Method == HashAgg {
+		return cost.HashAggCost(a.Input.OutPages(), a.Pages, mem)
+	}
+	return cost.SortAggCost(a.Input.OutPages(), mem, a.InputSorted())
+}

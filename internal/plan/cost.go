@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+// Cost evaluates Φ(p, v) for a static memory value: the total I/O cost of
+// executing the plan with mem pages of buffer available throughout
+// (paper §3.1).
+func Cost(n Node, mem float64) float64 {
+	return CostPhased(n, []float64{mem})
+}
+
+// CostPhased evaluates Φ(p, v) when v is a *sequence* of per-phase memory
+// values (paper §3.5). Each join is one phase, numbered bottom-up in
+// post-order (for a left-deep plan this is execution order); join k uses
+// mems[k]. A final sort runs in the last join's phase. Sequences shorter
+// than the phase count extend with their last value.
+func CostPhased(n Node, mems []float64) float64 {
+	if len(mems) == 0 {
+		panic("plan: CostPhased with no memory values")
+	}
+	memAt := func(i int) float64 {
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(mems) {
+			i = len(mems) - 1
+		}
+		return mems[i]
+	}
+	total := 0.0
+	joinIdx := 0
+	Walk(n, func(m Node) {
+		switch v := m.(type) {
+		case *Scan:
+			total += v.AccessCost()
+		case *Join:
+			total += cost.JoinCost(v.Method, v.Left.OutPages(), v.Right.OutPages(), memAt(joinIdx))
+			joinIdx++
+		case *Sort:
+			if !SatisfiesOrder(v.Input, v.Key_) {
+				total += cost.SortCost(v.Input.OutPages(), memAt(joinIdx-1))
+			}
+		case *Aggregate:
+			total += v.AggCost(memAt(joinIdx - 1))
+		default:
+			panic(fmt.Sprintf("plan: unknown node type %T", m))
+		}
+	})
+	return total
+}
+
+// ExpCost returns E[Φ(p, M)] for a static memory distribution: the expected
+// cost a LEC optimizer minimizes when memory is the only uncertain
+// parameter and does not change during execution.
+func ExpCost(n Node, dm *stats.Dist) float64 {
+	return dm.Expect(func(mem float64) float64 { return Cost(n, mem) })
+}
+
+// ExpCostPhased returns E[Φ(p, V)] when phase k's memory follows
+// phaseDists[k] (marginally). Because the total cost is the sum of
+// per-phase costs and expectation distributes over addition (the identity
+// behind Theorem 3.3/3.4), only the marginal distribution of each phase
+// matters — the joint dependence structure across phases does not.
+func ExpCostPhased(n Node, phaseDists []*stats.Dist) float64 {
+	if len(phaseDists) == 0 {
+		panic("plan: ExpCostPhased with no distributions")
+	}
+	distAt := func(i int) *stats.Dist {
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(phaseDists) {
+			i = len(phaseDists) - 1
+		}
+		return phaseDists[i]
+	}
+	total := 0.0
+	joinIdx := 0
+	Walk(n, func(m Node) {
+		switch v := m.(type) {
+		case *Scan:
+			total += v.AccessCost()
+		case *Join:
+			total += cost.ExpJoinCostMem(v.Method, v.Left.OutPages(), v.Right.OutPages(), distAt(joinIdx))
+			joinIdx++
+		case *Sort:
+			if !SatisfiesOrder(v.Input, v.Key_) {
+				pages := v.Input.OutPages()
+				total += distAt(joinIdx - 1).Expect(func(mem float64) float64 {
+					return cost.SortCost(pages, mem)
+				})
+			}
+		case *Aggregate:
+			total += distAt(joinIdx - 1).Expect(v.AggCost)
+		}
+	})
+	return total
+}
+
+// CostVariance returns (E[Φ], Var[Φ]) for a static memory distribution.
+// Variance is the risk measure of the 2002 follow-up analysis: two plans
+// with equal expected cost can carry very different risk.
+func CostVariance(n Node, dm *stats.Dist) (mean, variance float64) {
+	return dm.ExpectVariance(func(mem float64) float64 { return Cost(n, mem) })
+}
+
+// CostTailProb returns Pr[Φ(p, M) > t] under a static memory distribution.
+func CostTailProb(n Node, dm *stats.Dist, t float64) float64 {
+	return dm.PrTail(func(mem float64) float64 { return Cost(n, mem) }, t)
+}

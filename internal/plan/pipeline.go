@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+// This file refines the paper's phase model per its own §4 caveat: "we made
+// the simplifying assumption that no change occurs during any one join
+// 'phase' ... pipelined joins should be treated together as a single phase
+// while other algorithms (like a sort-merge join) may involve multiple
+// phases." Here, nested-loop joins (page and block variants) are pipelining
+// — their outer input streams through without materialization — so a run of
+// consecutive pipelining joins executes inside one phase; sort-merge and
+// Grace hash are blocking and open a new phase.
+
+// Blocking reports whether the join method materializes/reorganizes its
+// inputs (ending a pipeline).
+func Blocking(m cost.Method) bool {
+	return m == cost.SortMerge || m == cost.GraceHash
+}
+
+// PipelinePhases returns, for each join of the plan in post-order, the
+// phase it executes in under the pipeline-aware model. The first join is
+// phase 0; each subsequent blocking join starts a new phase, while
+// pipelining joins continue the current one.
+func PipelinePhases(n Node) []int {
+	var phases []int
+	cur := 0
+	Walk(n, func(m Node) {
+		j, ok := m.(*Join)
+		if !ok {
+			return
+		}
+		if len(phases) == 0 {
+			phases = append(phases, 0)
+			return
+		}
+		if Blocking(j.Method) {
+			cur++
+		}
+		phases = append(phases, cur)
+	})
+	return phases
+}
+
+// NumPipelinePhases returns the number of distinct phases under the
+// pipeline-aware model (at least 1 for plans with any join).
+func NumPipelinePhases(n Node) int {
+	p := PipelinePhases(n)
+	if len(p) == 0 {
+		return 1
+	}
+	return p[len(p)-1] + 1
+}
+
+// CostPipelined evaluates Φ(p, v) with per-phase memory under the
+// pipeline-aware phase model: mems[k] is the memory during pipeline phase
+// k. A final sort belongs to the last phase.
+func CostPipelined(n Node, mems []float64) float64 {
+	if len(mems) == 0 {
+		panic("plan: CostPipelined with no memory values")
+	}
+	phases := PipelinePhases(n)
+	memAt := func(i int) float64 {
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(mems) {
+			i = len(mems) - 1
+		}
+		return mems[i]
+	}
+	total := 0.0
+	joinIdx := 0
+	Walk(n, func(m Node) {
+		switch v := m.(type) {
+		case *Scan:
+			total += v.AccessCost()
+		case *Join:
+			total += cost.JoinCost(v.Method, v.Left.OutPages(), v.Right.OutPages(), memAt(phases[joinIdx]))
+			joinIdx++
+		case *Sort:
+			if !SatisfiesOrder(v.Input, v.Key_) {
+				last := 0
+				if len(phases) > 0 {
+					last = phases[len(phases)-1]
+				}
+				total += cost.SortCost(v.Input.OutPages(), memAt(last))
+			}
+		}
+	})
+	return total
+}
+
+// ExpCostPipelined returns E[Φ] when pipeline phase k's memory follows
+// phaseDists[k] marginally. As with ExpCostPhased, additivity means only
+// the per-phase marginals matter.
+func ExpCostPipelined(n Node, phaseDists []*stats.Dist) float64 {
+	if len(phaseDists) == 0 {
+		panic("plan: ExpCostPipelined with no distributions")
+	}
+	phases := PipelinePhases(n)
+	distAt := func(i int) *stats.Dist {
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(phaseDists) {
+			i = len(phaseDists) - 1
+		}
+		return phaseDists[i]
+	}
+	total := 0.0
+	joinIdx := 0
+	Walk(n, func(m Node) {
+		switch v := m.(type) {
+		case *Scan:
+			total += v.AccessCost()
+		case *Join:
+			total += cost.ExpJoinCostMem(v.Method, v.Left.OutPages(), v.Right.OutPages(), distAt(phases[joinIdx]))
+			joinIdx++
+		case *Sort:
+			if !SatisfiesOrder(v.Input, v.Key_) {
+				last := 0
+				if len(phases) > 0 {
+					last = phases[len(phases)-1]
+				}
+				pages := v.Input.OutPages()
+				total += distAt(last).Expect(func(mem float64) float64 {
+					return cost.SortCost(pages, mem)
+				})
+			}
+		}
+	})
+	return total
+}

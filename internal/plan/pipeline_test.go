@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// chainPlan builds a left-deep three-join plan with the given methods.
+func chainPlan(methods ...cost.Method) Node {
+	cur := Node(scanNode("t0", 0, 10000))
+	for i, m := range methods {
+		right := scanNode("t"+string(rune('1'+i)), i+1, 5000)
+		cur = &Join{Left: cur, Right: right, Method: m, Pages: 2000, Rows: 20000}
+	}
+	return cur
+}
+
+func TestBlocking(t *testing.T) {
+	if !Blocking(cost.SortMerge) || !Blocking(cost.GraceHash) {
+		t.Error("SM/GH not blocking")
+	}
+	if Blocking(cost.NestedLoop) || Blocking(cost.BlockNL) {
+		t.Error("NL/BNL blocking")
+	}
+}
+
+func TestPipelinePhasesAssignment(t *testing.T) {
+	cases := []struct {
+		methods []cost.Method
+		want    []int
+	}{
+		// All blocking: each join its own phase.
+		{[]cost.Method{cost.SortMerge, cost.GraceHash, cost.SortMerge}, []int{0, 1, 2}},
+		// All pipelining: one phase.
+		{[]cost.Method{cost.NestedLoop, cost.BlockNL, cost.NestedLoop}, []int{0, 0, 0}},
+		// Mixed: pipelining joins ride their predecessor's phase.
+		{[]cost.Method{cost.SortMerge, cost.NestedLoop, cost.GraceHash}, []int{0, 0, 1}},
+		{[]cost.Method{cost.NestedLoop, cost.SortMerge, cost.NestedLoop}, []int{0, 1, 1}},
+	}
+	for _, tc := range cases {
+		p := chainPlan(tc.methods...)
+		got := PipelinePhases(p)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%v: phases %v", tc.methods, got)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v: phases %v, want %v", tc.methods, got, tc.want)
+				break
+			}
+		}
+		if NumPipelinePhases(p) != tc.want[len(tc.want)-1]+1 {
+			t.Errorf("%v: NumPipelinePhases = %d", tc.methods, NumPipelinePhases(p))
+		}
+	}
+	// No joins: one phase.
+	if NumPipelinePhases(scanNode("t", 0, 10)) != 1 {
+		t.Error("scan-only plan phase count wrong")
+	}
+}
+
+func TestCostPipelinedVsPerJoin(t *testing.T) {
+	// An all-pipelining plan sees only mems[0] under the pipeline model,
+	// but mems[0..2] under the per-join model.
+	p := chainPlan(cost.NestedLoop, cost.NestedLoop, cost.NestedLoop)
+	rich, poor := 100000.0, 10.0
+	pipe := CostPipelined(p, []float64{rich, poor, poor})
+	perJoin := CostPhased(p, []float64{rich, poor, poor})
+	if pipe >= perJoin {
+		t.Errorf("pipeline model %v should be cheaper than per-join %v (later joins keep the rich phase)", pipe, perJoin)
+	}
+	// With one memory value the two models agree.
+	if CostPipelined(p, []float64{500}) != CostPhased(p, []float64{500}) {
+		t.Error("single-memory pipeline cost differs from per-join")
+	}
+	// All-blocking plans agree phase-for-phase.
+	pb := chainPlan(cost.SortMerge, cost.SortMerge, cost.SortMerge)
+	mems := []float64{5000, 300, 40}
+	if CostPipelined(pb, mems) != CostPhased(pb, mems) {
+		t.Error("all-blocking plan: models disagree")
+	}
+}
+
+func TestExpCostPipelined(t *testing.T) {
+	p := chainPlan(cost.SortMerge, cost.NestedLoop, cost.GraceHash)
+	d0 := stats.MustNew([]float64{100, 5000}, []float64{0.5, 0.5})
+	d1 := stats.Point(5000)
+	got := ExpCostPipelined(p, []*stats.Dist{d0, d1})
+	// Manual: phase 0 covers joins 0 and 1, phase 1 covers join 2.
+	want := 0.5*CostPipelined(p, []float64{100, 5000}) + 0.5*CostPipelined(p, []float64{5000, 5000})
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpCostPipelined = %v, want %v", got, want)
+	}
+}
+
+func TestPipelinedPanicsOnEmpty(t *testing.T) {
+	p := chainPlan(cost.SortMerge)
+	for _, f := range []func(){
+		func() { CostPipelined(p, nil) },
+		func() { ExpCostPipelined(p, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on empty memory list")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPipelinedSortUsesLastPhase(t *testing.T) {
+	inner := chainPlan(cost.GraceHash, cost.NestedLoop)
+	s := &Sort{Input: inner, Key_: sortKeyOf()}
+	// Phase of the sort = last join's phase = 0 (GH starts phase 0, NL
+	// rides it). With a rich phase-0 distribution the sort is free.
+	rich := CostPipelined(s, []float64{1e6})
+	inOnly := CostPipelined(inner, []float64{1e6})
+	if rich != inOnly {
+		t.Errorf("in-memory sort charged: %v vs %v", rich, inOnly)
+	}
+	poor := CostPipelined(s, []float64{20})
+	if poor <= CostPipelined(inner, []float64{20}) {
+		t.Error("spilling sort not charged")
+	}
+}
+
+func sortKeyOf() query.ColumnRef { return query.ColumnRef{Table: "t0", Column: "k"} }

@@ -1,0 +1,363 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// scanNode builds a simple sequential scan leaf.
+func scanNode(table string, idx int, pages float64) *Scan {
+	return &Scan{
+		Table:       table,
+		RelIdx:      idx,
+		Method:      SeqScan,
+		BasePages:   pages,
+		BaseRows:    pages * 10,
+		Selectivity: 1,
+		Pages:       pages,
+		Rows:        pages * 10,
+	}
+}
+
+// example11Plans builds the two plans of paper Example 1.1 over
+// A (1,000,000 pages) and B (400,000 pages), result 3000 pages, result
+// ordered by the join column.
+func example11Plans() (plan1, plan2 Node) {
+	a := scanNode("A", 0, 1_000_000)
+	b := scanNode("B", 1, 400_000)
+	pred := query.JoinPred{
+		Left:        query.ColumnRef{Table: "A", Column: "k"},
+		Right:       query.ColumnRef{Table: "B", Column: "k"},
+		Selectivity: 1e-9,
+	}
+	smJoin := &Join{
+		Left: a, Right: b, Method: cost.SortMerge,
+		Preds: []query.JoinPred{pred}, Selectivity: pred.Selectivity,
+		Pages: 3000, Rows: 30000,
+	}
+	// Plan 1: sort-merge; output already ordered on the join column, so the
+	// enforcing Sort is free.
+	plan1 = &Sort{Input: smJoin, Key_: pred.Left}
+
+	a2 := scanNode("A", 0, 1_000_000)
+	b2 := scanNode("B", 1, 400_000)
+	ghJoin := &Join{
+		Left: a2, Right: b2, Method: cost.GraceHash,
+		Preds: []query.JoinPred{pred}, Selectivity: pred.Selectivity,
+		Pages: 3000, Rows: 30000,
+	}
+	plan2 = &Sort{Input: ghJoin, Key_: pred.Left}
+	return plan1, plan2
+}
+
+func TestScanNodeBasics(t *testing.T) {
+	s := scanNode("t", 2, 100)
+	if s.OutPages() != 100 || s.OutRows() != 1000 {
+		t.Errorf("OutPages/OutRows = %v/%v", s.OutPages(), s.OutRows())
+	}
+	if !s.OutDist().IsPoint() || s.OutDist().Mean() != 100 {
+		t.Errorf("OutDist = %v", s.OutDist())
+	}
+	if s.Rels() != query.NewRelSet(2) {
+		t.Errorf("Rels = %v", s.Rels())
+	}
+	if s.OrderedOn() != nil {
+		t.Error("seq scan claims order")
+	}
+	if s.Key() != "seq:t" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	if s.AccessCost() != 100 {
+		t.Errorf("AccessCost = %v", s.AccessCost())
+	}
+}
+
+func TestIndexScanNode(t *testing.T) {
+	s := &Scan{
+		Table: "t", RelIdx: 0, Method: IndexScan, Index: "t_pk",
+		IndexClustered: true, IndexHeight: 3,
+		BasePages: 1000, BaseRows: 10000, Selectivity: 0.1,
+		Pages: 100, Rows: 1000,
+		SortedOn: []query.ColumnRef{{Table: "t", Column: "id"}},
+	}
+	if got := s.AccessCost(); got != 3+100 {
+		t.Errorf("AccessCost = %v", got)
+	}
+	if s.Key() != "ix:t/t_pk" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	if !SatisfiesOrder(s, query.ColumnRef{Table: "t", Column: "id"}) {
+		t.Error("clustered index scan order not reported")
+	}
+	if SatisfiesOrder(s, query.ColumnRef{Table: "t", Column: "other"}) {
+		t.Error("wrong column satisfied")
+	}
+}
+
+func TestJoinNodeProperties(t *testing.T) {
+	plan1, _ := example11Plans()
+	sortNode := plan1.(*Sort)
+	join := sortNode.Input.(*Join)
+	if join.Rels() != query.NewRelSet(0, 1) {
+		t.Errorf("join Rels = %v", join.Rels())
+	}
+	// Sort-merge output ordered on both join columns.
+	ord := join.OrderedOn()
+	if len(ord) != 2 {
+		t.Fatalf("OrderedOn = %v", ord)
+	}
+	if !SatisfiesOrder(join, query.ColumnRef{Table: "A", Column: "k"}) ||
+		!SatisfiesOrder(join, query.ColumnRef{Table: "B", Column: "k"}) {
+		t.Error("join order columns wrong")
+	}
+	if !strings.Contains(join.Key(), "sort-merge(") {
+		t.Errorf("Key = %q", join.Key())
+	}
+	// Grace hash output unordered.
+	gh := &Join{Left: scanNode("x", 0, 10), Right: scanNode("y", 1, 10), Method: cost.GraceHash}
+	if gh.OrderedOn() != nil {
+		t.Error("grace hash claims order")
+	}
+	// Sort-merge with no predicates (cross product) claims no order.
+	sm := &Join{Left: scanNode("x", 0, 10), Right: scanNode("y", 1, 10), Method: cost.SortMerge}
+	if sm.OrderedOn() != nil {
+		t.Error("predicate-less sort-merge claims order")
+	}
+}
+
+func TestSortNodeProperties(t *testing.T) {
+	s := &Sort{Input: scanNode("t", 0, 50), Key_: query.ColumnRef{Table: "t", Column: "v"}}
+	if s.OutPages() != 50 || s.OutRows() != 500 {
+		t.Error("Sort size passthrough wrong")
+	}
+	if !SatisfiesOrder(s, query.ColumnRef{Table: "t", Column: "v"}) {
+		t.Error("Sort order not reported")
+	}
+	if !strings.Contains(s.Key(), "sort[t.v]") {
+		t.Errorf("Key = %q", s.Key())
+	}
+	if s.Rels() != query.NewRelSet(0) {
+		t.Errorf("Rels = %v", s.Rels())
+	}
+}
+
+func TestNumJoinsAndWalkOrder(t *testing.T) {
+	plan1, _ := example11Plans()
+	if got := NumJoins(plan1); got != 1 {
+		t.Errorf("NumJoins = %d", got)
+	}
+	// Walk visits children before parents.
+	var kinds []string
+	Walk(plan1, func(n Node) {
+		switch n.(type) {
+		case *Scan:
+			kinds = append(kinds, "scan")
+		case *Join:
+			kinds = append(kinds, "join")
+		case *Sort:
+			kinds = append(kinds, "sort")
+		}
+	})
+	want := []string{"scan", "scan", "join", "sort"}
+	if len(kinds) != len(want) {
+		t.Fatalf("Walk visited %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("Walk order %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestCostExample11 reproduces the cost numbers behind Example 1.1 and is
+// the foundation of experiment E1.
+func TestCostExample11(t *testing.T) {
+	plan1, plan2 := example11Plans()
+	const scans = 1_400_000.0 // both plans read A and B once
+	// At 2000 pages: plan 1 = scans + 2·1.4M (sort is free: already
+	// ordered); plan 2 = scans + 2·1.4M + sort(3000 pages).
+	if got := Cost(plan1, 2000); got != scans+2*1_400_000 {
+		t.Errorf("plan1 at 2000 = %v", got)
+	}
+	if got := Cost(plan2, 2000); got != scans+2*1_400_000+6000 {
+		t.Errorf("plan2 at 2000 = %v", got)
+	}
+	// At 700 pages: plan 1 pays 4 passes; plan 2 still 2 (700 > √400000).
+	if got := Cost(plan1, 700); got != scans+4*1_400_000 {
+		t.Errorf("plan1 at 700 = %v", got)
+	}
+	if got := Cost(plan2, 700); got != scans+2*1_400_000+6000 {
+		t.Errorf("plan2 at 700 = %v", got)
+	}
+	// Expected cost under the 80/20 distribution: plan 2 wins.
+	dm := stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})
+	e1, e2 := ExpCost(plan1, dm), ExpCost(plan2, dm)
+	if e2 >= e1 {
+		t.Errorf("E[plan2] = %v not below E[plan1] = %v", e2, e1)
+	}
+	// LSC at the mode (2000) prefers plan 1 — the paper's trap.
+	if Cost(plan1, 2000) >= Cost(plan2, 2000) {
+		t.Error("plan1 not cheaper at the mode")
+	}
+}
+
+func TestExpCostMatchesManualSum(t *testing.T) {
+	plan1, _ := example11Plans()
+	dm := stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})
+	want := 0.2*Cost(plan1, 700) + 0.8*Cost(plan1, 2000)
+	if got := ExpCost(plan1, dm); math.Abs(got-want) > 1e-6 {
+		t.Errorf("ExpCost = %v, want %v", got, want)
+	}
+}
+
+func TestCostPhased(t *testing.T) {
+	// Two-join left-deep plan; phase 0 is the bottom join.
+	a, b, c := scanNode("a", 0, 100_000), scanNode("b", 1, 40_000), scanNode("c", 2, 1000)
+	j1 := &Join{Left: a, Right: b, Method: cost.SortMerge, Pages: 500, Rows: 5000}
+	j2 := &Join{Left: j1, Right: c, Method: cost.SortMerge, Pages: 100, Rows: 1000}
+	scans := 141_000.0
+
+	// Plenty of memory in both phases: 2 passes each.
+	rich := CostPhased(j2, []float64{5000, 5000})
+	wantRich := scans + 2*(140_000) + 2*(1500)
+	if rich != wantRich {
+		t.Errorf("rich phases = %v, want %v", rich, wantRich)
+	}
+	// Tight memory in phase 0 only: the bottom join pays 4 passes, the top
+	// join still 2.
+	mixed := CostPhased(j2, []float64{200, 5000})
+	wantMixed := scans + 4*(140_000) + 2*(1500)
+	if mixed != wantMixed {
+		t.Errorf("mixed phases = %v, want %v", mixed, wantMixed)
+	}
+	// Short sequences extend with the last value.
+	if got := CostPhased(j2, []float64{5000}); got != rich {
+		t.Errorf("extended phases = %v, want %v", got, rich)
+	}
+	// Static Cost is the single-phase special case.
+	if Cost(j2, 5000) != rich {
+		t.Error("Cost != CostPhased with constant memory")
+	}
+}
+
+func TestCostPhasedPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty phase list")
+		}
+	}()
+	CostPhased(scanNode("t", 0, 10), nil)
+}
+
+func TestExpCostPhased(t *testing.T) {
+	a, b, c := scanNode("a", 0, 100_000), scanNode("b", 1, 40_000), scanNode("c", 2, 1000)
+	j1 := &Join{Left: a, Right: b, Method: cost.SortMerge, Pages: 500, Rows: 5000}
+	j2 := &Join{Left: j1, Right: c, Method: cost.SortMerge, Pages: 100, Rows: 1000}
+	d0 := stats.MustNew([]float64{200, 5000}, []float64{0.5, 0.5})
+	d1 := stats.Point(5000)
+	got := ExpCostPhased(j2, []*stats.Dist{d0, d1})
+	want := 0.5*CostPhased(j2, []float64{200, 5000}) + 0.5*CostPhased(j2, []float64{5000, 5000})
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("ExpCostPhased = %v, want %v", got, want)
+	}
+	// Single distribution applies to all phases (static case).
+	gotStatic := ExpCostPhased(j2, []*stats.Dist{d0})
+	wantStatic := ExpCost(j2, d0)
+	if math.Abs(gotStatic-wantStatic) > 1e-6 {
+		t.Errorf("static ExpCostPhased = %v, want %v", gotStatic, wantStatic)
+	}
+}
+
+func TestExpCostPhasedPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty distribution list")
+		}
+	}()
+	ExpCostPhased(scanNode("t", 0, 10), nil)
+}
+
+func TestCostVarianceAndTail(t *testing.T) {
+	plan1, plan2 := example11Plans()
+	dm := stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})
+	_, v1 := CostVariance(plan1, dm)
+	_, v2 := CostVariance(plan2, dm)
+	// Plan 1's cost varies across the two memory values; plan 2's does not.
+	if v1 <= 0 {
+		t.Errorf("plan1 variance = %v, want > 0", v1)
+	}
+	if v2 != 0 {
+		t.Errorf("plan2 variance = %v, want 0", v2)
+	}
+	// Tail: plan 1 exceeds 5M pages of I/O exactly when memory is 700.
+	if got := CostTailProb(plan1, dm, 5_000_000); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("plan1 tail = %v, want 0.2", got)
+	}
+	if got := CostTailProb(plan2, dm, 5_000_000); got != 0 {
+		t.Errorf("plan2 tail = %v, want 0", got)
+	}
+}
+
+func TestSortCostChargedWhenOrderMissing(t *testing.T) {
+	// Sorting an unordered join output costs I/O when it spills.
+	gh := &Join{
+		Left: scanNode("a", 0, 100), Right: scanNode("b", 1, 100),
+		Method: cost.GraceHash, Pages: 5000, Rows: 50000,
+		Preds: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "a", Column: "k"},
+			Right:       query.ColumnRef{Table: "b", Column: "k"},
+			Selectivity: 0.1,
+		}},
+	}
+	s := &Sort{Input: gh, Key_: query.ColumnRef{Table: "a", Column: "k"}}
+	withSort := Cost(s, 100)
+	withoutSort := Cost(gh, 100)
+	if withSort <= withoutSort {
+		t.Errorf("sort free despite unordered input: %v vs %v", withSort, withoutSort)
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	plan1, _ := example11Plans()
+	out := Explain(plan1)
+	for _, want := range []string{"sort by A.k", "sort-merge join", "seq-scan A", "seq-scan B", "A.k = B.k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+	ix := &Scan{Table: "t", Method: IndexScan, Index: "t_pk", Pages: 10, Rows: 100,
+		Filters: []query.Selection{{Col: query.ColumnRef{Table: "t", Column: "v"}, Selectivity: 0.5}}}
+	out = Explain(ix)
+	if !strings.Contains(out, "using t_pk") || !strings.Contains(out, "filtered") {
+		t.Errorf("index scan Explain missing details:\n%s", out)
+	}
+}
+
+func TestScanMethodString(t *testing.T) {
+	if SeqScan.String() != "seq-scan" || IndexScan.String() != "index-scan" {
+		t.Error("ScanMethod strings wrong")
+	}
+	if ScanMethod(9).String() == "" {
+		t.Error("unknown ScanMethod empty")
+	}
+}
+
+func TestExplainCosts(t *testing.T) {
+	plan1, _ := example11Plans()
+	dm := stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})
+	out := ExplainCosts(plan1, dm)
+	for _, want := range []string{"E[cost]", "sort-merge join", "seq-scan A", "E[cost] 1000000", "E[cost] 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainCosts missing %q:\n%s", want, out)
+		}
+	}
+	// The join's expected cost: 0.8·2.8M + 0.2·5.6M = 3.36M.
+	if !strings.Contains(out, "E[cost] 3360000") {
+		t.Errorf("join expected cost missing:\n%s", out)
+	}
+}

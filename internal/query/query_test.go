@@ -1,0 +1,196 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/stats"
+)
+
+// testCatalog builds a three-table catalog for query validation tests.
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	for _, spec := range []struct {
+		name  string
+		pages float64
+	}{{"a", 1000}, {"b", 400}, {"c", 50}} {
+		cat.MustAdd(&catalog.Table{
+			Name:  spec.name,
+			Rows:  int64(spec.pages * 10),
+			Pages: spec.pages,
+			Columns: []*catalog.Column{
+				{Name: "id", Distinct: int64(spec.pages * 10)},
+				{Name: "fk", Distinct: 100},
+				{Name: "val", Distinct: 50, Min: 0, Max: 100},
+			},
+		})
+	}
+	return cat
+}
+
+// chainQuery returns a ⋈ b ⋈ c along a chain.
+func chainQuery() *SPJ {
+	return &SPJ{
+		Tables: []string{"a", "b", "c"},
+		Joins: []JoinPred{
+			{Left: ColumnRef{"a", "id"}, Right: ColumnRef{"b", "fk"}, Selectivity: 0.001},
+			{Left: ColumnRef{"b", "id"}, Right: ColumnRef{"c", "fk"}, Selectivity: 0.01},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodQuery(t *testing.T) {
+	q := chainQuery()
+	q.Selections = []Selection{{Col: ColumnRef{"a", "val"}, Op: LT, Value: 10, Selectivity: 0.1}}
+	q.Projection = []ColumnRef{{"a", "id"}}
+	ob := ColumnRef{"b", "id"}
+	q.OrderBy = &ob
+	if err := q.Validate(testCatalog()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cat := testCatalog()
+	cases := []struct {
+		name string
+		mut  func(*SPJ)
+	}{
+		{"no tables", func(q *SPJ) { q.Tables = nil }},
+		{"unknown table", func(q *SPJ) { q.Tables[0] = "ghost" }},
+		{"duplicate table", func(q *SPJ) { q.Tables[1] = "a" }},
+		{"unknown join column", func(q *SPJ) { q.Joins[0].Left.Column = "ghost" }},
+		{"join table not in FROM", func(q *SPJ) { q.Joins[0].Left.Table = "zzz" }},
+		{"self join pred", func(q *SPJ) { q.Joins[0].Right.Table = "a"; q.Joins[0].Right.Column = "fk" }},
+		{"zero selectivity", func(q *SPJ) { q.Joins[0].Selectivity = 0 }},
+		{"selectivity above 1", func(q *SPJ) { q.Joins[0].Selectivity = 1.5 }},
+		{"bad selection column", func(q *SPJ) {
+			q.Selections = []Selection{{Col: ColumnRef{"a", "ghost"}, Selectivity: 0.5}}
+		}},
+		{"bad selection selectivity", func(q *SPJ) {
+			q.Selections = []Selection{{Col: ColumnRef{"a", "val"}, Selectivity: 0}}
+		}},
+		{"bad projection", func(q *SPJ) { q.Projection = []ColumnRef{{"a", "ghost"}} }},
+		{"bad order by", func(q *SPJ) { ob := ColumnRef{"ghost", "id"}; q.OrderBy = &ob }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := chainQuery()
+			tc.mut(q)
+			if err := q.Validate(cat); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestTableIndex(t *testing.T) {
+	q := chainQuery()
+	if q.TableIndex("b") != 1 || q.TableIndex("ghost") != -1 {
+		t.Error("TableIndex wrong")
+	}
+	if q.NumRels() != 3 {
+		t.Errorf("NumRels = %d", q.NumRels())
+	}
+}
+
+func TestJoinsBetweenAndStepSelectivity(t *testing.T) {
+	q := chainQuery()
+	// Joining c (index 2) into {a}: no predicate connects them directly.
+	if got := q.JoinsBetween(NewRelSet(0), 2); len(got) != 0 {
+		t.Errorf("JoinsBetween({a}, c) = %v", got)
+	}
+	if got := q.StepSelectivity(NewRelSet(0), 2); got != 1 {
+		t.Errorf("cross-product selectivity = %v, want 1", got)
+	}
+	// Joining b into {a}: one predicate.
+	if got := q.JoinsBetween(NewRelSet(0), 1); len(got) != 1 {
+		t.Errorf("JoinsBetween({a}, b) = %v", got)
+	}
+	if got := q.StepSelectivity(NewRelSet(0), 1); got != 0.001 {
+		t.Errorf("StepSelectivity = %v", got)
+	}
+	// Joining b into {a, c}: both predicates apply (product).
+	if got := q.StepSelectivity(NewRelSet(0, 2), 1); math.Abs(got-0.001*0.01) > 1e-15 {
+		t.Errorf("StepSelectivity({a,c}, b) = %v", got)
+	}
+}
+
+func TestStepSelectivityDist(t *testing.T) {
+	q := chainQuery()
+	q.Joins[0].SelDist = stats.MustNew([]float64{0.0005, 0.0015}, []float64{0.5, 0.5})
+	d := q.StepSelectivityDist(NewRelSet(0), 1, 0)
+	if d.Len() != 2 {
+		t.Fatalf("dist = %v", d)
+	}
+	if math.Abs(d.Mean()-0.001) > 1e-12 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	// No connecting predicates: point 1.
+	if d := q.StepSelectivityDist(NewRelSet(0), 2, 0); !d.IsPoint() || d.Mean() != 1 {
+		t.Errorf("cross dist = %v", d)
+	}
+	// Budget caps the support size.
+	q.Joins[1].SelDist = stats.MustNew([]float64{0.005, 0.015}, []float64{0.5, 0.5})
+	d = q.StepSelectivityDist(NewRelSet(0, 2), 1, 2)
+	if d.Len() > 2 {
+		t.Errorf("budgeted dist has %d points", d.Len())
+	}
+}
+
+func TestConnected(t *testing.T) {
+	q := chainQuery()
+	if !q.Connected(NewRelSet(0, 1)) || !q.Connected(NewRelSet(0, 1, 2)) {
+		t.Error("chain reported disconnected")
+	}
+	// a and c are not directly joined.
+	if q.Connected(NewRelSet(0, 2)) {
+		t.Error("{a,c} reported connected")
+	}
+	if !q.Connected(NewRelSet(1)) || !q.Connected(EmptySet) {
+		t.Error("trivial sets reported disconnected")
+	}
+}
+
+func TestSelectionsOnAndLocalSelectivity(t *testing.T) {
+	q := chainQuery()
+	q.Selections = []Selection{
+		{Col: ColumnRef{"a", "val"}, Op: LT, Value: 10, Selectivity: 0.1},
+		{Col: ColumnRef{"a", "id"}, Op: GT, Value: 5, Selectivity: 0.5},
+		{Col: ColumnRef{"b", "val"}, Op: EQ, Value: 7, Selectivity: 0.02},
+	}
+	if got := len(q.SelectionsOn("a")); got != 2 {
+		t.Errorf("SelectionsOn(a) = %d", got)
+	}
+	if got := q.LocalSelectivity("a"); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("LocalSelectivity(a) = %v", got)
+	}
+	if got := q.LocalSelectivity("c"); got != 1 {
+		t.Errorf("LocalSelectivity(c) = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := chainQuery()
+	s := q.String()
+	for _, want := range []string{"SELECT *", "FROM a, b, c", "a.id = b.fk"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	q.Projection = []ColumnRef{{"a", "id"}, {"b", "fk"}}
+	ob := ColumnRef{"a", "id"}
+	q.OrderBy = &ob
+	q.Selections = []Selection{{Col: ColumnRef{"a", "val"}, Op: LE, Value: 3, Selectivity: 0.5}}
+	s = q.String()
+	for _, want := range []string{"a.id, b.fk", "ORDER BY a.id", "a.val <= 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if CmpOp(99).String() == "" || EQ.String() != "=" || LT.String() != "<" || GT.String() != ">" || GE.String() != ">=" {
+		t.Error("CmpOp strings wrong")
+	}
+}

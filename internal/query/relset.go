@@ -1,0 +1,136 @@
+// Package query models the SELECT-PROJECT-JOIN (SPJ) query blocks the
+// optimizer works on (paper §2.1), together with the relation-subset
+// machinery the System R dynamic program is built from (paper §2.2: "each
+// node in the dag is labeled by a subset S of {1, ..., n}").
+package query
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxRels bounds the number of relations in one SPJ block. The System R
+// lattice has 2^n nodes, so n stays small in practice (the paper: "n is
+// usually small enough in practice to make this approach feasible").
+const MaxRels = 30
+
+// RelSet is a bitmask over relation indexes 0..MaxRels-1, identifying a
+// node of the System R subset lattice.
+type RelSet uint32
+
+// EmptySet is the lattice root.
+const EmptySet RelSet = 0
+
+// NewRelSet builds a set from the given indexes.
+func NewRelSet(idxs ...int) RelSet {
+	var s RelSet
+	for _, i := range idxs {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// FullSet returns {0, ..., n-1}.
+func FullSet(n int) RelSet {
+	if n <= 0 {
+		return 0
+	}
+	return RelSet(1<<uint(n)) - 1
+}
+
+// Has reports whether relation i is in the set.
+func (s RelSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Add returns s ∪ {i}.
+func (s RelSet) Add(i int) RelSet { return s | (1 << uint(i)) }
+
+// Without returns s \ {i}.
+func (s RelSet) Without(i int) RelSet { return s &^ (1 << uint(i)) }
+
+// Union returns s ∪ t.
+func (s RelSet) Union(t RelSet) RelSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s RelSet) Intersect(t RelSet) RelSet { return s & t }
+
+// Disjoint reports whether s ∩ t = ∅.
+func (s RelSet) Disjoint(t RelSet) bool { return s&t == 0 }
+
+// Contains reports whether t ⊆ s.
+func (s RelSet) Contains(t RelSet) bool { return s&t == t }
+
+// Len returns |s|.
+func (s RelSet) Len() int { return bits.OnesCount32(uint32(s)) }
+
+// Empty reports whether the set is empty.
+func (s RelSet) Empty() bool { return s == 0 }
+
+// Members returns the indexes in ascending order.
+func (s RelSet) Members() []int {
+	out := make([]int, 0, s.Len())
+	for t := s; t != 0; {
+		i := bits.TrailingZeros32(uint32(t))
+		out = append(out, i)
+		t = t.Without(i)
+	}
+	return out
+}
+
+// ForEach calls f for each member in ascending order.
+func (s RelSet) ForEach(f func(i int)) {
+	for t := s; t != 0; {
+		i := bits.TrailingZeros32(uint32(t))
+		f(i)
+		t = t.Without(i)
+	}
+}
+
+// Single returns the sole member of a singleton set; it panics otherwise.
+func (s RelSet) Single() int {
+	if s.Len() != 1 {
+		panic(fmt.Sprintf("query: Single on set of size %d", s.Len()))
+	}
+	return bits.TrailingZeros32(uint32(s))
+}
+
+// SubsetsOfSize calls f for every subset of {0..n-1} with exactly k members,
+// in ascending numeric order. This drives the System R lattice sweep
+// ("the nodes at depth k are labeled by the subsets of cardinality k").
+func SubsetsOfSize(n, k int, f func(RelSet)) {
+	if k < 0 || k > n {
+		return
+	}
+	if k == 0 {
+		f(EmptySet)
+		return
+	}
+	// Gosper's hack: iterate k-bit subsets in increasing numeric order.
+	limit := RelSet(1) << uint(n)
+	v := RelSet(1)<<uint(k) - 1
+	for v < limit {
+		f(v)
+		u := v & -v
+		w := v + u
+		v = w | ((v ^ w) / u >> 2)
+		if u == 0 {
+			break
+		}
+	}
+}
+
+// String renders the set as "{0,2,5}".
+func (s RelSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", i)
+		first = false
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelSetBasics(t *testing.T) {
+	s := NewRelSet(0, 2, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(0) || !s.Has(2) || !s.Has(5) || s.Has(1) {
+		t.Errorf("membership wrong: %v", s)
+	}
+	if got := s.Without(2); got.Has(2) || got.Len() != 2 {
+		t.Errorf("Without(2) = %v", got)
+	}
+	if got := s.Add(2); got != s {
+		t.Errorf("Add existing changed set: %v", got)
+	}
+	if s.Empty() || !EmptySet.Empty() {
+		t.Error("Empty wrong")
+	}
+	if got := s.Members(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("Members = %v", got)
+	}
+	if s.String() != "{0,2,5}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestRelSetAlgebra(t *testing.T) {
+	a := NewRelSet(0, 1)
+	b := NewRelSet(1, 2)
+	if got := a.Union(b); got != NewRelSet(0, 1, 2) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewRelSet(1) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if a.Disjoint(b) {
+		t.Error("Disjoint wrong for overlapping sets")
+	}
+	if !a.Disjoint(NewRelSet(3)) {
+		t.Error("Disjoint wrong for disjoint sets")
+	}
+	if !a.Contains(NewRelSet(0)) || a.Contains(b) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	if FullSet(0) != EmptySet {
+		t.Error("FullSet(0) not empty")
+	}
+	if got := FullSet(3); got != NewRelSet(0, 1, 2) {
+		t.Errorf("FullSet(3) = %v", got)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	if got := NewRelSet(4).Single(); got != 4 {
+		t.Errorf("Single = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Single on non-singleton did not panic")
+		}
+	}()
+	NewRelSet(1, 2).Single()
+}
+
+func TestSubsetsOfSizeCounts(t *testing.T) {
+	// C(n, k) subsets, each of size k, all distinct, ascending order.
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for n := 0; n <= 8; n++ {
+		for k := 0; k <= n; k++ {
+			var got []RelSet
+			SubsetsOfSize(n, k, func(s RelSet) { got = append(got, s) })
+			if len(got) != binom(n, k) {
+				t.Errorf("n=%d k=%d: %d subsets, want %d", n, k, len(got), binom(n, k))
+			}
+			for i, s := range got {
+				if s.Len() != k {
+					t.Errorf("n=%d k=%d: subset %v has size %d", n, k, s, s.Len())
+				}
+				if i > 0 && got[i-1] >= s {
+					t.Errorf("n=%d k=%d: not ascending at %d", n, k, i)
+				}
+			}
+		}
+	}
+	// Out-of-range k yields nothing.
+	called := false
+	SubsetsOfSize(3, 5, func(RelSet) { called = true })
+	SubsetsOfSize(3, -1, func(RelSet) { called = true })
+	if called {
+		t.Error("SubsetsOfSize called f for out-of-range k")
+	}
+}
+
+func TestPropRelSetRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := RelSet(raw) & RelSet(FullSet(MaxRels))
+		rebuilt := NewRelSet(s.Members()...)
+		if rebuilt != s {
+			return false
+		}
+		count := 0
+		s.ForEach(func(int) { count++ })
+		return count == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// Bind resolves an AST against a catalog into a query.SPJ, estimating
+// predicate selectivities:
+//
+//   - join predicates: 1/max(distinct) (System R's classic rule);
+//   - equality selections: the histogram estimate when the column has one,
+//     else 1/distinct;
+//   - range selections: the histogram estimate when available, else the
+//     interpolation against the column's [Min, Max] domain, else the
+//     System R default 1/3.
+//
+// A conjunct written `a.x = b.y` where a and b are the same table is
+// rejected (the model has no same-table column equality), and every
+// referenced table/column must exist.
+func Bind(ast *AST, cat *catalog.Catalog) (*query.SPJ, error) {
+	q := &query.SPJ{Tables: ast.Tables, Aliases: ast.Aliases}
+	if !ast.Star {
+		q.Projection = ast.Columns
+	}
+	q.OrderBy = ast.OrderBy
+	q.GroupBy = ast.GroupBy
+	for _, c := range ast.Conjuncts {
+		if c.IsJoin {
+			if c.Left.Table == c.Right.Table {
+				return nil, fmt.Errorf("sqlparse: same-table equality %s = %s not supported", c.Left, c.Right)
+			}
+			lcol, err := resolve(cat, q, c.Left)
+			if err != nil {
+				return nil, err
+			}
+			rcol, err := resolve(cat, q, c.Right)
+			if err != nil {
+				return nil, err
+			}
+			q.Joins = append(q.Joins, query.JoinPred{
+				Left:        c.Left,
+				Right:       c.Right,
+				Selectivity: catalog.JoinSelectivity(lcol, rcol),
+			})
+			continue
+		}
+		col, err := resolve(cat, q, c.Left)
+		if err != nil {
+			return nil, err
+		}
+		q.Selections = append(q.Selections, query.Selection{
+			Col:         c.Left,
+			Op:          c.Op,
+			Value:       c.Value,
+			Selectivity: selectionSelectivity(col, c.Op, c.Value),
+		})
+	}
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseAndBind is the one-call convenience: SQL text to a validated SPJ.
+func ParseAndBind(sql string, cat *catalog.Catalog) (*query.SPJ, error) {
+	ast, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Bind(ast, cat)
+}
+
+func resolve(cat *catalog.Catalog, q *query.SPJ, ref query.ColumnRef) (*catalog.Column, error) {
+	tab, err := cat.Table(q.BaseTable(ref.Table))
+	if err != nil {
+		return nil, err
+	}
+	col := tab.Column(ref.Column)
+	if col == nil {
+		return nil, fmt.Errorf("sqlparse: unknown column %s", ref)
+	}
+	return col, nil
+}
+
+// clampSel keeps estimates inside the (0, 1] range Validate demands.
+func clampSel(s float64) float64 {
+	if s <= 0 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func selectionSelectivity(col *catalog.Column, op query.CmpOp, v float64) float64 {
+	if col.Hist != nil {
+		switch op {
+		case query.EQ:
+			return clampSel(col.Hist.SelectivityEq(v))
+		case query.LT, query.LE:
+			return clampSel(col.Hist.SelectivityLE(v))
+		case query.GT, query.GE:
+			return clampSel(col.Hist.SelectivityGT(v))
+		}
+	}
+	switch op {
+	case query.EQ:
+		d := col.Distinct
+		if d <= 0 {
+			d = 10
+		}
+		return clampSel(1 / float64(d))
+	default:
+		if col.Max > col.Min {
+			frac := (v - col.Min) / (col.Max - col.Min)
+			if op == query.GT || op == query.GE {
+				frac = 1 - frac
+			}
+			return clampSel(frac)
+		}
+		return 1.0 / 3 // System R's default range selectivity
+	}
+}

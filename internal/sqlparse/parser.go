@@ -1,0 +1,235 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// AST is the parsed but unresolved query.
+type AST struct {
+	// Star is true for SELECT *.
+	Star bool
+	// Columns is the projection list when Star is false.
+	Columns []query.ColumnRef
+	// Tables is the FROM list of range names (aliases where declared).
+	Tables []string
+	// Aliases maps range names to base tables (absent = same name).
+	Aliases map[string]string
+	// Conjuncts are the WHERE predicates.
+	Conjuncts []Conjunct
+	// GroupBy is the optional grouping column.
+	GroupBy *query.ColumnRef
+	// OrderBy is the optional ordering column.
+	OrderBy *query.ColumnRef
+}
+
+// Conjunct is one WHERE predicate: either a column-to-column equality
+// (join) or a column-to-literal comparison (selection).
+type Conjunct struct {
+	Left query.ColumnRef
+	Op   query.CmpOp
+	// IsJoin selects which of Right / Value is meaningful.
+	IsJoin bool
+	Right  query.ColumnRef
+	Value  float64
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !t.isKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("sqlparse: expected %s at offset %d, got %q", k, t.pos, t.text)
+	}
+	return t, nil
+}
+
+// Parse parses one SPJ statement.
+func Parse(sql string) (*AST, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	ast := &AST{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokStar {
+		p.next()
+		ast.Star = true
+	} else {
+		for {
+			col, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			ast.Columns = append(ast.Columns, col)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if isReserved(t.text) {
+			return nil, fmt.Errorf("sqlparse: keyword %q used as table name at offset %d", t.text, t.pos)
+		}
+		name := t.text
+		// Optional alias: FROM orders o.
+		if nxt := p.peek(); nxt.kind == tokIdent && !isReserved(nxt.text) {
+			alias := p.next().text
+			if ast.Aliases == nil {
+				ast.Aliases = make(map[string]string)
+			}
+			ast.Aliases[alias] = name
+			name = alias
+		}
+		ast.Tables = append(ast.Tables, name)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if p.peek().isKeyword("where") {
+		p.next()
+		for {
+			c, err := p.conjunct()
+			if err != nil {
+				return nil, err
+			}
+			ast.Conjuncts = append(ast.Conjuncts, c)
+			if !p.peek().isKeyword("and") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.peek().isKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		ast.GroupBy = &col
+	}
+	if p.peek().isKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		ast.OrderBy = &col
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at offset %d: %q", t.pos, t.text)
+	}
+	return ast, nil
+}
+
+func isReserved(s string) bool {
+	switch {
+	case equalsFold(s, "select"), equalsFold(s, "from"), equalsFold(s, "where"),
+		equalsFold(s, "and"), equalsFold(s, "order"), equalsFold(s, "by"),
+		equalsFold(s, "group"):
+		return true
+	}
+	return false
+}
+
+func equalsFold(a, b string) bool {
+	return token{kind: tokIdent, text: a}.isKeyword(b)
+}
+
+// colRef parses table '.' column.
+func (p *parser) colRef() (query.ColumnRef, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return query.ColumnRef{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return query.ColumnRef{}, fmt.Errorf("sqlparse: column references must be qualified (table.column): %w", err)
+	}
+	c, err := p.expect(tokIdent)
+	if err != nil {
+		return query.ColumnRef{}, err
+	}
+	return query.ColumnRef{Table: t.text, Column: c.text}, nil
+}
+
+// conjunct parses colref op (colref | number).
+func (p *parser) conjunct() (Conjunct, error) {
+	left, err := p.colRef()
+	if err != nil {
+		return Conjunct{}, err
+	}
+	opTok := p.next()
+	var op query.CmpOp
+	switch opTok.kind {
+	case tokEQ:
+		op = query.EQ
+	case tokLT:
+		op = query.LT
+	case tokLE:
+		op = query.LE
+	case tokGT:
+		op = query.GT
+	case tokGE:
+		op = query.GE
+	default:
+		return Conjunct{}, fmt.Errorf("sqlparse: expected comparison operator at offset %d, got %q", opTok.pos, opTok.text)
+	}
+	switch p.peek().kind {
+	case tokNumber:
+		v := p.next()
+		return Conjunct{Left: left, Op: op, Value: v.num}, nil
+	case tokIdent:
+		if op != query.EQ {
+			return Conjunct{}, fmt.Errorf("sqlparse: only equi-joins are supported at offset %d", opTok.pos)
+		}
+		right, err := p.colRef()
+		if err != nil {
+			return Conjunct{}, err
+		}
+		return Conjunct{Left: left, Op: op, IsJoin: true, Right: right}, nil
+	default:
+		t := p.peek()
+		return Conjunct{}, fmt.Errorf("sqlparse: expected column or literal at offset %d, got %q", t.pos, t.text)
+	}
+}

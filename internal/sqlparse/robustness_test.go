@@ -1,0 +1,82 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup and random
+// token-shaped strings: it must return (ast, nil) or (nil, err), never
+// panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", raw, r)
+			}
+		}()
+		ast, err := Parse(string(raw))
+		return (ast == nil) != (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnTokenSoup assembles random sequences of valid SQL
+// tokens, which exercise deeper parser paths than raw bytes.
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	tokens := []string{
+		"select", "from", "where", "and", "order", "by",
+		"t", "a", "b", "x1", "*", ",", ".", "=", "<", "<=", ">", ">=",
+		"1", "3.5", "-2", "1e3", " ",
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(20) + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on %q: %v", src, r)
+				}
+			}()
+			ast, err := Parse(src)
+			if (ast == nil) == (err == nil) {
+				t.Fatalf("Parse(%q) returned inconsistent (ast, err)", src)
+			}
+		}()
+	}
+}
+
+// TestLexRoundTrips: every valid query that parses renders consistently —
+// parsing the canonical rendering of the bound SPJ yields the same
+// structure.
+func TestParseStableUnderReparse(t *testing.T) {
+	cat := bindCatalog()
+	srcs := []string{
+		"select * from orders",
+		"select orders.id from orders, customers where orders.ref = customers.id",
+		"select * from orders where orders.amount <= 3 order by orders.id",
+	}
+	for _, src := range srcs {
+		q1, err := ParseAndBind(src, cat)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		q2, err := ParseAndBind(q1.String(), cat)
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("unstable rendering: %q vs %q", q1.String(), q2.String())
+		}
+	}
+}

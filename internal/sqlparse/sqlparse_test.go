@@ -1,0 +1,308 @@
+package sqlparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+func bindCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	for _, name := range []string{"orders", "customers"} {
+		cat.MustAdd(&catalog.Table{
+			Name: name, Rows: 10000, Pages: 1000,
+			Columns: []*catalog.Column{
+				{Name: "id", Distinct: 10000, Min: 1, Max: 10000},
+				{Name: "ref", Distinct: 100, Min: 1, Max: 100},
+				{Name: "amount", Distinct: 500, Min: 0, Max: 1000},
+			},
+		})
+	}
+	return cat
+}
+
+func TestParseFullQuery(t *testing.T) {
+	ast, err := Parse(`SELECT orders.id, customers.id
+		FROM orders, customers
+		WHERE orders.ref = customers.id AND orders.amount < 100
+		ORDER BY orders.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Star || len(ast.Columns) != 2 {
+		t.Errorf("projection: star=%v cols=%v", ast.Star, ast.Columns)
+	}
+	if len(ast.Tables) != 2 || ast.Tables[0] != "orders" {
+		t.Errorf("tables = %v", ast.Tables)
+	}
+	if len(ast.Conjuncts) != 2 {
+		t.Fatalf("conjuncts = %v", ast.Conjuncts)
+	}
+	if !ast.Conjuncts[0].IsJoin || ast.Conjuncts[1].IsJoin {
+		t.Error("conjunct classification wrong")
+	}
+	if ast.Conjuncts[1].Op != query.LT || ast.Conjuncts[1].Value != 100 {
+		t.Errorf("selection parsed as %+v", ast.Conjuncts[1])
+	}
+	if ast.OrderBy == nil || ast.OrderBy.Table != "orders" || ast.OrderBy.Column != "id" {
+		t.Errorf("order by = %v", ast.OrderBy)
+	}
+}
+
+func TestParseStarAndCaseInsensitive(t *testing.T) {
+	ast, err := Parse("select * from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ast.Star || len(ast.Tables) != 1 {
+		t.Errorf("ast = %+v", ast)
+	}
+	if _, err := Parse("SeLeCt * FrOm orders WhErE orders.amount >= 5"); err != nil {
+		t.Errorf("mixed case rejected: %v", err)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	for _, tc := range []struct {
+		src string
+		op  query.CmpOp
+	}{
+		{"orders.amount = 5", query.EQ},
+		{"orders.amount < 5", query.LT},
+		{"orders.amount <= 5", query.LE},
+		{"orders.amount > 5", query.GT},
+		{"orders.amount >= 5", query.GE},
+	} {
+		ast, err := Parse("select * from orders where " + tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if ast.Conjuncts[0].Op != tc.op {
+			t.Errorf("%s: op = %v", tc.src, ast.Conjuncts[0].Op)
+		}
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	ast, err := Parse("select * from t where t.x < -3.5e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Conjuncts[0].Value != -350 {
+		t.Errorf("value = %v", ast.Conjuncts[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM orders",
+		"select",
+		"select * orders",
+		"select * from",
+		"select * from select",
+		"select * from orders where",
+		"select * from orders where amount < 5", // unqualified column
+		"select * from orders where orders.a ! 5",
+		"select * from orders where orders.a < ",
+		"select * from orders where orders.a < orders.b", // non-eq join op
+		"select * from orders order orders.id",
+		"select * from orders order by",
+		"select * from orders extra more", // two trailing identifiers
+		"select * from orders where orders.a = 5 garbage",
+		"select orders. from orders",
+		"select * from orders where orders.a = 1e999x",
+		"select * from orders where orders.a @ 5",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestBindJoinSelectivity(t *testing.T) {
+	cat := bindCatalog()
+	q, err := ParseAndBind(
+		"select * from orders, customers where orders.ref = customers.id", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1/max(100, 10000).
+	if got := q.Joins[0].Selectivity; math.Abs(got-1e-4) > 1e-12 {
+		t.Errorf("join selectivity = %v, want 1e-4", got)
+	}
+}
+
+func TestBindSelectionSelectivities(t *testing.T) {
+	cat := bindCatalog()
+	// Equality without histogram: 1/distinct.
+	q, err := ParseAndBind("select * from orders where orders.amount = 5", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Selections[0].Selectivity; math.Abs(got-1.0/500) > 1e-12 {
+		t.Errorf("eq selectivity = %v", got)
+	}
+	// Range against domain: amount < 250 over [0, 1000] → 0.25.
+	q, err = ParseAndBind("select * from orders where orders.amount < 250", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Selections[0].Selectivity; math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("range selectivity = %v", got)
+	}
+	// GT flips the fraction.
+	q, err = ParseAndBind("select * from orders where orders.amount > 250", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Selections[0].Selectivity; math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("gt selectivity = %v", got)
+	}
+}
+
+func TestBindUsesHistogram(t *testing.T) {
+	cat := bindCatalog()
+	// Attach a histogram where 90% of values are below 10.
+	vals := make([]float64, 1000)
+	for i := range vals {
+		if i < 900 {
+			vals[i] = float64(i % 10)
+		} else {
+			vals[i] = float64(500 + i)
+		}
+	}
+	h, err := catalog.BuildHistogram(vals, 10, catalog.EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.MustTable("orders").Column("amount").Hist = h
+	q, err := ParseAndBind("select * from orders where orders.amount < 10", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Selections[0].Selectivity; got < 0.8 || got > 1 {
+		t.Errorf("histogram selectivity = %v, want ≈ 0.9", got)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := bindCatalog()
+	bad := []string{
+		"select * from ghost",
+		"select * from orders where orders.ghost = 5",
+		"select * from orders, customers where orders.ref = orders.id", // same table join
+		"select ghost.id from orders",
+		"select * from orders where customers.id = 5", // table not in FROM
+	}
+	for _, src := range bad {
+		if _, err := ParseAndBind(src, cat); err == nil {
+			t.Errorf("ParseAndBind(%q) succeeded", src)
+		}
+	}
+}
+
+func TestBindProducesValidatedSPJ(t *testing.T) {
+	cat := bindCatalog()
+	q, err := ParseAndBind(`select orders.id from orders, customers
+		where orders.ref = customers.id and orders.amount <= 500
+		order by orders.id`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Errorf("bound query invalid: %v", err)
+	}
+	s := q.String()
+	for _, want := range []string{"orders.id", "ORDER BY orders.id", "orders.ref = customers.id"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestAliasesAndSelfJoin(t *testing.T) {
+	cat := bindCatalog()
+	q, err := ParseAndBind(`select o1.id from orders o1, orders o2
+		where o1.ref = o2.id and o1.amount < 100`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 2 || q.Tables[0] != "o1" || q.Tables[1] != "o2" {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if q.BaseTable("o1") != "orders" || q.BaseTable("o2") != "orders" {
+		t.Errorf("aliases = %v", q.Aliases)
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Errorf("self-join query invalid: %v", err)
+	}
+	// Rendering shows "orders o1".
+	if !strings.Contains(q.String(), "orders o1") || !strings.Contains(q.String(), "orders o2") {
+		t.Errorf("String = %q", q.String())
+	}
+	// Mixed aliased and plain tables.
+	q, err = ParseAndBind("select * from orders o, customers where o.ref = customers.id", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BaseTable("o") != "orders" || q.BaseTable("customers") != "customers" {
+		t.Errorf("mixed aliases wrong: %v", q.Aliases)
+	}
+	// Duplicate range names still rejected.
+	if _, err := ParseAndBind("select * from orders, orders", cat); err == nil {
+		t.Error("duplicate range name accepted")
+	}
+	if _, err := ParseAndBind("select * from orders o, customers o", cat); err == nil {
+		t.Error("duplicate alias accepted")
+	}
+	// Unknown base behind an alias.
+	if _, err := ParseAndBind("select * from ghost g", cat); err == nil {
+		t.Error("alias over unknown table accepted")
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []tokenKind{tokEOF, tokIdent, tokNumber, tokComma, tokDot, tokStar, tokEQ, tokLT, tokLE, tokGT, tokGE, tokenKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+func TestGroupByParsing(t *testing.T) {
+	cat := bindCatalog()
+	q, err := ParseAndBind(`select orders.ref from orders
+		group by orders.ref order by orders.ref`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupBy == nil || q.GroupBy.Column != "ref" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+	if !strings.Contains(q.String(), "GROUP BY orders.ref") {
+		t.Errorf("String = %q", q.String())
+	}
+	// ORDER BY must match GROUP BY.
+	if _, err := ParseAndBind("select * from orders group by orders.ref order by orders.id", cat); err == nil {
+		t.Error("mismatched ORDER BY accepted")
+	}
+	// Parse errors.
+	for _, bad := range []string{
+		"select * from orders group orders.ref",
+		"select * from orders group by",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+	// "group" is reserved: not usable as a table or alias.
+	if _, err := Parse("select * from group"); err == nil {
+		t.Error("reserved word as table accepted")
+	}
+}

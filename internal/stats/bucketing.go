@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BucketStrategy selects how a parameter's range is partitioned into
+// buckets (paper §3.7). The choice trades optimization cost against the
+// fidelity of the expected-cost estimate: "A large number of buckets gives a
+// closer approximation to the true probability distribution ... a smaller
+// number of buckets makes the optimization process less expensive."
+type BucketStrategy int
+
+const (
+	// UniformWidth splits [min, max] into equal-width intervals.
+	UniformWidth BucketStrategy = iota
+	// EquiDepth (quantile) splits so each bucket carries ≈ equal probability.
+	EquiDepth
+	// LevelSetAware splits at caller-supplied boundaries — typically the
+	// discontinuities ("level sets") of the join cost formulas, e.g. √|R|
+	// thresholds, which is the partitioning Example 1.1 uses:
+	// [0, 633), [633, 1000), [1000, ∞).
+	LevelSetAware
+)
+
+// String implements fmt.Stringer.
+func (s BucketStrategy) String() string {
+	switch s {
+	case UniformWidth:
+		return "uniform-width"
+	case EquiDepth:
+		return "equi-depth"
+	case LevelSetAware:
+		return "level-set"
+	default:
+		return fmt.Sprintf("BucketStrategy(%d)", int(s))
+	}
+}
+
+// Bucketize reduces d to at most b buckets using the given strategy.
+// Each output bucket is represented by its conditional mean (so E[X] is
+// preserved exactly) with the bucket's total probability. boundaries is used
+// only by LevelSetAware and lists the interior cut points, ascending;
+// values v with boundaries[i-1] ≤ v < boundaries[i] share a bucket.
+// For UniformWidth and EquiDepth, b must be ≥ 1; the result may have fewer
+// than b buckets if the support is small.
+func Bucketize(d *Dist, b int, strategy BucketStrategy, boundaries []float64) (*Dist, error) {
+	switch strategy {
+	case UniformWidth:
+		if b < 1 {
+			return nil, fmt.Errorf("stats: bucket count %d < 1", b)
+		}
+		return bucketizeUniform(d, b), nil
+	case EquiDepth:
+		if b < 1 {
+			return nil, fmt.Errorf("stats: bucket count %d < 1", b)
+		}
+		return bucketizeEquiDepth(d, b), nil
+	case LevelSetAware:
+		return BucketizeAt(d, boundaries)
+	default:
+		return nil, fmt.Errorf("stats: unknown bucket strategy %v", strategy)
+	}
+}
+
+// BucketizeAt merges d's support into buckets delimited by the given
+// ascending interior boundaries: bucket i holds values in
+// [boundaries[i-1], boundaries[i]). With k boundaries the result has at most
+// k+1 buckets. Each bucket is represented by its conditional mean.
+func BucketizeAt(d *Dist, boundaries []float64) (*Dist, error) {
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] < boundaries[i-1] {
+			return nil, fmt.Errorf("stats: boundaries not ascending at %d", i)
+		}
+	}
+	assign := func(v float64) int {
+		// Number of boundaries ≤ v gives the bucket index, so a value equal
+		// to a boundary falls in the bucket above it ([b_{i-1}, b_i) ranges).
+		return sort.Search(len(boundaries), func(i int) bool { return boundaries[i] > v })
+	}
+	return mergeByBucket(d, assign), nil
+}
+
+func bucketizeUniform(d *Dist, b int) *Dist {
+	lo, hi := d.Min(), d.Max()
+	if lo == hi || b >= d.Len() {
+		return cloneDist(d)
+	}
+	width := (hi - lo) / float64(b)
+	assign := func(v float64) int {
+		i := int((v - lo) / width)
+		if i >= b {
+			i = b - 1
+		}
+		return i
+	}
+	return mergeByBucket(d, assign)
+}
+
+func bucketizeEquiDepth(d *Dist, b int) *Dist {
+	if b >= d.Len() {
+		return cloneDist(d)
+	}
+	// Assign support points to buckets by cumulative probability. Support is
+	// already sorted, so a single sweep suffices.
+	target := 1.0 / float64(b)
+	assignments := make([]int, d.Len())
+	acc, bucket := 0.0, 0
+	for i := 0; i < d.Len(); i++ {
+		assignments[i] = bucket
+		acc += d.Prob(i)
+		for bucket < b-1 && acc >= target*float64(bucket+1)-probEps {
+			bucket++
+		}
+	}
+	return mergeByBucket(d, func(v float64) int {
+		i := sort.SearchFloat64s(d.vals, v)
+		return assignments[i]
+	})
+}
+
+// mergeByBucket collapses support points mapping to the same bucket index
+// into a single point at their conditional mean.
+func mergeByBucket(d *Dist, assign func(float64) int) *Dist {
+	type acc struct{ p, vp float64 }
+	buckets := map[int]*acc{}
+	order := []int{}
+	for i := 0; i < d.Len(); i++ {
+		k := assign(d.Value(i))
+		a, ok := buckets[k]
+		if !ok {
+			a = &acc{}
+			buckets[k] = a
+			order = append(order, k)
+		}
+		a.p += d.Prob(i)
+		a.vp += d.Value(i) * d.Prob(i)
+	}
+	vals := make([]float64, 0, len(order))
+	weights := make([]float64, 0, len(order))
+	for _, k := range order {
+		a := buckets[k]
+		if a.p == 0 {
+			continue
+		}
+		vals = append(vals, a.vp/a.p)
+		weights = append(weights, a.p)
+	}
+	out, err := New(vals, weights)
+	if err != nil {
+		panic(fmt.Sprintf("stats: mergeByBucket produced invalid distribution: %v", err))
+	}
+	return out
+}
+
+func cloneDist(d *Dist) *Dist {
+	return &Dist{vals: append([]float64(nil), d.vals...), probs: append([]float64(nil), d.probs...)}
+}
+
+// Discretize builds a b-bucket distribution from a continuous density
+// sampled at high resolution on [lo, hi]. pdf need not be normalized. It is
+// used by the workload generators to produce, e.g., discretized lognormal
+// memory distributions.
+func Discretize(pdf func(float64) float64, lo, hi float64, b int) (*Dist, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("stats: bucket count %d < 1", b)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: bad range [%v, %v]", lo, hi)
+	}
+	const resolution = 64 // sample points per bucket
+	n := b * resolution
+	step := (hi - lo) / float64(n)
+	vals := make([]float64, 0, n)
+	weights := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := lo + (float64(i)+0.5)*step
+		w := pdf(v)
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: pdf(%v) = %v", v, w)
+		}
+		vals = append(vals, v)
+		weights = append(weights, w)
+	}
+	fine, err := New(vals, weights)
+	if err != nil {
+		return nil, err
+	}
+	return bucketizeUniform(fine, b), nil
+}

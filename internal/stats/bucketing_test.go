@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBucketizeUniformPreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 100)
+	weights := make([]float64, 100)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+		weights[i] = rng.Float64() + 0.01
+	}
+	d := MustNew(vals, weights)
+	for _, b := range []int{1, 2, 5, 10, 50} {
+		out, err := Bucketize(d, b, UniformWidth, nil)
+		if err != nil {
+			t.Fatalf("Bucketize(b=%d): %v", b, err)
+		}
+		if out.Len() > b {
+			t.Errorf("b=%d: got %d buckets", b, out.Len())
+		}
+		if !almostEq(out.Mean(), d.Mean(), 1e-9) {
+			t.Errorf("b=%d: mean %v, want %v (conditional-mean representatives preserve E[X])", b, out.Mean(), d.Mean())
+		}
+		if err := out.Validate(); err != nil {
+			t.Errorf("b=%d: %v", b, err)
+		}
+	}
+}
+
+func TestBucketizeEquiDepthBalancesProbability(t *testing.T) {
+	// 100 equally likely points into 4 buckets: each bucket ≈ 0.25.
+	vals := make([]float64, 100)
+	weights := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+		weights[i] = 1
+	}
+	d := MustNew(vals, weights)
+	out, err := Bucketize(d, 4, EquiDepth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("got %d buckets, want 4", out.Len())
+	}
+	for i := 0; i < out.Len(); i++ {
+		if math.Abs(out.Prob(i)-0.25) > 0.02 {
+			t.Errorf("bucket %d probability %v, want ≈0.25", i, out.Prob(i))
+		}
+	}
+	if !almostEq(out.Mean(), d.Mean(), 1e-9) {
+		t.Errorf("mean %v, want %v", out.Mean(), d.Mean())
+	}
+}
+
+func TestBucketizeEquiDepthSkewed(t *testing.T) {
+	// One heavy point (p=0.97) and many light ones. Equi-depth must not
+	// split the heavy point; it dominates one bucket.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7}
+	weights := []float64{0.005, 0.005, 0.97, 0.005, 0.005, 0.005, 0.005}
+	d := MustNew(vals, weights)
+	out, err := Bucketize(d, 3, EquiDepth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(out.Mean(), d.Mean(), 1e-9) {
+		t.Errorf("mean %v, want %v", out.Mean(), d.Mean())
+	}
+	// Some bucket must carry ≥ 0.97.
+	found := false
+	for i := 0; i < out.Len(); i++ {
+		if out.Prob(i) >= 0.97-1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no bucket carries the heavy point: %v", out)
+	}
+}
+
+// TestBucketizeLevelSetExample11 checks the paper's Example 1.1 bucketing:
+// cut points 633 and 1000 split memory into the three cost regimes.
+func TestBucketizeLevelSetExample11(t *testing.T) {
+	// A fine-grained memory distribution spread over [500, 2500].
+	vals := []float64{500, 700, 900, 1100, 1500, 2000, 2500}
+	weights := []float64{1, 1, 1, 1, 1, 1, 1}
+	d := MustNew(vals, weights)
+	out, err := Bucketize(d, 0, LevelSetAware, []float64{633, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("got %d buckets, want 3 (below 633, [633,1000), ≥1000)", out.Len())
+	}
+	// Bucket probabilities: 1/7, 2/7, 4/7.
+	want := []float64{1.0 / 7, 2.0 / 7, 4.0 / 7}
+	for i := range want {
+		if !almostEq(out.Prob(i), want[i], 1e-9) {
+			t.Errorf("bucket %d probability %v, want %v", i, out.Prob(i), want[i])
+		}
+	}
+	if !almostEq(out.Mean(), d.Mean(), 1e-9) {
+		t.Errorf("mean %v, want %v", out.Mean(), d.Mean())
+	}
+}
+
+func TestBucketizeAtBoundaryMembership(t *testing.T) {
+	// A value exactly on a boundary belongs to the upper bucket
+	// ([b_{i-1}, b_i) intervals).
+	d := MustNew([]float64{632, 633, 999, 1000}, []float64{1, 1, 1, 1})
+	out, err := BucketizeAt(d, []float64{633, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("got %d buckets, want 3", out.Len())
+	}
+	wantProbs := []float64{0.25, 0.5, 0.25}
+	for i := range wantProbs {
+		if !almostEq(out.Prob(i), wantProbs[i], 1e-9) {
+			t.Errorf("bucket %d probability %v, want %v", i, out.Prob(i), wantProbs[i])
+		}
+	}
+}
+
+func TestBucketizeErrors(t *testing.T) {
+	d := MustNew([]float64{1, 2}, []float64{1, 1})
+	if _, err := Bucketize(d, 0, UniformWidth, nil); err == nil {
+		t.Error("UniformWidth with b=0 succeeded")
+	}
+	if _, err := Bucketize(d, 0, EquiDepth, nil); err == nil {
+		t.Error("EquiDepth with b=0 succeeded")
+	}
+	if _, err := BucketizeAt(d, []float64{5, 3}); err == nil {
+		t.Error("descending boundaries accepted")
+	}
+	if _, err := Bucketize(d, 2, BucketStrategy(99), nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestBucketStrategyString(t *testing.T) {
+	for _, s := range []BucketStrategy{UniformWidth, EquiDepth, LevelSetAware, BucketStrategy(99)} {
+		if s.String() == "" {
+			t.Errorf("empty String for %d", int(s))
+		}
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	// Uniform density on [0, 10] into 5 buckets.
+	d, err := Discretize(func(x float64) float64 { return 1 }, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("got %d buckets, want 5", d.Len())
+	}
+	if !almostEq(d.Mean(), 5, 1e-9) {
+		t.Errorf("mean %v, want 5", d.Mean())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if !almostEq(d.Prob(i), 0.2, 1e-9) {
+			t.Errorf("bucket %d probability %v, want 0.2", i, d.Prob(i))
+		}
+	}
+	if _, err := Discretize(func(x float64) float64 { return 1 }, 5, 5, 3); err == nil {
+		t.Error("degenerate range accepted")
+	}
+	if _, err := Discretize(func(x float64) float64 { return -1 }, 0, 1, 3); err == nil {
+		t.Error("negative pdf accepted")
+	}
+	if _, err := Discretize(func(x float64) float64 { return 1 }, 0, 1, 0); err == nil {
+		t.Error("b=0 accepted")
+	}
+}
+
+func TestDiscretizeTriangular(t *testing.T) {
+	// Density f(x) = x on [0,1]: mean is 2/3.
+	d, err := Discretize(func(x float64) float64 { return x }, 0, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-2.0/3) > 1e-3 {
+		t.Errorf("mean %v, want ≈ 2/3", d.Mean())
+	}
+}

@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		vals    []float64
+		weights []float64
+		wantErr bool
+	}{
+		{"ok", []float64{1, 2}, []float64{1, 3}, false},
+		{"mismatch", []float64{1}, []float64{1, 2}, true},
+		{"empty", nil, nil, true},
+		{"negative weight", []float64{1}, []float64{-1}, true},
+		{"nan value", []float64{math.NaN()}, []float64{1}, true},
+		{"inf value", []float64{math.Inf(1)}, []float64{1}, true},
+		{"nan weight", []float64{1}, []float64{math.NaN()}, true},
+		{"all zero weights", []float64{1, 2}, []float64{0, 0}, true},
+		{"zero weight dropped", []float64{1, 2}, []float64{0, 5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, err := New(c.vals, c.weights)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("New(%v, %v) succeeded, want error", c.vals, c.weights)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("New(%v, %v): %v", c.vals, c.weights, err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestNewNormalizesAndSorts(t *testing.T) {
+	d := MustNew([]float64{5, 1, 3}, []float64{2, 1, 1})
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	wantVals := []float64{1, 3, 5}
+	wantProbs := []float64{0.25, 0.25, 0.5}
+	for i := range wantVals {
+		if d.Value(i) != wantVals[i] {
+			t.Errorf("Value(%d) = %v, want %v", i, d.Value(i), wantVals[i])
+		}
+		if !almostEq(d.Prob(i), wantProbs[i], 1e-12) {
+			t.Errorf("Prob(%d) = %v, want %v", i, d.Prob(i), wantProbs[i])
+		}
+	}
+}
+
+func TestNewMergesDuplicates(t *testing.T) {
+	d := MustNew([]float64{2, 2, 7}, []float64{1, 1, 2})
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if !almostEq(d.Prob(0), 0.5, 1e-12) || !almostEq(d.Prob(1), 0.5, 1e-12) {
+		t.Errorf("probs = %v, %v, want 0.5 each", d.Prob(0), d.Prob(1))
+	}
+}
+
+func TestPointAndMoments(t *testing.T) {
+	p := Point(42)
+	if !p.IsPoint() || p.Mean() != 42 || p.Variance() != 0 || p.Mode() != 42 {
+		t.Errorf("Point(42): IsPoint=%v Mean=%v Var=%v Mode=%v", p.IsPoint(), p.Mean(), p.Variance(), p.Mode())
+	}
+}
+
+// TestExample11Distribution encodes the memory distribution of paper
+// Example 1.1: 2000 pages with probability 0.8, 700 pages with 0.2.
+func TestExample11Distribution(t *testing.T) {
+	m := MustNew([]float64{2000, 700}, []float64{0.8, 0.2})
+	if got := m.Mean(); !almostEq(got, 1740, 1e-9) {
+		t.Errorf("Mean = %v, want 1740 (the paper's mean value)", got)
+	}
+	if got := m.Mode(); got != 2000 {
+		t.Errorf("Mode = %v, want 2000 (the paper's modal value)", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3, 4}, []float64{1, 1, 1, 1})
+	if got := d.Mean(); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := d.Variance(); !almostEq(got, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25", got)
+	}
+	if got := d.StdDev(); !almostEq(got, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestExpect(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3}, []float64{0.5, 0.25, 0.25})
+	got := d.Expect(func(v float64) float64 { return v * v })
+	want := 0.5*1 + 0.25*4 + 0.25*9
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("Expect(x²) = %v, want %v", got, want)
+	}
+}
+
+func TestExpectVariance(t *testing.T) {
+	d := MustNew([]float64{0, 10}, []float64{0.5, 0.5})
+	mean, v := d.ExpectVariance(func(x float64) float64 { return x })
+	if !almostEq(mean, 5, 1e-12) || !almostEq(v, 25, 1e-12) {
+		t.Errorf("ExpectVariance = (%v, %v), want (5, 25)", mean, v)
+	}
+	// Constant function has zero variance.
+	_, v = d.ExpectVariance(func(x float64) float64 { return 7 })
+	if v != 0 {
+		t.Errorf("variance of constant = %v, want 0", v)
+	}
+}
+
+func TestPrTail(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	got := d.PrTail(func(v float64) float64 { return v * 10 }, 15)
+	if !almostEq(got, 0.8, 1e-12) {
+		t.Errorf("PrTail = %v, want 0.8", got)
+	}
+}
+
+func TestCDFQueries(t *testing.T) {
+	d := MustNew([]float64{10, 20, 30}, []float64{0.2, 0.3, 0.5})
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"PrLE(5)", d.PrLE(5), 0},
+		{"PrLE(10)", d.PrLE(10), 0.2},
+		{"PrLE(25)", d.PrLE(25), 0.5},
+		{"PrLE(30)", d.PrLE(30), 1},
+		{"PrGE(30)", d.PrGE(30), 0.5},
+		{"PrGE(11)", d.PrGE(11), 0.8},
+		{"PrGE(10)", d.PrGE(10), 1},
+		{"PrGT(10)", d.PrGT(10), 0.8},
+		{"PrIn(10,30)", d.PrIn(10, 30), 0.8},
+		{"PrIn(30,10)", d.PrIn(30, 10), 0},
+	}
+	for _, tc := range tests {
+		if !almostEq(tc.got, tc.want, 1e-12) {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestCondExp(t *testing.T) {
+	d := MustNew([]float64{10, 20, 30}, []float64{0.2, 0.3, 0.5})
+	m, p := d.CondExpLE(20)
+	if !almostEq(p, 0.5, 1e-12) || !almostEq(m, (10*0.2+20*0.3)/0.5, 1e-12) {
+		t.Errorf("CondExpLE(20) = (%v, %v)", m, p)
+	}
+	m, p = d.CondExpGE(20)
+	if !almostEq(p, 0.8, 1e-12) || !almostEq(m, (20*0.3+30*0.5)/0.8, 1e-12) {
+		t.Errorf("CondExpGE(20) = (%v, %v)", m, p)
+	}
+	// Empty conditioning events.
+	if m, p = d.CondExpLE(5); m != 0 || p != 0 {
+		t.Errorf("CondExpLE(5) = (%v, %v), want (0, 0)", m, p)
+	}
+	if m, p = d.CondExpGE(31); m != 0 || p != 0 {
+		t.Errorf("CondExpGE(31) = (%v, %v), want (0, 0)", m, p)
+	}
+}
+
+func TestMapScaleShift(t *testing.T) {
+	d := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	if got := d.Scale(3).Mean(); !almostEq(got, 4.5, 1e-12) {
+		t.Errorf("Scale(3).Mean = %v, want 4.5", got)
+	}
+	if got := d.Shift(10).Mean(); !almostEq(got, 11.5, 1e-12) {
+		t.Errorf("Shift(10).Mean = %v, want 11.5", got)
+	}
+	// Map with colliding images must merge.
+	m := d.Map(func(v float64) float64 { return 0 })
+	if m.Len() != 1 || m.Prob(0) != 1 {
+		t.Errorf("Map to constant: %v", m)
+	}
+}
+
+func TestMix(t *testing.T) {
+	a := Point(1)
+	b := Point(2)
+	m, err := a.Mix(b, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Mean(), 0.25*1+0.75*2, 1e-12) {
+		t.Errorf("Mix mean = %v", m.Mean())
+	}
+	if _, err := a.Mix(b, 1.5); err == nil {
+		t.Error("Mix with weight 1.5 succeeded, want error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3, 4}, []float64{0.25, 0.25, 0.25, 0.25})
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 1}, {0.26, 2}, {0.5, 2}, {0.75, 3}, {1, 4}, {2, 4},
+	}
+	for _, tc := range tests {
+		if got := d.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestFromSamplesAndMap(t *testing.T) {
+	d, err := FromSamples([]float64{1, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Mean(), 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", d.Mean())
+	}
+	if !almostEq(d.PrLE(1), 0.5, 1e-12) {
+		t.Errorf("PrLE(1) = %v, want 0.5", d.PrLE(1))
+	}
+	if _, err := FromSamples(nil); err == nil {
+		t.Error("FromSamples(nil) succeeded, want error")
+	}
+	m, err := FromMap(map[float64]float64{3: 1, 5: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Mean(), 4.5, 1e-12) {
+		t.Errorf("FromMap mean = %v, want 4.5", m.Mean())
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	b := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	c := MustNew([]float64{1, 3}, []float64{0.5, 0.5})
+	if !a.Equal(b, 1e-12) {
+		t.Error("identical distributions not Equal")
+	}
+	if a.Equal(c, 1e-12) {
+		t.Error("different supports reported Equal")
+	}
+	if a.Equal(Point(1), 1e-12) {
+		t.Error("different lengths reported Equal")
+	}
+	if s := a.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

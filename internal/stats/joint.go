@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Joint is a discrete joint distribution over pairs (X, Y), supporting the
+// dependent-parameter analysis the paper defers to future work (§4: "we
+// assumed that the parameters were independent. This may not always be a
+// reasonable assumption in practice. It would be of interest to see to what
+// extent we could extend our techniques to situations where there are some
+// dependencies"). Atoms are (x, y, p) triples.
+type Joint struct {
+	xs, ys, ps []float64
+}
+
+// NewJoint builds a joint distribution from (x, y, weight) atoms. Weights
+// are normalized; duplicate (x, y) pairs merge.
+func NewJoint(atoms [][3]float64) (*Joint, error) {
+	if len(atoms) == 0 {
+		return nil, ErrEmpty
+	}
+	type key struct{ x, y float64 }
+	merged := map[key]float64{}
+	total := 0.0
+	for _, a := range atoms {
+		x, y, w := a[0], a[1], a[2]
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("stats: non-finite joint atom (%v, %v)", x, y)
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: bad joint weight %v", w)
+		}
+		if w == 0 {
+			continue
+		}
+		merged[key{x, y}] += w
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrEmpty
+	}
+	keys := make([]key, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	j := &Joint{}
+	for _, k := range keys {
+		j.xs = append(j.xs, k.x)
+		j.ys = append(j.ys, k.y)
+		j.ps = append(j.ps, merged[k]/total)
+	}
+	return j, nil
+}
+
+// IndependentJoint couples two marginals with the product measure.
+func IndependentJoint(dx, dy *Dist) *Joint {
+	atoms := make([][3]float64, 0, dx.Len()*dy.Len())
+	for i := 0; i < dx.Len(); i++ {
+		for k := 0; k < dy.Len(); k++ {
+			atoms = append(atoms, [3]float64{dx.Value(i), dy.Value(k), dx.Prob(i) * dy.Prob(k)})
+		}
+	}
+	j, err := NewJoint(atoms)
+	if err != nil {
+		panic(fmt.Sprintf("stats: IndependentJoint: %v", err))
+	}
+	return j
+}
+
+// comonotoneAtoms pairs the two marginals by quantile — the maximal-
+// dependence (Fréchet–Hoeffding upper bound) coupling. reverse couples the
+// top of X with the bottom of Y (antimonotone, minimal dependence).
+func comonotoneAtoms(dx, dy *Dist, reverse bool) [][3]float64 {
+	yIdx := func(k int) int {
+		if reverse {
+			return dy.Len() - 1 - k
+		}
+		return k
+	}
+	var atoms [][3]float64
+	i, k := 0, 0
+	pi, pk := dx.Prob(0), dy.Prob(yIdx(0))
+	for i < dx.Len() && k < dy.Len() {
+		w := math.Min(pi, pk)
+		atoms = append(atoms, [3]float64{dx.Value(i), dy.Value(yIdx(k)), w})
+		pi -= w
+		pk -= w
+		if pi <= 1e-15 {
+			i++
+			if i < dx.Len() {
+				pi = dx.Prob(i)
+			}
+		}
+		if pk <= 1e-15 {
+			k++
+			if k < dy.Len() {
+				pk = dy.Prob(yIdx(k))
+			}
+		}
+	}
+	return atoms
+}
+
+// CorrelatedJoint couples two marginals with adjustable dependence
+// rho ∈ [−1, 1]: a mixture of the independent coupling with the comonotone
+// (rho > 0) or antimonotone (rho < 0) coupling, with mixing weight |rho|.
+// rho = 0 is exact independence; ±1 are the extreme couplings. The
+// marginals are preserved for every rho.
+func CorrelatedJoint(dx, dy *Dist, rho float64) (*Joint, error) {
+	if rho < -1 || rho > 1 || math.IsNaN(rho) {
+		return nil, fmt.Errorf("stats: rho %v out of [-1, 1]", rho)
+	}
+	ind := IndependentJoint(dx, dy)
+	if rho == 0 {
+		return ind, nil
+	}
+	lam := math.Abs(rho)
+	extreme := comonotoneAtoms(dx, dy, rho < 0)
+	atoms := make([][3]float64, 0, len(ind.ps)+len(extreme))
+	for i := range ind.ps {
+		atoms = append(atoms, [3]float64{ind.xs[i], ind.ys[i], (1 - lam) * ind.ps[i]})
+	}
+	for _, a := range extreme {
+		atoms = append(atoms, [3]float64{a[0], a[1], lam * a[2]})
+	}
+	return NewJoint(atoms)
+}
+
+// Len returns the number of atoms.
+func (j *Joint) Len() int { return len(j.ps) }
+
+// Atom returns the i-th atom (x, y, p).
+func (j *Joint) Atom(i int) (x, y, p float64) { return j.xs[i], j.ys[i], j.ps[i] }
+
+// Expect returns E[f(X, Y)] — the dependent-parameter expected cost.
+func (j *Joint) Expect(f func(x, y float64) float64) float64 {
+	s := 0.0
+	for i := range j.ps {
+		s += f(j.xs[i], j.ys[i]) * j.ps[i]
+	}
+	return s
+}
+
+// MarginalX returns the X marginal.
+func (j *Joint) MarginalX() *Dist {
+	d, err := New(j.xs, j.ps)
+	if err != nil {
+		panic(fmt.Sprintf("stats: MarginalX: %v", err))
+	}
+	return d
+}
+
+// MarginalY returns the Y marginal.
+func (j *Joint) MarginalY() *Dist {
+	d, err := New(j.ys, j.ps)
+	if err != nil {
+		panic(fmt.Sprintf("stats: MarginalY: %v", err))
+	}
+	return d
+}
+
+// Covariance returns Cov(X, Y).
+func (j *Joint) Covariance() float64 {
+	ex := j.Expect(func(x, _ float64) float64 { return x })
+	ey := j.Expect(func(_, y float64) float64 { return y })
+	return j.Expect(func(x, y float64) float64 { return (x - ex) * (y - ey) })
+}
+
+// Correlation returns Pearson's ρ(X, Y); 0 when either marginal is
+// degenerate.
+func (j *Joint) Correlation() float64 {
+	sx, sy := j.MarginalX().StdDev(), j.MarginalY().StdDev()
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return j.Covariance() / (sx * sy)
+}
+
+// ConditionalY returns the distribution of Y given X = x (matching atoms
+// exactly); an error if x has no mass.
+func (j *Joint) ConditionalY(x float64) (*Dist, error) {
+	var vals, weights []float64
+	for i := range j.ps {
+		if j.xs[i] == x {
+			vals = append(vals, j.ys[i])
+			weights = append(weights, j.ps[i])
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("stats: no mass at X = %v", x)
+	}
+	return New(vals, weights)
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewJointValidation(t *testing.T) {
+	if _, err := NewJoint(nil); err == nil {
+		t.Error("empty atoms accepted")
+	}
+	if _, err := NewJoint([][3]float64{{1, 2, -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewJoint([][3]float64{{math.NaN(), 2, 1}}); err == nil {
+		t.Error("NaN atom accepted")
+	}
+	if _, err := NewJoint([][3]float64{{1, 2, 0}}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	// Duplicates merge.
+	j, err := NewJoint([][3]float64{{1, 2, 1}, {1, 2, 1}, {3, 4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Errorf("Len = %d, want 2", j.Len())
+	}
+	x, y, p := j.Atom(0)
+	if x != 1 || y != 2 || !almostEq(p, 0.5, 1e-12) {
+		t.Errorf("Atom(0) = (%v, %v, %v)", x, y, p)
+	}
+}
+
+func TestIndependentJointFactorizes(t *testing.T) {
+	dx := MustNew([]float64{1, 2}, []float64{0.3, 0.7})
+	dy := MustNew([]float64{10, 20, 30}, []float64{0.2, 0.3, 0.5})
+	j := IndependentJoint(dx, dy)
+	if j.Len() != 6 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	// E[XY] = EX·EY under independence.
+	exy := j.Expect(func(x, y float64) float64 { return x * y })
+	if !almostEq(exy, dx.Mean()*dy.Mean(), 1e-9) {
+		t.Errorf("E[XY] = %v, want %v", exy, dx.Mean()*dy.Mean())
+	}
+	if got := j.Correlation(); math.Abs(got) > 1e-9 {
+		t.Errorf("independent correlation = %v", got)
+	}
+}
+
+func TestCorrelatedJointPreservesMarginals(t *testing.T) {
+	dx := MustNew([]float64{1, 2, 5}, []float64{0.2, 0.5, 0.3})
+	dy := MustNew([]float64{10, 40}, []float64{0.6, 0.4})
+	for _, rho := range []float64{-1, -0.5, 0, 0.3, 0.8, 1} {
+		j, err := CorrelatedJoint(dx, dy, rho)
+		if err != nil {
+			t.Fatalf("rho %v: %v", rho, err)
+		}
+		if !j.MarginalX().Equal(dx, 1e-9) {
+			t.Errorf("rho %v: X marginal %v != %v", rho, j.MarginalX(), dx)
+		}
+		if !j.MarginalY().Equal(dy, 1e-9) {
+			t.Errorf("rho %v: Y marginal %v != %v", rho, j.MarginalY(), dy)
+		}
+	}
+	if _, err := CorrelatedJoint(dx, dy, 1.5); err == nil {
+		t.Error("rho out of range accepted")
+	}
+}
+
+func TestCorrelationMonotoneInRho(t *testing.T) {
+	dx := MustNew([]float64{1, 2, 3, 4}, []float64{0.25, 0.25, 0.25, 0.25})
+	dy := MustNew([]float64{10, 20, 30}, []float64{0.3, 0.4, 0.3})
+	prev := -2.0
+	for _, rho := range []float64{-1, -0.5, 0, 0.5, 1} {
+		j, err := CorrelatedJoint(dx, dy, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr := j.Correlation()
+		if corr < prev-1e-9 {
+			t.Errorf("correlation not monotone: rho %v gives %v after %v", rho, corr, prev)
+		}
+		prev = corr
+	}
+	// Extremes have the right signs and substantial magnitude.
+	jPos, _ := CorrelatedJoint(dx, dy, 1)
+	jNeg, _ := CorrelatedJoint(dx, dy, -1)
+	if jPos.Correlation() < 0.8 {
+		t.Errorf("comonotone correlation = %v", jPos.Correlation())
+	}
+	if jNeg.Correlation() > -0.8 {
+		t.Errorf("antimonotone correlation = %v", jNeg.Correlation())
+	}
+}
+
+func TestConditionalY(t *testing.T) {
+	j, err := NewJoint([][3]float64{{1, 10, 1}, {1, 20, 3}, {2, 30, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := j.ConditionalY(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(c.PrLE(10), 0.25, 1e-12) || !almostEq(c.Mean(), 17.5, 1e-12) {
+		t.Errorf("conditional %v", c)
+	}
+	if _, err := j.ConditionalY(99); err == nil {
+		t.Error("conditioning on zero-mass value succeeded")
+	}
+}
+
+func TestPropJointMarginalConsistency(t *testing.T) {
+	f := func(seed int64, rhoRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dx := genDist(rng)
+		dy := genDist(rng)
+		rho := math.Mod(rhoRaw, 1)
+		j, err := CorrelatedJoint(dx, dy, rho)
+		if err != nil {
+			return false
+		}
+		// Total mass 1, marginals preserved, law of total expectation.
+		total := 0.0
+		for i := 0; i < j.Len(); i++ {
+			_, _, p := j.Atom(i)
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return false
+		}
+		if !j.MarginalX().Equal(dx, 1e-6) || !j.MarginalY().Equal(dy, 1e-6) {
+			return false
+		}
+		ex := j.Expect(func(x, _ float64) float64 { return x })
+		return math.Abs(ex-dx.Mean()) < 1e-6*(1+dx.Mean())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chain is a finite-state Markov chain over parameter values, modelling
+// dynamically changing parameters (paper §3.5): "we have some distribution
+// over the initial memory sizes, and ... a transition probability describing
+// how likely memory is to change ... this transition probability depends
+// only on the current memory usage, not on the time."
+//
+// States are parameter values (e.g. memory sizes in pages), ascending.
+// P[i][j] is the probability of moving from states[i] to states[j] between
+// two consecutive join phases.
+type Chain struct {
+	states []float64
+	p      [][]float64
+}
+
+// NewChain validates and builds a chain. Each row of p must be a
+// distribution over the states (non-negative, summing to 1).
+func NewChain(states []float64, p [][]float64) (*Chain, error) {
+	n := len(states)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	for i := 1; i < n; i++ {
+		if states[i] <= states[i-1] {
+			return nil, fmt.Errorf("stats: chain states not strictly ascending at %d", i)
+		}
+	}
+	if len(p) != n {
+		return nil, fmt.Errorf("stats: %d states but %d transition rows", n, len(p))
+	}
+	cp := make([][]float64, n)
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("stats: transition row %d has %d entries, want %d", i, len(row), n)
+		}
+		sum := 0.0
+		cp[i] = make([]float64, n)
+		for j, q := range row {
+			if q < 0 || math.IsNaN(q) {
+				return nil, fmt.Errorf("stats: bad transition probability p[%d][%d] = %v", i, j, q)
+			}
+			cp[i][j] = q
+			sum += q
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return nil, fmt.Errorf("stats: transition row %d sums to %v", i, sum)
+		}
+	}
+	return &Chain{states: append([]float64(nil), states...), p: cp}, nil
+}
+
+// MustNewChain is like NewChain but panics on error; for fixtures.
+func MustNewChain(states []float64, p [][]float64) *Chain {
+	c, err := NewChain(states, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IdentityChain returns the chain on the given states that never moves —
+// the static-parameter special case.
+func IdentityChain(states []float64) *Chain {
+	n := len(states)
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		p[i][i] = 1
+	}
+	c, err := NewChain(states, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// States returns a copy of the state values.
+func (c *Chain) States() []float64 {
+	return append([]float64(nil), c.states...)
+}
+
+// NumStates returns the number of states.
+func (c *Chain) NumStates() int { return len(c.states) }
+
+// TransitionRow returns a copy of row i of the transition matrix.
+func (c *Chain) TransitionRow(i int) []float64 {
+	return append([]float64(nil), c.p[i]...)
+}
+
+// stateIndex maps a value in d's support onto the nearest chain state.
+func (c *Chain) stateIndex(v float64) int {
+	best, bd := 0, math.Inf(1)
+	for i, s := range c.states {
+		if d := math.Abs(s - v); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+// Step advances a distribution over the chain's states by one transition:
+// the distribution of the parameter at the next join phase given its
+// distribution at the current one. Support points of d that are not chain
+// states are attributed to the nearest state.
+func (c *Chain) Step(d *Dist) *Dist {
+	n := len(c.states)
+	w := make([]float64, n)
+	for i := 0; i < d.Len(); i++ {
+		si := c.stateIndex(d.Value(i))
+		for j := 0; j < n; j++ {
+			w[j] += d.Prob(i) * c.p[si][j]
+		}
+	}
+	out, err := New(append([]float64(nil), c.states...), w)
+	if err != nil {
+		panic(fmt.Sprintf("stats: Step produced invalid distribution: %v", err))
+	}
+	return out
+}
+
+// After returns the distribution after k transitions from initial.
+// After(d, 0) is d projected onto the chain states.
+func (c *Chain) After(initial *Dist, k int) *Dist {
+	d := c.project(initial)
+	for i := 0; i < k; i++ {
+		d = c.Step(d)
+	}
+	return d
+}
+
+// project maps an arbitrary distribution onto the chain's state set.
+func (c *Chain) project(d *Dist) *Dist {
+	n := len(c.states)
+	w := make([]float64, n)
+	for i := 0; i < d.Len(); i++ {
+		w[c.stateIndex(d.Value(i))] += d.Prob(i)
+	}
+	out, err := New(append([]float64(nil), c.states...), w)
+	if err != nil {
+		panic(fmt.Sprintf("stats: project produced invalid distribution: %v", err))
+	}
+	return out
+}
+
+// PhaseDists returns the per-phase parameter distributions for a plan with
+// the given number of phases: element k is the distribution in effect during
+// phase k (0-based). This is the sequence Algorithm C consumes in the
+// dynamic-parameter setting (paper §3.5): "associate the initial
+// distribution with the root of the dag, and use the transition
+// probabilities to compute the distribution associated with each node."
+func (c *Chain) PhaseDists(initial *Dist, phases int) []*Dist {
+	out := make([]*Dist, phases)
+	d := c.project(initial)
+	for k := 0; k < phases; k++ {
+		out[k] = d
+		if k+1 < phases {
+			d = c.Step(d)
+		}
+	}
+	return out
+}
+
+// Stationary iteratively approximates the stationary distribution of the
+// chain (power iteration from uniform). It is used by long-running ("24x7
+// stable operational mode", §3.5) environment models.
+func (c *Chain) Stationary(iters int) *Dist {
+	n := len(c.states)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	d, err := New(append([]float64(nil), c.states...), w)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < iters; i++ {
+		next := c.Step(d)
+		if next.Equal(d, 1e-12) {
+			return next
+		}
+		d = next
+	}
+	return d
+}
+
+// RandomWalkChain builds a birth–death chain on the given states where the
+// parameter moves one state down with probability down, one state up with
+// probability up, and stays otherwise (reflecting at the ends). It models
+// "concurrent new queries may start while old queries may finish" memory
+// dynamics with a single knob for volatility.
+func RandomWalkChain(states []float64, down, up float64) (*Chain, error) {
+	if down < 0 || up < 0 || down+up > 1 {
+		return nil, fmt.Errorf("stats: bad walk probabilities down=%v up=%v", down, up)
+	}
+	n := len(states)
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		stay := 1 - down - up
+		switch {
+		case n == 1:
+			p[i][i] = 1
+		case i == 0:
+			p[i][i] = stay + down
+			p[i][i+1] = up
+		case i == n-1:
+			p[i][i] = stay + up
+			p[i][i-1] = down
+		default:
+			p[i][i-1] = down
+			p[i][i] = stay
+			p[i][i+1] = up
+		}
+	}
+	return NewChain(states, p)
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func twoStateChain(t *testing.T) *Chain {
+	t.Helper()
+	c, err := NewChain([]float64{700, 2000}, [][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(nil, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewChain([]float64{2, 1}, [][]float64{{1, 0}, {0, 1}}); err == nil {
+		t.Error("descending states accepted")
+	}
+	if _, err := NewChain([]float64{1, 2}, [][]float64{{1, 0}}); err == nil {
+		t.Error("missing transition row accepted")
+	}
+	if _, err := NewChain([]float64{1, 2}, [][]float64{{1}, {0, 1}}); err == nil {
+		t.Error("short transition row accepted")
+	}
+	if _, err := NewChain([]float64{1, 2}, [][]float64{{0.5, 0.4}, {0, 1}}); err == nil {
+		t.Error("row summing to 0.9 accepted")
+	}
+	if _, err := NewChain([]float64{1, 2}, [][]float64{{-0.5, 1.5}, {0, 1}}); err == nil {
+		t.Error("negative transition probability accepted")
+	}
+}
+
+func TestIdentityChainIsStatic(t *testing.T) {
+	c := IdentityChain([]float64{1, 2, 3})
+	d := MustNew([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	for k := 0; k < 5; k++ {
+		got := c.After(d, k)
+		if !got.Equal(d, 1e-12) {
+			t.Fatalf("After(%d) = %v, want unchanged %v", k, got, d)
+		}
+	}
+}
+
+func TestStepConservesProbabilityAndMoves(t *testing.T) {
+	c := twoStateChain(t)
+	d := Point(2000)
+	next := c.Step(d)
+	if !almostEq(next.TotalProb(), 1, 1e-12) {
+		t.Errorf("total probability %v", next.TotalProb())
+	}
+	if !almostEq(next.PrLE(700), 0.2, 1e-12) {
+		t.Errorf("Pr[700] after one step = %v, want 0.2", next.PrLE(700))
+	}
+}
+
+func TestPhaseDists(t *testing.T) {
+	c := twoStateChain(t)
+	init := MustNew([]float64{700, 2000}, []float64{0.5, 0.5})
+	phases := c.PhaseDists(init, 4)
+	if len(phases) != 4 {
+		t.Fatalf("got %d phases", len(phases))
+	}
+	if !phases[0].Equal(init, 1e-12) {
+		t.Errorf("phase 0 = %v, want initial %v", phases[0], init)
+	}
+	for k := 1; k < 4; k++ {
+		want := c.After(init, k)
+		if !phases[k].Equal(want, 1e-12) {
+			t.Errorf("phase %d = %v, want %v", k, phases[k], want)
+		}
+	}
+}
+
+func TestStationary(t *testing.T) {
+	c := twoStateChain(t)
+	st := c.Stationary(1000)
+	// Stationary of this chain: π₇₀₀·0.1 = π₂₀₀₀·0.2 → π₇₀₀ = 2/3.
+	if math.Abs(st.PrLE(700)-2.0/3) > 1e-6 {
+		t.Errorf("stationary Pr[700] = %v, want 2/3", st.PrLE(700))
+	}
+	// Stepping the stationary distribution leaves it unchanged.
+	if !c.Step(st).Equal(st, 1e-9) {
+		t.Error("stationary distribution is not a fixed point")
+	}
+}
+
+func TestRandomWalkChain(t *testing.T) {
+	states := []float64{100, 200, 300, 400}
+	c, err := RandomWalkChain(states, 0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric walk: uniform is stationary.
+	st := c.Stationary(2000)
+	for i := 0; i < st.Len(); i++ {
+		if math.Abs(st.Prob(i)-0.25) > 1e-6 {
+			t.Errorf("stationary prob %d = %v, want 0.25", i, st.Prob(i))
+		}
+	}
+	if _, err := RandomWalkChain(states, 0.7, 0.7); err == nil {
+		t.Error("down+up > 1 accepted")
+	}
+	if _, err := RandomWalkChain(states, -0.1, 0.1); err == nil {
+		t.Error("negative down accepted")
+	}
+	// Single state walk.
+	c1, err := RandomWalkChain([]float64{5}, 0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c1.Step(Point(5)); !got.IsPoint() {
+		t.Errorf("single-state walk moved: %v", got)
+	}
+}
+
+func TestSamplePathFollowsChainStatistics(t *testing.T) {
+	c := twoStateChain(t)
+	rng := rand.New(rand.NewSource(42))
+	init := Point(2000)
+	const trials = 20000
+	count700 := 0
+	for i := 0; i < trials; i++ {
+		path := c.SamplePath(rng, init, 2)
+		if len(path) != 2 {
+			t.Fatalf("path length %d", len(path))
+		}
+		if path[0] != 2000 {
+			t.Fatalf("path[0] = %v, want 2000", path[0])
+		}
+		if path[1] == 700 {
+			count700++
+		}
+	}
+	frac := float64(count700) / trials
+	if math.Abs(frac-0.2) > 0.02 {
+		t.Errorf("empirical transition to 700: %v, want ≈0.2", frac)
+	}
+	if p := c.SamplePath(rng, init, 0); p != nil {
+		t.Errorf("SamplePath(k=0) = %v, want nil", p)
+	}
+}
+
+func TestChainAccessors(t *testing.T) {
+	c := twoStateChain(t)
+	if c.NumStates() != 2 {
+		t.Errorf("NumStates = %d", c.NumStates())
+	}
+	s := c.States()
+	if len(s) != 2 || s[0] != 700 || s[1] != 2000 {
+		t.Errorf("States = %v", s)
+	}
+	s[0] = -1 // must not alias internal state
+	if c.States()[0] != 700 {
+		t.Error("States() aliases internal slice")
+	}
+	row := c.TransitionRow(0)
+	if !almostEq(row[0], 0.9, 1e-12) {
+		t.Errorf("TransitionRow(0) = %v", row)
+	}
+	row[0] = -1
+	if !almostEq(c.TransitionRow(0)[0], 0.9, 1e-12) {
+		t.Error("TransitionRow aliases internal slice")
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3}, []float64{0.5, 0.3, 0.2})
+	rng := rand.New(rand.NewSource(9))
+	counts := map[float64]int{}
+	const n = 50000
+	for _, v := range d.SampleN(rng, n) {
+		counts[v]++
+	}
+	for i := 0; i < d.Len(); i++ {
+		frac := float64(counts[d.Value(i)]) / n
+		if math.Abs(frac-d.Prob(i)) > 0.01 {
+			t.Errorf("value %v: empirical %v, want %v", d.Value(i), frac, d.Prob(i))
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDist parses a compact distribution spec of the form
+//
+//	"700:0.2,2000:0.8"   (value:weight pairs)
+//	"1500"               (a point distribution)
+//
+// Weights need not sum to 1; they are normalized. Used by the CLIs.
+func ParseDist(spec string) (*Dist, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("stats: empty distribution spec")
+	}
+	var vals, weights []float64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		vs, ws, found := strings.Cut(part, ":")
+		v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: bad value %q in spec: %v", vs, err)
+		}
+		w := 1.0
+		if found {
+			w, err = strconv.ParseFloat(strings.TrimSpace(ws), 64)
+			if err != nil {
+				return nil, fmt.Errorf("stats: bad weight %q in spec: %v", ws, err)
+			}
+		}
+		vals = append(vals, v)
+		weights = append(weights, w)
+	}
+	return New(vals, weights)
+}

@@ -1,0 +1,35 @@
+package stats
+
+import "testing"
+
+func TestParseDist(t *testing.T) {
+	d, err := ParseDist("700:0.2, 2000:0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || !almostEq(d.PrLE(700), 0.2, 1e-12) {
+		t.Errorf("parsed %v", d)
+	}
+	// Bare value: point distribution.
+	p, err := ParseDist("1500")
+	if err != nil || !p.IsPoint() || p.Mean() != 1500 {
+		t.Errorf("point parse: %v, %v", p, err)
+	}
+	// Unnormalized weights.
+	d, err = ParseDist("1:1,2:3")
+	if err != nil || !almostEq(d.PrLE(1), 0.25, 1e-12) {
+		t.Errorf("unnormalized parse: %v, %v", d, err)
+	}
+	// Trailing comma tolerated.
+	if _, err := ParseDist("1:1,"); err != nil {
+		t.Errorf("trailing comma rejected: %v", err)
+	}
+}
+
+func TestParseDistErrors(t *testing.T) {
+	for _, spec := range []string{"", "  ", "abc", "1:x", "1:", ":2", "1:1,bad:2"} {
+		if _, err := ParseDist(spec); err == nil {
+			t.Errorf("ParseDist(%q) succeeded", spec)
+		}
+	}
+}

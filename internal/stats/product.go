@@ -1,0 +1,80 @@
+package stats
+
+import "fmt"
+
+// Product returns the distribution of f(X, Y) for independent X ~ dx and
+// Y ~ dy. The result has up to Len(dx)·Len(dy) support points; callers that
+// need to bound the bucket count should Rebucket the result (paper §3.6.3).
+func Product(dx, dy *Dist, f func(x, y float64) float64) *Dist {
+	n := dx.Len() * dy.Len()
+	vals := make([]float64, 0, n)
+	weights := make([]float64, 0, n)
+	for i := 0; i < dx.Len(); i++ {
+		for j := 0; j < dy.Len(); j++ {
+			vals = append(vals, f(dx.Value(i), dy.Value(j)))
+			weights = append(weights, dx.Prob(i)*dy.Prob(j))
+		}
+	}
+	d, err := New(vals, weights)
+	if err != nil {
+		panic(fmt.Sprintf("stats: Product produced invalid distribution: %v", err))
+	}
+	return d
+}
+
+// Product3 returns the distribution of f(X, Y, Z) for independent X, Y, Z.
+// This is the operation behind the result-size distribution of paper
+// §3.6.3: |A ⋈ B| = |A|·|B|·σ with independent |A|, |B| and selectivity σ.
+func Product3(dx, dy, dz *Dist, f func(x, y, z float64) float64) *Dist {
+	n := dx.Len() * dy.Len() * dz.Len()
+	vals := make([]float64, 0, n)
+	weights := make([]float64, 0, n)
+	for i := 0; i < dx.Len(); i++ {
+		for j := 0; j < dy.Len(); j++ {
+			pij := dx.Prob(i) * dy.Prob(j)
+			for k := 0; k < dz.Len(); k++ {
+				vals = append(vals, f(dx.Value(i), dy.Value(j), dz.Value(k)))
+				weights = append(weights, pij*dz.Prob(k))
+			}
+		}
+	}
+	d, err := New(vals, weights)
+	if err != nil {
+		panic(fmt.Sprintf("stats: Product3 produced invalid distribution: %v", err))
+	}
+	return d
+}
+
+// ExpectProduct returns E[f(X, Y)] for independent X, Y without
+// materializing the product distribution.
+func ExpectProduct(dx, dy *Dist, f func(x, y float64) float64) float64 {
+	s := 0.0
+	for i := 0; i < dx.Len(); i++ {
+		for j := 0; j < dy.Len(); j++ {
+			s += f(dx.Value(i), dy.Value(j)) * dx.Prob(i) * dy.Prob(j)
+		}
+	}
+	return s
+}
+
+// ExpectProduct3 returns E[f(X, Y, Z)] for independent X, Y, Z. This is the
+// naive O(b_X·b_Y·b_Z) expected-cost evaluation of paper §3.6 ("Algorithm
+// D ... needs b_M·b_B·b_A evaluations"); the fast per-join-method routines
+// in internal/cost beat it to O(b_X + b_Y + b_Z).
+func ExpectProduct3(dx, dy, dz *Dist, f func(x, y, z float64) float64) float64 {
+	s := 0.0
+	for i := 0; i < dx.Len(); i++ {
+		for j := 0; j < dy.Len(); j++ {
+			pij := dx.Prob(i) * dy.Prob(j)
+			for k := 0; k < dz.Len(); k++ {
+				s += f(dx.Value(i), dy.Value(j), dz.Value(k)) * pij * dz.Prob(k)
+			}
+		}
+	}
+	return s
+}
+
+// Convolve returns the distribution of X + Y for independent X, Y.
+func Convolve(dx, dy *Dist) *Dist {
+	return Product(dx, dy, func(x, y float64) float64 { return x + y })
+}

@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genDist draws a random valid distribution from the quick-check rand
+// source: between 1 and 12 support points in (0, 1000], random weights.
+func genDist(rng *rand.Rand) *Dist {
+	n := rng.Intn(12) + 1
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64()*1000 + 1e-6
+		weights[i] = rng.Float64() + 1e-3
+	}
+	return MustNew(vals, weights)
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 300}
+}
+
+func TestPropDistInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		d := genDist(rand.New(rand.NewSource(seed)))
+		if err := d.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		// Mean within support hull; variance non-negative.
+		m := d.Mean()
+		if m < d.Min()-1e-9 || m > d.Max()+1e-9 {
+			t.Logf("mean %v outside [%v, %v]", m, d.Min(), d.Max())
+			return false
+		}
+		if d.Variance() < 0 {
+			t.Logf("negative variance %v", d.Variance())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLawOfTotalExpectation(t *testing.T) {
+	// E[X] = E[X | X ≤ b]·Pr[X ≤ b] + E[X | X > b]·Pr[X > b].
+	f := func(seed int64, bFrac float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := genDist(rng)
+		b := d.Min() + math.Abs(math.Mod(bFrac, 1))*(d.Max()-d.Min())
+		mLE, pLE := d.CondExpLE(b)
+		// X > b is X ≥ next support point above b.
+		mGT, pGT := 0.0, 0.0
+		for i := 0; i < d.Len(); i++ {
+			if d.Value(i) > b {
+				mGT, pGT = d.CondExpGE(d.Value(i))
+				break
+			}
+		}
+		total := mLE*pLE + mGT*pGT
+		return math.Abs(total-d.Mean()) < 1e-6*(1+math.Abs(d.Mean()))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLinearityOfExpectation(t *testing.T) {
+	// E[aX + c] = a·E[X] + c, via Expect and via Map.
+	f := func(seed int64, a, c float64) bool {
+		a = math.Mod(a, 100)
+		c = math.Mod(c, 100)
+		d := genDist(rand.New(rand.NewSource(seed)))
+		want := a*d.Mean() + c
+		viaExpect := d.Expect(func(v float64) float64 { return a*v + c })
+		viaMap := d.Map(func(v float64) float64 { return a*v + c }).Mean()
+		tol := 1e-6 * (1 + math.Abs(want))
+		return math.Abs(viaExpect-want) < tol && math.Abs(viaMap-want) < tol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropConvolutionMeanAndVariance(t *testing.T) {
+	// For independent X, Y: E[X+Y] = EX + EY and Var[X+Y] = VarX + VarY.
+	f := func(seed1, seed2 int64) bool {
+		dx := genDist(rand.New(rand.NewSource(seed1)))
+		dy := genDist(rand.New(rand.NewSource(seed2)))
+		s := Convolve(dx, dy)
+		meanOK := math.Abs(s.Mean()-(dx.Mean()+dy.Mean())) < 1e-6*(1+s.Mean())
+		varOK := math.Abs(s.Variance()-(dx.Variance()+dy.Variance())) < 1e-5*(1+s.Variance())
+		return meanOK && varOK
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropProductExpectationFactorizes(t *testing.T) {
+	// E[X·Y] = EX·EY for independent X, Y — both via Product and via
+	// ExpectProduct.
+	f := func(seed1, seed2 int64) bool {
+		dx := genDist(rand.New(rand.NewSource(seed1)))
+		dy := genDist(rand.New(rand.NewSource(seed2)))
+		want := dx.Mean() * dy.Mean()
+		mul := func(x, y float64) float64 { return x * y }
+		viaDist := Product(dx, dy, mul).Mean()
+		viaExp := ExpectProduct(dx, dy, mul)
+		tol := 1e-6 * (1 + math.Abs(want))
+		return math.Abs(viaDist-want) < tol && math.Abs(viaExp-want) < tol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropProduct3MatchesNested(t *testing.T) {
+	// ExpectProduct3 must agree with materializing Product3 and taking the
+	// mean of f-images.
+	f := func(seed1, seed2, seed3 int64) bool {
+		dx := genDist(rand.New(rand.NewSource(seed1)))
+		dy := genDist(rand.New(rand.NewSource(seed2)))
+		dz := genDist(rand.New(rand.NewSource(seed3)))
+		g := func(x, y, z float64) float64 { return x + y*z }
+		viaExp := ExpectProduct3(dx, dy, dz, g)
+		viaDist := Product3(dx, dy, dz, g).Mean()
+		return math.Abs(viaExp-viaDist) < 1e-6*(1+math.Abs(viaExp))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRebucketPreservesMeanAndProbability(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		d := genDist(rand.New(rand.NewSource(seed)))
+		b := int(bRaw%16) + 1
+		out := Rebucket(d, b)
+		if out.Len() > d.Len() {
+			return false
+		}
+		if math.Abs(out.TotalProb()-1) > 1e-9 {
+			return false
+		}
+		return math.Abs(out.Mean()-d.Mean()) < 1e-6*(1+d.Mean())
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBucketizeStrategiesPreserveMean(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		d := genDist(rand.New(rand.NewSource(seed)))
+		b := int(bRaw%8) + 1
+		for _, s := range []BucketStrategy{UniformWidth, EquiDepth} {
+			out, err := Bucketize(d, b, s, nil)
+			if err != nil {
+				return false
+			}
+			if math.Abs(out.Mean()-d.Mean()) > 1e-6*(1+d.Mean()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPrefixTableConsistency(t *testing.T) {
+	// Pr[X ≤ b] + Pr[X > b] = 1 and PartialExpLE + PartialExpGE(next) = E[X].
+	f := func(seed int64, bFrac float64) bool {
+		d := genDist(rand.New(rand.NewSource(seed)))
+		pt := NewPrefixTable(d)
+		b := d.Min() + math.Abs(math.Mod(bFrac, 1))*(d.Max()-d.Min())
+		if math.Abs(pt.PrLE(b)+pt.PrGT(b)-1) > 1e-9 {
+			return false
+		}
+		// Split the full expectation at b.
+		var rest float64
+		for i := 0; i < d.Len(); i++ {
+			if d.Value(i) > b {
+				rest = pt.PartialExpGE(d.Value(i))
+				break
+			}
+		}
+		return math.Abs(pt.PartialExpLE(b)+rest-d.Mean()) < 1e-6*(1+d.Mean())
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMarkovStepPreservesProbability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		states := make([]float64, n)
+		for i := range states {
+			states[i] = float64((i + 1) * 100)
+		}
+		// Random stochastic matrix.
+		p := make([][]float64, n)
+		for i := range p {
+			p[i] = make([]float64, n)
+			sum := 0.0
+			for j := range p[i] {
+				p[i][j] = rng.Float64() + 1e-3
+				sum += p[i][j]
+			}
+			for j := range p[i] {
+				p[i][j] /= sum
+			}
+		}
+		c, err := NewChain(states, p)
+		if err != nil {
+			return false
+		}
+		d := genDist(rng)
+		next := c.Step(d)
+		return math.Abs(next.TotalProb()-1) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(seed int64, q1, q2 float64) bool {
+		d := genDist(rand.New(rand.NewSource(seed)))
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return d.Quantile(a) <= d.Quantile(b)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

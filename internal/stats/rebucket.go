@@ -1,0 +1,66 @@
+package stats
+
+import "math"
+
+// Rebucket reduces d to at most b buckets using equi-depth partitioning,
+// preserving the mean exactly (each bucket is represented by its conditional
+// mean). This is the "rebucketing" of paper §3.6.3: after computing the
+// result-size distribution |A ⋈ B| = |A|·|B|·σ, which can have up to b³
+// support points, the optimizer collapses it back to b buckets so bucket
+// counts do not blow up as distributions propagate up the plan DAG.
+func Rebucket(d *Dist, b int) *Dist {
+	if b < 1 {
+		b = 1
+	}
+	if d.Len() <= b {
+		return d
+	}
+	return bucketizeEquiDepth(d, b)
+}
+
+// RebucketBudget3 returns per-input bucket budgets (bx, by, bz) whose
+// product does not exceed budget, following the paper's suggestion to
+// rebucket each of |A|, |B| and σ to roughly the cube root of the budget
+// before forming their product, so the product itself respects the budget
+// without a post-hoc rebucket. Budgets are at least 1 and are balanced to
+// within one step of each other.
+func RebucketBudget3(budget int) (bx, by, bz int) {
+	if budget < 1 {
+		return 1, 1, 1
+	}
+	c := int(math.Cbrt(float64(budget)))
+	if c < 1 {
+		c = 1
+	}
+	bx, by, bz = c, c, c
+	// Greedily grow components while the product stays within budget.
+	for {
+		switch {
+		case (bx+1)*by*bz <= budget:
+			bx++
+		case bx*(by+1)*bz <= budget:
+			by++
+		case bx*by*(bz+1) <= budget:
+			bz++
+		default:
+			return bx, by, bz
+		}
+	}
+}
+
+// ResultSizeDist computes the distribution of the join result size
+// |A ⋈ B| = |A|·|B|·σ for independent size and selectivity distributions,
+// rebucketing the inputs to fit budget support points in the output
+// (paper §3.6.3). budget ≤ 0 means "no limit".
+func ResultSizeDist(sizeA, sizeB, sel *Dist, budget int) *Dist {
+	a, b, s := sizeA, sizeB, sel
+	if budget > 0 {
+		ba, bb, bs := RebucketBudget3(budget)
+		a, b, s = Rebucket(a, ba), Rebucket(b, bb), Rebucket(s, bs)
+	}
+	out := Product3(a, b, s, func(x, y, z float64) float64 { return x * y * z })
+	if budget > 0 {
+		out = Rebucket(out, budget)
+	}
+	return out
+}

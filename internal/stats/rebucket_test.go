@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRebucketPreservesMeanAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 200)
+	weights := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1e6
+		weights[i] = rng.Float64() + 0.001
+	}
+	d := MustNew(vals, weights)
+	for _, b := range []int{1, 3, 8, 20, 199, 500} {
+		out := Rebucket(d, b)
+		if b < d.Len() && out.Len() > b {
+			t.Errorf("Rebucket(%d) has %d buckets", b, out.Len())
+		}
+		if !almostEq(out.Mean(), d.Mean(), 1e-6*d.Mean()) {
+			t.Errorf("Rebucket(%d) mean %v, want %v", b, out.Mean(), d.Mean())
+		}
+	}
+	// b ≥ Len returns d unchanged (same pointer is fine).
+	if out := Rebucket(d, d.Len()); out.Len() != d.Len() {
+		t.Errorf("Rebucket at exact length changed bucket count to %d", out.Len())
+	}
+	// Degenerate bucket counts clamp to 1.
+	if out := Rebucket(d, 0); out.Len() != 1 {
+		t.Errorf("Rebucket(0) has %d buckets, want 1", out.Len())
+	}
+}
+
+func TestRebucketBudget3(t *testing.T) {
+	for _, budget := range []int{0, 1, 2, 7, 8, 27, 30, 64, 100, 1000} {
+		bx, by, bz := RebucketBudget3(budget)
+		if bx < 1 || by < 1 || bz < 1 {
+			t.Errorf("budget %d: got (%d,%d,%d), want all ≥ 1", budget, bx, by, bz)
+		}
+		limit := budget
+		if limit < 1 {
+			limit = 1
+		}
+		if bx*by*bz > limit {
+			t.Errorf("budget %d: product %d exceeds budget", budget, bx*by*bz)
+		}
+	}
+	// Perfect cubes split evenly.
+	bx, by, bz := RebucketBudget3(27)
+	if bx*by*bz != 27 {
+		t.Errorf("budget 27: product %d, want 27", bx*by*bz)
+	}
+}
+
+func TestResultSizeDistExactWhenUnbudgeted(t *testing.T) {
+	// |A| ∈ {100, 200}, |B| ∈ {10}, σ ∈ {0.1, 0.2}; exact product.
+	a := MustNew([]float64{100, 200}, []float64{0.5, 0.5})
+	b := Point(10)
+	sel := MustNew([]float64{0.1, 0.2}, []float64{0.5, 0.5})
+	d := ResultSizeDist(a, b, sel, 0)
+	// E[|A⋈B|] = E|A|·E|B|·Eσ by independence = 150·10·0.15 = 225.
+	if !almostEq(d.Mean(), 225, 1e-9) {
+		t.Errorf("mean %v, want 225", d.Mean())
+	}
+	// Support: {100,200}×{10}×{0.1,0.2} → {100, 200, 400} (200 twice).
+	if d.Len() != 3 {
+		t.Errorf("support size %d, want 3: %v", d.Len(), d)
+	}
+}
+
+func TestResultSizeDistBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int) *Dist {
+		vals := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*1000 + 1
+			weights[i] = rng.Float64() + 0.01
+		}
+		return MustNew(vals, weights)
+	}
+	a, b, sel := mk(20), mk(20), mk(20)
+	exact := ResultSizeDist(a, b, sel, 0)
+	for _, budget := range []int{8, 27, 64, 125} {
+		d := ResultSizeDist(a, b, sel, budget)
+		if d.Len() > budget {
+			t.Errorf("budget %d: %d buckets", budget, d.Len())
+		}
+		// Mean error should shrink as budget grows; just require it stays
+		// within 20% even at the smallest budget (rebucketing preserves the
+		// mean of what it buckets; error comes from pre-bucketing inputs).
+		relErr := math.Abs(d.Mean()-exact.Mean()) / exact.Mean()
+		if relErr > 0.20 {
+			t.Errorf("budget %d: relative mean error %v too large", budget, relErr)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import "math/rand"
+
+// Sample draws one value from d using rng.
+func (d *Dist) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range d.probs {
+		acc += p
+		if u < acc {
+			return d.vals[i]
+		}
+	}
+	return d.vals[len(d.vals)-1]
+}
+
+// SampleN draws n values from d.
+func (d *Dist) SampleN(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// SamplePath draws a length-k trajectory from the chain starting from a
+// state drawn from initial. Element k is the parameter value during phase k.
+// The execution simulator uses this to generate per-phase memory traces
+// (paper §3.5).
+func (c *Chain) SamplePath(rng *rand.Rand, initial *Dist, k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]float64, k)
+	state := c.stateIndex(initial.Sample(rng))
+	out[0] = c.states[state]
+	for i := 1; i < k; i++ {
+		state = c.sampleTransition(rng, state)
+		out[i] = c.states[state]
+	}
+	return out
+}
+
+func (c *Chain) sampleTransition(rng *rand.Rand, from int) int {
+	u := rng.Float64()
+	acc := 0.0
+	row := c.p[from]
+	for j, p := range row {
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	return len(row) - 1
+}

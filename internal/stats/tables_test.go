@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPrefixTableMatchesDirect(t *testing.T) {
+	d := MustNew([]float64{10, 20, 30, 40}, []float64{0.1, 0.2, 0.3, 0.4})
+	pt := NewPrefixTable(d)
+	if pt.Dist() != d {
+		t.Fatal("Dist() did not return the source distribution")
+	}
+	thresholds := []float64{5, 10, 15, 20, 25, 30, 35, 40, 45}
+	for _, b := range thresholds {
+		if got, want := pt.PrLE(b), d.PrLE(b); !almostEq(got, want, 1e-12) {
+			t.Errorf("PrLE(%v) = %v, want %v", b, got, want)
+		}
+		if got, want := pt.PrGE(b), d.PrGE(b); !almostEq(got, want, 1e-12) {
+			t.Errorf("PrGE(%v) = %v, want %v", b, got, want)
+		}
+		if got, want := pt.PrGT(b), d.PrGT(b); !almostEq(got, want, 1e-12) {
+			t.Errorf("PrGT(%v) = %v, want %v", b, got, want)
+		}
+		gm, gp := pt.CondExpLE(b)
+		wm, wp := d.CondExpLE(b)
+		if !almostEq(gm, wm, 1e-12) || !almostEq(gp, wp, 1e-12) {
+			t.Errorf("CondExpLE(%v) = (%v,%v), want (%v,%v)", b, gm, gp, wm, wp)
+		}
+		gm, gp = pt.CondExpGE(b)
+		wm, wp = d.CondExpGE(b)
+		if !almostEq(gm, wm, 1e-12) || !almostEq(gp, wp, 1e-12) {
+			t.Errorf("CondExpGE(%v) = (%v,%v), want (%v,%v)", b, gm, gp, wm, wp)
+		}
+	}
+}
+
+func TestPrefixTablePartialExp(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	pt := NewPrefixTable(d)
+	if got := pt.PartialExpLE(2); !almostEq(got, 1*0.2+2*0.3, 1e-12) {
+		t.Errorf("PartialExpLE(2) = %v", got)
+	}
+	if got := pt.PartialExpLE(0.5); got != 0 {
+		t.Errorf("PartialExpLE(0.5) = %v, want 0", got)
+	}
+	if got := pt.PartialExpGE(2); !almostEq(got, 2*0.3+3*0.5, 1e-12) {
+		t.Errorf("PartialExpGE(2) = %v", got)
+	}
+	if got := pt.PartialExpGE(0); !almostEq(got, d.Mean(), 1e-12) {
+		t.Errorf("PartialExpGE(0) = %v, want full mean %v", got, d.Mean())
+	}
+}
+
+func TestSweeperMatchesTableInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 50)
+	weights := make([]float64, 50)
+	for i := range vals {
+		vals[i] = float64(i) * 3
+		weights[i] = rng.Float64() + 0.01
+	}
+	d := MustNew(vals, weights)
+	pt := NewPrefixTable(d)
+	sw := NewSweeper(pt)
+	for b := -5.0; b < 160; b += 1.7 {
+		if got, want := sw.PrLE(b), pt.PrLE(b); !almostEq(got, want, 1e-12) {
+			t.Fatalf("Sweeper.PrLE(%v) = %v, want %v", b, got, want)
+		}
+	}
+	// Partial expectations on a fresh sweep.
+	sw = NewSweeper(pt)
+	for b := -5.0; b < 160; b += 2.3 {
+		if got, want := sw.PartialExpLE(b), pt.PartialExpLE(b); !almostEq(got, want, 1e-12) {
+			t.Fatalf("Sweeper.PartialExpLE(%v) = %v, want %v", b, got, want)
+		}
+	}
+	// Conditional expectations on a fresh sweep.
+	sw = NewSweeper(pt)
+	for b := -5.0; b < 160; b += 4.1 {
+		gm, gp := sw.CondExpLE(b)
+		wm, wp := pt.CondExpLE(b)
+		if !almostEq(gm, wm, 1e-12) || !almostEq(gp, wp, 1e-12) {
+			t.Fatalf("Sweeper.CondExpLE(%v) = (%v,%v), want (%v,%v)", b, gm, gp, wm, wp)
+		}
+	}
+}
+
+func TestSweeperHandlesOutOfOrderQueries(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3, 4}, []float64{0.25, 0.25, 0.25, 0.25})
+	pt := NewPrefixTable(d)
+	sw := NewSweeper(pt)
+	// Forward, then backward: the sweeper must restart rather than return a
+	// stale prefix.
+	if got := sw.PrLE(4); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("PrLE(4) = %v, want 1", got)
+	}
+	if got := sw.PrLE(1); !almostEq(got, 0.25, 1e-12) {
+		t.Fatalf("PrLE(1) after backward query = %v, want 0.25", got)
+	}
+}

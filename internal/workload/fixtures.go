@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Example11 builds the exact scenario of paper Example 1.1:
+//
+//   - table A with 1,000,000 pages, table B with 400,000 pages,
+//   - an equi-join whose result is 3000 pages,
+//   - the result ordered by the join column,
+//   - memory 2000 pages with probability 0.8 and 700 pages with 0.2.
+//
+// Plan 1 (sort-merge, order for free) is the LSC choice at both the mean
+// (1740) and the mode (2000); Plan 2 (Grace hash + sort) is the LEC plan.
+func Example11() (*catalog.Catalog, *query.SPJ, *stats.Dist) {
+	const (
+		pagesA      = 1_000_000.0
+		pagesB      = 400_000.0
+		rowsPerPage = 10.0
+		resultPages = 3000.0
+	)
+	rowsA, rowsB := pagesA*rowsPerPage, pagesB*rowsPerPage
+	// Result pages-per-row is the sum of the inputs' (1/rowsPerPage each).
+	resultRows := resultPages / (2 / rowsPerPage)
+	sel := resultRows / (rowsA * rowsB)
+
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "A", Rows: int64(rowsA), Pages: pagesA,
+		Columns: []*catalog.Column{{Name: "k", Distinct: int64(rowsA), Min: 1, Max: rowsA}},
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "B", Rows: int64(rowsB), Pages: pagesB,
+		Columns: []*catalog.Column{{Name: "k", Distinct: int64(rowsB), Min: 1, Max: rowsB}},
+	})
+	ob := query.ColumnRef{Table: "A", Column: "k"}
+	q := &query.SPJ{
+		Tables: []string{"A", "B"},
+		Joins: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "A", Column: "k"},
+			Right:       query.ColumnRef{Table: "B", Column: "k"},
+			Selectivity: sel,
+		}},
+		OrderBy: &ob,
+	}
+	dm := stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})
+	return cat, q, dm
+}
+
+// TwoPointMemDist builds a two-point memory distribution with the given
+// mean and coefficient of variation cv (σ/μ): values μ(1±cv) with equal
+// probability. cv = 0 gives the point distribution. This is the variance
+// knob of experiment E10: "the greater the run-time variation in the values
+// of parameters ... the greater the cost advantage of the LEC plan."
+func TwoPointMemDist(mean, cv float64) *stats.Dist {
+	if cv <= 0 {
+		return stats.Point(mean)
+	}
+	lo := mean * (1 - cv)
+	if lo < 1 {
+		lo = 1
+	}
+	hi := 2*mean - lo
+	return stats.MustNew([]float64{lo, hi}, []float64{0.5, 0.5})
+}
+
+// LognormalMemDist builds a b-bucket discretized lognormal memory
+// distribution with the given mean and coefficient of variation — a
+// realistic heavy-tailed model of "available memory on a busy server".
+func LognormalMemDist(mean, cv float64, b int) (*stats.Dist, error) {
+	if cv <= 0 {
+		return stats.Point(mean), nil
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	sigma := math.Sqrt(sigma2)
+	pdf := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		d := (math.Log(x) - mu) / sigma
+		return math.Exp(-d*d/2) / x
+	}
+	lo := math.Exp(mu - 3*sigma)
+	hi := math.Exp(mu + 3*sigma)
+	if lo < 1 {
+		lo = 1
+	}
+	return stats.Discretize(pdf, lo, hi, b)
+}
+
+// MemoryWalk builds a birth–death Markov chain over nStates memory levels
+// spread geometrically across [lo, hi], with per-phase move probability
+// volatility in each direction (paper §3.5's dynamic memory model).
+func MemoryWalk(lo, hi float64, nStates int, volatility float64) (*stats.Chain, error) {
+	if nStates < 2 {
+		nStates = 2
+	}
+	states := make([]float64, nStates)
+	ratio := math.Pow(hi/lo, 1/float64(nStates-1))
+	v := lo
+	for i := range states {
+		states[i] = math.Round(v)
+		v *= ratio
+	}
+	return stats.RandomWalkChain(states, volatility, volatility)
+}

@@ -1,0 +1,226 @@
+// Package workload generates the synthetic catalogs, queries, and
+// environment distributions the experiments run on. Since the paper's
+// evaluation environment was a real DBMS deployment we cannot observe, the
+// generators substitute controlled synthetic equivalents: the distribution
+// shapes (mixtures with discontinuity-straddling support, Markov memory
+// walks, selectivity error models) are explicit knobs (see DESIGN.md,
+// "Substitutions").
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// Topology selects the join-graph shape of a generated query.
+type Topology int
+
+// Join-graph topologies.
+const (
+	// Chain joins t0–t1–t2–…, the classic pipeline shape.
+	Chain Topology = iota
+	// Star joins t0 to every other table (fact table with dimensions).
+	Star
+	// Clique joins every pair ("join predicates between every pair of
+	// relations", the paper's simplifying assumption in §2.2).
+	Clique
+	// RandomTree joins along a random spanning tree.
+	RandomTree
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Clique:
+		return "clique"
+	case RandomTree:
+		return "random-tree"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// CatalogSpec parameterizes RandomCatalog.
+type CatalogSpec struct {
+	// NumTables is the table count (default 5).
+	NumTables int
+	// MinPages / MaxPages bound table sizes; sizes are log-uniform so that
+	// both small and large relations occur (defaults 100 / 1e6).
+	MinPages, MaxPages float64
+	// RowsPerPage is the tuple density (default 10).
+	RowsPerPage float64
+	// IndexProb is the probability a table gets a clustered index on "id"
+	// (default 0.5).
+	IndexProb float64
+	// SizeSpread, when > 0, attaches a size distribution to each table with
+	// the given multiplicative spread (see catalog.SizeDistFromEstimate).
+	SizeSpread float64
+}
+
+func (s CatalogSpec) withDefaults() CatalogSpec {
+	if s.NumTables <= 0 {
+		s.NumTables = 5
+	}
+	if s.MinPages <= 0 {
+		s.MinPages = 100
+	}
+	if s.MaxPages <= s.MinPages {
+		s.MaxPages = 1e6
+	}
+	if s.RowsPerPage <= 0 {
+		s.RowsPerPage = 10
+	}
+	if s.IndexProb < 0 {
+		s.IndexProb = 0.5
+	}
+	return s
+}
+
+// TableName returns the canonical generated table name for index i.
+func TableName(i int) string { return fmt.Sprintf("t%d", i) }
+
+// RandomCatalog generates a catalog of NumTables tables named t0, t1, …,
+// each with columns id (unique), fk, and val.
+func RandomCatalog(rng *rand.Rand, spec CatalogSpec) *catalog.Catalog {
+	spec = spec.withDefaults()
+	cat := catalog.New()
+	logMin, logMax := math.Log(spec.MinPages), math.Log(spec.MaxPages)
+	for i := 0; i < spec.NumTables; i++ {
+		pages := math.Exp(logMin + rng.Float64()*(logMax-logMin))
+		pages = math.Floor(pages)
+		rows := int64(pages * spec.RowsPerPage)
+		distinctFK := int64(float64(rows) * (0.001 + rng.Float64()*0.05))
+		if distinctFK < 2 {
+			distinctFK = 2
+		}
+		tab := &catalog.Table{
+			Name:  TableName(i),
+			Rows:  rows,
+			Pages: pages,
+			Columns: []*catalog.Column{
+				{Name: "id", Distinct: rows, Min: 1, Max: float64(rows)},
+				{Name: "fk", Distinct: distinctFK, Min: 1, Max: float64(distinctFK)},
+				{Name: "val", Distinct: 1000, Min: 0, Max: 1000},
+			},
+		}
+		if rng.Float64() < spec.IndexProb {
+			tab.Indexes = append(tab.Indexes, &catalog.Index{
+				Name: TableName(i) + "_id", Column: "id", Clustered: true, Height: 3,
+			})
+		}
+		if spec.SizeSpread > 0 {
+			d, err := catalog.SizeDistFromEstimate(pages, spec.SizeSpread)
+			if err == nil {
+				tab.SizeDist = d
+			}
+		}
+		cat.MustAdd(tab)
+	}
+	return cat
+}
+
+// QuerySpec parameterizes RandomQuery.
+type QuerySpec struct {
+	// NumRels is the number of relations joined (default 4; must not exceed
+	// the catalog's table count).
+	NumRels int
+	// Shape is the join-graph topology (default Chain).
+	Shape Topology
+	// OrderBy adds an ORDER BY on t0.id when set.
+	OrderBy bool
+	// SelectionProb is the per-table probability of a range filter on val.
+	SelectionProb float64
+	// SelSpread, when > 0, widens every join selectivity into a
+	// distribution with the given spread (Algorithm D inputs).
+	SelSpread float64
+}
+
+func (s QuerySpec) withDefaults() QuerySpec {
+	if s.NumRels <= 0 {
+		s.NumRels = 4
+	}
+	if s.Shape < Chain || s.Shape > RandomTree {
+		s.Shape = Chain
+	}
+	return s
+}
+
+// RandomQuery generates an SPJ block over the first NumRels tables of a
+// RandomCatalog-shaped catalog.
+func RandomQuery(rng *rand.Rand, cat *catalog.Catalog, spec QuerySpec) (*query.SPJ, error) {
+	spec = spec.withDefaults()
+	n := spec.NumRels
+	if n > cat.Len() {
+		return nil, fmt.Errorf("workload: query needs %d tables, catalog has %d", n, cat.Len())
+	}
+	q := &query.SPJ{}
+	for i := 0; i < n; i++ {
+		q.Tables = append(q.Tables, TableName(i))
+	}
+	addJoin := func(i, j int) {
+		// Selectivity such that the join result is a plausible fraction of
+		// the cross product: 1/max(distinct) with jitter.
+		ti, _ := cat.Table(TableName(i))
+		tj, _ := cat.Table(TableName(j))
+		sel := catalog.JoinSelectivity(ti.Column("id"), tj.Column("fk"))
+		sel *= 0.5 + rng.Float64()
+		if sel > 1 {
+			sel = 1
+		}
+		p := query.JoinPred{
+			Left:        query.ColumnRef{Table: TableName(i), Column: "id"},
+			Right:       query.ColumnRef{Table: TableName(j), Column: "fk"},
+			Selectivity: sel,
+		}
+		if spec.SelSpread > 0 {
+			p.SelDist = catalog.MustSelectivityDist(sel, spec.SelSpread)
+		}
+		q.Joins = append(q.Joins, p)
+	}
+	switch spec.Shape {
+	case Chain:
+		for i := 0; i+1 < n; i++ {
+			addJoin(i, i+1)
+		}
+	case Star:
+		for i := 1; i < n; i++ {
+			addJoin(0, i)
+		}
+	case Clique:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				addJoin(i, j)
+			}
+		}
+	case RandomTree:
+		for i := 1; i < n; i++ {
+			addJoin(rng.Intn(i), i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < spec.SelectionProb {
+			q.Selections = append(q.Selections, query.Selection{
+				Col:         query.ColumnRef{Table: TableName(i), Column: "val"},
+				Op:          query.LT,
+				Value:       rng.Float64() * 1000,
+				Selectivity: 0.05 + rng.Float64()*0.9,
+			})
+		}
+	}
+	if spec.OrderBy {
+		ob := query.ColumnRef{Table: TableName(0), Column: "id"}
+		q.OrderBy = &ob
+	}
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func TestRandomCatalogDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cat := RandomCatalog(rng, CatalogSpec{})
+	if cat.Len() != 5 {
+		t.Fatalf("default table count = %d", cat.Len())
+	}
+	for _, name := range cat.Names() {
+		tab := cat.MustTable(name)
+		if err := tab.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if tab.Pages < 100 || tab.Pages > 1e6 {
+			t.Errorf("%s: pages %v outside defaults", name, tab.Pages)
+		}
+		if tab.Column("id") == nil || tab.Column("fk") == nil || tab.Column("val") == nil {
+			t.Errorf("%s: missing standard columns", name)
+		}
+		if tab.Column("id").Distinct != tab.Rows {
+			t.Errorf("%s: id not unique", name)
+		}
+	}
+}
+
+func TestRandomCatalogSizeSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cat := RandomCatalog(rng, CatalogSpec{NumTables: 3, SizeSpread: 0.5})
+	for _, name := range cat.Names() {
+		tab := cat.MustTable(name)
+		if tab.SizeDist == nil {
+			t.Errorf("%s: no size distribution", name)
+		} else if tab.SizeDist.Len() != 3 {
+			t.Errorf("%s: %d buckets", name, tab.SizeDist.Len())
+		}
+	}
+}
+
+func TestRandomQueryTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cat := RandomCatalog(rng, CatalogSpec{NumTables: 5})
+	for _, shape := range []Topology{Chain, Star, Clique, RandomTree} {
+		q, err := RandomQuery(rng, cat, QuerySpec{NumRels: 5, Shape: shape, OrderBy: true, SelectionProb: 0.5})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if err := q.Validate(cat); err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		wantJoins := map[Topology]int{Chain: 4, Star: 4, Clique: 10, RandomTree: 4}[shape]
+		if len(q.Joins) != wantJoins {
+			t.Errorf("%v: %d joins, want %d", shape, len(q.Joins), wantJoins)
+		}
+		if !q.Connected(query.FullSet(5)) {
+			t.Errorf("%v: join graph disconnected", shape)
+		}
+		if q.OrderBy == nil {
+			t.Errorf("%v: missing ORDER BY", shape)
+		}
+	}
+}
+
+func TestRandomQuerySelSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cat := RandomCatalog(rng, CatalogSpec{NumTables: 3})
+	q, err := RandomQuery(rng, cat, QuerySpec{NumRels: 3, SelSpread: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range q.Joins {
+		if j.SelDist == nil {
+			t.Error("join without selectivity distribution")
+		} else if math.Abs(j.SelDist.Mean()-j.Selectivity) > j.Selectivity {
+			t.Errorf("SelDist mean %v far from point %v", j.SelDist.Mean(), j.Selectivity)
+		}
+	}
+}
+
+func TestRandomQueryTooManyRels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cat := RandomCatalog(rng, CatalogSpec{NumTables: 2})
+	if _, err := RandomQuery(rng, cat, QuerySpec{NumRels: 5}); err == nil {
+		t.Error("query larger than catalog accepted")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	for _, s := range []Topology{Chain, Star, Clique, RandomTree, Topology(9)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+}
+
+// TestExample11FixtureNumbers pins the fixture to the paper's numbers.
+func TestExample11FixtureNumbers(t *testing.T) {
+	cat, q, dm := Example11()
+	a, b := cat.MustTable("A"), cat.MustTable("B")
+	if a.Pages != 1_000_000 || b.Pages != 400_000 {
+		t.Errorf("pages: %v, %v", a.Pages, b.Pages)
+	}
+	if dm.Mean() != 1740 || dm.Mode() != 2000 {
+		t.Errorf("memory dist %v", dm)
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	// The join result must be 3000 pages.
+	ctx, err := opt.NewContext(cat, q, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.SubsetPages(query.FullSet(2)); math.Abs(got-3000) > 1e-6 {
+		t.Errorf("result pages = %v, want 3000", got)
+	}
+	if q.OrderBy == nil || q.OrderBy.Table != "A" {
+		t.Errorf("order by = %v", q.OrderBy)
+	}
+}
+
+func TestTwoPointMemDist(t *testing.T) {
+	d := TwoPointMemDist(1000, 0.5)
+	if d.Len() != 2 || d.Mean() != 1000 {
+		t.Errorf("dist %v mean %v", d, d.Mean())
+	}
+	if got := d.StdDev() / d.Mean(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("cv = %v", got)
+	}
+	if !TwoPointMemDist(1000, 0).IsPoint() {
+		t.Error("cv=0 not a point")
+	}
+	// cv > 1 clamps the low side at 1 page and keeps the mean.
+	d = TwoPointMemDist(1000, 2)
+	if d.Min() != 1 || d.Mean() != 1000 {
+		t.Errorf("clamped dist %v mean %v", d, d.Mean())
+	}
+}
+
+func TestLognormalMemDist(t *testing.T) {
+	d, err := LognormalMemDist(800, 1.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 64 {
+		t.Errorf("%d buckets", d.Len())
+	}
+	// Discretization keeps the mean roughly (trimmed at ±3σ of log).
+	if math.Abs(d.Mean()-800)/800 > 0.25 {
+		t.Errorf("mean %v, want ≈ 800", d.Mean())
+	}
+	p, err := LognormalMemDist(500, 0, 10)
+	if err != nil || !p.IsPoint() {
+		t.Errorf("cv=0: %v, %v", p, err)
+	}
+}
+
+func TestMemoryWalk(t *testing.T) {
+	chain, err := MemoryWalk(100, 6400, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := chain.States()
+	if len(states) != 4 || states[0] != 100 || states[3] != 6400 {
+		t.Errorf("states = %v", states)
+	}
+	// Geometric spacing.
+	r1 := states[1] / states[0]
+	r2 := states[2] / states[1]
+	if math.Abs(r1-r2)/r1 > 0.05 {
+		t.Errorf("spacing not geometric: %v", states)
+	}
+	// Degenerate state count clamps to 2.
+	c2, err := MemoryWalk(10, 100, 1, 0.2)
+	if err != nil || c2.NumStates() != 2 {
+		t.Errorf("clamp: %v states, err %v", c2.NumStates(), err)
+	}
+}
+
+// TestFixtureDrivesTheFullStack is a smoke test that the fixture runs
+// through optimization and produces the documented plans.
+func TestFixtureDrivesTheFullStack(t *testing.T) {
+	cat, q, dm := Example11()
+	lsc, err := opt.LSCPlan(cat, q, opt.Options{}, dm, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := opt.AlgorithmC(cat, q, opt.Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsc.Plan.Key() == lec.Plan.Key() {
+		t.Errorf("LSC and LEC plans coincide:\n%s", plan.Explain(lsc.Plan))
+	}
+	if lec.Cost >= plan.ExpCost(lsc.Plan, dm) {
+		t.Error("LEC not cheaper in expectation")
+	}
+}

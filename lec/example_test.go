@@ -1,0 +1,72 @@
+package lec_test
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+// Example reproduces the paper's Example 1.1 through the public API: the
+// classical optimizer picks the sort-merge plan, the LEC optimizer picks
+// Grace hash + sort, and the LEC plan is cheaper in expectation.
+func Example() {
+	cat, q, memory := workload.Example11()
+	o := lec.New(cat)
+	env := lec.Environment{Memory: memory}
+
+	lsc, _ := o.Optimize(q, env, lec.LSCMode)
+	lecPlan, _ := o.Optimize(q, env, lec.AlgorithmC)
+
+	fmt.Printf("classical E[cost]: %.0f\n", lsc.ExpectedCost)
+	fmt.Printf("LEC       E[cost]: %.0f\n", lecPlan.ExpectedCost)
+	fmt.Printf("saving: %.1f%%\n", 100*(1-lecPlan.ExpectedCost/lsc.ExpectedCost))
+	// Output:
+	// classical E[cost]: 4760000
+	// LEC       E[cost]: 4206000
+	// saving: 11.6%
+}
+
+// ExampleOptimizer_OptimizeSQL shows the SQL entry point against a
+// hand-built catalog.
+func ExampleOptimizer_OptimizeSQL() {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "t1", Rows: 1_000_000, Pages: 100_000,
+		Columns: []*catalog.Column{{Name: "id", Distinct: 1_000_000}},
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "t2", Rows: 500_000, Pages: 50_000,
+		Columns: []*catalog.Column{{Name: "ref", Distinct: 1_000_000}},
+	})
+	o := lec.New(cat)
+	env := lec.Environment{
+		Memory: stats.MustNew([]float64{50, 1000}, []float64{0.5, 0.5}),
+	}
+	d, err := o.OptimizeSQL("SELECT * FROM t1, t2 WHERE t1.id = t2.ref", env)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("strategy: %v\n", d.Strategy)
+	fmt.Printf("positive expected cost: %v\n", d.ExpectedCost > 0)
+	// Output:
+	// strategy: algorithm-c
+	// positive expected cost: true
+}
+
+// ExampleStrategies lists the available strategies in order.
+func ExampleStrategies() {
+	for _, s := range lec.Strategies() {
+		fmt.Println(s)
+	}
+	// Output:
+	// lsc-mean
+	// lsc-mode
+	// algorithm-a
+	// algorithm-b
+	// algorithm-c
+	// algorithm-d
+}

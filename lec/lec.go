@@ -1,0 +1,253 @@
+// Package lec is the public API of the least-expected-cost (LEC) query
+// optimization library, a from-scratch reproduction of Chu, Halpern and
+// Seshadri's LEC framework (PODS 1999/2002).
+//
+// The core idea: instead of optimizing a query for one assumed value of
+// each run-time parameter (the classical least-specific-cost, LSC,
+// approach), model the parameters — available buffer memory, relation
+// sizes, predicate selectivities — as probability distributions and pick
+// the plan minimizing *expected* cost. Because join cost formulas are
+// discontinuous in memory, the two approaches can disagree dramatically;
+// see the package example and examples/memory_variability.
+//
+// Basic use:
+//
+//	cat := ...                              // describe tables (catalog pkg)
+//	opt := lec.New(cat)
+//	env := lec.Environment{Memory: stats.MustNew([]float64{700, 2000}, []float64{0.2, 0.8})}
+//	d, err := opt.OptimizeSQL("SELECT * FROM a, b WHERE a.k = b.k ORDER BY a.k", env)
+//	fmt.Println(d.Explain())
+package lec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+// Strategy selects the optimization algorithm.
+type Strategy int
+
+// Strategies, from the classical baseline to the paper's algorithms.
+const (
+	// LSCMean is the traditional optimizer run at the distribution's mean.
+	LSCMean Strategy = iota
+	// LSCMode is the traditional optimizer run at the distribution's mode.
+	LSCMode
+	// AlgorithmA runs the black-box optimizer once per memory bucket and
+	// keeps the candidate of least expected cost (paper §3.2).
+	AlgorithmA
+	// AlgorithmB keeps the top-c plans per bucket before the expected-cost
+	// comparison (paper §3.3).
+	AlgorithmB
+	// AlgorithmC is the expected-cost dynamic program — the exact LEC plan
+	// (paper §3.4; §3.5 when the environment has a Markov chain).
+	AlgorithmC
+	// AlgorithmD additionally models relation-size and selectivity
+	// distributions (paper §3.6).
+	AlgorithmD
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case LSCMean:
+		return "lsc-mean"
+	case LSCMode:
+		return "lsc-mode"
+	case AlgorithmA:
+		return "algorithm-a"
+	case AlgorithmB:
+		return "algorithm-b"
+	case AlgorithmC:
+		return "algorithm-c"
+	case AlgorithmD:
+		return "algorithm-d"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists every strategy in presentation order.
+func Strategies() []Strategy {
+	return []Strategy{LSCMean, LSCMode, AlgorithmA, AlgorithmB, AlgorithmC, AlgorithmD}
+}
+
+// Environment describes the run-time parameter uncertainty.
+type Environment struct {
+	// Memory is the distribution of available buffer pages. Required.
+	Memory *stats.Dist
+	// Chain, when non-nil, makes memory dynamic: it evolves between join
+	// phases starting from Memory (paper §3.5). Only AlgorithmC honors it.
+	Chain *stats.Chain
+}
+
+func (e Environment) validate() error {
+	if e.Memory == nil {
+		return fmt.Errorf("lec: environment needs a memory distribution")
+	}
+	return nil
+}
+
+// Optimizer optimizes queries against one catalog.
+type Optimizer struct {
+	cat  *catalog.Catalog
+	opts opt.Options
+}
+
+// New builds an optimizer with default options.
+func New(cat *catalog.Catalog) *Optimizer {
+	return &Optimizer{cat: cat}
+}
+
+// NewWithOptions builds an optimizer with explicit search options.
+func NewWithOptions(cat *catalog.Catalog, opts opt.Options) *Optimizer {
+	return &Optimizer{cat: cat, opts: opts}
+}
+
+// Catalog returns the catalog the optimizer plans against.
+func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
+
+// Decision is the outcome of one optimization.
+type Decision struct {
+	// Strategy that produced the plan.
+	Strategy Strategy
+	// Plan is the chosen physical plan.
+	Plan plan.Node
+	// ExpectedCost is E[Φ] of the plan under the environment.
+	ExpectedCost float64
+	// Risk summarizes the plan's cost distribution.
+	Risk opt.RiskProfile
+	// Query is the optimized block.
+	Query *query.SPJ
+	env   Environment
+}
+
+// Explain renders the plan tree with its cost summary.
+func (d *Decision) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %v\nexpected cost: %.0f page I/Os (std %.0f, p95 %.0f)\n",
+		d.Strategy, d.ExpectedCost, d.Risk.StdDev, d.Risk.P95)
+	b.WriteString(plan.Explain(d.Plan))
+	return b.String()
+}
+
+// CostAt evaluates the plan's cost at one specific memory value.
+func (d *Decision) CostAt(mem float64) float64 { return plan.Cost(d.Plan, mem) }
+
+// Optimize plans a query block with the given strategy.
+func (o *Optimizer) Optimize(q *query.SPJ, env Environment, s Strategy) (*Decision, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if q.GroupBy != nil {
+		return o.optimizeAggregate(q, env, s)
+	}
+	var res *opt.Result
+	var err error
+	switch s {
+	case LSCMean:
+		res, err = opt.LSCPlan(o.cat, q, o.opts, env.Memory, false)
+	case LSCMode:
+		res, err = opt.LSCPlan(o.cat, q, o.opts, env.Memory, true)
+	case AlgorithmA:
+		res, err = opt.AlgorithmA(o.cat, q, o.opts, env.Memory)
+	case AlgorithmB:
+		res, err = opt.AlgorithmB(o.cat, q, o.opts, env.Memory)
+	case AlgorithmC:
+		if env.Chain != nil {
+			res, err = opt.AlgorithmCDynamic(o.cat, q, o.opts, env.Chain, env.Memory)
+		} else {
+			res, err = opt.AlgorithmC(o.cat, q, o.opts, env.Memory)
+		}
+	case AlgorithmD:
+		res, err = opt.AlgorithmD(o.cat, q, o.opts, env.Memory)
+	default:
+		return nil, fmt.Errorf("lec: unknown strategy %v", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Strategy:     s,
+		Plan:         res.Plan,
+		ExpectedCost: o.expectedCost(res, q, env),
+		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
+		Query:        q,
+		env:          env,
+	}, nil
+}
+
+// optimizeAggregate routes GROUP BY blocks through the aggregation-aware
+// optimizer. LEC strategies see the full memory distribution; the LSC
+// strategies emulate the classical approach by planning at a point
+// estimate (mean or mode) and are then evaluated under the true
+// distribution, so Compare stays apples-to-apples.
+func (o *Optimizer) optimizeAggregate(q *query.SPJ, env Environment, s Strategy) (*Decision, error) {
+	dm := env.Memory
+	switch s {
+	case LSCMean:
+		dm = stats.Point(env.Memory.Mean())
+	case LSCMode:
+		dm = stats.Point(env.Memory.Mode())
+	}
+	res, err := opt.OptimizeWithAggregation(o.cat, q, o.opts, dm)
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Strategy:     s,
+		Plan:         res.Plan,
+		ExpectedCost: plan.ExpCost(res.Plan, env.Memory),
+		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
+		Query:        q,
+		env:          env,
+	}, nil
+}
+
+// expectedCost normalizes every strategy's reported objective to the
+// comparable E[Φ] under the environment (dynamic environments use the
+// per-phase marginals).
+func (o *Optimizer) expectedCost(res *opt.Result, q *query.SPJ, env Environment) float64 {
+	if env.Chain != nil {
+		return plan.ExpCostPhased(res.Plan, opt.PhaseDistsFor(q, env.Chain, env.Memory))
+	}
+	return plan.ExpCost(res.Plan, env.Memory)
+}
+
+// OptimizeSQL parses, binds and optimizes a SQL string with AlgorithmC —
+// the recommended default.
+func (o *Optimizer) OptimizeSQL(sql string, env Environment) (*Decision, error) {
+	return o.OptimizeSQLWith(sql, env, AlgorithmC)
+}
+
+// OptimizeSQLWith parses, binds and optimizes a SQL string with an explicit
+// strategy.
+func (o *Optimizer) OptimizeSQLWith(sql string, env Environment, s Strategy) (*Decision, error) {
+	q, err := sqlparse.ParseAndBind(sql, o.cat)
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize(q, env, s)
+}
+
+// Compare optimizes the query under every strategy and returns the
+// decisions in Strategies() order — the side-by-side view the paper's
+// argument is about.
+func (o *Optimizer) Compare(q *query.SPJ, env Environment) ([]*Decision, error) {
+	out := make([]*Decision, 0, len(Strategies()))
+	for _, s := range Strategies() {
+		d, err := o.Optimize(q, env, s)
+		if err != nil {
+			return nil, fmt.Errorf("lec: strategy %v: %w", s, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

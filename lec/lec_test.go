@@ -1,0 +1,191 @@
+package lec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func example11Env() (*Optimizer, string, Environment) {
+	cat, _, dm := workload.Example11()
+	sql := "SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k"
+	return New(cat), sql, Environment{Memory: dm}
+}
+
+func TestOptimizeSQLEndToEnd(t *testing.T) {
+	o, sql, env := example11Env()
+	d, err := o.OptimizeSQL(sql, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != AlgorithmC {
+		t.Errorf("default strategy %v", d.Strategy)
+	}
+	// The SQL path estimates its own join selectivity (1/max distinct), so
+	// the chosen method can differ from the hand-built fixture; what must
+	// hold is that AlgorithmC's expected cost is minimal among all
+	// strategies for the same bound query, and that the ORDER BY is
+	// satisfied.
+	if d.ExpectedCost <= 0 {
+		t.Errorf("expected cost %v", d.ExpectedCost)
+	}
+	ds, err := o.Compare(d.Query, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range ds {
+		if other.Strategy == AlgorithmD {
+			continue // D optimizes a different (distribution-aware) objective
+		}
+		if d.ExpectedCost > other.ExpectedCost*(1+1e-9) {
+			t.Errorf("AlgorithmC (%.0f) worse than %v (%.0f)", d.ExpectedCost, other.Strategy, other.ExpectedCost)
+		}
+	}
+	if d.Query.OrderBy == nil || !plan.SatisfiesOrder(d.Plan, *d.Query.OrderBy) {
+		t.Errorf("ORDER BY not satisfied:\n%s", d.Explain())
+	}
+	out := d.Explain()
+	for _, want := range []string{"algorithm-c", "expected cost", "join"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	if got := d.CostAt(2000); got <= 0 {
+		t.Errorf("CostAt = %v", got)
+	}
+}
+
+func TestCompareOrdersStrategiesCorrectly(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	o := New(cat)
+	ds, err := o.Compare(q, Environment{Memory: dm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(Strategies()) {
+		t.Fatalf("%d decisions", len(ds))
+	}
+	byStrategy := map[Strategy]*Decision{}
+	for _, d := range ds {
+		byStrategy[d.Strategy] = d
+	}
+	// On Example 1.1 the LEC strategies beat both LSC variants.
+	for _, lsc := range []Strategy{LSCMean, LSCMode} {
+		for _, lec := range []Strategy{AlgorithmA, AlgorithmB, AlgorithmC, AlgorithmD} {
+			if byStrategy[lec].ExpectedCost >= byStrategy[lsc].ExpectedCost {
+				t.Errorf("%v (%.0f) not better than %v (%.0f)",
+					lec, byStrategy[lec].ExpectedCost, lsc, byStrategy[lsc].ExpectedCost)
+			}
+		}
+	}
+	// A, B, C, D agree on this instance.
+	if byStrategy[AlgorithmC].ExpectedCost != byStrategy[AlgorithmA].ExpectedCost {
+		t.Errorf("A and C disagree: %v vs %v",
+			byStrategy[AlgorithmA].ExpectedCost, byStrategy[AlgorithmC].ExpectedCost)
+	}
+}
+
+func TestDynamicEnvironment(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	chain := stats.IdentityChain(dm.Support())
+	o := New(cat)
+	dynamic, err := o.Optimize(q, Environment{Memory: dm, Chain: chain}, AlgorithmC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := o.Optimize(q, Environment{Memory: dm}, AlgorithmC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.ExpectedCost != static.ExpectedCost {
+		t.Errorf("identity chain changed expected cost: %v vs %v",
+			dynamic.ExpectedCost, static.ExpectedCost)
+	}
+}
+
+func TestEnvironmentValidation(t *testing.T) {
+	o, sql, _ := example11Env()
+	if _, err := o.OptimizeSQL(sql, Environment{}); err == nil {
+		t.Error("missing memory distribution accepted")
+	}
+	if _, err := o.OptimizeSQLWith(sql, Environment{Memory: stats.Point(100)}, Strategy(99)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := o.OptimizeSQL("this is not sql", Environment{Memory: stats.Point(100)}); err == nil {
+		t.Error("garbage SQL accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for _, s := range append(Strategies(), Strategy(99)) {
+		if s.String() == "" {
+			t.Errorf("empty string for strategy %d", int(s))
+		}
+	}
+}
+
+func TestNewWithOptionsRestrictsMethods(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	o := NewWithOptions(cat, opt.Options{Methods: []cost.Method{cost.SortMerge}})
+	d, err := o.Optimize(q, Environment{Memory: dm}, AlgorithmC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Walk(d.Plan, func(n plan.Node) {
+		if j, ok := n.(*plan.Join); ok && j.Method != cost.SortMerge {
+			t.Errorf("restricted optimizer used %v", j.Method)
+		}
+	})
+	if o.Catalog() != cat {
+		t.Error("Catalog accessor wrong")
+	}
+}
+
+func TestGroupByThroughFacade(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	gb := q.Joins[0].Left // A.k
+	q2 := *q
+	q2.GroupBy = &gb
+	ob := gb
+	q2.OrderBy = &ob
+	o := New(cat)
+	env := Environment{Memory: dm}
+	d, err := o.Optimize(&q2, env, AlgorithmC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasAgg := false
+	plan.Walk(d.Plan, func(n plan.Node) {
+		if _, ok := n.(*plan.Aggregate); ok {
+			hasAgg = true
+		}
+	})
+	if !hasAgg {
+		t.Errorf("no aggregate in plan:\n%s", d.Explain())
+	}
+	if d.ExpectedCost <= 0 {
+		t.Errorf("expected cost %v", d.ExpectedCost)
+	}
+	// LSC strategies route through the point-estimate path.
+	lsc, err := o.Optimize(&q2, env, LSCMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ExpectedCost > lsc.ExpectedCost*(1+1e-9) {
+		t.Errorf("LEC agg %v worse than LSC agg %v", d.ExpectedCost, lsc.ExpectedCost)
+	}
+	// SQL round trip with GROUP BY.
+	sqlQ, err := o.OptimizeSQLWith(
+		"SELECT A.k FROM A, B WHERE A.k = B.k GROUP BY A.k ORDER BY A.k", env, AlgorithmC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqlQ.Query.GroupBy == nil {
+		t.Error("SQL GROUP BY lost")
+	}
+}
