@@ -1,0 +1,31 @@
+# Developer workflow for the LEC reproduction. `make check` is the
+# pre-commit gate: formatting, vet, build, the full test suite, and the
+# race detector over the optimizer core.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The unified engine shares memo tables and a plan arena across runs;
+# the race detector over its package (and the public API that drives it)
+# guards that sharing.
+race:
+	$(GO) test -race ./internal/opt ./lec
+
+bench:
+	$(GO) test -bench=BenchmarkDPCore -benchmem -run=^$$ ./internal/opt

@@ -51,6 +51,7 @@ func BenchmarkE14_Dependence(b *testing.B) { runExperiment(b, bench.E14Dependent
 func BenchmarkE15_CoarseFine(b *testing.B) { runExperiment(b, bench.E15CoarseToFine) }
 func BenchmarkE16_PageLevel(b *testing.B)  { runExperiment(b, bench.E16PageLevelValidation) }
 func BenchmarkE17_Aggregate(b *testing.B)  { runExperiment(b, bench.E17Aggregation) }
+func BenchmarkE18_EngineGrid(b *testing.B) { runExperiment(b, bench.E18EngineGrid) }
 func BenchmarkF1_NodeDists(b *testing.B)   { runExperiment(b, bench.F1NodeDistributions) }
 
 // --- micro-benchmarks -------------------------------------------------

@@ -8,6 +8,7 @@
 //	lecopt -demo -sql "SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k" -mem "700:0.2,2000:0.8"
 //	lecopt -catalog schema.txt -sql "..." -mem "100:0.5,4000:0.5" -strategy c
 //	lecopt -demo -volatility 0.3            # dynamic memory via a Markov walk
+//	lecopt -demo -strategy c -explain       # engine instrumentation counters
 //
 // The -mem spec is "value:probability, ..." (weights are normalized). The
 // catalog file format is documented in internal/catalog.Load.
@@ -47,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	voi := fs.Bool("voi", false, "report the value of observing the true memory before planning")
 	choice := fs.Bool("choice", false, "compile and print a [GC94] choice plan instead of optimizing")
 	simulate := fs.Int("simulate", 0, "simulate the chosen plan N times and report realized cost")
+	explain := fs.Bool("explain", false, "print the search engine's instrumentation counters")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +142,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, d.Explain())
+		if *explain {
+			printStats(out, d)
+		}
 		if *simulate > 0 {
 			rep, err := d.Simulate(*simulate, 1)
 			if err != nil {
@@ -166,7 +171,23 @@ func run(args []string, out io.Writer) error {
 	}
 	tw.Flush()
 	fmt.Fprintf(out, "\nbest plan (%v):\n%s", ds[0].Strategy, ds[0].Explain())
+	if *explain {
+		printStats(out, ds[0])
+	}
 	return nil
+}
+
+// printStats renders the unified engine's instrumentation counters.
+func printStats(out io.Writer, d *lec.Decision) {
+	s := d.Stats
+	fmt.Fprintf(out, "search: %d subsets, %d join steps, %d cost evals, %d prunes\n",
+		s.Subsets, s.JoinSteps, s.CostEvals, s.Prunes)
+	fmt.Fprintf(out, "memo:   %d hits; arena: %d nodes, %d hits, %d built\n",
+		s.MemoHits, s.ArenaSize, s.ArenaHits, s.PlansBuilt)
+	if s.MergeCombos > 0 {
+		fmt.Fprintf(out, "top-c:  %d merge combinations (max %d per merge)\n",
+			s.MergeCombos, s.MaxMergeCombos)
+	}
 }
 
 func parseStrategy(s string) (lec.Strategy, error) {

@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"repro/internal/catalog"
+	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/lec"
 )
@@ -63,5 +64,26 @@ func main() {
 	}
 	fmt.Println("classical (LSC at mean) plan:")
 	fmt.Println(lsc.Explain())
-	fmt.Printf("expected-cost ratio LSC/LEC: %.3f\n", lsc.ExpectedCost/d.ExpectedCost)
+	fmt.Printf("expected-cost ratio LSC/LEC: %.3f\n\n", lsc.ExpectedCost/d.ExpectedCost)
+
+	// 5. The named strategies are points in a larger Space × Objective grid.
+	// OptimizeSearch drives the unified engine directly — here the bushy
+	// space (no left-deep restriction) under the same expected-cost
+	// objective — and every decision carries the engine's instrumentation
+	// counters, so the search effort is visible, not guessed.
+	q, err := sqlparse.ParseAndBind(sql, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bushy, err := o.OptimizeSearch(q, env, lec.Search{Space: lec.SpaceBushy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bushy-space plan (unified engine):")
+	fmt.Println(bushy.Explain())
+	for _, d := range []*lec.Decision{d, bushy} {
+		s := d.Stats
+		fmt.Printf("  counters: %d subsets, %d join steps, %d cost evals, %d prunes, %d plan nodes built\n",
+			s.Subsets, s.JoinSteps, s.CostEvals, s.Prunes, s.PlansBuilt)
+	}
 }

@@ -117,6 +117,7 @@ func All() []Runner {
 		{"E15", "§3.7 — coarse-to-fine pruning", E15CoarseToFine},
 		{"E16", "cost formulas vs page-level LRU replay", E16PageLevelValidation},
 		{"E17", "GROUP BY — distribution-aware aggregate choice", E17Aggregation},
+		{"E18", "unified engine — Space × Objective grid instrumentation", E18EngineGrid},
 		{"F1", "Figure 1 — per-node distributions", F1NodeDistributions},
 	}
 }

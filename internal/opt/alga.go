@@ -34,24 +34,31 @@ func AlgorithmA(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist
 }
 
 // algorithmACandidates runs the black-box optimizer once per bucket
-// representative and returns the (deduplicated) candidate plans.
+// representative and returns the (deduplicated) candidate plans. All b
+// invocations share one engine session — only the coster changes between
+// buckets — so the memo tables, plan arena, and DP table are reused.
 func algorithmACandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
-	var counters Counters
+	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
+	if err != nil {
+		return nil, Counters{}, err
+	}
 	seen := map[string]bool{}
 	var cands []plan.Node
 	for i := 0; i < dm.Len(); i++ {
-		res, err := SystemR(cat, q, opts, dm.Value(i))
-		if err != nil {
-			return nil, counters, fmt.Errorf("opt: algorithm A at m=%v: %w", dm.Value(i), err)
+		if err := eng.SetCoster(FixedParams{Mem: dm.Value(i)}); err != nil {
+			return nil, eng.Stats(), err
 		}
-		counters.Add(res.Count)
+		res, err := eng.Optimize()
+		if err != nil {
+			return nil, eng.Stats(), fmt.Errorf("opt: algorithm A at m=%v: %w", dm.Value(i), err)
+		}
 		key := res.Plan.Key()
 		if !seen[key] {
 			seen[key] = true
 			cands = append(cands, res.Plan)
 		}
 	}
-	return cands, counters, nil
+	return cands, eng.Stats(), nil
 }
 
 // pickLeastExpected evaluates E[Φ] for each candidate under dm and returns

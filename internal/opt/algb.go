@@ -46,8 +46,8 @@ func mergeTopC(ctx *Context, left []topEntry, scans []topEntry, stepCost float64
 }
 
 // sortTruncate orders entries by cost (ties broken on the structural key
-// for determinism) and keeps the best c.
-func sortTruncate(entries []topEntry, c int) []topEntry {
+// for determinism) and keeps the best c; the rest count as prunes.
+func sortTruncate(ctx *Context, entries []topEntry, c int) []topEntry {
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].cost != entries[j].cost {
 			return entries[i].cost < entries[j].cost
@@ -55,44 +55,43 @@ func sortTruncate(entries []topEntry, c int) []topEntry {
 		return entries[i].node.Key() < entries[j].node.Key()
 	})
 	if len(entries) > c {
+		ctx.Count.Prunes += len(entries) - c
 		entries = entries[:c]
 	}
 	return entries
 }
 
-// topCDP runs the top-c variant of the System R dynamic program
+// runTopC runs the top-c variant of the System R dynamic program
 // (paper §3.3) and returns the best c finished root plans, ascending by
-// cost under the supplied step coster.
-func topCDP(ctx *Context, sc stepCoster, c int) ([]topEntry, error) {
+// cost under the engine's pricer. The per-relation scan lists and the
+// per-subset list table are engine scratch, reused across Algorithm B's
+// bucket invocations.
+func (o *Optimizer) runTopC(c int) ([]topEntry, error) {
+	ctx, pr := o.ctx, o.pricer
 	n := ctx.Q.NumRels()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty query")
 	}
-	scanLists := make([][]topEntry, n)
-	for i := 0; i < n; i++ {
-		var l []topEntry
-		for _, s := range ctx.Scans(i) {
-			l = append(l, topEntry{node: s, cost: s.AccessCost()})
-		}
-		scanLists[i] = sortTruncate(l, c)
-	}
+	scanLists := o.scanLists(c)
 	if n == 1 {
 		var roots []topEntry
 		for _, e := range scanLists[0] {
-			roots = append(roots, finishEntry(ctx, sc, e, 0))
+			roots = append(roots, finishEntry(ctx, pr, e, 0))
 		}
-		return sortTruncate(roots, c), nil
+		return sortTruncate(ctx, roots, c), nil
 	}
 
-	lists := make(map[query.RelSet][]topEntry, 1<<uint(n))
+	lists := o.topTable(n)
 	for i := 0; i < n; i++ {
 		lists[query.NewRelSet(i)] = scanLists[i]
 	}
 	full := query.FullSet(n)
 	var roots []topEntry
+	methods := ctx.Opts.Methods
 
 	for d := 2; d <= n; d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+			ctx.Count.Subsets++
 			var merged []topEntry
 			s.ForEach(func(j int) {
 				sj := s.Without(j)
@@ -100,8 +99,9 @@ func topCDP(ctx *Context, sc stepCoster, c int) ([]topEntry, error) {
 				if len(left) == 0 || !ctx.extensionAllowed(sj, j) {
 					return
 				}
-				for _, m := range ctx.Opts.methods() {
-					stepCost := sc.joinStep(m, left[0].node, scanLists[j][0].node.(*plan.Scan), s, j, d-2)
+				for _, m := range methods {
+					ctx.Count.JoinSteps++
+					stepCost := pr.joinStep(m, left[0].node, scanLists[j][0].node, s, d-2)
 					merged = append(merged, mergeTopC(ctx, left, scanLists[j], stepCost, c,
 						func(l, r topEntry) plan.Node {
 							return ctx.NewJoin(l.node, r.node.(*plan.Scan), m, s, j)
@@ -110,25 +110,25 @@ func topCDP(ctx *Context, sc stepCoster, c int) ([]topEntry, error) {
 			})
 			if s == full {
 				for _, e := range merged {
-					roots = append(roots, finishEntry(ctx, sc, e, d-2))
+					roots = append(roots, finishEntry(ctx, pr, e, d-2))
 				}
 			}
-			lists[s] = sortTruncate(merged, c)
+			lists[s] = sortTruncate(ctx, merged, c)
 		})
 	}
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("opt: no plan found")
 	}
-	return sortTruncate(roots, c), nil
+	return sortTruncate(ctx, roots, c), nil
 }
 
 // finishEntry applies the ORDER BY sort to a root candidate, charging the
 // sort cost when the plan's order does not already satisfy it.
-func finishEntry(ctx *Context, sc stepCoster, e topEntry, phase int) topEntry {
+func finishEntry(ctx *Context, pr stepPricer, e topEntry, phase int) topEntry {
 	finished, added := ctx.FinishPlan(e.node)
 	total := e.cost
 	if added {
-		total += sc.sortStep(e.node, phase)
+		total += pr.sortStep(e.node, phase)
 	}
 	return topEntry{node: finished, cost: total}
 }
@@ -151,22 +151,25 @@ func AlgorithmB(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist
 }
 
 // AlgorithmBCandidates returns the deduplicated union of the top-c plans
-// across all b bucket representatives (up to c·b plans).
+// across all b bucket representatives (up to c·b plans). All b searches
+// run on one engine session, so the memo tables, plan arena, and top-c
+// scratch are shared instead of rebuilt per bucket.
 func AlgorithmBCandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
-	var counters Counters
-	c := opts.topC()
+	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
+	if err != nil {
+		return nil, Counters{}, err
+	}
+	c := eng.ctx.Opts.TopC
 	seen := map[string]bool{}
 	var cands []plan.Node
 	for i := 0; i < dm.Len(); i++ {
-		ctx, err := NewContext(cat, q, opts)
-		if err != nil {
-			return nil, counters, err
+		if err := eng.SetCoster(FixedParams{Mem: dm.Value(i)}); err != nil {
+			return nil, eng.Stats(), err
 		}
-		roots, err := topCDP(ctx, fixedCoster{ctx: ctx, mem: dm.Value(i)}, c)
+		roots, err := eng.runTopC(c)
 		if err != nil {
-			return nil, counters, fmt.Errorf("opt: algorithm B at m=%v: %w", dm.Value(i), err)
+			return nil, eng.Stats(), fmt.Errorf("opt: algorithm B at m=%v: %w", dm.Value(i), err)
 		}
-		counters.Add(ctx.Count)
 		for _, r := range roots {
 			if key := r.node.Key(); !seen[key] {
 				seen[key] = true
@@ -174,27 +177,19 @@ func AlgorithmBCandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *
 			}
 		}
 	}
-	return cands, counters, nil
+	return cands, eng.Stats(), nil
 }
 
 // TopCPlans exposes the top-c plans at a single fixed memory value,
 // ascending by cost — used by tests to check Proposition 3.1 and the
 // correctness of the top-c lists against exhaustive enumeration.
 func TopCPlans(cat *catalog.Catalog, q *query.SPJ, opts Options, mem float64, c int) ([]plan.Node, []float64, Counters, error) {
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: mem}})
 	if err != nil {
 		return nil, nil, Counters{}, err
 	}
-	roots, err := topCDP(ctx, fixedCoster{ctx: ctx, mem: mem}, c)
-	if err != nil {
-		return nil, nil, ctx.Count, err
-	}
-	plans := make([]plan.Node, len(roots))
-	costs := make([]float64, len(roots))
-	for i, r := range roots {
-		plans[i], costs[i] = r.node, r.cost
-	}
-	return plans, costs, ctx.Count, nil
+	plans, costs, err := eng.OptimizeTop(c)
+	return plans, costs, eng.Stats(), nil
 }
 
 // MergeBound returns the Proposition 3.1 upper bound c + c·ln c on the

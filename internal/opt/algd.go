@@ -24,7 +24,8 @@ import (
 // consistent ("the size of the result is independent of the choice of j";
 // we always split off the lowest relation index). Memoized.
 func (ctx *Context) RowDist(s query.RelSet) *stats.Dist {
-	if d, ok := ctx.subsetRowDist[s]; ok {
+	if d, ok := ctx.subsetRowDist.get(s); ok {
+		ctx.Count.MemoHits++
 		return d
 	}
 	var d *stats.Dist
@@ -33,10 +34,10 @@ func (ctx *Context) RowDist(s query.RelSet) *stats.Dist {
 	} else {
 		j := s.Members()[0]
 		sj := s.Without(j)
-		sel := ctx.Q.StepSelectivityDist(sj, j, ctx.Opts.budget())
-		d = stats.ResultSizeDist(ctx.RowDist(sj), ctx.baseRowDist(j), sel, ctx.Opts.budget())
+		sel := ctx.Q.StepSelectivityDist(sj, j, ctx.Opts.RebucketBudget)
+		d = stats.ResultSizeDist(ctx.RowDist(sj), ctx.baseRowDist(j), sel, ctx.Opts.RebucketBudget)
 	}
-	ctx.subsetRowDist[s] = d
+	ctx.subsetRowDist.put(s, d)
 	return d
 }
 
@@ -67,15 +68,17 @@ func (ctx *Context) PagesDistOf(s query.RelSet) *stats.Dist {
 }
 
 // distCoster evaluates steps in expectation over memory AND the input-size
-// distributions, using the linear-time routines of §3.6.1–3.6.2.
+// distributions, using the linear-time routines of §3.6.1–3.6.2. It looks
+// the operand distributions up by the relations each operand covers, so it
+// prices bushy splits exactly as it prices left-deep extensions.
 type distCoster struct {
 	ctx *Context
 	dm  *stats.Dist
 }
 
-func (dc distCoster) joinStep(m cost.Method, left plan.Node, right *plan.Scan, s query.RelSet, j, _ int) float64 {
-	da := dc.ctx.PagesDistOf(s.Without(j))
-	db := dc.ctx.PagesDistOf(query.NewRelSet(j))
+func (dc distCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, _ int) float64 {
+	da := dc.ctx.PagesDistOf(left.Rels())
+	db := dc.ctx.PagesDistOf(right.Rels())
 	dc.ctx.Count.CostEvals += da.Len() + db.Len() + dc.dm.Len()
 	return cost.ExpJoinCost3(m, da, db, dc.dm)
 }
@@ -92,15 +95,15 @@ func (dc distCoster) sortStep(input plan.Node, _ int) float64 {
 // independent, the paper's §3.6 default. The returned plan's joins are
 // annotated with their propagated size distributions.
 func AlgorithmD(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{Coster: MultiParams{Mem: dm}})
 	if err != nil {
 		return nil, err
 	}
-	res, err := runDP(ctx, distCoster{ctx: ctx, dm: dm})
+	res, err := eng.Optimize()
 	if err != nil {
 		return nil, err
 	}
-	annotateSizeDists(ctx, res.Plan)
+	annotateSizeDists(eng.ctx, res.Plan)
 	return res, nil
 }
 

@@ -5,8 +5,6 @@ import (
 	"math"
 
 	"repro/internal/catalog"
-	"repro/internal/cost"
-	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/stats"
 )
@@ -16,61 +14,28 @@ import (
 // bushy dynamic program considers every way to split a subset into two
 // disjoint sub-results. The paper's concluding remarks (§4) name bushy
 // trees as the main search-space restriction; this extension quantifies
-// what the restriction gives up (experiment E11). Bushy optimization is
-// limited to static objectives — with parallel subtrees the paper's
-// phase-sequence model (§3.5) has no natural single phase order, and the
-// paper itself leaves the parallelism/memory interaction open.
+// what the restriction gives up (experiment E11). The DP is generic in the
+// same stepPricer as the left-deep engine, so every decomposable objective
+// — fixed, expected, phased, certainty-equivalent, variance-penalized —
+// searches bushy space too. A join forming a subset of size d is charged at
+// phase d−2: the depth at which the left-deep walk would execute it, and an
+// order-independent function of the subset, which keeps the DP exact.
 
-// bushyCoster prices one join or sort step from input sizes alone.
-type bushyCoster interface {
-	join(m cost.Method, aPages, bPages float64) float64
-	sort(pages float64) float64
-}
-
-type bushyFixed struct {
-	ctx *Context
-	mem float64
-}
-
-func (b bushyFixed) join(m cost.Method, a, bp float64) float64 {
-	b.ctx.Count.CostEvals++
-	return cost.JoinCost(m, a, bp, b.mem)
-}
-
-func (b bushyFixed) sort(pages float64) float64 {
-	b.ctx.Count.CostEvals++
-	return cost.SortCost(pages, b.mem)
-}
-
-type bushyExp struct {
-	ctx *Context
-	dm  *stats.Dist
-}
-
-func (b bushyExp) join(m cost.Method, a, bp float64) float64 {
-	b.ctx.Count.CostEvals += b.dm.Len()
-	return cost.ExpJoinCostMem(m, a, bp, b.dm)
-}
-
-func (b bushyExp) sort(pages float64) float64 {
-	b.ctx.Count.CostEvals += b.dm.Len()
-	return b.dm.Expect(func(mem float64) float64 { return cost.SortCost(pages, mem) })
-}
-
-// bushyDP runs the all-splits dynamic program. Because the per-subset size
+// runBushy runs the all-splits dynamic program. Because the per-subset size
 // estimates are order-independent, the principle of optimality holds for
 // bushy trees exactly as for left-deep ones, and the DP returns the optimal
-// bushy plan under the coster's objective.
-func bushyDP(ctx *Context, bc bushyCoster) (*Result, error) {
+// bushy plan under the pricer's objective.
+func (o *Optimizer) runBushy() (*Result, error) {
+	ctx, pr := o.ctx, o.pricer
 	n := ctx.Q.NumRels()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty query")
 	}
 	if n == 1 {
 		// Same as the left-deep single-relation case.
-		return finishSingle(ctx, sortOnly{bc})
+		return finishSingle(ctx, pr)
 	}
-	best := make(map[query.RelSet]dpEntry, 1<<uint(n))
+	best := o.dpTable(n)
 	for i := 0; i < n; i++ {
 		s := ctx.BestScan(i)
 		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
@@ -78,9 +43,11 @@ func bushyDP(ctx *Context, bc bushyCoster) (*Result, error) {
 	full := query.FullSet(n)
 	rootBest := dpEntry{cost: math.Inf(1)}
 	var rootFound bool
+	methods := ctx.Opts.Methods
 
 	for d := 2; d <= n; d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+			ctx.Count.Subsets++
 			entry := dpEntry{cost: math.Inf(1)}
 			lowest := query.NewRelSet(s.Members()[0])
 			for l := (s - 1) & s; l != 0; l = (l - 1) & s {
@@ -88,31 +55,33 @@ func bushyDP(ctx *Context, bc bushyCoster) (*Result, error) {
 					continue // canonical split; operand orders handled below
 				}
 				r := s &^ l
-				le, lok := best[l]
-				re, rok := best[r]
-				if !lok || !rok {
+				le, re := best[l], best[r]
+				if le.node == nil || re.node == nil {
 					continue
 				}
-				if ctx.Opts.AvoidCrossProducts && len(ctx.predsBetween(l, r)) == 0 && !crossUnavoidable(ctx, s) {
+				if ctx.Opts.AvoidCrossProducts && !ctx.connected(l, r) && !crossUnavoidable(ctx, s) {
 					continue
 				}
 				base := le.cost + re.cost
-				for _, m := range ctx.Opts.methods() {
+				for _, m := range methods {
 					for _, ord := range [2][2]dpEntry{{le, re}, {re, le}} {
-						stepCost := bc.join(m, ord[0].node.OutPages(), ord[1].node.OutPages())
+						ctx.Count.JoinSteps++
+						stepCost := pr.joinStep(m, ord[0].node, ord[1].node, s, d-2)
 						total := base + stepCost
 						if total < entry.cost {
 							entry = dpEntry{
 								node: ctx.newBushyJoin(ord[0].node, ord[1].node, m, s),
 								cost: total,
 							}
+						} else {
+							ctx.Count.Prunes++
 						}
 						if s == full {
 							cand := ctx.newBushyJoin(ord[0].node, ord[1].node, m, s)
 							finished, added := ctx.FinishPlan(cand)
 							ft := total
 							if added {
-								ft += bc.sort(cand.OutPages())
+								ft += pr.sortStep(cand, d-2)
 							}
 							if ft < rootBest.cost {
 								rootBest = dpEntry{node: finished, cost: ft}
@@ -130,7 +99,7 @@ func bushyDP(ctx *Context, bc bushyCoster) (*Result, error) {
 	if !rootFound {
 		return nil, fmt.Errorf("opt: bushy DP found no plan")
 	}
-	return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.Count}, nil
+	return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.snapshotCount()}, nil
 }
 
 // crossUnavoidable reports whether every split of s crosses a predicate-free
@@ -140,33 +109,49 @@ func crossUnavoidable(ctx *Context, s query.RelSet) bool {
 	return !ctx.Q.Connected(s)
 }
 
-// sortOnly adapts a bushyCoster to the stepCoster shape needed by
-// finishSingle (only sortStep is ever called there).
-type sortOnly struct{ bc bushyCoster }
-
-func (s sortOnly) joinStep(cost.Method, plan.Node, *plan.Scan, query.RelSet, int, int) float64 {
-	panic("opt: joinStep on single-relation query")
-}
-
-func (s sortOnly) sortStep(input plan.Node, _ int) float64 {
-	return s.bc.sort(input.OutPages())
-}
-
 // BushySystemR returns the least-cost bushy plan at a fixed memory value.
 func BushySystemR(cat *catalog.Catalog, q *query.SPJ, opts Options, mem float64) (*Result, error) {
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{Space: SpaceBushy, Coster: FixedParams{Mem: mem}})
 	if err != nil {
 		return nil, err
 	}
-	return bushyDP(ctx, bushyFixed{ctx: ctx, mem: mem})
+	return eng.Optimize()
 }
 
 // BushyAlgorithmC returns the bushy LEC plan under a static memory
 // distribution: Algorithm C with heuristic 2 removed.
 func BushyAlgorithmC(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{Space: SpaceBushy, Coster: StaticParams{Mem: dm}})
 	if err != nil {
 		return nil, err
 	}
-	return bushyDP(ctx, bushyExp{ctx: ctx, dm: dm})
+	return eng.Optimize()
+}
+
+// BushyExpUtility returns the bushy plan minimizing the exponential-utility
+// certainty equivalent — a Space × Objective combination the pre-engine
+// entry points could not express. phases follows the same convention as
+// ExpUtilityDP; a single static distribution means every phase draws from
+// it independently.
+func BushyExpUtility(cat *catalog.Catalog, q *query.SPJ, opts Options, phases []*stats.Dist, gamma float64) (*Result, error) {
+	eng, err := NewOptimizer(cat, q, opts, Config{
+		Space:     SpaceBushy,
+		Coster:    PhasedParams{Phases: phases},
+		Objective: ExponentialUtility{Gamma: gamma},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Optimize()
+}
+
+// BushyAlgorithmCDynamic returns the bushy LEC plan when memory evolves by
+// a Markov chain — dynamic parameters × bushy space, likewise newly
+// expressible. Each join is charged at phase |S|−2 of the unrolled chain.
+func BushyAlgorithmCDynamic(cat *catalog.Catalog, q *query.SPJ, opts Options, chain *stats.Chain, initial *stats.Dist) (*Result, error) {
+	eng, err := NewOptimizer(cat, q, opts, Config{Space: SpaceBushy, Coster: MarkovParams{Chain: chain, Initial: initial}})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Optimize()
 }

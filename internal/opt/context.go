@@ -1,30 +1,41 @@
-// Package opt implements the query optimizers of the paper:
+// Package opt implements least-expected-cost (LEC) query optimization as
+// one objective-driven search engine. The paper's Algorithms A–D, the
+// dynamic-parameter variant, bushy and pipelined search, and the 2002
+// expected-utility extension are all the same bottom-up dynamic program
+// differing only along three orthogonal axes, and the Optimizer type is
+// configured with exactly those axes:
 //
-//   - SystemR — the classical bottom-up dynamic program that returns the
-//     least-specific-cost (LSC) left-deep plan for one fixed parameter
-//     setting (paper §2.2, Theorem 2.1);
-//   - AlgorithmA — LEC approximation using the standard optimizer as a
-//     black box, one invocation per parameter bucket (§3.2);
-//   - AlgorithmB — top-c plan generation per bucket with the c + c·ln c
-//     combination bound of Proposition 3.1 (§3.3);
-//   - AlgorithmC — the expected-cost dynamic program that returns the exact
-//     LEC left-deep plan (§3.4, Theorem 3.3), in both static and
-//     dynamic-parameter (§3.5, Theorem 3.4) forms;
-//   - AlgorithmD — the multi-parameter generalization carrying size and
-//     selectivity distributions up the DAG (§3.6);
-//   - Exhaustive — brute-force enumeration used as ground truth in tests;
-//   - expected-utility variants (linear/exponential) and risk metrics from
-//     the 2002 follow-up analysis.
+//   - a Space — which plan shapes are enumerated: left-deep (the System R
+//     heuristic, paper §2.2), bushy (all binary trees), or pipelined
+//     (left-deep under the pipeline-aware phase model of §4);
+//   - a Coster — which run-time parameters are uncertain: FixedParams (one
+//     known memory value, the classical LSC view), StaticParams (a static
+//     memory distribution, §3.4), PhasedParams (per-phase distributions,
+//     §3.5), MarkovParams (memory evolving by a Markov chain, Theorem 3.4),
+//     or MultiParams (memory plus relation-size and selectivity
+//     distributions, §3.6);
+//   - an Objective — what is minimized per step: ExpectedCost (risk
+//     neutral, Theorems 2.1/3.3/3.4), ExponentialUtility (the certainty
+//     equivalent of e^{γ·cost}, exact for independent phases), or
+//     VariancePenalized (E[c] + λ·Var[c], exact because variances add
+//     across independent phases).
+//
+// The historical entry points — SystemR, AlgorithmA/B/C/CDynamic/D,
+// BushySystemR, BushyAlgorithmC, ExpUtilityDP, ExhaustivePipelined — are
+// thin wrappers over the engine and remain the convenient way to request a
+// known configuration. The Exhaustive* functions are deliberately *not*
+// built on the engine: they are independent brute-force oracles used to
+// verify it.
 package opt
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/plan"
 	"repro/internal/query"
-	"repro/internal/stats"
 )
 
 // Options configures the optimizers.
@@ -59,33 +70,39 @@ const DefaultBudget = 27
 // DefaultTopC is Algorithm B's default plan-list length.
 const DefaultTopC = 3
 
-func (o Options) methods() []cost.Method {
+// normalize fills every defaulted field, so downstream code can read the
+// fields directly instead of re-deriving defaults at each use site. It is
+// the single place the defaulting rules live; NewContext normalizes the
+// options it stores, which also hoists the cost.Methods() allocation out of
+// the DP inner loops.
+func (o Options) normalize() Options {
 	if len(o.Methods) == 0 {
-		return cost.Methods()
+		o.Methods = cost.Methods()
 	}
-	return o.Methods
-}
-
-func (o Options) budget() int {
 	if o.RebucketBudget <= 0 {
-		return DefaultBudget
+		o.RebucketBudget = DefaultBudget
 	}
-	return o.RebucketBudget
-}
-
-func (o Options) topC() int {
 	if o.TopC <= 0 {
-		return DefaultTopC
+		o.TopC = DefaultTopC
 	}
-	return o.TopC
+	return o
 }
 
-// Counters instruments the optimizers for the complexity experiments
-// (E3: merge combinations, E4: cost-formula evaluations).
+func (o Options) methods() []cost.Method { return o.normalize().Methods }
+
+func (o Options) budget() int { return o.normalize().RebucketBudget }
+
+func (o Options) topC() int { return o.normalize().TopC }
+
+// Counters instruments the optimizers, both for the complexity experiments
+// (E3: merge combinations, E4: cost-formula evaluations) and for the
+// engine's observability surface (lecopt -explain, lecbench).
 type Counters struct {
 	// CostEvals counts cost-formula evaluations.
 	CostEvals int
-	// PlansBuilt counts plan nodes constructed.
+	// PlansBuilt counts distinct plan nodes constructed. Structurally
+	// identical candidates are interned in the session arena, so repeat
+	// constructions show up in ArenaHits instead.
 	PlansBuilt int
 	// MergeCombos counts plan-pair combinations examined by Algorithm B's
 	// top-c merges in total.
@@ -93,9 +110,26 @@ type Counters struct {
 	// MaxMergeCombos is the largest number of combinations examined by any
 	// single top-c merge (bounded by c + c·ln c per Proposition 3.1).
 	MaxMergeCombos int
+	// Subsets counts lattice nodes (relation subsets) the search visited.
+	Subsets int
+	// JoinSteps counts join steps priced (one per method per extension).
+	JoinSteps int
+	// Prunes counts candidates considered and discarded: non-improving DP
+	// candidates and top-c list truncations.
+	Prunes int
+	// MemoHits counts per-subset statistic lookups served from the memo
+	// tables (row counts, page counts, size distributions).
+	MemoHits int
+	// ArenaSize is the number of distinct plan nodes interned in the
+	// session arena (a gauge, not a running total).
+	ArenaSize int
+	// ArenaHits counts node constructions served from the arena instead of
+	// allocating a duplicate.
+	ArenaHits int
 }
 
-// Add accumulates other into c.
+// Add accumulates other into c. Running totals sum; the gauges
+// (MaxMergeCombos, ArenaSize) take the max.
 func (c *Counters) Add(other Counters) {
 	c.CostEvals += other.CostEvals
 	c.PlansBuilt += other.PlansBuilt
@@ -103,16 +137,26 @@ func (c *Counters) Add(other Counters) {
 	if other.MaxMergeCombos > c.MaxMergeCombos {
 		c.MaxMergeCombos = other.MaxMergeCombos
 	}
+	c.Subsets += other.Subsets
+	c.JoinSteps += other.JoinSteps
+	c.Prunes += other.Prunes
+	c.MemoHits += other.MemoHits
+	c.ArenaHits += other.ArenaHits
+	if other.ArenaSize > c.ArenaSize {
+		c.ArenaSize = other.ArenaSize
+	}
 }
 
 // Context carries everything the optimizers share: the catalog, the query,
-// derived per-relation statistics, and memoized per-subset size estimates.
-// Size estimates depend only on the subset, not on the join order — the
-// observation (paper §2.2, point 3) that makes dynamic programming valid.
+// derived per-relation statistics, memoized per-subset size estimates, and
+// the session's plan-node arena. Size estimates depend only on the subset,
+// not on the join order — the observation (paper §2.2, point 3) that makes
+// dynamic programming valid — and node identity depends only on structure,
+// which is what makes the arena sound.
 type Context struct {
 	Cat  *catalog.Catalog
 	Q    *query.SPJ
-	Opts Options
+	Opts Options // normalized: Methods, RebucketBudget and TopC are always set
 
 	// per-relation statistics after pushing down local selections
 	baseRows  []float64 // filtered row count
@@ -120,12 +164,22 @@ type Context struct {
 	ppr       []float64 // pages per row of one relation's tuples
 	scans     [][]*plan.Scan
 
+	// join-graph index: the DP inner loops test connectivity and collect
+	// step predicates once per (subset, relation) pair, so the string-keyed
+	// SPJ lookups are resolved to relation indices once per session.
+	relPreds  [][]relPredRef // per relation: predicates touching it, in Q.Joins order
+	conn      []query.RelSet // per relation: relations it shares a predicate with
+	predSides [][2]int       // per Q.Joins entry: (left, right) relation indices (-1 if unknown)
+
+	// arena interns join and sort nodes for the session.
+	arena *plan.Arena
+
 	// memoized subset statistics
-	subsetRows  map[query.RelSet]float64
-	subsetPages map[query.RelSet]float64
+	subsetRows  *floatMemo
+	subsetPages *floatMemo
 
 	// memoized subset row-count distributions (Algorithm D)
-	subsetRowDist map[query.RelSet]*stats.Dist
+	subsetRowDist *distMemo
 
 	Count Counters
 }
@@ -138,14 +192,15 @@ func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, err
 	}
 	n := q.NumRels()
 	ctx := &Context{
-		Cat: cat, Q: q, Opts: opts,
+		Cat: cat, Q: q, Opts: opts.normalize(),
 		baseRows:      make([]float64, n),
 		basePages:     make([]float64, n),
 		ppr:           make([]float64, n),
 		scans:         make([][]*plan.Scan, n),
-		subsetRows:    make(map[query.RelSet]float64),
-		subsetPages:   make(map[query.RelSet]float64),
-		subsetRowDist: make(map[query.RelSet]*stats.Dist),
+		arena:         plan.NewArena(),
+		subsetRows:    newFloatMemo(n),
+		subsetPages:   newFloatMemo(n),
+		subsetRowDist: newDistMemo(n),
 	}
 	for i, name := range q.Tables {
 		tab, err := cat.Table(q.BaseTable(name))
@@ -170,7 +225,90 @@ func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, err
 			return nil, fmt.Errorf("opt: no access path for table %q", name)
 		}
 	}
+	ctx.buildJoinIndex()
 	return ctx, nil
+}
+
+// relPredRef is one entry of the per-relation predicate index: the Q.Joins
+// position of the predicate and the relation on its other side.
+type relPredRef struct {
+	other int
+	idx   int
+}
+
+// buildJoinIndex resolves every join predicate's table names to relation
+// indices and records, per relation, which predicates touch it. This is the
+// session-resolved form of query.JoinsBetween / StepSelectivity: entries
+// are kept in Q.Joins order so the derived predicate lists and selectivity
+// products match the SPJ methods exactly.
+func (ctx *Context) buildJoinIndex() {
+	q := ctx.Q
+	n := q.NumRels()
+	ctx.relPreds = make([][]relPredRef, n)
+	ctx.conn = make([]query.RelSet, n)
+	ctx.predSides = make([][2]int, len(q.Joins))
+	for pi, p := range q.Joins {
+		li, ri := q.TableIndex(p.Left.Table), q.TableIndex(p.Right.Table)
+		ctx.predSides[pi] = [2]int{li, ri}
+		for j := 0; j < n; j++ {
+			if !p.Touches(q.Tables[j]) {
+				continue
+			}
+			other := li
+			if p.Left.Table == q.Tables[j] {
+				other = ri
+			}
+			if other < 0 {
+				continue
+			}
+			ctx.relPreds[j] = append(ctx.relPreds[j], relPredRef{other: other, idx: pi})
+			ctx.conn[j] = ctx.conn[j].Add(other)
+		}
+	}
+}
+
+// stepPreds returns the predicates connecting relation j to subset s —
+// query.JoinsBetween(s, j) computed from the session index.
+func (ctx *Context) stepPreds(s query.RelSet, j int) []query.JoinPred {
+	cnt := 0
+	for _, rp := range ctx.relPreds[j] {
+		if s.Has(rp.other) {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return nil
+	}
+	out := make([]query.JoinPred, 0, cnt)
+	for _, rp := range ctx.relPreds[j] {
+		if s.Has(rp.other) {
+			out = append(out, ctx.Q.Joins[rp.idx])
+		}
+	}
+	return out
+}
+
+// stepSel returns the combined selectivity of stepPreds(s, j) —
+// query.StepSelectivity(s, j) computed from the session index, with the
+// factors multiplied in the same order.
+func (ctx *Context) stepSel(s query.RelSet, j int) float64 {
+	sel := 1.0
+	for _, rp := range ctx.relPreds[j] {
+		if s.Has(rp.other) {
+			sel *= ctx.Q.Joins[rp.idx].Selectivity
+		}
+	}
+	return sel
+}
+
+// connected reports whether any join predicate links subset a to subset b.
+func (ctx *Context) connected(a, b query.RelSet) bool {
+	for t := a; t != 0; t &= t - 1 {
+		if ctx.conn[bits.TrailingZeros32(uint32(t))]&b != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // buildScans enumerates the access paths for relation i: a sequential scan,
@@ -248,7 +386,8 @@ func (ctx *Context) BestScan(i int) *plan.Scan {
 // the filtered base cardinalities and the selectivities of every join
 // predicate internal to S. It is independent of join order.
 func (ctx *Context) SubsetRows(s query.RelSet) float64 {
-	if r, ok := ctx.subsetRows[s]; ok {
+	if r, ok := ctx.subsetRows.get(s); ok {
+		ctx.Count.MemoHits++
 		return r
 	}
 	rows := 1.0
@@ -259,7 +398,7 @@ func (ctx *Context) SubsetRows(s query.RelSet) float64 {
 			rows *= p.Selectivity
 		}
 	}
-	ctx.subsetRows[s] = rows
+	ctx.subsetRows.put(s, rows)
 	return rows
 }
 
@@ -273,7 +412,8 @@ func (ctx *Context) SubsetPPR(s query.RelSet) float64 {
 
 // SubsetPages returns the estimated result size in pages.
 func (ctx *Context) SubsetPages(s query.RelSet) float64 {
-	if p, ok := ctx.subsetPages[s]; ok {
+	if p, ok := ctx.subsetPages.get(s); ok {
+		ctx.Count.MemoHits++
 		return p
 	}
 	pages := ctx.SubsetRows(s) * ctx.SubsetPPR(s)
@@ -283,22 +423,26 @@ func (ctx *Context) SubsetPages(s query.RelSet) float64 {
 	if pages < 0 {
 		pages = 0
 	}
-	ctx.subsetPages[s] = pages
+	ctx.subsetPages.put(s, pages)
 	return pages
 }
 
-// NewJoin builds a join node combining the plan for S\{j} with an access
-// path for relation j, with output estimates for subset S.
+// NewJoin returns the (interned) join node combining the plan for S\{j}
+// with an access path for relation j, with output estimates for subset S.
+// The estimates are functions of (left, right, method) alone, so the arena
+// can hand back the canonical node when the same candidate is rebuilt —
+// which the DP does once per lattice extension, and Algorithms A/B once per
+// memory bucket on top of that.
 func (ctx *Context) NewJoin(left plan.Node, right *plan.Scan, m cost.Method, s query.RelSet, j int) *plan.Join {
-	ctx.Count.PlansBuilt++
-	preds := ctx.Q.JoinsBetween(s.Without(j), j)
-	return &plan.Join{
-		Left: left, Right: right, Method: m,
-		Preds:       preds,
-		Selectivity: ctx.Q.StepSelectivity(s.Without(j), j),
-		Pages:       ctx.SubsetPages(s),
-		Rows:        ctx.SubsetRows(s),
+	jn, isNew := ctx.arena.Join(left, right, m)
+	if isNew {
+		ctx.Count.PlansBuilt++
+		jn.Preds = ctx.stepPreds(s.Without(j), j)
+		jn.Selectivity = ctx.stepSel(s.Without(j), j)
+		jn.Pages = ctx.SubsetPages(s)
+		jn.Rows = ctx.SubsetRows(s)
 	}
+	return jn
 }
 
 // extensionAllowed applies the cross-product policy: when
@@ -309,13 +453,13 @@ func (ctx *Context) extensionAllowed(s query.RelSet, j int) bool {
 	if !ctx.Opts.AvoidCrossProducts || s.Empty() {
 		return true
 	}
-	if len(ctx.Q.JoinsBetween(s, j)) > 0 {
+	if ctx.conn[j]&s != 0 {
 		return true
 	}
 	// Is any outside relation connected to s?
 	n := ctx.Q.NumRels()
 	for k := 0; k < n; k++ {
-		if !s.Has(k) && len(ctx.Q.JoinsBetween(s, k)) > 0 {
+		if !s.Has(k) && ctx.conn[k]&s != 0 {
 			return false // a connected extension exists; skip this cross product
 		}
 	}
@@ -323,12 +467,25 @@ func (ctx *Context) extensionAllowed(s query.RelSet, j int) bool {
 }
 
 // FinishPlan enforces the query's ORDER BY: if the plan's output order does
-// not already cover the requested column, a Sort is added. The returned
-// bool reports whether a sort was added.
+// not already cover the requested column, an (interned) Sort is added. The
+// returned bool reports whether a sort was added.
 func (ctx *Context) FinishPlan(n plan.Node) (plan.Node, bool) {
 	if ctx.Q.OrderBy == nil || plan.SatisfiesOrder(n, *ctx.Q.OrderBy) {
 		return n, false
 	}
-	ctx.Count.PlansBuilt++
-	return &plan.Sort{Input: n, Key_: *ctx.Q.OrderBy}, true
+	col := *ctx.Q.OrderBy
+	st, isNew := ctx.arena.Sort(n, col)
+	if isNew {
+		ctx.Count.PlansBuilt++
+	}
+	return st, true
+}
+
+// snapshotCount returns the current counters with the arena gauges filled
+// in — the Counters value Results and Optimizer.Stats report.
+func (ctx *Context) snapshotCount() Counters {
+	c := ctx.Count
+	c.ArenaSize = ctx.arena.Size()
+	c.ArenaHits = ctx.arena.Hits()
+	return c
 }

@@ -17,24 +17,29 @@ type Result struct {
 	// Cost is the objective value of Plan (Φ at the fixed parameter values
 	// for SystemR; E[Φ] for the LEC optimizers).
 	Cost float64
-	// Count holds instrumentation totals for the run.
+	// Count holds instrumentation totals for the run. When the run shares
+	// an engine session (Algorithms A/B, SetCoster loops) the totals are
+	// cumulative over the session.
 	Count Counters
 }
 
-// stepCoster abstracts how one plan-construction step is costed. The System
-// R dynamic program is *generic* in this interface: plugging in a
-// fixed-parameter coster yields the classical LSC optimizer (Theorem 2.1),
-// plugging in an expected-cost coster yields Algorithm C (Theorem 3.3), and
-// a phase-indexed expected-cost coster yields the dynamic-parameter variant
-// (Theorem 3.4). This works because every one of these objectives
-// distributes over the sum of per-step costs.
-type stepCoster interface {
-	// joinStep returns the cost contribution of joining left with the scan
-	// of relation j using method m, forming subset s, executed as phase
-	// `phase` (0-based; phase k is the k-th join of a left-deep plan).
-	// Implementations may use only the inputs' size estimates (classical
-	// costers) or their full size distributions (Algorithm D).
-	joinStep(m cost.Method, left plan.Node, right *plan.Scan, s query.RelSet, j, phase int) float64
+// stepPricer abstracts how one plan-construction step is priced. The
+// search engine is *generic* in this interface: plugging in a
+// fixed-parameter pricer yields the classical LSC optimizer (Theorem 2.1),
+// an expected-cost pricer yields Algorithm C (Theorem 3.3), a phase-indexed
+// one the dynamic-parameter variant (Theorem 3.4), a distribution-
+// propagating one Algorithm D (§3.6), and the certainty-equivalent and
+// mean-variance pricers the 2002 risk objectives. This works because every
+// one of these objectives distributes over the sum of per-step costs —
+// and because the pricers read only the operands' size statistics, the
+// same pricer serves the left-deep, bushy, and pipelined spaces.
+type stepPricer interface {
+	// joinStep returns the objective contribution of joining left with
+	// right using method m, forming subset s, executed as phase `phase`
+	// (0-based; in the left-deep walk, phase k is the k-th join).
+	// Implementations may use the inputs' size estimates (classical
+	// pricers) or their full size distributions (Algorithm D).
+	joinStep(m cost.Method, left, right plan.Node, s query.RelSet, phase int) float64
 	// sortStep returns the cost of the final ORDER BY sort over input's
 	// output, executed after join phase `phase`.
 	sortStep(input plan.Node, phase int) float64
@@ -46,19 +51,20 @@ type dpEntry struct {
 	cost float64
 }
 
-// runDP executes the bottom-up dynamic program over the subset lattice
-// (paper §2.2) using the supplied step coster, returning the best finished
-// left-deep plan (with the ORDER BY sort applied if required).
-func runDP(ctx *Context, sc stepCoster) (*Result, error) {
+// runLeftDeep executes the bottom-up dynamic program over the subset
+// lattice (paper §2.2) using the engine's pricer, returning the best
+// finished left-deep plan (with the ORDER BY sort applied if required).
+func (o *Optimizer) runLeftDeep() (*Result, error) {
+	ctx, pr := o.ctx, o.pricer
 	n := ctx.Q.NumRels()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty query")
 	}
 	if n == 1 {
-		return finishSingle(ctx, sc)
+		return finishSingle(ctx, pr)
 	}
 
-	best := make(map[query.RelSet]dpEntry, 1<<uint(n))
+	best := o.dpTable(n)
 	// Depth 1: LEC/LSC access paths coincide because scan cost is
 	// memory-independent.
 	for i := 0; i < n; i++ {
@@ -70,14 +76,16 @@ func runDP(ctx *Context, sc stepCoster) (*Result, error) {
 	var rootBest dpEntry
 	rootBest.cost = math.Inf(1)
 	var rootFound bool
+	methods := ctx.Opts.Methods
 
 	for d := 2; d <= n; d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+			ctx.Count.Subsets++
 			entry := dpEntry{cost: math.Inf(1)}
 			s.ForEach(func(j int) {
 				sj := s.Without(j)
-				left, ok := best[sj]
-				if !ok {
+				left := best[sj]
+				if left.node == nil {
 					return
 				}
 				if !ctx.extensionAllowed(sj, j) {
@@ -85,14 +93,17 @@ func runDP(ctx *Context, sc stepCoster) (*Result, error) {
 				}
 				scan := ctx.BestScan(j)
 				base := left.cost + scan.AccessCost()
-				for _, m := range ctx.Opts.methods() {
-					stepCost := sc.joinStep(m, left.node, scan, s, j, d-2)
+				for _, m := range methods {
+					ctx.Count.JoinSteps++
+					stepCost := pr.joinStep(m, left.node, scan, s, d-2)
 					total := base + stepCost
 					if total < entry.cost {
 						entry = dpEntry{
 							node: ctx.NewJoin(left.node, scan, m, s, j),
 							cost: total,
 						}
+					} else {
+						ctx.Count.Prunes++
 					}
 					// At the root, order matters: a slightly costlier join
 					// whose sort-merge output satisfies ORDER BY can beat the
@@ -104,7 +115,7 @@ func runDP(ctx *Context, sc stepCoster) (*Result, error) {
 						finished, added := ctx.FinishPlan(cand)
 						ft := total
 						if added {
-							ft += sc.sortStep(cand, d-2)
+							ft += pr.sortStep(cand, d-2)
 						}
 						if ft < rootBest.cost {
 							rootBest = dpEntry{node: finished, cost: ft}
@@ -119,33 +130,33 @@ func runDP(ctx *Context, sc stepCoster) (*Result, error) {
 		})
 	}
 	if ctx.Opts.NaiveOrderHandling {
-		entry, ok := best[full]
-		if !ok {
+		entry := best[full]
+		if entry.node == nil {
 			return nil, fmt.Errorf("opt: no plan found (disconnected lattice?)")
 		}
 		finished, added := ctx.FinishPlan(entry.node)
 		total := entry.cost
 		if added {
-			total += sc.sortStep(entry.node, n-2)
+			total += pr.sortStep(entry.node, n-2)
 		}
-		return &Result{Plan: finished, Cost: total, Count: ctx.Count}, nil
+		return &Result{Plan: finished, Cost: total, Count: ctx.snapshotCount()}, nil
 	}
 	if !rootFound {
 		return nil, fmt.Errorf("opt: no plan found (disconnected lattice?)")
 	}
-	return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.Count}, nil
+	return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.snapshotCount()}, nil
 }
 
 // finishSingle handles single-relation queries: every access path competes,
 // with the ORDER BY sort charged when the path does not deliver the order.
-func finishSingle(ctx *Context, sc stepCoster) (*Result, error) {
+func finishSingle(ctx *Context, pr stepPricer) (*Result, error) {
 	bestCost := math.Inf(1)
 	var bestNode plan.Node
 	for _, s := range ctx.Scans(0) {
 		finished, added := ctx.FinishPlan(s)
 		total := s.AccessCost()
 		if added {
-			total += sc.sortStep(s, 0)
+			total += pr.sortStep(s, 0)
 		}
 		if total < bestCost {
 			bestCost, bestNode = total, finished
@@ -154,5 +165,5 @@ func finishSingle(ctx *Context, sc stepCoster) (*Result, error) {
 	if bestNode == nil {
 		return nil, fmt.Errorf("opt: no access path")
 	}
-	return &Result{Plan: bestNode, Cost: bestCost, Count: ctx.Count}, nil
+	return &Result{Plan: bestNode, Cost: bestCost, Count: ctx.snapshotCount()}, nil
 }

@@ -1,0 +1,61 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BenchmarkDPCore measures the unified dynamic-programming core on
+// 10-relation queries across the three canonical join-graph topologies.
+// ns/op and allocs/op here are the numbers CHANGES.md tracks across the
+// arena/memo-reuse work: the DP over a 10-relation lattice enumerates
+// 2^10 subsets and is the optimizer's hot path.
+func BenchmarkDPCore(b *testing.B) {
+	dm := stats.MustNew(
+		[]float64{200, 700, 1500, 3000, 6000},
+		[]float64{0.1, 0.2, 0.4, 0.2, 0.1})
+	for _, shape := range []workload.Topology{workload.Chain, workload.Star, workload.Clique} {
+		rng := rand.New(rand.NewSource(7))
+		cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: 10})
+		q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: 10, Shape: shape, OrderBy: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("algC/%v", shape), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AlgorithmC(cat, q, Options{}, dm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("systemR/%v", shape), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SystemR(cat, q, Options{}, dm.Mean()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Algorithm A re-runs the DP once per memory bucket; this is where
+	// memo-table and arena reuse across bucket invocations pays off.
+	rng := rand.New(rand.NewSource(7))
+	cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: 10})
+	q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: 10, Shape: workload.Chain, OrderBy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("algA/chain-buckets", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := AlgorithmA(cat, q, Options{}, dm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -101,7 +101,7 @@ func (ctx *Context) enumerateLeftDeep(visit func(plan.Node)) error {
 			}
 			scan := ctx.BestScan(j)
 			s := used.Add(j)
-			for _, m := range ctx.Opts.methods() {
+			for _, m := range ctx.Opts.Methods {
 				rec(ctx.NewJoin(cur, scan, m, s, j), s)
 			}
 		}
@@ -146,7 +146,7 @@ func ExhaustiveBushy(cat *catalog.Catalog, q *query.SPJ, opts Options, objective
 				r := s &^ l
 				for _, lt := range trees[l] {
 					for _, rt := range trees[r] {
-						for _, m := range ctx.Opts.methods() {
+						for _, m := range ctx.Opts.Methods {
 							out = append(out, ctx.newBushyJoin(lt, rt, m, s), ctx.newBushyJoin(rt, lt, m, s))
 						}
 					}
@@ -170,26 +170,30 @@ func ExhaustiveBushy(cat *catalog.Catalog, q *query.SPJ, opts Options, objective
 	return &Result{Plan: best, Cost: bestVal, Count: ctx.Count}, nil
 }
 
-// newBushyJoin builds a join of two arbitrary subtrees.
+// newBushyJoin returns the (interned) join of two arbitrary subtrees.
 func (ctx *Context) newBushyJoin(left, right plan.Node, m cost.Method, s query.RelSet) *plan.Join {
-	ctx.Count.PlansBuilt++
-	return &plan.Join{
-		Left: left, Right: right, Method: m,
-		Preds:       ctx.predsBetween(left.Rels(), right.Rels()),
-		Selectivity: ctx.selBetween(left.Rels(), right.Rels()),
-		Pages:       ctx.SubsetPages(s),
-		Rows:        ctx.SubsetRows(s),
+	jn, isNew := ctx.arena.Join(left, right, m)
+	if isNew {
+		ctx.Count.PlansBuilt++
+		jn.Preds = ctx.predsBetween(left.Rels(), right.Rels())
+		jn.Selectivity = ctx.selBetween(left.Rels(), right.Rels())
+		jn.Pages = ctx.SubsetPages(s)
+		jn.Rows = ctx.SubsetRows(s)
 	}
+	return jn
 }
 
 // predsBetween returns the join predicates with one side in a and the
 // other in b.
 func (ctx *Context) predsBetween(a, b query.RelSet) []query.JoinPred {
 	var out []query.JoinPred
-	for _, p := range ctx.Q.Joins {
-		li, ri := ctx.Q.TableIndex(p.Left.Table), ctx.Q.TableIndex(p.Right.Table)
+	for pi, sides := range ctx.predSides {
+		li, ri := sides[0], sides[1]
+		if li < 0 || ri < 0 {
+			continue
+		}
 		if (a.Has(li) && b.Has(ri)) || (a.Has(ri) && b.Has(li)) {
-			out = append(out, p)
+			out = append(out, ctx.Q.Joins[pi])
 		}
 	}
 	return out
@@ -198,8 +202,14 @@ func (ctx *Context) predsBetween(a, b query.RelSet) []query.JoinPred {
 // selBetween returns the combined selectivity of predsBetween.
 func (ctx *Context) selBetween(a, b query.RelSet) float64 {
 	sel := 1.0
-	for _, p := range ctx.predsBetween(a, b) {
-		sel *= p.Selectivity
+	for pi, sides := range ctx.predSides {
+		li, ri := sides[0], sides[1]
+		if li < 0 || ri < 0 {
+			continue
+		}
+		if (a.Has(li) && b.Has(ri)) || (a.Has(ri) && b.Has(li)) {
+			sel *= ctx.Q.Joins[pi].Selectivity
+		}
 	}
 	return sel
 }

@@ -1,0 +1,83 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// The per-subset memo tables are on the DP's hot path: every join step asks
+// for the pages/rows of its operand subsets. For the query sizes the DP can
+// actually enumerate, a dense slice indexed by the RelSet bitmask beats a
+// map — no hashing, no bucket growth — at a memory cost of 2^n entries.
+// Past denseMemoMaxRels relations the table would dwarf the working set, so
+// the memos fall back to maps (the DP itself is Ω(2^n) and long infeasible
+// before that point; the fallback just keeps construction cheap for callers
+// that build a Context without running the full lattice).
+const denseMemoMaxRels = 20
+
+// floatMemo memoizes a float64 per relation subset. Dense entries use NaN
+// as the "unset" sentinel — no legitimate subset statistic is NaN.
+type floatMemo struct {
+	dense []float64
+	m     map[query.RelSet]float64
+}
+
+func newFloatMemo(n int) *floatMemo {
+	if n <= denseMemoMaxRels {
+		d := make([]float64, 1<<uint(n))
+		for i := range d {
+			d[i] = math.NaN()
+		}
+		return &floatMemo{dense: d}
+	}
+	return &floatMemo{m: make(map[query.RelSet]float64)}
+}
+
+func (fm *floatMemo) get(s query.RelSet) (float64, bool) {
+	if fm.dense != nil {
+		v := fm.dense[s]
+		return v, !math.IsNaN(v)
+	}
+	v, ok := fm.m[s]
+	return v, ok
+}
+
+func (fm *floatMemo) put(s query.RelSet, v float64) {
+	if fm.dense != nil {
+		fm.dense[s] = v
+		return
+	}
+	fm.m[s] = v
+}
+
+// distMemo memoizes a distribution per relation subset (nil = unset).
+type distMemo struct {
+	dense []*stats.Dist
+	m     map[query.RelSet]*stats.Dist
+}
+
+func newDistMemo(n int) *distMemo {
+	if n <= denseMemoMaxRels {
+		return &distMemo{dense: make([]*stats.Dist, 1<<uint(n))}
+	}
+	return &distMemo{m: make(map[query.RelSet]*stats.Dist)}
+}
+
+func (dm *distMemo) get(s query.RelSet) (*stats.Dist, bool) {
+	if dm.dense != nil {
+		d := dm.dense[s]
+		return d, d != nil
+	}
+	d, ok := dm.m[s]
+	return d, ok
+}
+
+func (dm *distMemo) put(s query.RelSet, d *stats.Dist) {
+	if dm.dense != nil {
+		dm.dense[s] = d
+		return
+	}
+	dm.m[s] = d
+}

@@ -37,14 +37,14 @@ type stepKey struct {
 	phase int
 }
 
-func (rc *refinedCoster) joinStep(m cost.Method, left plan.Node, right *plan.Scan, _ query.RelSet, _, phase int) float64 {
+func (rc *refinedCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, phase int) float64 {
 	a, b := left.OutPages(), right.OutPages()
 	key := stepKey{a, b, phase}
 	coarseCosts, ok := rc.pending[key]
 	if !ok {
 		// First visit of this step: price every method coarsely, once.
-		coarseCosts = make(map[cost.Method]float64, len(rc.ctx.Opts.methods()))
-		for _, mm := range rc.ctx.Opts.methods() {
+		coarseCosts = make(map[cost.Method]float64, len(rc.ctx.Opts.Methods))
+		for _, mm := range rc.ctx.Opts.Methods {
 			rc.ctx.Count.CostEvals += rc.coarse.Len()
 			coarseCosts[mm] = cost.ExpJoinCostMem(mm, a, b, rc.coarse)
 		}
@@ -97,7 +97,10 @@ func AlgorithmCRefined(cat *catalog.Catalog, q *query.SPJ, opts Options, fine *s
 		margin:  margin,
 		pending: make(map[stepKey]map[cost.Method]float64),
 	}
-	res, err := runDP(ctx, rc)
+	// A custom pricer rides the engine directly: same left-deep core, same
+	// session state, just a non-standard (Coster, Objective) compilation.
+	eng := &Optimizer{ctx: ctx, cfg: Config{Coster: StaticParams{Mem: fine}}, pricer: rc}
+	res, err := eng.runLeftDeep()
 	if err != nil {
 		return nil, err
 	}

@@ -15,7 +15,7 @@ type fixedCoster struct {
 	mem float64
 }
 
-func (f fixedCoster) joinStep(m cost.Method, left plan.Node, right *plan.Scan, _ query.RelSet, _, _ int) float64 {
+func (f fixedCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, _ int) float64 {
 	f.ctx.Count.CostEvals++
 	return cost.JoinCost(m, left.OutPages(), right.OutPages(), f.mem)
 }
@@ -31,72 +31,59 @@ func (f fixedCoster) sortStep(input plan.Node, _ int) float64 {
 // case of LEC optimization (paper §4: "the traditional approach is
 // essentially our approach restricted to one bucket").
 func SystemR(cat *catalog.Catalog, q *query.SPJ, opts Options, mem float64) (*Result, error) {
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: mem}})
 	if err != nil {
 		return nil, err
 	}
-	return runDP(ctx, fixedCoster{ctx: ctx, mem: mem})
+	return eng.Optimize()
 }
 
-// expCoster evaluates steps in expectation over a static memory
-// distribution: Algorithm C's view (paper §3.4).
-type expCoster struct {
-	ctx *Context
-	dm  *stats.Dist
+// phaseDistAt clamps a phase index into the distribution list — sequences
+// shorter than the plan's phase count extend with their last entry, so a
+// single static distribution is the one-phase special case.
+func phaseDistAt(phases []*stats.Dist, phase int) *stats.Dist {
+	if phase < 0 {
+		phase = 0
+	}
+	if phase >= len(phases) {
+		phase = len(phases) - 1
+	}
+	return phases[phase]
 }
 
-func (e expCoster) joinStep(m cost.Method, left plan.Node, right *plan.Scan, _ query.RelSet, _, _ int) float64 {
+// phasedCoster evaluates each join phase in expectation under that phase's
+// own memory distribution. With a single phase distribution this is
+// Algorithm C's static model (paper §3.4); with the unrolled Markov-chain
+// marginals it is the dynamic-parameter variant (paper §3.5).
+type phasedCoster struct {
+	ctx    *Context
+	phases []*stats.Dist
+}
+
+func (p phasedCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, phase int) float64 {
 	// "If we consider a probability distribution over b different memory
 	// sizes, this computation requires b evaluations of the cost formula."
-	e.ctx.Count.CostEvals += e.dm.Len()
-	return cost.ExpJoinCostMem(m, left.OutPages(), right.OutPages(), e.dm)
+	d := phaseDistAt(p.phases, phase)
+	p.ctx.Count.CostEvals += d.Len()
+	return cost.ExpJoinCostMem(m, left.OutPages(), right.OutPages(), d)
 }
 
-func (e expCoster) sortStep(input plan.Node, _ int) float64 {
-	e.ctx.Count.CostEvals += e.dm.Len()
+func (p phasedCoster) sortStep(input plan.Node, phase int) float64 {
+	d := phaseDistAt(p.phases, phase)
+	p.ctx.Count.CostEvals += d.Len()
 	pages := input.OutPages()
-	return e.dm.Expect(func(mem float64) float64 { return cost.SortCost(pages, mem) })
+	return d.Expect(func(mem float64) float64 { return cost.SortCost(pages, mem) })
 }
 
 // AlgorithmC runs the expected-cost dynamic program of paper §3.4 over a
 // static memory distribution and returns the exact LEC left-deep plan
 // (Theorem 3.3).
 func AlgorithmC(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{Coster: StaticParams{Mem: dm}})
 	if err != nil {
 		return nil, err
 	}
-	return runDP(ctx, expCoster{ctx: ctx, dm: dm})
-}
-
-// phasedCoster evaluates each join phase under its own memory distribution:
-// Algorithm C's dynamic-parameter form (paper §3.5).
-type phasedCoster struct {
-	ctx    *Context
-	phases []*stats.Dist
-}
-
-func (p phasedCoster) distAt(phase int) *stats.Dist {
-	if phase < 0 {
-		phase = 0
-	}
-	if phase >= len(p.phases) {
-		phase = len(p.phases) - 1
-	}
-	return p.phases[phase]
-}
-
-func (p phasedCoster) joinStep(m cost.Method, left plan.Node, right *plan.Scan, _ query.RelSet, _, phase int) float64 {
-	d := p.distAt(phase)
-	p.ctx.Count.CostEvals += d.Len()
-	return cost.ExpJoinCostMem(m, left.OutPages(), right.OutPages(), d)
-}
-
-func (p phasedCoster) sortStep(input plan.Node, phase int) float64 {
-	d := p.distAt(phase)
-	p.ctx.Count.CostEvals += d.Len()
-	pages := input.OutPages()
-	return d.Expect(func(mem float64) float64 { return cost.SortCost(pages, mem) })
+	return eng.Optimize()
 }
 
 // AlgorithmCDynamic runs the expected-cost dynamic program when memory
@@ -107,15 +94,11 @@ func (p phasedCoster) sortStep(input plan.Node, phase int) float64 {
 // probabilities independent of time) it returns the exact LEC left-deep
 // plan (Theorem 3.4).
 func AlgorithmCDynamic(cat *catalog.Catalog, q *query.SPJ, opts Options, chain *stats.Chain, initial *stats.Dist) (*Result, error) {
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{Coster: MarkovParams{Chain: chain, Initial: initial}})
 	if err != nil {
 		return nil, err
 	}
-	phases := q.NumRels() - 1
-	if phases < 1 {
-		phases = 1
-	}
-	return runDP(ctx, phasedCoster{ctx: ctx, phases: chain.PhaseDists(initial, phases)})
+	return eng.Optimize()
 }
 
 // PhaseDistsFor exposes the per-phase distributions AlgorithmCDynamic uses,

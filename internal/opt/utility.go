@@ -1,7 +1,6 @@
 package opt
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/catalog"
@@ -37,16 +36,6 @@ type ceCoster struct {
 	gamma  float64
 }
 
-func (c ceCoster) distAt(phase int) *stats.Dist {
-	if phase < 0 {
-		phase = 0
-	}
-	if phase >= len(c.phases) {
-		phase = len(c.phases) - 1
-	}
-	return c.phases[phase]
-}
-
 // certEquiv returns (1/γ)·ln E[e^{γ·f(M)}] computed stably via log-sum-exp.
 func certEquiv(d *stats.Dist, gamma float64, f func(float64) float64) float64 {
 	// max for the log-sum-exp shift
@@ -66,18 +55,44 @@ func certEquiv(d *stats.Dist, gamma float64, f func(float64) float64) float64 {
 	return (maxE + math.Log(sum)) / gamma
 }
 
-func (c ceCoster) joinStep(m cost.Method, left plan.Node, right *plan.Scan, _ query.RelSet, _, phase int) float64 {
-	d := c.distAt(phase)
+func (c ceCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, phase int) float64 {
+	d := phaseDistAt(c.phases, phase)
 	c.ctx.Count.CostEvals += d.Len()
 	a, b := left.OutPages(), right.OutPages()
 	return certEquiv(d, c.gamma, func(mem float64) float64 { return cost.JoinCost(m, a, b, mem) })
 }
 
 func (c ceCoster) sortStep(input plan.Node, phase int) float64 {
-	d := c.distAt(phase)
+	d := phaseDistAt(c.phases, phase)
 	c.ctx.Count.CostEvals += d.Len()
 	pages := input.OutPages()
 	return certEquiv(d, c.gamma, func(mem float64) float64 { return cost.SortCost(pages, mem) })
+}
+
+// mvCoster scores each step by E[cost] + λ·Var[cost] under that phase's
+// own (independent) memory distribution. Variances of independent phases
+// add, so minimizing the per-step sum is an exact DP — the mean-variance
+// analogue of the exponential-utility decomposition.
+type mvCoster struct {
+	ctx    *Context
+	phases []*stats.Dist
+	lambda float64
+}
+
+func (c mvCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, phase int) float64 {
+	d := phaseDistAt(c.phases, phase)
+	c.ctx.Count.CostEvals += d.Len()
+	a, b := left.OutPages(), right.OutPages()
+	mean, v := d.ExpectVariance(func(mem float64) float64 { return cost.JoinCost(m, a, b, mem) })
+	return mean + c.lambda*v
+}
+
+func (c mvCoster) sortStep(input plan.Node, phase int) float64 {
+	d := phaseDistAt(c.phases, phase)
+	c.ctx.Count.CostEvals += d.Len()
+	pages := input.OutPages()
+	mean, v := d.ExpectVariance(func(mem float64) float64 { return cost.SortCost(pages, mem) })
+	return mean + c.lambda*v
 }
 
 // ExpUtilityDP minimizes the exponential-utility objective
@@ -86,17 +101,14 @@ func (c ceCoster) sortStep(input plan.Node, phase int) float64 {
 // entry). γ > 0 is risk-averse, γ < 0 risk-seeking; γ → 0 recovers
 // Algorithm C. γ must be non-zero.
 func ExpUtilityDP(cat *catalog.Catalog, q *query.SPJ, opts Options, phases []*stats.Dist, gamma float64) (*Result, error) {
-	if gamma == 0 {
-		return nil, fmt.Errorf("opt: gamma must be non-zero (use AlgorithmC for risk neutrality)")
-	}
-	if len(phases) == 0 {
-		return nil, fmt.Errorf("opt: no phase distributions")
-	}
-	ctx, err := NewContext(cat, q, opts)
+	eng, err := NewOptimizer(cat, q, opts, Config{
+		Coster:    PhasedParams{Phases: phases},
+		Objective: ExponentialUtility{Gamma: gamma},
+	})
 	if err != nil {
 		return nil, err
 	}
-	return runDP(ctx, ceCoster{ctx: ctx, phases: phases, gamma: gamma})
+	return eng.Optimize()
 }
 
 // CertaintyEquivalentIndep evaluates the exponential-utility objective

@@ -83,6 +83,9 @@ type Scan struct {
 	SizeDist *stats.Dist
 	// SortedOn is non-nil when a clustered index scan yields sorted output.
 	SortedOn []query.ColumnRef
+
+	key string // memoized Key
+	aid uint32 // arena node id (0 = not yet registered)
 }
 
 // OutPages implements Node.
@@ -105,12 +108,17 @@ func (s *Scan) OrderedOn() []query.ColumnRef { return s.SortedOn }
 // Rels implements Node.
 func (s *Scan) Rels() query.RelSet { return query.NewRelSet(s.RelIdx) }
 
-// Key implements Node.
+// Key implements Node. The key is memoized: scans are immutable once the
+// optimizer has built them.
 func (s *Scan) Key() string {
-	if s.Method == IndexScan {
-		return "ix:" + s.Table + "/" + s.Index
+	if s.key == "" {
+		if s.Method == IndexScan {
+			s.key = "ix:" + s.Table + "/" + s.Index
+		} else {
+			s.key = "seq:" + s.Table
+		}
 	}
-	return "seq:" + s.Table
+	return s.key
 }
 
 func (s *Scan) children() []Node { return nil }
@@ -143,6 +151,10 @@ type Join struct {
 	Pages, Rows float64
 	// SizeDist is the output size distribution (Algorithm D).
 	SizeDist *stats.Dist
+
+	key  string       // memoized Key
+	rels query.RelSet // memoized Rels (0 = not yet computed; joins cover ≥ 2 relations)
+	aid  uint32       // arena node id (0 = not yet registered)
 }
 
 // OutPages implements Node.
@@ -172,12 +184,23 @@ func (j *Join) OrderedOn() []query.ColumnRef {
 	return cols
 }
 
-// Rels implements Node.
-func (j *Join) Rels() query.RelSet { return j.Left.Rels().Union(j.Right.Rels()) }
+// Rels implements Node. The covered set is memoized: a join's inputs never
+// change after construction, and a join always covers at least two
+// relations, so the zero RelSet doubles as the "not yet computed" sentinel.
+func (j *Join) Rels() query.RelSet {
+	if j.rels == 0 {
+		j.rels = j.Left.Rels().Union(j.Right.Rels())
+	}
+	return j.rels
+}
 
-// Key implements Node.
+// Key implements Node. Memoized — with interned children the recursive
+// string build runs once per distinct subtree instead of once per call.
 func (j *Join) Key() string {
-	return fmt.Sprintf("%s(%s,%s)", j.Method, j.Left.Key(), j.Right.Key())
+	if j.key == "" {
+		j.key = fmt.Sprintf("%s(%s,%s)", j.Method, j.Left.Key(), j.Right.Key())
+	}
+	return j.key
 }
 
 func (j *Join) children() []Node { return []Node{j.Left, j.Right} }
@@ -186,6 +209,9 @@ func (j *Join) children() []Node { return []Node{j.Left, j.Right} }
 type Sort struct {
 	Input Node
 	Key_  query.ColumnRef
+
+	key string // memoized Key
+	aid uint32 // arena node id (0 = not yet registered)
 }
 
 // OutPages implements Node.
@@ -203,9 +229,12 @@ func (s *Sort) OrderedOn() []query.ColumnRef { return []query.ColumnRef{s.Key_} 
 // Rels implements Node.
 func (s *Sort) Rels() query.RelSet { return s.Input.Rels() }
 
-// Key implements Node.
+// Key implements Node. Memoized like Join.Key.
 func (s *Sort) Key() string {
-	return fmt.Sprintf("sort[%s](%s)", s.Key_, s.Input.Key())
+	if s.key == "" {
+		s.key = fmt.Sprintf("sort[%s](%s)", s.Key_, s.Input.Key())
+	}
+	return s.key
 }
 
 func (s *Sort) children() []Node { return []Node{s.Input} }

@@ -126,6 +126,10 @@ type Decision struct {
 	Risk opt.RiskProfile
 	// Query is the optimized block.
 	Query *query.SPJ
+	// Stats holds the search engine's instrumentation counters: subsets
+	// enumerated, join steps costed, prunes, cost-formula evaluations, memo
+	// and arena hits.
+	Stats opt.Stats
 	env   Environment
 }
 
@@ -180,6 +184,7 @@ func (o *Optimizer) Optimize(q *query.SPJ, env Environment, s Strategy) (*Decisi
 		ExpectedCost: o.expectedCost(res, q, env),
 		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
 		Query:        q,
+		Stats:        res.Count,
 		env:          env,
 	}, nil
 }
@@ -207,6 +212,7 @@ func (o *Optimizer) optimizeAggregate(q *query.SPJ, env Environment, s Strategy)
 		ExpectedCost: plan.ExpCost(res.Plan, env.Memory),
 		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
 		Query:        q,
+		Stats:        res.Count,
 		env:          env,
 	}, nil
 }
@@ -235,6 +241,80 @@ func (o *Optimizer) OptimizeSQLWith(sql string, env Environment, s Strategy) (*D
 		return nil, err
 	}
 	return o.Optimize(q, env, s)
+}
+
+// Search selects a Space × Objective combination for OptimizeSearch — the
+// unified engine's axes, exposed directly. The zero value is the left-deep
+// space under the expected-cost objective, i.e. AlgorithmC.
+type Search struct {
+	// Space is the plan-shape family searched: SpaceLeftDeep (default),
+	// SpaceBushy, or SpacePipelined.
+	Space Space
+	// Objective is the risk posture: nil or ExpectedCost{} for risk
+	// neutrality, ExponentialUtility for certainty-equivalent optimization,
+	// VariancePenalized for mean-variance trade-offs.
+	Objective Objective
+}
+
+// Re-exported engine types, so callers configure a Search without importing
+// internal packages.
+type (
+	// Space is the plan-shape family (left-deep / bushy / pipelined).
+	Space = opt.Space
+	// Objective is the optimization objective.
+	Objective = opt.Objective
+	// ExpectedCost is the risk-neutral objective (the LEC default).
+	ExpectedCost = opt.ExpectedCost
+	// ExponentialUtility minimizes certainty equivalents under u(x)=e^{γx}.
+	ExponentialUtility = opt.ExponentialUtility
+	// VariancePenalized minimizes E[cost] + λ·Var[cost] per phase.
+	VariancePenalized = opt.VariancePenalized
+)
+
+// Engine spaces.
+const (
+	SpaceLeftDeep  = opt.SpaceLeftDeep
+	SpaceBushy     = opt.SpaceBushy
+	SpacePipelined = opt.SpacePipelined
+)
+
+// OptimizeSearch plans a query block with an explicit Space × Objective
+// configuration of the unified engine. The environment supplies the coster:
+// a Markov chain yields per-phase distributions (paper §3.5), a bare memory
+// distribution the static model (§3.4). This is the route to combinations
+// the named strategies cannot express — bushy × utility, pipelined ×
+// variance-penalized, dynamic × bushy.
+func (o *Optimizer) OptimizeSearch(q *query.SPJ, env Environment, search Search) (*Decision, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	var coster opt.Coster
+	if env.Chain != nil {
+		coster = opt.MarkovParams{Chain: env.Chain, Initial: env.Memory}
+	} else {
+		coster = opt.StaticParams{Mem: env.Memory}
+	}
+	eng, err := opt.NewOptimizer(o.cat, q, o.opts, opt.Config{
+		Space:     search.Space,
+		Coster:    coster,
+		Objective: search.Objective,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Optimize()
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Strategy:     AlgorithmC,
+		Plan:         res.Plan,
+		ExpectedCost: o.expectedCost(res, q, env),
+		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
+		Query:        q,
+		Stats:        res.Count,
+		env:          env,
+	}, nil
 }
 
 // Compare optimizes the query under every strategy and returns the
