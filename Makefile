@@ -4,7 +4,10 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz
+
+# Fuzz budget per target; override with `make fuzz FUZZTIME=1m`.
+FUZZTIME ?= 10s
 
 check: fmt vet build test race
 
@@ -29,3 +32,9 @@ race:
 
 bench:
 	$(GO) test -bench=BenchmarkDPCore -benchmem -run=^$$ ./internal/opt
+
+# Smoke the native fuzz targets: the parser/binder and the public optimizer
+# facade must never panic on arbitrary input (see ISSUE robustness work).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseSQL -fuzztime $(FUZZTIME) ./internal/sqlparse
+	$(GO) test -run '^$$' -fuzz FuzzOptimize -fuzztime $(FUZZTIME) ./lec

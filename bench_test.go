@@ -52,6 +52,7 @@ func BenchmarkE15_CoarseFine(b *testing.B) { runExperiment(b, bench.E15CoarseToF
 func BenchmarkE16_PageLevel(b *testing.B)  { runExperiment(b, bench.E16PageLevelValidation) }
 func BenchmarkE17_Aggregate(b *testing.B)  { runExperiment(b, bench.E17Aggregation) }
 func BenchmarkE18_EngineGrid(b *testing.B) { runExperiment(b, bench.E18EngineGrid) }
+func BenchmarkE19_Anytime(b *testing.B)    { runExperiment(b, bench.E19AnytimeCurve) }
 func BenchmarkF1_NodeDists(b *testing.B)   { runExperiment(b, bench.F1NodeDistributions) }
 
 // --- micro-benchmarks -------------------------------------------------

@@ -9,12 +9,20 @@
 //	lecopt -catalog schema.txt -sql "..." -mem "100:0.5,4000:0.5" -strategy c
 //	lecopt -demo -volatility 0.3            # dynamic memory via a Markov walk
 //	lecopt -demo -strategy c -explain       # engine instrumentation counters
+//	lecopt -demo -timeout 50ms -budget 1000 # fail-soft: bounded optimization
 //
 // The -mem spec is "value:probability, ..." (weights are normalized). The
 // catalog file format is documented in internal/catalog.Load.
+//
+// Exit codes: 0 success (including a degraded plan under -timeout/-budget,
+// reported with a warning on stderr), 1 internal error, 2 usage error,
+// 3 invalid input (bad SQL, unknown relation, bad distribution), 4 budget or
+// deadline exhausted with no plan to return.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,15 +38,51 @@ import (
 	"repro/lec"
 )
 
+// Exit codes.
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitInput    = 3
+	exitBudget   = 4
+)
+
+// CLI-layer sentinels: errUsage marks bad invocations, errInput marks
+// well-formed invocations with unusable inputs.
+var (
+	errUsage = errors.New("usage")
+	errInput = errors.New("invalid input")
+)
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "lecopt:", err)
-		os.Exit(1)
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "lecopt:", err)
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps an error onto the documented exit codes via the lec error
+// taxonomy.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp):
+		return exitUsage
+	case errors.Is(err, errInput),
+		errors.Is(err, lec.ErrInvalidDistribution),
+		errors.Is(err, lec.ErrInvalidQuery),
+		errors.Is(err, lec.ErrUnknownRelation):
+		return exitInput
+	case errors.Is(err, lec.ErrBudgetExhausted):
+		return exitBudget
+	default:
+		return exitInternal
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("lecopt", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	demo := fs.Bool("demo", false, "use the paper's Example 1.1 catalog and query")
 	catalogPath := fs.String("catalog", "", "catalog description file")
 	sql := fs.String("sql", "", "SPJ query to optimize")
@@ -49,8 +93,13 @@ func run(args []string, out io.Writer) error {
 	choice := fs.Bool("choice", false, "compile and print a [GC94] choice plan instead of optimizing")
 	simulate := fs.Int("simulate", 0, "simulate the chosen plan N times and report realized cost")
 	explain := fs.Bool("explain", false, "print the search engine's instrumentation counters")
+	timeout := fs.Duration("timeout", 0, "optimization deadline; on expiry a degraded fallback plan is returned (0 = none)")
+	budget := fs.Int("budget", 0, "max cost-formula evaluations per optimization; on exhaustion a degraded fallback plan is returned (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 
 	var cat *catalog.Catalog
@@ -73,39 +122,45 @@ func run(args []string, out io.Writer) error {
 	case *catalogPath != "":
 		f, err := os.Open(*catalogPath)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %w", errInput, err)
 		}
 		defer f.Close()
 		cat, err = catalog.Load(f)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %w", errInput, err)
 		}
 	default:
-		return fmt.Errorf("need -demo or -catalog <file>")
+		return fmt.Errorf("%w: need -demo or -catalog <file>", errUsage)
 	}
 	if queryText == "" && q == nil {
-		return fmt.Errorf("need -sql (or -demo for the default query)")
+		return fmt.Errorf("%w: need -sql (or -demo for the default query)", errUsage)
 	}
 	dm, err := stats.ParseDist(*memSpec)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errInput, err)
 	}
 	if q == nil {
 		q, err = sqlparse.ParseAndBind(queryText, cat)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %w", errInput, err)
 		}
 	}
 	env := lec.Environment{Memory: dm}
 	if *volatility > 0 {
 		chain, err := stats.RandomWalkChain(dm.Support(), *volatility, *volatility)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %w", errInput, err)
 		}
 		env.Chain = chain
 	}
 
-	o := lec.New(cat)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}})
 	fmt.Fprintf(out, "query:  %s\nmemory: %s\n\n", queryText, dm)
 
 	if *choice {
@@ -135,12 +190,13 @@ func run(args []string, out io.Writer) error {
 	if *strategy != "all" {
 		s, err := parseStrategy(*strategy)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %w", errUsage, err)
 		}
-		d, err := o.Optimize(q, env, s)
+		d, err := o.OptimizeContext(ctx, q, env, s)
 		if err != nil {
 			return err
 		}
+		warnDegraded(errOut, d)
 		fmt.Fprintln(out, d.Explain())
 		if *explain {
 			printStats(out, d)
@@ -157,9 +213,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Side-by-side comparison across every strategy.
-	ds, err := o.Compare(q, env)
+	ds, err := o.CompareContext(ctx, q, env)
 	if err != nil {
 		return err
+	}
+	for _, d := range ds {
+		warnDegraded(errOut, d)
 	}
 	sort.SliceStable(ds, func(i, j int) bool { return ds[i].ExpectedCost < ds[j].ExpectedCost })
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
@@ -177,6 +236,19 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// warnDegraded reports a degraded (but valid) plan on stderr; the exit code
+// stays 0 because the plan is usable.
+func warnDegraded(errOut io.Writer, d *lec.Decision) {
+	if d.Degraded {
+		rung := d.DegradeRung
+		if rung == "" {
+			rung = "full-search"
+		}
+		fmt.Fprintf(errOut, "lecopt: warning: %v optimization degraded (%v); returning %s plan\n",
+			d.Strategy, d.DegradeReason, rung)
+	}
+}
+
 // printStats renders the unified engine's instrumentation counters.
 func printStats(out io.Writer, d *lec.Decision) {
 	s := d.Stats
@@ -187,6 +259,10 @@ func printStats(out io.Writer, d *lec.Decision) {
 	if s.MergeCombos > 0 {
 		fmt.Fprintf(out, "top-c:  %d merge combinations (max %d per merge)\n",
 			s.MergeCombos, s.MaxMergeCombos)
+	}
+	if s.NonFiniteCosts > 0 || s.PanicsRecovered > 0 || s.Degradations > 0 {
+		fmt.Fprintf(out, "faults: %d non-finite costs, %d recovered panics, %d degradations\n",
+			s.NonFiniteCosts, s.PanicsRecovered, s.Degradations)
 	}
 }
 

@@ -9,8 +9,8 @@ import (
 
 func runCapture(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	var sb strings.Builder
-	err := run(args, &sb)
+	var sb, eb strings.Builder
+	err := run(args, &sb, &eb)
 	return sb.String(), err
 }
 

@@ -118,6 +118,7 @@ func All() []Runner {
 		{"E16", "cost formulas vs page-level LRU replay", E16PageLevelValidation},
 		{"E17", "GROUP BY — distribution-aware aggregate choice", E17Aggregation},
 		{"E18", "unified engine — Space × Objective grid instrumentation", E18EngineGrid},
+		{"E19", "fail-soft — anytime plan quality vs work budget", E19AnytimeCurve},
 		{"F1", "Figure 1 — per-node distributions", F1NodeDistributions},
 	}
 }

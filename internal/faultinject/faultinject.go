@@ -1,0 +1,217 @@
+// Package faultinject is a deterministic, seedable fault-injection harness
+// for the optimizer's fail-soft machinery. Production code is instrumented
+// with named sites (a cost-formula evaluation, a sort-cost evaluation); a
+// test enables an Injector with rules that fire at the Nth hit of a site —
+// panicking like a broken coster, substituting NaN/Inf costs, cancelling
+// the request context, or stalling like a coster stuck on I/O.
+//
+// The package is built so the instrumented hot paths pay one atomic load
+// when injection is disabled (the common case, including all production
+// use): Active returns nil and the caller skips everything else.
+//
+// Determinism: rules fire on exact hit counts (After/Every), and the only
+// randomness — the optional probability gate P — draws from an RNG seeded
+// at injector construction, so a failing schedule is reproducible from
+// (seed, rules) alone.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one instrumented point in production code.
+type Site string
+
+// Instrumented sites.
+const (
+	// JoinCost fires once per join-step cost pricing in the search engine.
+	JoinCost Site = "opt/join-cost"
+	// SortCost fires once per sort-step cost pricing in the search engine.
+	SortCost Site = "opt/sort-cost"
+)
+
+// Kind is the failure a rule injects at its site.
+type Kind int
+
+// Failure kinds.
+const (
+	// KindNone is the zero Kind: no fault.
+	KindNone Kind = iota
+	// KindPanic panics at the site, simulating a coster invariant failure.
+	KindPanic
+	// KindNaN makes the site report a NaN cost.
+	KindNaN
+	// KindInf makes the site report a +Inf cost.
+	KindInf
+	// KindCancel invokes the injector's OnCancel hook (tests arm it with a
+	// context.CancelFunc), forcing cancellation at an exact evaluation count.
+	KindCancel
+	// KindStall sleeps for the rule's Sleep duration, simulating a coster
+	// stuck on a slow catalog or statistics source.
+	KindStall
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPanic:
+		return "panic"
+	case KindNaN:
+		return "nan"
+	case KindInf:
+		return "inf"
+	case KindCancel:
+		return "cancel"
+	case KindStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Rule schedules one fault at one site.
+type Rule struct {
+	// Site the rule instruments.
+	Site Site
+	// Kind of fault to inject.
+	Kind Kind
+	// After is the 1-based hit count at which the rule first fires
+	// (0 means the first hit).
+	After int
+	// Every, when ≥ 1, re-fires the rule on every Every-th hit after the
+	// first firing; 0 fires exactly once.
+	Every int
+	// Sleep is the stall duration for KindStall rules.
+	Sleep time.Duration
+	// P, when in (0, 1), gates each firing on a draw from the injector's
+	// seeded RNG; 0 or ≥ 1 means the rule always fires when scheduled.
+	P float64
+}
+
+func (r Rule) first() int {
+	if r.After <= 0 {
+		return 1
+	}
+	return r.After
+}
+
+// due reports whether the rule is scheduled for the hit-th hit of its site.
+func (r Rule) due(hit int) bool {
+	f := r.first()
+	if hit < f {
+		return false
+	}
+	if hit == f {
+		return true
+	}
+	return r.Every >= 1 && (hit-f)%r.Every == 0
+}
+
+// Injector evaluates a rule set deterministically.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []Rule
+	hits   map[Site]int
+	fires  map[Site]int
+	rng    *rand.Rand
+	cancel func()
+}
+
+// New builds an injector for the given rules; seed drives the optional
+// probability gates.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		rules: rules,
+		hits:  make(map[Site]int),
+		fires: make(map[Site]int),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// OnCancel arms the hook KindCancel rules invoke — typically a
+// context.CancelFunc for the request under test.
+func (in *Injector) OnCancel(f func()) { in.cancel = f }
+
+// Hits returns how many times the site has been evaluated.
+func (in *Injector) Hits(s Site) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[s]
+}
+
+// Fires returns how many faults the site has injected.
+func (in *Injector) Fires(s Site) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[s]
+}
+
+// check records one hit of the site and returns the rule that fires, if any.
+func (in *Injector) check(s Site) (Rule, bool) {
+	in.mu.Lock()
+	in.hits[s]++
+	hit := in.hits[s]
+	for _, r := range in.rules {
+		if r.Site != s || !r.due(hit) {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && in.rng.Float64() >= r.P {
+			continue
+		}
+		in.fires[s]++
+		in.mu.Unlock()
+		return r, true
+	}
+	in.mu.Unlock()
+	return Rule{}, false
+}
+
+// active holds the enabled injector; nil means injection is off.
+var active atomic.Pointer[Injector]
+
+// Enable installs the injector globally. Tests must pair it with Disable
+// (typically via t.Cleanup) and must not run in parallel with other
+// injection tests.
+func Enable(in *Injector) { active.Store(in) }
+
+// Disable removes any installed injector.
+func Disable() { active.Store(nil) }
+
+// Active returns the enabled injector, or nil. Instrumented code calls this
+// first and skips all other work when injection is off.
+func Active() *Injector { return active.Load() }
+
+// Check records a hit of the site on the active injector and executes any
+// side-effecting fault it schedules: KindPanic panics, KindStall sleeps,
+// KindCancel invokes the OnCancel hook. Value faults (KindNaN, KindInf) are
+// returned to the caller, which substitutes the corrupted cost itself.
+// With no active injector it returns KindNone immediately.
+func Check(s Site) Kind {
+	in := Active()
+	if in == nil {
+		return KindNone
+	}
+	r, ok := in.check(s)
+	if !ok {
+		return KindNone
+	}
+	switch r.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", s, in.Hits(s)))
+	case KindStall:
+		time.Sleep(r.Sleep)
+		return KindNone
+	case KindCancel:
+		if in.cancel != nil {
+			in.cancel()
+		}
+		return KindNone
+	}
+	return r.Kind
+}

@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuleSchedule(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		hits []int // hits at which the rule should fire
+		max  int
+	}{
+		{Rule{After: 3}, []int{3}, 10},
+		{Rule{}, []int{1}, 5},
+		{Rule{After: 2, Every: 3}, []int{2, 5, 8}, 9},
+		{Rule{After: 1, Every: 1}, []int{1, 2, 3, 4}, 4},
+	}
+	for i, c := range cases {
+		var got []int
+		for h := 1; h <= c.max; h++ {
+			if c.rule.due(h) {
+				got = append(got, h)
+			}
+		}
+		if len(got) != len(c.hits) {
+			t.Fatalf("case %d: fired at %v, want %v", i, got, c.hits)
+		}
+		for j := range got {
+			if got[j] != c.hits[j] {
+				t.Fatalf("case %d: fired at %v, want %v", i, got, c.hits)
+			}
+		}
+	}
+}
+
+func TestCheckDisabledIsNoop(t *testing.T) {
+	Disable()
+	if k := Check(JoinCost); k != KindNone {
+		t.Fatalf("disabled Check returned %v", k)
+	}
+}
+
+func TestInjectedPanicAtNthHit(t *testing.T) {
+	Enable(New(1, Rule{Site: JoinCost, Kind: KindPanic, After: 3}))
+	defer Disable()
+	for i := 0; i < 2; i++ {
+		if k := Check(JoinCost); k != KindNone {
+			t.Fatalf("hit %d fired %v early", i+1, k)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("third hit did not panic")
+		}
+	}()
+	Check(JoinCost)
+}
+
+func TestValueFaultsAndCounters(t *testing.T) {
+	in := New(1,
+		Rule{Site: JoinCost, Kind: KindNaN, After: 2},
+		Rule{Site: SortCost, Kind: KindInf, After: 1, Every: 1})
+	Enable(in)
+	defer Disable()
+	if k := Check(JoinCost); k != KindNone {
+		t.Fatalf("join hit 1: %v", k)
+	}
+	if k := Check(JoinCost); k != KindNaN {
+		t.Fatalf("join hit 2: %v, want nan", k)
+	}
+	if k := Check(JoinCost); k != KindNone {
+		t.Fatalf("join hit 3: %v (rule is fire-once)", k)
+	}
+	for i := 0; i < 3; i++ {
+		if k := Check(SortCost); k != KindInf {
+			t.Fatalf("sort hit %d: %v, want inf", i+1, k)
+		}
+	}
+	if in.Hits(JoinCost) != 3 || in.Fires(JoinCost) != 1 {
+		t.Fatalf("join counters: hits=%d fires=%d", in.Hits(JoinCost), in.Fires(JoinCost))
+	}
+	if in.Hits(SortCost) != 3 || in.Fires(SortCost) != 3 {
+		t.Fatalf("sort counters: hits=%d fires=%d", in.Hits(SortCost), in.Fires(SortCost))
+	}
+}
+
+func TestCancelHookAndStall(t *testing.T) {
+	cancelled := false
+	in := New(1,
+		Rule{Site: JoinCost, Kind: KindCancel, After: 1},
+		Rule{Site: SortCost, Kind: KindStall, After: 1, Sleep: time.Millisecond})
+	in.OnCancel(func() { cancelled = true })
+	Enable(in)
+	defer Disable()
+	if k := Check(JoinCost); k != KindNone {
+		t.Fatalf("cancel returned %v (side effect only)", k)
+	}
+	if !cancelled {
+		t.Fatal("cancel hook not invoked")
+	}
+	start := time.Now()
+	if k := Check(SortCost); k != KindNone {
+		t.Fatalf("stall returned %v", k)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("stall did not sleep")
+	}
+}
+
+func TestProbabilityGateDeterministic(t *testing.T) {
+	// The same seed must reproduce the same firing schedule.
+	run := func() []int {
+		in := New(42, Rule{Site: JoinCost, Kind: KindNaN, After: 1, Every: 1, P: 0.5})
+		Enable(in)
+		defer Disable()
+		var fired []int
+		for h := 1; h <= 50; h++ {
+			if Check(JoinCost) != KindNone {
+				fired = append(fired, h)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("p=0.5 gate fired %d/50 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}

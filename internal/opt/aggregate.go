@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,69 +22,13 @@ const groupRowsPerPage = 256
 // order, and itself order-producing, which serves an ORDER BY on the group
 // key). This is the aggregate analogue of Example 1.1's sort-vs-hash trade
 // and exercises the paper's "sizes of groups" parameter (§1).
+// The candidate pool covers the SPJ core, generated twice: once bare (cheap
+// unordered inputs for hash aggregation) and once targeting the group key's
+// order (sort-merge-last joins, order-providing index scans, or explicit
+// sorts — the inputs that make sort aggregation free). The union is
+// deduplicated by plan key.
 func OptimizeWithAggregation(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	if q.GroupBy == nil {
-		return nil, fmt.Errorf("opt: query has no GROUP BY; use AlgorithmC")
-	}
-	if err := q.Validate(cat); err != nil {
-		return nil, err
-	}
-	// Candidate pool over the SPJ core, generated twice: once bare (cheap
-	// unordered inputs for hash aggregation) and once targeting the group
-	// key's order (sort-merge-last joins, order-providing index scans, or
-	// explicit sorts — the inputs that make sort aggregation free). The
-	// union is deduplicated by plan key.
-	cands, counters, err := aggregateCandidates(cat, q, opts, dm)
-	if err != nil {
-		return nil, err
-	}
-	groups, pages, err := groupEstimates(cat, q)
-	if err != nil {
-		return nil, err
-	}
-	var best plan.Node
-	bestCost := math.Inf(1)
-	for _, cand := range cands {
-		for _, m := range []plan.AggMethod{plan.HashAgg, plan.SortAgg} {
-			finished := finishAggregate(q, cand, m, groups, pages)
-			ec := plan.ExpCost(finished, dm)
-			if ec < bestCost {
-				best, bestCost = finished, ec
-			}
-		}
-	}
-	if best == nil {
-		return nil, fmt.Errorf("opt: aggregation produced no plan")
-	}
-	return &Result{Plan: best, Cost: bestCost, Count: counters}, nil
-}
-
-// aggregateCandidates unions Algorithm B's pools for the bare core and the
-// group-key-ordered core.
-func aggregateCandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
-	core := *q
-	core.OrderBy = nil
-	core.GroupBy = nil
-	cands, counters, err := AlgorithmBCandidates(cat, &core, opts, dm)
-	if err != nil {
-		return nil, counters, err
-	}
-	ordered := core
-	ordered.OrderBy = q.GroupBy
-	moreCands, moreCounters, err := AlgorithmBCandidates(cat, &ordered, opts, dm)
-	if err != nil {
-		return nil, counters, err
-	}
-	counters.Add(moreCounters)
-	seen := map[string]bool{}
-	var out []plan.Node
-	for _, c := range append(cands, moreCands...) {
-		if key := c.Key(); !seen[key] {
-			seen[key] = true
-			out = append(out, c)
-		}
-	}
-	return out, counters, nil
+	return OptimizeWithAggregationCtx(context.Background(), cat, q, opts, dm)
 }
 
 // finishAggregate wraps a join plan with the aggregate (and an ORDER BY

@@ -1,7 +1,7 @@
 package opt
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"repro/internal/catalog"
@@ -22,15 +22,7 @@ import (
 // may be optimal for none of the m_i and therefore never generated
 // (see TestAlgorithmAIsNotExact).
 func AlgorithmA(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	cands, counters, err := algorithmACandidates(cat, q, opts, dm)
-	if err != nil {
-		return nil, err
-	}
-	best, bestCost := pickLeastExpected(cands, dm)
-	if best == nil {
-		return nil, fmt.Errorf("opt: algorithm A produced no candidates")
-	}
-	return &Result{Plan: best, Cost: bestCost, Count: counters}, nil
+	return AlgorithmACtx(context.Background(), cat, q, opts, dm)
 }
 
 // algorithmACandidates runs the black-box optimizer once per bucket
@@ -38,27 +30,8 @@ func AlgorithmA(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist
 // invocations share one engine session — only the coster changes between
 // buckets — so the memo tables, plan arena, and DP table are reused.
 func algorithmACandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
-	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
-	if err != nil {
-		return nil, Counters{}, err
-	}
-	seen := map[string]bool{}
-	var cands []plan.Node
-	for i := 0; i < dm.Len(); i++ {
-		if err := eng.SetCoster(FixedParams{Mem: dm.Value(i)}); err != nil {
-			return nil, eng.Stats(), err
-		}
-		res, err := eng.Optimize()
-		if err != nil {
-			return nil, eng.Stats(), fmt.Errorf("opt: algorithm A at m=%v: %w", dm.Value(i), err)
-		}
-		key := res.Plan.Key()
-		if !seen[key] {
-			seen[key] = true
-			cands = append(cands, res.Plan)
-		}
-	}
-	return cands, eng.Stats(), nil
+	cands, counters, _, err := algorithmACandidatesCtx(context.Background(), cat, q, opts, dm)
+	return cands, counters, err
 }
 
 // pickLeastExpected evaluates E[Φ] for each candidate under dm and returns

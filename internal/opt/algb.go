@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -89,11 +90,16 @@ func (o *Optimizer) runTopC(c int) ([]topEntry, error) {
 	var roots []topEntry
 	methods := ctx.Opts.Methods
 
-	for d := 2; d <= n; d++ {
+	for d := 2; d <= n && !ctx.stopped(); d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
-			ctx.Count.Subsets++
+			if !ctx.visitSubset() {
+				return
+			}
 			var merged []topEntry
 			s.ForEach(func(j int) {
+				if ctx.stopped() {
+					return
+				}
 				sj := s.Without(j)
 				left := lists[sj]
 				if len(left) == 0 || !ctx.extensionAllowed(sj, j) {
@@ -101,7 +107,7 @@ func (o *Optimizer) runTopC(c int) ([]topEntry, error) {
 				}
 				for _, m := range methods {
 					ctx.Count.JoinSteps++
-					stepCost := pr.joinStep(m, left[0].node, scanLists[j][0].node, s, d-2)
+					stepCost := ctx.priceJoin(pr, m, left[0].node, scanLists[j][0].node, s, d-2)
 					merged = append(merged, mergeTopC(ctx, left, scanLists[j], stepCost, c,
 						func(l, r topEntry) plan.Node {
 							return ctx.NewJoin(l.node, r.node.(*plan.Scan), m, s, j)
@@ -116,6 +122,11 @@ func (o *Optimizer) runTopC(c int) ([]topEntry, error) {
 			lists[s] = sortTruncate(ctx, merged, c)
 		})
 	}
+	if ctx.stopped() && len(roots) == 0 {
+		// Anytime: an interrupted top-c search with no finished roots has
+		// nothing to hand back; the caller's ladder takes over.
+		return nil, ctx.stopCause
+	}
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("opt: no plan found")
 	}
@@ -128,7 +139,7 @@ func finishEntry(ctx *Context, pr stepPricer, e topEntry, phase int) topEntry {
 	finished, added := ctx.FinishPlan(e.node)
 	total := e.cost
 	if added {
-		total += pr.sortStep(e.node, phase)
+		total += ctx.priceSort(pr, e.node, phase)
 	}
 	return topEntry{node: finished, cost: total}
 }
@@ -139,15 +150,7 @@ func finishEntry(ctx *Context, pr stepPricer, e topEntry, phase int) topEntry {
 // dominates Algorithm A (its candidate pool is a superset) but still does
 // not always find the exact LEC plan.
 func AlgorithmB(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	cands, counters, err := AlgorithmBCandidates(cat, q, opts, dm)
-	if err != nil {
-		return nil, err
-	}
-	best, bestCost := pickLeastExpected(cands, dm)
-	if best == nil {
-		return nil, fmt.Errorf("opt: algorithm B produced no candidates")
-	}
-	return &Result{Plan: best, Cost: bestCost, Count: counters}, nil
+	return AlgorithmBCtx(context.Background(), cat, q, opts, dm)
 }
 
 // AlgorithmBCandidates returns the deduplicated union of the top-c plans
@@ -155,29 +158,8 @@ func AlgorithmB(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist
 // run on one engine session, so the memo tables, plan arena, and top-c
 // scratch are shared instead of rebuilt per bucket.
 func AlgorithmBCandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
-	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
-	if err != nil {
-		return nil, Counters{}, err
-	}
-	c := eng.ctx.Opts.TopC
-	seen := map[string]bool{}
-	var cands []plan.Node
-	for i := 0; i < dm.Len(); i++ {
-		if err := eng.SetCoster(FixedParams{Mem: dm.Value(i)}); err != nil {
-			return nil, eng.Stats(), err
-		}
-		roots, err := eng.runTopC(c)
-		if err != nil {
-			return nil, eng.Stats(), fmt.Errorf("opt: algorithm B at m=%v: %w", dm.Value(i), err)
-		}
-		for _, r := range roots {
-			if key := r.node.Key(); !seen[key] {
-				seen[key] = true
-				cands = append(cands, r.node)
-			}
-		}
-	}
-	return cands, eng.Stats(), nil
+	cands, counters, _, err := algorithmBCandidatesCtx(context.Background(), cat, q, opts, dm)
+	return cands, counters, err
 }
 
 // TopCPlans exposes the top-c plans at a single fixed memory value,

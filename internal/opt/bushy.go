@@ -45,12 +45,14 @@ func (o *Optimizer) runBushy() (*Result, error) {
 	var rootFound bool
 	methods := ctx.Opts.Methods
 
-	for d := 2; d <= n; d++ {
+	for d := 2; d <= n && !ctx.stopped(); d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
-			ctx.Count.Subsets++
+			if !ctx.visitSubset() {
+				return
+			}
 			entry := dpEntry{cost: math.Inf(1)}
 			lowest := query.NewRelSet(s.Members()[0])
-			for l := (s - 1) & s; l != 0; l = (l - 1) & s {
+			for l := (s - 1) & s; l != 0 && !ctx.stopped(); l = (l - 1) & s {
 				if !l.Contains(lowest) {
 					continue // canonical split; operand orders handled below
 				}
@@ -66,7 +68,7 @@ func (o *Optimizer) runBushy() (*Result, error) {
 				for _, m := range methods {
 					for _, ord := range [2][2]dpEntry{{le, re}, {re, le}} {
 						ctx.Count.JoinSteps++
-						stepCost := pr.joinStep(m, ord[0].node, ord[1].node, s, d-2)
+						stepCost := ctx.priceJoin(pr, m, ord[0].node, ord[1].node, s, d-2)
 						total := base + stepCost
 						if total < entry.cost {
 							entry = dpEntry{
@@ -81,7 +83,7 @@ func (o *Optimizer) runBushy() (*Result, error) {
 							finished, added := ctx.FinishPlan(cand)
 							ft := total
 							if added {
-								ft += pr.sortStep(cand, d-2)
+								ft += ctx.priceSort(pr, cand, d-2)
 							}
 							if ft < rootBest.cost {
 								rootBest = dpEntry{node: finished, cost: ft}
@@ -95,6 +97,12 @@ func (o *Optimizer) runBushy() (*Result, error) {
 				best[s] = entry
 			}
 		})
+	}
+	if ctx.stopped() {
+		if rootFound {
+			return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.snapshotCount()}, nil
+		}
+		return nil, ctx.stopCause
 	}
 	if !rootFound {
 		return nil, fmt.Errorf("opt: bushy DP found no plan")

@@ -29,6 +29,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -55,6 +56,11 @@ type Options struct {
 	// TopC is the number of plans Algorithm B keeps per node; 0 means
 	// DefaultTopC.
 	TopC int
+	// Budget bounds the work of each run in units of the engine's own
+	// Stats counters (see failsoft.go); the zero value is unlimited. When
+	// a budget trips mid-search the engine degrades down the anytime
+	// ladder instead of failing.
+	Budget Budget
 	// NaiveOrderHandling disables the order-aware root step: the DP keeps
 	// only the cheapest plan for the full relation set and bolts the ORDER
 	// BY sort on top, instead of weighing every root candidate with the
@@ -120,6 +126,14 @@ type Counters struct {
 	// MemoHits counts per-subset statistic lookups served from the memo
 	// tables (row counts, page counts, size distributions).
 	MemoHits int
+	// NonFiniteCosts counts cost evaluations that produced NaN/±Inf and
+	// were neutralized to +Inf by the fail-soft guard.
+	NonFiniteCosts int
+	// Degradations counts runs that returned a degraded (anytime/fallback)
+	// plan instead of the configured search's optimum.
+	Degradations int
+	// PanicsRecovered counts panics the engine recovered from mid-search.
+	PanicsRecovered int
 	// ArenaSize is the number of distinct plan nodes interned in the
 	// session arena (a gauge, not a running total).
 	ArenaSize int
@@ -141,6 +155,9 @@ func (c *Counters) Add(other Counters) {
 	c.JoinSteps += other.JoinSteps
 	c.Prunes += other.Prunes
 	c.MemoHits += other.MemoHits
+	c.NonFiniteCosts += other.NonFiniteCosts
+	c.Degradations += other.Degradations
+	c.PanicsRecovered += other.PanicsRecovered
 	c.ArenaHits += other.ArenaHits
 	if other.ArenaSize > c.ArenaSize {
 		c.ArenaSize = other.ArenaSize
@@ -180,6 +197,14 @@ type Context struct {
 
 	// memoized subset row-count distributions (Algorithm D)
 	subsetRowDist *distMemo
+
+	// fail-soft run state (see failsoft.go): the request context, the
+	// sticky interruption cause, the countdown to the next context poll,
+	// and the NonFiniteCosts watermark taken at beginRun.
+	reqCtx        context.Context
+	stopCause     error
+	pollCountdown int
+	nonFiniteMark int
 
 	Count Counters
 }

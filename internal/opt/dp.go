@@ -21,6 +21,17 @@ type Result struct {
 	// an engine session (Algorithms A/B, SetCoster loops) the totals are
 	// cumulative over the session.
 	Count Counters
+	// Degraded reports that the search did not run to completion — it was
+	// interrupted by a deadline, a budget, a recovered panic, or had to
+	// discard non-finite costs — and Plan came from the anytime ladder.
+	Degraded bool
+	// Reason says why the run degraded (DegradeNone when Degraded is false).
+	Reason DegradeReason
+	// Rung names the ladder rung that produced a degraded plan: RungFull
+	// (empty) for a completed search, RungPartial for the best complete
+	// plan the interrupted search had finished, RungGreedy for the greedy
+	// fallback at the distribution mean.
+	Rung string
 }
 
 // stepPricer abstracts how one plan-construction step is priced. The
@@ -78,11 +89,16 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 	var rootFound bool
 	methods := ctx.Opts.Methods
 
-	for d := 2; d <= n; d++ {
+	for d := 2; d <= n && !ctx.stopped(); d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
-			ctx.Count.Subsets++
+			if !ctx.visitSubset() {
+				return
+			}
 			entry := dpEntry{cost: math.Inf(1)}
 			s.ForEach(func(j int) {
+				if ctx.stopped() {
+					return
+				}
 				sj := s.Without(j)
 				left := best[sj]
 				if left.node == nil {
@@ -95,7 +111,7 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 				base := left.cost + scan.AccessCost()
 				for _, m := range methods {
 					ctx.Count.JoinSteps++
-					stepCost := pr.joinStep(m, left.node, scan, s, d-2)
+					stepCost := ctx.priceJoin(pr, m, left.node, scan, s, d-2)
 					total := base + stepCost
 					if total < entry.cost {
 						entry = dpEntry{
@@ -115,7 +131,7 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 						finished, added := ctx.FinishPlan(cand)
 						ft := total
 						if added {
-							ft += pr.sortStep(cand, d-2)
+							ft += ctx.priceSort(pr, cand, d-2)
 						}
 						if ft < rootBest.cost {
 							rootBest = dpEntry{node: finished, cost: ft}
@@ -129,6 +145,23 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 			}
 		})
 	}
+	if ctx.stopped() {
+		// Anytime: hand back the best complete root candidate found before
+		// the interruption, if the walk got that far; OptimizeCtx flags it
+		// and otherwise descends the ladder.
+		if rootFound {
+			return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.snapshotCount()}, nil
+		}
+		if e := best[full]; e.node != nil {
+			finished, added := ctx.FinishPlan(e.node)
+			total := e.cost
+			if added {
+				total += ctx.priceSort(pr, e.node, n-2)
+			}
+			return &Result{Plan: finished, Cost: total, Count: ctx.snapshotCount()}, nil
+		}
+		return nil, ctx.stopCause
+	}
 	if ctx.Opts.NaiveOrderHandling {
 		entry := best[full]
 		if entry.node == nil {
@@ -137,7 +170,7 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 		finished, added := ctx.FinishPlan(entry.node)
 		total := entry.cost
 		if added {
-			total += pr.sortStep(entry.node, n-2)
+			total += ctx.priceSort(pr, entry.node, n-2)
 		}
 		return &Result{Plan: finished, Cost: total, Count: ctx.snapshotCount()}, nil
 	}
@@ -156,7 +189,7 @@ func finishSingle(ctx *Context, pr stepPricer) (*Result, error) {
 		finished, added := ctx.FinishPlan(s)
 		total := s.AccessCost()
 		if added {
-			total += pr.sortStep(s, 0)
+			total += ctx.priceSort(pr, s, 0)
 		}
 		if total < bestCost {
 			bestCost, bestNode = total, finished

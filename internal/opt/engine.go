@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -227,15 +228,11 @@ func (o *Optimizer) Config() Config { return o.cfg }
 func (o *Optimizer) Stats() Stats { return o.ctx.snapshotCount() }
 
 // Optimize runs the configured search and returns the best finished plan.
+// It is OptimizeCtx under a background context: with the default unlimited
+// Budget nothing can interrupt the search, so the result is identical to the
+// pre-fail-soft engine's.
 func (o *Optimizer) Optimize() (*Result, error) {
-	switch o.cfg.Space {
-	case SpaceBushy:
-		return o.runBushy()
-	case SpacePipelined:
-		return o.runPipelined()
-	default:
-		return o.runLeftDeep()
-	}
+	return o.OptimizeCtx(context.Background())
 }
 
 // OptimizeTop returns the best c finished plans and their objective values,

@@ -90,6 +90,9 @@ func (ctx *Context) enumerateLeftDeep(visit func(plan.Node)) error {
 	}
 	var rec func(cur plan.Node, used query.RelSet)
 	rec = func(cur plan.Node, used query.RelSet) {
+		if ctx.stopped() {
+			return
+		}
 		if used.Len() == n {
 			finished, _ := ctx.FinishPlan(cur)
 			visit(finished)

@@ -28,13 +28,27 @@ func (o *Optimizer) runPipelined() (*Result, error) {
 	var best plan.Node
 	bestVal := math.Inf(1)
 	err := ctx.enumerateLeftDeep(func(p plan.Node) {
-		v := evalPipelined(pr, p)
+		// The enumeration already checks stopped() while recursing; this
+		// guard covers a budget that trips mid-evaluation of the previous
+		// plan. best stays the anytime answer: every fully-scored plan is a
+		// finished left-deep plan, so an interrupted run hands OptimizeCtx a
+		// valid RungPartial candidate.
+		if ctx.stopped() {
+			return
+		}
+		v := evalPipelined(ctx, pr, p)
 		if v < bestVal {
 			best, bestVal = p, v
 		}
 	})
 	if err != nil {
 		return nil, err
+	}
+	if ctx.stopped() {
+		if best != nil {
+			return &Result{Plan: best, Cost: bestVal, Count: ctx.snapshotCount()}, nil
+		}
+		return nil, ctx.stopCause
 	}
 	if best == nil {
 		return nil, fmt.Errorf("opt: pipelined search found no plan")
@@ -45,8 +59,9 @@ func (o *Optimizer) runPipelined() (*Result, error) {
 // evalPipelined scores one finished plan: each join is priced at its
 // pipeline phase, and a final sort at the last phase. The walk mirrors
 // plan.ExpCostPipelined exactly, so with an expected-cost pricer the two
-// agree bit for bit.
-func evalPipelined(pr stepPricer, root plan.Node) float64 {
+// agree bit for bit. Steps are priced through the Context's fail-soft
+// wrappers, which guard non-finite costs and trip the budget meters.
+func evalPipelined(ctx *Context, pr stepPricer, root plan.Node) float64 {
 	phases := plan.PipelinePhases(root)
 	total := 0.0
 	joinIdx := 0
@@ -55,7 +70,7 @@ func evalPipelined(pr stepPricer, root plan.Node) float64 {
 		case *plan.Scan:
 			total += v.AccessCost()
 		case *plan.Join:
-			total += pr.joinStep(v.Method, v.Left, v.Right, v.Rels(), phases[joinIdx])
+			total += ctx.priceJoin(pr, v.Method, v.Left, v.Right, v.Rels(), phases[joinIdx])
 			joinIdx++
 		case *plan.Sort:
 			if !plan.SatisfiesOrder(v.Input, v.Key_) {
@@ -63,7 +78,7 @@ func evalPipelined(pr stepPricer, root plan.Node) float64 {
 				if len(phases) > 0 {
 					last = phases[len(phases)-1]
 				}
-				total += pr.sortStep(v.Input, last)
+				total += ctx.priceSort(pr, v.Input, last)
 			}
 		}
 	})

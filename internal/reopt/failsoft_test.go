@@ -1,0 +1,69 @@
+package reopt
+
+// Fail-soft behavior of the adaptive baseline: a budget or injected fault
+// that trips during the initial optimization or a mid-execution restart must
+// not abort the simulated execution — the degraded fallback plan runs like
+// any other plan.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/faultinject"
+	"repro/internal/opt"
+	"repro/internal/workload"
+)
+
+func TestRunContextUnderBudget(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	opts := opt.Options{Budget: opt.Budget{MaxCostEvals: 1}}
+	// Deviation at phase 0 forces a restart, so BOTH the initial and the
+	// re-optimization run under the exhausted budget.
+	out, err := RunContext(context.Background(), cat, q, opts, 2000, eval.Trace{200, 200}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Total <= 0 {
+		t.Errorf("degraded plans did not execute: %+v", out)
+	}
+	if out.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", out.Restarts)
+	}
+}
+
+func TestRunContextUnderInjectedPanic(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	faultinject.Enable(faultinject.New(1, faultinject.Rule{
+		Site: faultinject.JoinCost, Kind: faultinject.KindPanic, After: 1, Every: 2,
+	}))
+	defer faultinject.Disable()
+	out, err := RunContext(context.Background(), cat, q, opt.Options{}, 2000, eval.Trace{2000, 2000}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Total <= 0 {
+		t.Errorf("no work executed: %+v", out)
+	}
+}
+
+func TestRunContextCancelledStillCompletes(t *testing.T) {
+	cat, q, _ := workload.Example11()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RunContext(ctx, cat, q, opt.Options{}, 2000, eval.Trace{2000, 2000}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Total <= 0 {
+		t.Errorf("no work executed: %+v", out)
+	}
+	// Unbudgeted Run must match the pre-fail-soft behavior exactly.
+	free, err := Run(cat, q, opt.Options{}, 2000, eval.Trace{2000, 2000}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Restarts != 0 {
+		t.Errorf("unbudgeted run restarted: %+v", free)
+	}
+}

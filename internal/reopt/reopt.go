@@ -11,6 +11,7 @@
 package reopt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -58,8 +59,19 @@ type Outcome struct {
 // wall-clock phases across restarts.
 func Run(cat *catalog.Catalog, q *query.SPJ, opts opt.Options, assumedMem float64,
 	tr eval.Trace, policy Policy) (Outcome, error) {
+	return RunContext(context.Background(), cat, q, opts, assumedMem, tr, policy)
+}
+
+// RunContext is Run under a request context and the Options.Budget: both the
+// initial optimization and every re-optimization triggered by a restart are
+// fail-soft. A budget that trips mid-simulation does not abort the adaptive
+// execution — the (re)optimizer's degraded fallback plan is executed exactly
+// as a full-search plan would be, which mirrors how a real system must keep
+// running queries even when the optimizer is under pressure.
+func RunContext(ctx context.Context, cat *catalog.Catalog, q *query.SPJ, opts opt.Options, assumedMem float64,
+	tr eval.Trace, policy Policy) (Outcome, error) {
 	policy = policy.withDefaults()
-	res, err := opt.SystemR(cat, q, opts, assumedMem)
+	res, err := opt.SystemRCtx(ctx, cat, q, opts, assumedMem)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -80,7 +92,7 @@ func Run(cat *catalog.Catalog, q *query.SPJ, opts opt.Options, assumedMem float6
 				out.Sunk += done
 				out.Total += done
 				assumedMem = observed
-				res, err = opt.SystemR(cat, q, opts, observed)
+				res, err = opt.SystemRCtx(ctx, cat, q, opts, observed)
 				if err != nil {
 					return Outcome{}, err
 				}

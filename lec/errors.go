@@ -1,0 +1,99 @@
+package lec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/opt"
+)
+
+// The package's error taxonomy. Every error returned by a public entry point
+// either is one of these sentinels (test with errors.Is) or is a plain
+// validation error from a layer below; panics inside the optimizer never
+// escape — they surface as ErrInternal.
+var (
+	// ErrInvalidDistribution reports an unusable parameter distribution in
+	// the Environment: nil, empty, unnormalized, or with non-positive or
+	// non-finite memory values.
+	ErrInvalidDistribution = errors.New("lec: invalid parameter distribution")
+	// ErrUnknownRelation reports a query referencing a table or column the
+	// catalog does not know.
+	ErrUnknownRelation = errors.New("lec: unknown relation or column")
+	// ErrInvalidQuery reports a malformed query: unparsable SQL, a bad
+	// alias, an out-of-range selectivity, an empty FROM list.
+	ErrInvalidQuery = errors.New("lec: invalid query")
+	// ErrBudgetExhausted reports an optimization interrupted by its work
+	// budget or context deadline for which not even the fallback ladder
+	// could produce a plan. When a degraded plan IS available, Optimize
+	// returns it with Decision.Degraded set instead of this error.
+	ErrBudgetExhausted = errors.New("lec: optimization budget exhausted")
+	// ErrInternal reports an optimizer-side failure: a recovered panic or a
+	// cost model poisoning every candidate with NaN/±Inf.
+	ErrInternal = errors.New("lec: internal optimizer error")
+)
+
+// classifyErr maps lower-layer errors onto the package taxonomy. Sentinels
+// are attached with %w so both the taxonomy and the original chain stay
+// errors.Is-able (e.g. a deadline error matches ErrBudgetExhausted and
+// context.DeadlineExceeded).
+func classifyErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrInvalidDistribution) || errors.Is(err, ErrUnknownRelation) ||
+		errors.Is(err, ErrInvalidQuery) || errors.Is(err, ErrBudgetExhausted) || errors.Is(err, ErrInternal) {
+		return err
+	}
+	if errors.Is(err, opt.ErrBudgetExhausted) {
+		return fmt.Errorf("%w: %w", ErrBudgetExhausted, err)
+	}
+	if errors.Is(err, opt.ErrNonFinite) {
+		return fmt.Errorf("%w: %w", ErrInternal, err)
+	}
+	if _, ok := opt.RecoveredPanic(err); ok {
+		return fmt.Errorf("%w: %w", ErrInternal, err)
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "cancelled") || strings.Contains(msg, "context deadline") || strings.Contains(msg, "context canceled"):
+		// An interrupted search whose fallback also failed.
+		return fmt.Errorf("%w: %w", ErrBudgetExhausted, err)
+	case strings.Contains(msg, "unknown table") || strings.Contains(msg, "unknown column") ||
+		strings.Contains(msg, "no table") || strings.Contains(msg, "unknown group column"):
+		return fmt.Errorf("%w: %w", ErrUnknownRelation, err)
+	case strings.HasPrefix(msg, "query:") || strings.HasPrefix(msg, "sqlparse:") ||
+		strings.Contains(msg, "empty query"):
+		return fmt.Errorf("%w: %w", ErrInvalidQuery, err)
+	}
+	return err
+}
+
+// recoverToInternal converts a panic escaping a public entry point into
+// ErrInternal. Panics inside the search are already recovered by the engine
+// and degrade to a fallback plan; this is the outer bulkhead for panics in
+// validation, binding, risk profiling, or the facade itself.
+func recoverToInternal(errp *error) {
+	if p := recover(); p != nil {
+		*errp = fmt.Errorf("%w: recovered panic: %v", ErrInternal, p)
+	}
+}
+
+// validateEnvironment front-loads the distribution checks so garbage
+// environments fail with ErrInvalidDistribution before any search runs.
+func validateEnvironment(env Environment) error {
+	if env.Memory == nil {
+		return fmt.Errorf("%w: environment needs a memory distribution", ErrInvalidDistribution)
+	}
+	if err := env.Memory.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidDistribution, err)
+	}
+	for i := 0; i < env.Memory.Len(); i++ {
+		v := env.Memory.Value(i)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("%w: memory value %v (values must be positive and finite)", ErrInvalidDistribution, v)
+		}
+	}
+	return nil
+}

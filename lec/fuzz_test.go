@@ -1,0 +1,50 @@
+package lec
+
+// Native fuzz target for the public facade: arbitrary SQL against a fixed
+// catalog and arbitrary (possibly degenerate) memory distributions must
+// yield a valid Decision or a typed error — never a panic. Run via
+// `make fuzz` or
+//
+//	go test ./lec -run '^$' -fuzz FuzzOptimize -fuzztime 10s
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func FuzzOptimize(f *testing.F) {
+	f.Add("SELECT * FROM A, B WHERE A.k = B.k", 700.0, 0.2, 2000.0, 0.8, int64(0), uint8(4))
+	f.Add("SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k", 100.0, 0.5, 100.0, 0.5, int64(20), uint8(2))
+	f.Add("SELECT * FROM B", -1.0, 0.0, 0.0, 1.5, int64(1), uint8(0))
+	f.Add("", 700.0, 1.0, 0.0, 0.0, int64(0), uint8(1))
+	f.Add("SELECT * FROM ghost", 1e308, 0.5, 1e-308, 0.5, int64(3), uint8(3))
+
+	cat, _, _ := workload.Example11()
+	f.Fuzz(func(t *testing.T, sql string, v0, p0, v1, p1 float64, budget int64, strat uint8) {
+		var dm *stats.Dist
+		if d, err := stats.New([]float64{v0, v1}, []float64{p0, p1}); err == nil {
+			dm = d // constructor accepted it; lec must still re-validate
+		}
+		if budget < 0 {
+			budget = -budget
+		}
+		o := NewWithOptions(cat, Options{Budget: Budget{MaxCostEvals: int(budget % 1000)}})
+		s := Strategy(int(strat) % len(Strategies()))
+		d, err := o.OptimizeSQLWithContext(context.Background(), sql, Environment{Memory: dm}, s)
+		if err != nil {
+			// Every failure must be classified into the taxonomy.
+			if !errors.Is(err, ErrInvalidDistribution) && !errors.Is(err, ErrUnknownRelation) &&
+				!errors.Is(err, ErrInvalidQuery) && !errors.Is(err, ErrBudgetExhausted) &&
+				!errors.Is(err, ErrInternal) {
+				t.Fatalf("untyped error for %q: %v", sql, err)
+			}
+			return
+		}
+		if d == nil || d.Plan == nil {
+			t.Fatalf("nil decision/plan with nil error for %q", sql)
+		}
+	})
+}

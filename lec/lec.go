@@ -20,6 +20,7 @@
 package lec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -88,12 +89,7 @@ type Environment struct {
 	Chain *stats.Chain
 }
 
-func (e Environment) validate() error {
-	if e.Memory == nil {
-		return fmt.Errorf("lec: environment needs a memory distribution")
-	}
-	return nil
-}
+func (e Environment) validate() error { return validateEnvironment(e) }
 
 // Optimizer optimizes queries against one catalog.
 type Optimizer struct {
@@ -128,9 +124,21 @@ type Decision struct {
 	Query *query.SPJ
 	// Stats holds the search engine's instrumentation counters: subsets
 	// enumerated, join steps costed, prunes, cost-formula evaluations, memo
-	// and arena hits.
+	// and arena hits, and the fail-soft events (non-finite costs, recovered
+	// panics, degradations).
 	Stats opt.Stats
-	env   Environment
+	// Degraded reports that the search was interrupted (deadline, budget,
+	// recovered panic) or had to discard poisoned costs, and Plan came from
+	// the anytime degradation ladder. The plan is always valid and
+	// executable — Degraded says it may not be the optimum the full search
+	// would have found.
+	Degraded bool
+	// DegradeReason says why the run degraded (DegradeNone otherwise).
+	DegradeReason DegradeReason
+	// DegradeRung names the ladder rung that produced a degraded plan
+	// (RungPartial or RungGreedy; empty for a completed search).
+	DegradeRung string
+	env         Environment
 }
 
 // Explain renders the plan tree with its cost summary.
@@ -138,6 +146,13 @@ func (d *Decision) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %v\nexpected cost: %.0f page I/Os (std %.0f, p95 %.0f)\n",
 		d.Strategy, d.ExpectedCost, d.Risk.StdDev, d.Risk.P95)
+	if d.Degraded {
+		rung := d.DegradeRung
+		if rung == "" {
+			rung = "full-search"
+		}
+		fmt.Fprintf(&b, "degraded: %v (plan from %s)\n", d.DegradeReason, rung)
+	}
 	b.WriteString(plan.Explain(d.Plan))
 	return b.String()
 }
@@ -145,48 +160,75 @@ func (d *Decision) Explain() string {
 // CostAt evaluates the plan's cost at one specific memory value.
 func (d *Decision) CostAt(mem float64) float64 { return plan.Cost(d.Plan, mem) }
 
-// Optimize plans a query block with the given strategy.
+// Optimize plans a query block with the given strategy. It is
+// OptimizeContext under a background context: nothing can interrupt the
+// search, so only genuine input errors fail it.
 func (o *Optimizer) Optimize(q *query.SPJ, env Environment, s Strategy) (*Decision, error) {
+	return o.OptimizeContext(context.Background(), q, env, s)
+}
+
+// OptimizeContext plans a query block with the given strategy under a
+// request context and the configured Options.Budget. The search is
+// fail-soft: when the deadline expires, the budget runs out, or the cost
+// model panics or produces non-finite values, a valid plan from the anytime
+// degradation ladder is returned with Decision.Degraded set. Errors are
+// reserved for invalid inputs (see the Err* sentinels) and for interrupted
+// runs where not even the fallback could plan.
+func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.SPJ, env Environment, s Strategy) (d *Decision, err error) {
+	defer recoverToInternal(&err)
 	if err := env.validate(); err != nil {
 		return nil, err
 	}
+	if q == nil {
+		return nil, fmt.Errorf("%w: nil query", ErrInvalidQuery)
+	}
+	if err := q.Validate(o.cat); err != nil {
+		return nil, classifyErr(err)
+	}
 	if q.GroupBy != nil {
-		return o.optimizeAggregate(q, env, s)
+		return o.optimizeAggregate(ctx, q, env, s)
 	}
 	var res *opt.Result
-	var err error
 	switch s {
 	case LSCMean:
-		res, err = opt.LSCPlan(o.cat, q, o.opts, env.Memory, false)
+		res, err = opt.LSCPlanCtx(ctx, o.cat, q, o.opts, env.Memory, false)
 	case LSCMode:
-		res, err = opt.LSCPlan(o.cat, q, o.opts, env.Memory, true)
+		res, err = opt.LSCPlanCtx(ctx, o.cat, q, o.opts, env.Memory, true)
 	case AlgorithmA:
-		res, err = opt.AlgorithmA(o.cat, q, o.opts, env.Memory)
+		res, err = opt.AlgorithmACtx(ctx, o.cat, q, o.opts, env.Memory)
 	case AlgorithmB:
-		res, err = opt.AlgorithmB(o.cat, q, o.opts, env.Memory)
+		res, err = opt.AlgorithmBCtx(ctx, o.cat, q, o.opts, env.Memory)
 	case AlgorithmC:
 		if env.Chain != nil {
-			res, err = opt.AlgorithmCDynamic(o.cat, q, o.opts, env.Chain, env.Memory)
+			res, err = opt.AlgorithmCDynamicCtx(ctx, o.cat, q, o.opts, env.Chain, env.Memory)
 		} else {
-			res, err = opt.AlgorithmC(o.cat, q, o.opts, env.Memory)
+			res, err = opt.AlgorithmCCtx(ctx, o.cat, q, o.opts, env.Memory)
 		}
 	case AlgorithmD:
-		res, err = opt.AlgorithmD(o.cat, q, o.opts, env.Memory)
+		res, err = opt.AlgorithmDCtx(ctx, o.cat, q, o.opts, env.Memory)
 	default:
 		return nil, fmt.Errorf("lec: unknown strategy %v", s)
 	}
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
+	return o.newDecision(s, res, q, env), nil
+}
+
+// newDecision assembles the public Decision from an engine Result.
+func (o *Optimizer) newDecision(s Strategy, res *opt.Result, q *query.SPJ, env Environment) *Decision {
 	return &Decision{
-		Strategy:     s,
-		Plan:         res.Plan,
-		ExpectedCost: o.expectedCost(res, q, env),
-		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
-		Query:        q,
-		Stats:        res.Count,
-		env:          env,
-	}, nil
+		Strategy:      s,
+		Plan:          res.Plan,
+		ExpectedCost:  o.expectedCost(res, q, env),
+		Risk:          opt.NewRiskProfile(res.Plan, env.Memory),
+		Query:         q,
+		Stats:         res.Count,
+		Degraded:      res.Degraded,
+		DegradeReason: res.Reason,
+		DegradeRung:   res.Rung,
+		env:           env,
+	}
 }
 
 // optimizeAggregate routes GROUP BY blocks through the aggregation-aware
@@ -194,7 +236,7 @@ func (o *Optimizer) Optimize(q *query.SPJ, env Environment, s Strategy) (*Decisi
 // strategies emulate the classical approach by planning at a point
 // estimate (mean or mode) and are then evaluated under the true
 // distribution, so Compare stays apples-to-apples.
-func (o *Optimizer) optimizeAggregate(q *query.SPJ, env Environment, s Strategy) (*Decision, error) {
+func (o *Optimizer) optimizeAggregate(ctx context.Context, q *query.SPJ, env Environment, s Strategy) (*Decision, error) {
 	dm := env.Memory
 	switch s {
 	case LSCMean:
@@ -202,18 +244,21 @@ func (o *Optimizer) optimizeAggregate(q *query.SPJ, env Environment, s Strategy)
 	case LSCMode:
 		dm = stats.Point(env.Memory.Mode())
 	}
-	res, err := opt.OptimizeWithAggregation(o.cat, q, o.opts, dm)
+	res, err := opt.OptimizeWithAggregationCtx(ctx, o.cat, q, o.opts, dm)
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
 	return &Decision{
-		Strategy:     s,
-		Plan:         res.Plan,
-		ExpectedCost: plan.ExpCost(res.Plan, env.Memory),
-		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
-		Query:        q,
-		Stats:        res.Count,
-		env:          env,
+		Strategy:      s,
+		Plan:          res.Plan,
+		ExpectedCost:  plan.ExpCost(res.Plan, env.Memory),
+		Risk:          opt.NewRiskProfile(res.Plan, env.Memory),
+		Query:         q,
+		Stats:         res.Count,
+		Degraded:      res.Degraded,
+		DegradeReason: res.Reason,
+		DegradeRung:   res.Rung,
+		env:           env,
 	}, nil
 }
 
@@ -236,11 +281,24 @@ func (o *Optimizer) OptimizeSQL(sql string, env Environment) (*Decision, error) 
 // OptimizeSQLWith parses, binds and optimizes a SQL string with an explicit
 // strategy.
 func (o *Optimizer) OptimizeSQLWith(sql string, env Environment, s Strategy) (*Decision, error) {
+	return o.OptimizeSQLWithContext(context.Background(), sql, env, s)
+}
+
+// OptimizeSQLContext is OptimizeSQL under a request context and budget.
+func (o *Optimizer) OptimizeSQLContext(ctx context.Context, sql string, env Environment) (*Decision, error) {
+	return o.OptimizeSQLWithContext(ctx, sql, env, AlgorithmC)
+}
+
+// OptimizeSQLWithContext parses, binds and optimizes a SQL string with an
+// explicit strategy under a request context and budget. Parse and binding
+// failures surface as ErrInvalidQuery or ErrUnknownRelation.
+func (o *Optimizer) OptimizeSQLWithContext(ctx context.Context, sql string, env Environment, s Strategy) (d *Decision, err error) {
+	defer recoverToInternal(&err)
 	q, err := sqlparse.ParseAndBind(sql, o.cat)
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
-	return o.Optimize(q, env, s)
+	return o.OptimizeContext(ctx, q, env, s)
 }
 
 // Search selects a Space × Objective combination for OptimizeSearch — the
@@ -269,6 +327,14 @@ type (
 	ExponentialUtility = opt.ExponentialUtility
 	// VariancePenalized minimizes E[cost] + λ·Var[cost] per phase.
 	VariancePenalized = opt.VariancePenalized
+	// Options are the engine's search options (join methods, cross-product
+	// policy, top-c width, work Budget, ...).
+	Options = opt.Options
+	// Budget bounds one optimization run's work; see Options.Budget. The
+	// zero value is unlimited.
+	Budget = opt.Budget
+	// DegradeReason says why a Decision is degraded.
+	DegradeReason = opt.DegradeReason
 )
 
 // Engine spaces.
@@ -278,6 +344,21 @@ const (
 	SpacePipelined = opt.SpacePipelined
 )
 
+// Degradation causes (see Decision.DegradeReason).
+const (
+	DegradeNone      = opt.DegradeNone
+	DegradeDeadline  = opt.DegradeDeadline
+	DegradeBudget    = opt.DegradeBudget
+	DegradePanic     = opt.DegradePanic
+	DegradeNonFinite = opt.DegradeNonFinite
+)
+
+// Degradation-ladder rungs (see Decision.DegradeRung).
+const (
+	RungPartial = opt.RungPartial
+	RungGreedy  = opt.RungGreedy
+)
+
 // OptimizeSearch plans a query block with an explicit Space × Objective
 // configuration of the unified engine. The environment supplies the coster:
 // a Markov chain yields per-phase distributions (paper §3.5), a bare memory
@@ -285,8 +366,21 @@ const (
 // the named strategies cannot express — bushy × utility, pipelined ×
 // variance-penalized, dynamic × bushy.
 func (o *Optimizer) OptimizeSearch(q *query.SPJ, env Environment, search Search) (*Decision, error) {
+	return o.OptimizeSearchContext(context.Background(), q, env, search)
+}
+
+// OptimizeSearchContext is OptimizeSearch under a request context and
+// budget, with the same fail-soft contract as OptimizeContext.
+func (o *Optimizer) OptimizeSearchContext(ctx context.Context, q *query.SPJ, env Environment, search Search) (d *Decision, err error) {
+	defer recoverToInternal(&err)
 	if err := env.validate(); err != nil {
 		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("%w: nil query", ErrInvalidQuery)
+	}
+	if err := q.Validate(o.cat); err != nil {
+		return nil, classifyErr(err)
 	}
 	var coster opt.Coster
 	if env.Chain != nil {
@@ -300,30 +394,29 @@ func (o *Optimizer) OptimizeSearch(q *query.SPJ, env Environment, search Search)
 		Objective: search.Objective,
 	})
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
-	res, err := eng.Optimize()
+	res, err := eng.OptimizeCtx(ctx)
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
-	return &Decision{
-		Strategy:     AlgorithmC,
-		Plan:         res.Plan,
-		ExpectedCost: o.expectedCost(res, q, env),
-		Risk:         opt.NewRiskProfile(res.Plan, env.Memory),
-		Query:        q,
-		Stats:        res.Count,
-		env:          env,
-	}, nil
+	return o.newDecision(AlgorithmC, res, q, env), nil
 }
 
 // Compare optimizes the query under every strategy and returns the
 // decisions in Strategies() order — the side-by-side view the paper's
 // argument is about.
 func (o *Optimizer) Compare(q *query.SPJ, env Environment) ([]*Decision, error) {
+	return o.CompareContext(context.Background(), q, env)
+}
+
+// CompareContext is Compare under a request context and budget. Each
+// strategy gets its own budget meter; a strategy that degrades still
+// contributes its (flagged) decision.
+func (o *Optimizer) CompareContext(ctx context.Context, q *query.SPJ, env Environment) ([]*Decision, error) {
 	out := make([]*Decision, 0, len(Strategies()))
 	for _, s := range Strategies() {
-		d, err := o.Optimize(q, env, s)
+		d, err := o.OptimizeContext(ctx, q, env, s)
 		if err != nil {
 			return nil, fmt.Errorf("lec: strategy %v: %w", s, err)
 		}
