@@ -4,12 +4,12 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz
+.PHONY: check fmt vet build test race serve-race bench fuzz
 
 # Fuzz budget per target; override with `make fuzz FUZZTIME=1m`.
 FUZZTIME ?= 10s
 
-check: fmt vet build test race
+check: fmt vet build test race serve-race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,6 +29,12 @@ test:
 # guards that sharing.
 race:
 	$(GO) test -race ./internal/opt ./lec
+
+# The serving layer is all shared mutable state (cache shards, admission
+# channels, breakers, catalog RWMutex); run its suite twice under the race
+# detector so single-flight and invalidation schedules get a second draw.
+serve-race:
+	$(GO) test -race -count=2 ./internal/serve/... ./cmd/lecd/...
 
 bench:
 	$(GO) test -bench=BenchmarkDPCore -benchmem -run=^$$ ./internal/opt

@@ -1,0 +1,357 @@
+// Command lecd is the LEC optimization daemon: internal/serve.Service over
+// HTTP+JSON. It is the long-running form of lecopt — many clients, one
+// catalog, a shared plan cache — and it degrades gracefully under overload:
+// queued requests get tightened budgets (valid but deliberately degraded
+// plans) before anything is shed with 429.
+//
+// Usage:
+//
+//	lecd -demo                              # paper's Example 1.1 catalog
+//	lecd -catalog schema.txt -addr :7077
+//	lecd -demo -workers 4 -queue 32 -timeout 2s
+//
+// Endpoints:
+//
+//	POST /optimize  {"sql": "...", "mem": "700:0.2,2000:0.8", "strategy": "c", "timeout_ms": 500}
+//	POST /compare   {"sql": "...", "mem": "..."}
+//	GET  /healthz   process liveness (200 while the process runs)
+//	GET  /readyz    load-balancer readiness (503 once draining)
+//	GET  /statsz    service counters as JSON
+//
+// In -demo mode a request may omit sql and mem; the Example 1.1 query and
+// memory distribution are used. Every field of the request is optional
+// except sql (outside -demo); strategy defaults to "c".
+//
+// HTTP status mapping: 400 invalid input (bad SQL, unknown relation, bad
+// distribution), 429 overloaded (with a Retry-After header), 503 draining,
+// circuit open, or budget exhausted with no plan, 500 internal error.
+//
+// On SIGTERM or SIGINT the daemon flips /readyz to 503, stops admitting new
+// optimizations, lets in-flight requests finish (bounded by -drain), and
+// exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lecd:", err)
+		os.Exit(1)
+	}
+}
+
+// daemon binds one serve.Service to the HTTP surface.
+type daemon struct {
+	svc *serve.Service
+	// defaultQuery and defaultMem fill omitted request fields in -demo
+	// mode. The query is the fixture's bound block, not re-parsed SQL, so
+	// demo responses carry the paper's calibrated Example 1.1 numbers.
+	defaultQuery *query.SPJ
+	defaultMem   *stats.Dist
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("lecd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	addr := fs.String("addr", "127.0.0.1:7077", "listen address")
+	demo := fs.Bool("demo", false, "serve the paper's Example 1.1 catalog (and default query)")
+	catalogPath := fs.String("catalog", "", "catalog description file")
+	workers := fs.Int("workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queued requests beyond workers before shedding (0 = default 64)")
+	cache := fs.Int("cache", 0, "plan cache capacity (0 = default 512, negative disables)")
+	timeout := fs.Duration("timeout", 5*time.Second, "default per-request optimization deadline")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d := &daemon{}
+	var cat *catalog.Catalog
+	switch {
+	case *demo:
+		cat, d.defaultQuery, d.defaultMem = workload.Example11()
+	case *catalogPath != "":
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			return err
+		}
+		cat, err = catalog.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		return errors.New("need -demo or -catalog <file>")
+	}
+	d.svc = serve.New(cat, serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheCapacity:  *cache,
+		DefaultTimeout: *timeout,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: d.handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(out, "lecd: serving on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain: readiness flips, new optimizations fail fast, in-flight ones
+	// get the grace period.
+	fmt.Fprintln(out, "lecd: draining")
+	d.svc.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "lecd: drained, exiting")
+	return nil
+}
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", d.handleOptimize)
+	mux.HandleFunc("/compare", d.handleCompare)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if d.svc.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.svc.Stats())
+	})
+	return mux
+}
+
+// optimizeRequest is the /optimize and /compare body. Every field is
+// optional in -demo mode; sql is required otherwise.
+type optimizeRequest struct {
+	SQL        string  `json:"sql"`
+	Mem        string  `json:"mem"`      // "value:prob,..." spec
+	Strategy   string  `json:"strategy"` // lsc-mean|lsc-mode|a|b|c|d; default c
+	TimeoutMS  int     `json:"timeout_ms"`
+	Volatility float64 `json:"volatility"` // >0 adds a Markov memory walk
+}
+
+// decisionJSON is one served plan on the wire.
+type decisionJSON struct {
+	Strategy      string  `json:"strategy"`
+	ExpectedCost  float64 `json:"expected_cost"`
+	StdDev        float64 `json:"std_dev"`
+	P95           float64 `json:"p95"`
+	Degraded      bool    `json:"degraded,omitempty"`
+	DegradeReason string  `json:"degrade_reason,omitempty"`
+	DegradeRung   string  `json:"degrade_rung,omitempty"`
+	Plan          string  `json:"plan"`
+}
+
+type optimizeResponse struct {
+	decisionJSON
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Pinned    bool   `json:"pinned,omitempty"`
+	Pressure  string `json:"pressure,omitempty"`
+}
+
+func (d *daemon) parseRequest(w http.ResponseWriter, r *http.Request) (serve.Request, context.Context, context.CancelFunc, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return serve.Request{}, nil, nil, false
+	}
+	var in optimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return serve.Request{}, nil, nil, false
+	}
+	req := serve.Request{SQL: in.SQL}
+	if req.SQL == "" {
+		if d.defaultQuery == nil {
+			http.Error(w, `"sql" is required (the daemon was not started with -demo)`, http.StatusBadRequest)
+			return serve.Request{}, nil, nil, false
+		}
+		req.Query = d.defaultQuery
+	}
+	env := lec.Environment{Memory: d.defaultMem}
+	if in.Mem != "" {
+		dm, err := stats.ParseDist(in.Mem)
+		if err != nil {
+			http.Error(w, "bad mem spec: "+err.Error(), http.StatusBadRequest)
+			return serve.Request{}, nil, nil, false
+		}
+		env.Memory = dm
+	}
+	if env.Memory == nil {
+		http.Error(w, `"mem" is required (the daemon was not started with -demo)`, http.StatusBadRequest)
+		return serve.Request{}, nil, nil, false
+	}
+	if in.Volatility > 0 {
+		chain, err := stats.RandomWalkChain(env.Memory.Support(), in.Volatility, in.Volatility)
+		if err != nil {
+			http.Error(w, "bad volatility: "+err.Error(), http.StatusBadRequest)
+			return serve.Request{}, nil, nil, false
+		}
+		env.Chain = chain
+	}
+	strategy := lec.AlgorithmC
+	if in.Strategy != "" {
+		s, err := parseStrategy(in.Strategy)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return serve.Request{}, nil, nil, false
+		}
+		strategy = s
+	}
+	ctx, cancel := r.Context(), context.CancelFunc(func() {})
+	if in.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(in.TimeoutMS)*time.Millisecond)
+	}
+	req.Env = env
+	req.Strategy = strategy
+	return req, ctx, cancel, true
+}
+
+func (d *daemon) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	req, ctx, cancel, ok := d.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	resp, err := d.svc.Optimize(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, optimizeResponse{
+		decisionJSON: toDecisionJSON(resp.Decision),
+		Cached:       resp.Cached,
+		Coalesced:    resp.Coalesced,
+		Pinned:       resp.Pinned,
+		Pressure:     resp.Pressure,
+	})
+}
+
+func (d *daemon) handleCompare(w http.ResponseWriter, r *http.Request) {
+	req, ctx, cancel, ok := d.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	ds, err := d.svc.Compare(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := make([]decisionJSON, len(ds))
+	for i, dec := range ds {
+		out[i] = toDecisionJSON(dec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"decisions": out})
+}
+
+func toDecisionJSON(dec *lec.Decision) decisionJSON {
+	out := decisionJSON{
+		Strategy:     dec.Strategy.String(),
+		ExpectedCost: dec.ExpectedCost,
+		StdDev:       dec.Risk.StdDev,
+		P95:          dec.Risk.P95,
+		Degraded:     dec.Degraded,
+		DegradeRung:  dec.DegradeRung,
+		Plan:         dec.Explain(),
+	}
+	if dec.Degraded {
+		out.DegradeReason = dec.DegradeReason.String()
+	}
+	return out
+}
+
+// writeError maps the serve/lec error taxonomy onto HTTP statuses. Shed
+// requests carry their retry hint as a Retry-After header (whole seconds,
+// rounded up, minimum 1).
+func writeError(w http.ResponseWriter, err error) {
+	var oe *serve.OverloadError
+	switch {
+	case errors.As(err, &oe):
+		secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, lec.ErrInvalidQuery),
+		errors.Is(err, lec.ErrUnknownRelation),
+		errors.Is(err, lec.ErrInvalidDistribution):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, serve.ErrDraining),
+		errors.Is(err, serve.ErrCircuitOpen),
+		errors.Is(err, lec.ErrBudgetExhausted):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func parseStrategy(s string) (lec.Strategy, error) {
+	switch s {
+	case "lsc-mean":
+		return lec.LSCMean, nil
+	case "lsc-mode":
+		return lec.LSCMode, nil
+	case "a":
+		return lec.AlgorithmA, nil
+	case "b":
+		return lec.AlgorithmB, nil
+	case "c":
+		return lec.AlgorithmC, nil
+	case "d":
+		return lec.AlgorithmD, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

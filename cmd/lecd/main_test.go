@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+func newDemoDaemon(t *testing.T) *daemon {
+	t.Helper()
+	cat, q, dm := workload.Example11()
+	return &daemon{
+		svc:          serve.New(cat, serve.Config{}),
+		defaultQuery: q,
+		defaultMem:   dm,
+	}
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	// Demo defaults: an empty body optimizes the Example 1.1 query.
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out optimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy != "algorithm-c" || out.ExpectedCost <= 0 || out.Plan == "" {
+		t.Errorf("response = %+v, want an algorithm-c plan with positive cost", out)
+	}
+
+	// The identical request is served from the plan cache.
+	resp2, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 optimizeResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Cached {
+		t.Error("second identical request not served from cache")
+	}
+	if out2.ExpectedCost != out.ExpectedCost {
+		t.Errorf("cached cost %v != fresh cost %v", out2.ExpectedCost, out.ExpectedCost)
+	}
+}
+
+func TestOptimizeEndpointExplicitFields(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	body := `{"sql": "SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.k",
+	          "mem": "100:0.5,4000:0.5", "strategy": "lsc-mean"}`
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out optimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy != "lsc-mean" {
+		t.Errorf("strategy = %q, want lsc-mean", out.Strategy)
+	}
+}
+
+func TestOptimizeEndpointErrors(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"bad sql", `{"sql": "SELECT FROM WHERE"}`, http.StatusBadRequest},
+		{"unknown table", `{"sql": "SELECT * FROM nope"}`, http.StatusBadRequest},
+		{"bad mem", `{"mem": "banana"}`, http.StatusBadRequest},
+		{"bad strategy", `{"strategy": "z"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /optimize status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/compare", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out struct {
+		Decisions []decisionJSON `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Decisions) != len(lec.Strategies()) {
+		t.Errorf("decisions = %d, want %d", len(out.Decisions), len(lec.Strategies()))
+	}
+}
+
+func TestHealthReadyStatsEndpoints(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	if _, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader("{}")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < 1 || st.Optimizations < 1 {
+		t.Errorf("stats = %+v, want at least one request and optimization", st)
+	}
+}
+
+func TestDrainFlipsReadiness(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	d.svc.BeginDrain()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays up so the supervisor does not kill the drain.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200", resp.StatusCode)
+	}
+	// New optimizations fail fast with 503.
+	post, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/optimize while draining = %d, want 503", post.StatusCode)
+	}
+}
+
+func TestRunRequiresCatalog(t *testing.T) {
+	if err := run(nil, &strings.Builder{}, &strings.Builder{}); err == nil {
+		t.Fatal("run without -demo or -catalog did not fail")
+	}
+}

@@ -18,6 +18,11 @@
 // reported with a warning on stderr), 1 internal error, 2 usage error,
 // 3 invalid input (bad SQL, unknown relation, bad distribution), 4 budget or
 // deadline exhausted with no plan to return.
+//
+// lecopt optimizes one query per process. To serve many clients from one
+// long-running process — with a shared single-flight plan cache, admission
+// control, and graceful degradation under overload — run the lecd daemon
+// (cmd/lecd) instead.
 package main
 
 import (
@@ -95,6 +100,23 @@ func run(args []string, out, errOut io.Writer) error {
 	explain := fs.Bool("explain", false, "print the search engine's instrumentation counters")
 	timeout := fs.Duration("timeout", 0, "optimization deadline; on expiry a degraded fallback plan is returned (0 = none)")
 	budget := fs.Int("budget", 0, "max cost-formula evaluations per optimization; on exhaustion a degraded fallback plan is returned (0 = unlimited)")
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: lecopt (-demo | -catalog <file>) [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+		fmt.Fprint(errOut, `
+exit codes:
+  0  success (including a degraded plan under -timeout/-budget, with a warning on stderr)
+  1  internal error
+  2  usage error
+  3  invalid input (bad SQL, unknown relation, bad distribution)
+  4  budget or deadline exhausted with no plan to return
+
+serving:
+  lecopt optimizes one query per process; to serve many clients from one
+  long-running process (shared plan cache, admission control, graceful
+  degradation under overload) run the lecd daemon: go run ./cmd/lecd -demo
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err

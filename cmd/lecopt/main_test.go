@@ -111,6 +111,29 @@ func TestFlagErrorsPropagate(t *testing.T) {
 	}
 }
 
+// TestHelpDocumentsExitCodesAndServing: -help must state the exit codes the
+// way README.md does, and must point long-running use at the lecd daemon.
+func TestHelpDocumentsExitCodesAndServing(t *testing.T) {
+	var sb, eb strings.Builder
+	err := run([]string{"-help"}, &sb, &eb)
+	if exitCode(err) != exitUsage {
+		t.Fatalf("-help exit code = %d, want %d", exitCode(err), exitUsage)
+	}
+	help := eb.String()
+	for _, want := range []string{
+		"0  success",
+		"1  internal error",
+		"2  usage error",
+		"3  invalid input",
+		"4  budget or deadline exhausted",
+		"lecd",
+	} {
+		if !strings.Contains(help, want) {
+			t.Errorf("-help output missing %q", want)
+		}
+	}
+}
+
 func TestVOIFlag(t *testing.T) {
 	out, err := runCapture(t, "-demo", "-voi")
 	if err != nil {

@@ -32,6 +32,16 @@ const (
 	JoinCost Site = "opt/join-cost"
 	// SortCost fires once per sort-step cost pricing in the search engine.
 	SortCost Site = "opt/sort-cost"
+	// ServeAdmit fires once per request entering the serving layer's
+	// admission controller, before any queueing decision. A stall here
+	// injects admission latency; a hold parks arrivals for burst tests.
+	ServeAdmit Site = "serve/admit"
+	// ServeOptimize fires once per optimization attempt executed by a
+	// serving-layer worker, after admission and before the engine runs. A
+	// stall or hold here simulates a slow optimizer (queue buildup, the
+	// overload path); a panic simulates a coster configuration that blows
+	// up the worker (the circuit-breaker path).
+	ServeOptimize Site = "serve/optimize"
 )
 
 // Kind is the failure a rule injects at its site.
@@ -53,6 +63,13 @@ const (
 	// KindStall sleeps for the rule's Sleep duration, simulating a coster
 	// stuck on a slow catalog or statistics source.
 	KindStall
+	// KindHold blocks at the site until the injector's Release is called —
+	// the burst-load primitive. A test parks every worker on a hold,
+	// piles up a deterministic queue behind them, asserts the overload
+	// behavior, then releases the whole burst at once. After Release the
+	// rule is a no-op, so released workers re-hitting the site pass
+	// straight through.
+	KindHold
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +87,8 @@ func (k Kind) String() string {
 		return "cancel"
 	case KindStall:
 		return "stall"
+	case KindHold:
+		return "hold"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -115,23 +134,49 @@ func (r Rule) due(hit int) bool {
 
 // Injector evaluates a rule set deterministically.
 type Injector struct {
-	mu     sync.Mutex
-	rules  []Rule
-	hits   map[Site]int
-	fires  map[Site]int
-	rng    *rand.Rand
-	cancel func()
+	mu       sync.Mutex
+	rules    []Rule
+	hits     map[Site]int
+	fires    map[Site]int
+	rng      *rand.Rand
+	cancel   func()
+	hold     chan struct{}
+	holding  map[Site]int
+	released sync.Once
 }
 
 // New builds an injector for the given rules; seed drives the optional
 // probability gates.
 func New(seed int64, rules ...Rule) *Injector {
 	return &Injector{
-		rules: rules,
-		hits:  make(map[Site]int),
-		fires: make(map[Site]int),
-		rng:   rand.New(rand.NewSource(seed)),
+		rules:   rules,
+		hits:    make(map[Site]int),
+		fires:   make(map[Site]int),
+		rng:     rand.New(rand.NewSource(seed)),
+		hold:    make(chan struct{}),
+		holding: make(map[Site]int),
 	}
+}
+
+// Release unblocks every goroutine parked on a KindHold rule and disarms
+// all holds from then on. Safe to call more than once and from any
+// goroutine; tests that arm KindHold rules must call it (typically via
+// t.Cleanup) or held workers leak.
+func (in *Injector) Release() {
+	in.released.Do(func() { close(in.hold) })
+}
+
+// Holding reports how many KindHold firings are currently parked: total
+// hold fires at the site minus releases. Once Release has run it reports 0.
+func (in *Injector) Holding(s Site) int {
+	select {
+	case <-in.hold:
+		return 0
+	default:
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.holding[s]
 }
 
 // OnCancel arms the hook KindCancel rules invoke — typically a
@@ -211,6 +256,15 @@ func Check(s Site) Kind {
 		if in.cancel != nil {
 			in.cancel()
 		}
+		return KindNone
+	case KindHold:
+		in.mu.Lock()
+		in.holding[s]++
+		in.mu.Unlock()
+		<-in.hold
+		in.mu.Lock()
+		in.holding[s]--
+		in.mu.Unlock()
 		return KindNone
 	}
 	return r.Kind

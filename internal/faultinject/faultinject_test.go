@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -133,5 +134,53 @@ func TestProbabilityGateDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("non-deterministic at %d: %v vs %v", i, a, b)
 		}
+	}
+}
+
+func TestHoldParksUntilRelease(t *testing.T) {
+	in := New(1, Rule{Site: ServeOptimize, Kind: KindHold, After: 1, Every: 1})
+	Enable(in)
+	defer Disable()
+	const workers = 4
+	var done sync.WaitGroup
+	done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer done.Done()
+			Check(ServeOptimize)
+		}()
+	}
+	// All workers must park on the hold.
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Holding(ServeOptimize) != workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("holding = %d, want %d", in.Holding(ServeOptimize), workers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	in.Release()
+	done.Wait()
+	if got := in.Holding(ServeOptimize); got != 0 {
+		t.Errorf("holding after release = %d, want 0", got)
+	}
+	// Release disarms the hold: later hits pass straight through.
+	if k := Check(ServeOptimize); k != KindNone {
+		t.Errorf("post-release Check = %v, want none", k)
+	}
+	in.Release() // idempotent
+	if got, want := in.Hits(ServeOptimize), workers+1; got != want {
+		t.Errorf("hits = %d, want %d", got, want)
+	}
+}
+
+func TestServeSitesAreDistinct(t *testing.T) {
+	in := New(1, Rule{Site: ServeAdmit, Kind: KindNaN, After: 1})
+	Enable(in)
+	defer Disable()
+	if k := Check(ServeOptimize); k != KindNone {
+		t.Errorf("rule on %s fired at %s: %v", ServeAdmit, ServeOptimize, k)
+	}
+	if k := Check(ServeAdmit); k != KindNaN {
+		t.Errorf("Check(ServeAdmit) = %v, want nan", k)
 	}
 }

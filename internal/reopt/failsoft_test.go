@@ -9,9 +9,11 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/eval"
 	"repro/internal/faultinject"
 	"repro/internal/opt"
+	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
 
@@ -44,6 +46,51 @@ func TestRunContextUnderInjectedPanic(t *testing.T) {
 	}
 	if out.Total <= 0 {
 		t.Errorf("no work executed: %+v", out)
+	}
+}
+
+// TestRunContextCancelledSkipsRestart: a two-phase execution whose memory
+// trace deviates hard at the second phase boundary. With a dead context the
+// restart the policy calls for is skipped — the work already done comes back
+// as a partial, Degraded outcome instead of a MaxRestarts-deep adaptation.
+func TestRunContextCancelledSkipsRestart(t *testing.T) {
+	cat := catalog.New()
+	for _, name := range []string{"R", "S", "T"} {
+		cat.MustAdd(&catalog.Table{
+			Name: name, Rows: 100_000, Pages: 10_000,
+			Columns: []*catalog.Column{{Name: "k", Distinct: 100_000, Min: 1, Max: 100_000}},
+		})
+	}
+	q, err := sqlparse.ParseAndBind("SELECT * FROM R, S, T WHERE R.k = S.k AND S.k = T.k", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 0 sees the assumed 2000 pages; phase 1 sees a 10x drop.
+	tr := eval.Trace{2000, 200}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RunContext(ctx, cat, q, opt.Options{}, 2000, tr, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Restarts != 0 {
+		t.Errorf("restarts = %d, want 0 on a dead context", out.Restarts)
+	}
+	if !out.Degraded {
+		t.Error("partial outcome not flagged Degraded")
+	}
+	if out.Total <= 0 {
+		t.Errorf("partial outcome carries no work: %+v", out)
+	}
+	// The same run with a live context does restart — proving the trace
+	// genuinely triggers the policy and cancellation is what suppressed it.
+	live, err := RunContext(context.Background(), cat, q, opt.Options{}, 2000, tr, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Restarts != 1 || live.Degraded {
+		t.Errorf("live run = %+v, want 1 restart and no degradation", live)
 	}
 }
 

@@ -49,6 +49,11 @@ type Outcome struct {
 	Sunk float64
 	// Restarts counts re-optimizations that restarted execution.
 	Restarts int
+	// Degraded reports that the adaptive execution was cut short: the
+	// request context ended at a restart point, so the current plan ran to
+	// completion without the re-optimization the policy called for. Total
+	// is still a faithful realized cost — of a less adaptive execution.
+	Degraded bool
 }
 
 // Run simulates executing the query with [KD98]-style re-optimization:
@@ -68,6 +73,11 @@ func Run(cat *catalog.Catalog, q *query.SPJ, opts opt.Options, assumedMem float6
 // execution — the (re)optimizer's degraded fallback plan is executed exactly
 // as a full-search plan would be, which mirrors how a real system must keep
 // running queries even when the optimizer is under pressure.
+//
+// Context cancellation propagates between restarts: when the context has
+// ended by the time a deviation calls for a restart, RunContext stops
+// adapting and returns the partial Outcome with Degraded set rather than
+// spending the remaining MaxRestarts on a request nobody is waiting for.
 func RunContext(ctx context.Context, cat *catalog.Catalog, q *query.SPJ, opts opt.Options, assumedMem float64,
 	tr eval.Trace, policy Policy) (Outcome, error) {
 	policy = policy.withDefaults()
@@ -87,6 +97,15 @@ func RunContext(ctx context.Context, cat *catalog.Catalog, q *query.SPJ, opts op
 		for k := range phases {
 			observed := traceAt(tr, clock)
 			if deviation(observed, assumedMem) > policy.Threshold && out.Restarts < policy.MaxRestarts {
+				// A restart is a fresh optimization; if the request context
+				// has already ended there is no budget left for one. Return
+				// the partial outcome as degraded instead of charging ahead
+				// to MaxRestarts on a dead context.
+				if ctx.Err() != nil {
+					out.Total += done
+					out.Degraded = true
+					return out, nil
+				}
 				// Suspend before running phase k; what ran so far is sunk.
 				out.Restarts++
 				out.Sunk += done

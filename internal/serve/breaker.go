@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/lec"
+)
+
+// ErrCircuitOpen reports a request rejected because the breaker for its
+// coster configuration is open and no last-good plan is pinned yet.
+var ErrCircuitOpen = errors.New("serve: circuit open")
+
+// BreakerConfig tunes the per-configuration circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive internal failures
+	// (recovered panics, NaN-poisoned searches) that trips the breaker.
+	// Default 3.
+	FailureThreshold int
+	// Cooldown is how long a tripped breaker stays open before admitting
+	// one half-open probe. Default 250ms.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	return c
+}
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker guards one coster configuration (query × strategy × environment,
+// generation-free). While open it pins requests to the last good plan the
+// configuration produced — the plan cache stays honest (a generation bump
+// still invalidates it), but clients keep getting *some* valid plan while
+// the configuration is on fire. After Cooldown one probe is let through;
+// its outcome closes or re-opens the breaker.
+type breaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	lastGood *lec.Decision
+}
+
+// breakerSet is the service's keyed breaker registry.
+type breakerSet struct {
+	mu     sync.Mutex
+	m      map[string]*breaker
+	trips  atomic.Int64
+	resets atomic.Int64
+}
+
+func (bs *breakerSet) get(key string) *breaker {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b, ok := bs.m[key]
+	if !ok {
+		b = &breaker{}
+		bs.m[key] = b
+	}
+	return b
+}
+
+func (bs *breakerSet) counts() (trips, resets int64) {
+	return bs.trips.Load(), bs.resets.Load()
+}
+
+// allow reports whether a request may run the real optimizer now. When it
+// may not, the pinned last-good plan (possibly nil) is returned instead.
+// An open breaker past its cooldown moves to half-open and admits exactly
+// one probe; concurrent requests during the probe stay pinned.
+func (b *breaker) allow(now time.Time, cfg BreakerConfig) (admitted bool, pinned *lec.Decision) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, nil
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= cfg.Cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true, nil
+		}
+		return false, b.lastGood
+	default: // half-open
+		if !b.probing {
+			b.probing = true
+			return true, nil
+		}
+		return false, b.lastGood
+	}
+}
+
+// fail records one internal failure; it reports true when this failure
+// tripped the breaker (closed→open or a failed half-open probe).
+func (b *breaker) fail(now time.Time, cfg BreakerConfig) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open, cooldown restarts.
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= cfg.FailureThreshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// ok records a successful (or at least non-internal) outcome; dec, when
+// non-nil, becomes the pinned last-good plan. It reports true when the
+// success closed a half-open breaker.
+func (b *breaker) ok(dec *lec.Decision) (reset bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reset = b.state == breakerHalfOpen
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	if dec != nil && !dec.Degraded {
+		b.lastGood = dec
+	}
+	return reset
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/query"
+	"repro/lec"
+)
+
+// planCache is the sharded, single-flight plan cache. Each shard owns an
+// LRU list plus an in-flight table; the shard mutex serializes both, which
+// is what guarantees exactly one engine run per key at any moment: the
+// first request registers a flight, every later identical request finds it
+// and waits.
+//
+// Keys embed the catalog generation (see Service.keys), so bumping the
+// generation makes every old entry unreachable instantly; purgeBelow then
+// reclaims their LRU space.
+type planCache struct {
+	shards   []cacheShard
+	capacity int // per shard; <0 disables caching (single-flight still works)
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      list.List // front = most recent; values are *cacheEntry
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	resp *Response
+}
+
+// flight is one in-progress optimization other requests can join.
+type flight struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+func newPlanCache(shards, capacity int) *planCache {
+	perShard := capacity / shards
+	if capacity > 0 && perShard < 1 {
+		perShard = 1
+	}
+	if capacity < 0 {
+		perShard = -1
+	}
+	c := &planCache{shards: make([]cacheShard, shards), capacity: perShard}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].inflight = make(map[string]*flight)
+	}
+	return c
+}
+
+func (c *planCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// get serves a cached response, refreshing its LRU position. The returned
+// Response is a copy flagged Cached; its Decision is shared.
+func (c *planCache) get(key string) (*Response, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	c.hits.Add(1)
+	r := *el.Value.(*cacheEntry).resp
+	r.Cached = true
+	return &r, true
+}
+
+// do runs fn under single-flight discipline for key: the first caller
+// becomes the leader and executes fn; everyone else waits for the leader's
+// result (coalesced=true) or their own context. A successful, undegraded,
+// unpinned leader response is inserted into the cache.
+func (c *planCache) do(ctx context.Context, key string, fn func() (*Response, error)) (resp *Response, coalesced bool, err error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if f, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.resp, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	// A flight may have completed between the caller's get and this lock.
+	if el, ok := sh.entries[key]; ok {
+		sh.lru.MoveToFront(el)
+		c.hits.Add(1)
+		r := *el.Value.(*cacheEntry).resp
+		r.Cached = true
+		sh.mu.Unlock()
+		return &r, false, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.inflight[key] = f
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	f.resp, f.err = fn()
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if f.err == nil && c.cacheable(f.resp) {
+		c.insertLocked(sh, key, f.resp)
+	}
+	sh.mu.Unlock()
+	close(f.done)
+	return f.resp, false, f.err
+}
+
+// cacheable rejects responses that must not outlive the condition that
+// produced them: degraded plans exist because of load or faults at serve
+// time, and pinned plans are the breaker's business, not the cache's.
+func (c *planCache) cacheable(r *Response) bool {
+	return c.capacity > 0 && r != nil && r.Decision != nil && !r.Decision.Degraded && !r.Pinned
+}
+
+func (c *planCache) insertLocked(sh *cacheShard, key string, resp *Response) {
+	if el, ok := sh.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.entries[key] = sh.lru.PushFront(&cacheEntry{key: key, gen: genOf(key), resp: resp})
+	for sh.lru.Len() > c.capacity {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// purgeBelow drops every entry from a generation older than gen. Entries
+// are already unreachable (keys embed the generation); this reclaims their
+// space eagerly and counts them as invalidations.
+func (c *planCache) purgeBelow(gen uint64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); e.gen < gen {
+				sh.lru.Remove(el)
+				delete(sh.entries, e.key)
+				c.invalidations.Add(1)
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (c *planCache) counters() (hits, misses, coalesced, evictions, invalidations int64) {
+	return c.hits.Load(), c.misses.Load(), c.coalesced.Load(),
+		c.evictions.Load(), c.invalidations.Load()
+}
+
+// genOf parses the generation prefix Service.keys wrote ("g<gen>|...").
+func genOf(key string) uint64 {
+	var g uint64
+	for i := 1; i < len(key) && key[i] != '|'; i++ {
+		g = g*10 + uint64(key[i]-'0')
+	}
+	return g
+}
+
+// requestKey canonicalizes one (query, strategy, environment) triple. The
+// query renders through its canonical pseudo-SQL form, so textual variants
+// that bind to the same block share a key; the environment contributes an
+// FNV-64 fingerprint over its exact support, probabilities, and Markov
+// transition rows.
+func requestKey(q *query.SPJ, s lec.Strategy, env lec.Environment) string {
+	h := fnv.New64a()
+	writeFloat := func(v float64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	if env.Memory != nil {
+		for i := 0; i < env.Memory.Len(); i++ {
+			writeFloat(env.Memory.Value(i))
+			writeFloat(env.Memory.Prob(i))
+		}
+	}
+	if env.Chain != nil {
+		h.Write([]byte{0xff}) // separate "has chain" from "no chain"
+		for _, v := range env.Chain.States() {
+			writeFloat(v)
+		}
+		for i := 0; i < env.Chain.NumStates(); i++ {
+			for _, p := range env.Chain.TransitionRow(i) {
+				writeFloat(p)
+			}
+		}
+	}
+	return fmt.Sprintf("%d|%016x|%s", int(s), h.Sum64(), q.String())
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/lec"
+)
+
+// waitFor polls cond until true or the deadline; the serving tests use it
+// to sequence goroutines deterministically off the service's own gauges.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPressureLadderDegradesBeforeShedding is the overload acceptance
+// scenario. One worker is held mid-optimization; four more requests queue
+// behind it and are admitted under the pressure ladder's tightened budget
+// (degraded-but-valid plans); only the fifth — with every worker busy and
+// every queue slot taken — is shed with ErrOverloaded.
+func TestPressureLadderDegradesBeforeShedding(t *testing.T) {
+	cat := multiTableCatalog(8)
+	svc := New(cat, Config{
+		Workers:    1,
+		QueueDepth: 4,
+		// Any queueing at all tightens the budget to a single cost eval,
+		// forcing the engine down its anytime ladder.
+		Ladder: []Rung{{Depth: 1, Budget: lec.Budget{MaxCostEvals: 1}, Name: "tightened"}},
+	})
+	in := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.ServeOptimize, Kind: faultinject.KindHold, After: 1, Every: 1,
+	})
+	faultinject.Enable(in)
+	t.Cleanup(faultinject.Disable)
+	t.Cleanup(in.Release)
+
+	ctx := context.Background()
+	newReq := func(i int) Request {
+		return Request{SQL: pairQuery(i, i+1), Env: env(), Strategy: lec.AlgorithmC}
+	}
+
+	// Request 0 takes the only worker and parks on the hold.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := svc.Optimize(ctx, newReq(0)); err != nil {
+			t.Errorf("held request: %v", err)
+		}
+	}()
+	waitFor(t, "leader parked", func() bool { return in.Holding(faultinject.ServeOptimize) == 1 })
+
+	// Requests 1..4 fill the queue, each admitted at the tightened rung.
+	queued := make([]*Response, 5)
+	queuedErr := make([]error, 5)
+	for i := 1; i <= 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queued[i], queuedErr[i] = svc.Optimize(ctx, newReq(i))
+		}(i)
+		waitFor(t, "queue depth", func() bool { return svc.Stats().QueueDepth >= i })
+	}
+
+	// Request 5 finds workers and queue full: shed, with a retry hint.
+	_, err := svc.Optimize(ctx, newReq(5))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full-queue request error = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("shed error %T does not carry the overload detail", err)
+	}
+	if oe.RetryAfter <= 0 || oe.QueueDepth != 4 {
+		t.Errorf("overload detail = %+v, want positive retry-after at depth 4", oe)
+	}
+
+	in.Release()
+	wg.Wait()
+
+	// Every queued request got a valid but deliberately degraded plan —
+	// quality was shed before any request was.
+	for i := 1; i <= 4; i++ {
+		if queuedErr[i] != nil {
+			t.Fatalf("queued request %d failed: %v", i, queuedErr[i])
+		}
+		r := queued[i]
+		if r.Pressure != "tightened" {
+			t.Errorf("queued request %d pressure = %q, want tightened", i, r.Pressure)
+		}
+		if !r.Decision.Degraded {
+			t.Errorf("queued request %d not degraded under a 1-eval budget", i)
+		}
+		if r.Decision.Plan == nil {
+			t.Errorf("queued request %d has no plan", i)
+		}
+	}
+	st := svc.Stats()
+	if st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+	if st.PressureDegraded != 4 {
+		t.Errorf("pressure-degraded = %d, want 4", st.PressureDegraded)
+	}
+	if st.QueueDepth != 0 || st.InFlight != 0 {
+		t.Errorf("gauges not drained: %+v", st)
+	}
+}
+
+// TestQueuedRequestHonorsContext: a request waiting for a worker leaves
+// the queue when its context ends instead of occupying the slot forever.
+func TestQueuedRequestHonorsContext(t *testing.T) {
+	svc, req := newExample11Service(t, Config{Workers: 1, QueueDepth: 2})
+	in := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.ServeOptimize, Kind: faultinject.KindHold, After: 1, Every: 1,
+	})
+	faultinject.Enable(in)
+	t.Cleanup(faultinject.Disable)
+	t.Cleanup(in.Release)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		svc.Optimize(context.Background(), req)
+	}()
+	waitFor(t, "leader parked", func() bool { return in.Holding(faultinject.ServeOptimize) == 1 })
+
+	// A *distinct* request (no coalescing) must queue, then give up with
+	// its context.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Optimize(ctx, Request{
+			SQL: "SELECT * FROM A, B WHERE A.k = B.k", Env: env(), Strategy: lec.LSCMean,
+		})
+		done <- err
+	}()
+	waitFor(t, "request queued", func() bool { return svc.Stats().QueueDepth == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled queued request error = %v, want context.Canceled", err)
+	}
+	waitFor(t, "queue drained", func() bool { return svc.Stats().QueueDepth == 0 })
+	in.Release()
+	wg.Wait()
+}

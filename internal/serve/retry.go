@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/query"
+	"repro/lec"
+)
+
+// RetryConfig tunes the transient-failure retry loop.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per request (1 = no
+	// retries). Default 2.
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay; it doubles per
+	// attempt with ±50% jitter. Default 5ms.
+	BaseBackoff time.Duration
+	// Seed drives the jitter RNG, so a failing schedule reproduces from
+	// (seed, request order). Default 1.
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 5 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// jitter is a mutex-guarded seeded RNG: deterministic given call order,
+// safe under concurrent workers.
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitter(seed int64) *jitter {
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// around returns d scaled by a uniform factor in [0.5, 1.5).
+func (j *jitter) around(d time.Duration) time.Duration {
+	j.mu.Lock()
+	f := 0.5 + j.rng.Float64()
+	j.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// transient reports whether retrying the same request can plausibly
+// succeed: budget/deadline exhaustion so deep that not even the greedy
+// fallback planned (an injected stall that ate the whole deadline looks
+// exactly like this). Input errors and internal errors are not transient —
+// the former never heal, the latter are the breaker's job.
+func transient(err error) bool {
+	return errors.Is(err, lec.ErrBudgetExhausted)
+}
+
+// runWithRetry is run wrapped in the backoff loop. Retries stop as soon as
+// the error is not transient, attempts run out, or the request context
+// cannot absorb the backoff sleep.
+func (s *Service) runWithRetry(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (*lec.Decision, error) {
+	backoff := s.cfg.Retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		dec, err := s.runner(ctx, q, req, b)
+		if err == nil || !transient(err) || attempt >= s.cfg.Retry.MaxAttempts {
+			return dec, err
+		}
+		s.c.retries.Add(1)
+		select {
+		case <-time.After(s.backoff.around(backoff)):
+		case <-ctx.Done():
+			return nil, err
+		}
+		backoff *= 2
+	}
+}

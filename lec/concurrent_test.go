@@ -1,0 +1,79 @@
+package lec_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+// TestOptimizeConcurrent exercises the documented concurrency contract: one
+// Optimizer, many goroutines, mixed entry points, no shared mutable state.
+// Run under -race (the repo's race target includes ./lec) it proves each
+// call really is its own session; the cost assertions prove concurrent runs
+// do not bleed into each other's results.
+func TestOptimizeConcurrent(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	o := lec.New(cat)
+	env := lec.Environment{Memory: dm}
+
+	// Sequential baselines to compare every concurrent result against.
+	want := make(map[lec.Strategy]float64)
+	for _, s := range lec.Strategies() {
+		d, err := o.Optimize(q, env, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = d.ExpectedCost
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for r := 0; r < rounds; r++ {
+		for _, s := range lec.Strategies() {
+			wg.Add(1)
+			go func(s lec.Strategy) {
+				defer wg.Done()
+				d, err := o.OptimizeContext(ctx, q, env, s)
+				if err != nil {
+					t.Errorf("%v: %v", s, err)
+					return
+				}
+				if d.ExpectedCost != want[s] {
+					t.Errorf("%v: concurrent cost %v != sequential %v", s, d.ExpectedCost, want[s])
+				}
+			}(s)
+		}
+		// Mix in the other entry points: SQL binding and the side-by-side
+		// comparison share the same catalog concurrently.
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			d, err := o.OptimizeSQLWithContext(ctx, "SELECT * FROM A, B WHERE A.k = B.k", env, lec.AlgorithmC)
+			if err != nil {
+				t.Errorf("sql: %v", err)
+				return
+			}
+			if d.Plan == nil {
+				t.Error("sql: nil plan")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			ds, err := o.CompareContext(ctx, q, env)
+			if err != nil {
+				t.Errorf("compare: %v", err)
+				return
+			}
+			for _, d := range ds {
+				if d.ExpectedCost != want[d.Strategy] {
+					t.Errorf("compare %v: concurrent cost %v != sequential %v", d.Strategy, d.ExpectedCost, want[d.Strategy])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -92,6 +92,16 @@ type Environment struct {
 func (e Environment) validate() error { return validateEnvironment(e) }
 
 // Optimizer optimizes queries against one catalog.
+//
+// Concurrency: an Optimizer is safe for concurrent use. Every Optimize*,
+// Compare* and OptimizeSearch* call builds a fresh search-engine session —
+// memo tables, plan arena and budget meter are all per-call — so concurrent
+// optimizations share nothing but the catalog and options, which these
+// methods only read. The one rule callers must keep: do not mutate the
+// catalog (or a query block passed to a call) while optimizations are in
+// flight. A server refreshing statistics at run time needs external
+// coordination — internal/serve provides exactly that (a read/write lock
+// plus cache invalidation); see also cmd/lecd.
 type Optimizer struct {
 	cat  *catalog.Catalog
 	opts opt.Options
