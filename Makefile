@@ -4,12 +4,16 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve-race bench fuzz
+.PHONY: check fmt vet build test race serve-race bench bench-smoke cover fuzz
 
 # Fuzz budget per target; override with `make fuzz FUZZTIME=1m`.
 FUZZTIME ?= 10s
 
-check: fmt vet build test race serve-race
+# Coverage floor for the observability-critical packages; `make cover` fails
+# below it.
+COVER_MIN ?= 70
+
+check: fmt vet build test race serve-race cover
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -34,10 +38,27 @@ race:
 # channels, breakers, catalog RWMutex); run its suite twice under the race
 # detector so single-flight and invalidation schedules get a second draw.
 serve-race:
-	$(GO) test -race -count=2 ./internal/serve/... ./cmd/lecd/...
+	$(GO) test -race -count=2 ./internal/serve/... ./internal/obs ./cmd/lecd/...
 
 bench:
 	$(GO) test -bench=BenchmarkDPCore -benchmem -run=^$$ ./internal/opt
+
+# Combined coverage over the optimizer core, the serving layer, and the
+# observability package; fails below COVER_MIN percent.
+cover:
+	$(GO) test -coverprofile=/tmp/lec-cover.out ./internal/opt ./internal/serve ./internal/obs
+	@total=$$($(GO) tool cover -func=/tmp/lec-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
+
+# Re-run BenchmarkDPCore and compare against the checked-in baseline with
+# median-ratio normalization (see cmd/benchsmoke): a uniformly slower machine
+# passes, a single benchmark drifting >30% from its peers fails.
+bench-smoke:
+	$(GO) test -bench=BenchmarkDPCore -benchmem -run=^$$ ./internal/opt > /tmp/lec-bench-cur.txt; \
+		status=$$?; cat /tmp/lec-bench-cur.txt; exit $$status
+	$(GO) run ./cmd/benchsmoke -base internal/opt/testdata/dpcore_bench_baseline.txt -cur /tmp/lec-bench-cur.txt
 
 # Smoke the native fuzz targets: the parser/binder and the public optimizer
 # facade must never panic on arbitrary input (see ISSUE robustness work).

@@ -1,0 +1,78 @@
+// Command benchsmoke compares two `go test -bench` outputs and fails when a
+// benchmark's ns/op drifts from the checked-in baseline.
+//
+//	benchsmoke -base internal/opt/testdata/dpcore_bench_baseline.txt -cur /tmp/bench.txt
+//
+// Raw ns/op comparisons across machines are meaningless — CI runners and
+// laptops differ by integer factors. benchsmoke therefore normalizes: it
+// computes the cur/base ratio for every benchmark both files share, takes the
+// median ratio as the machine-speed factor, and alarms only when an individual
+// benchmark deviates from that median by more than -tol (default 30%). A
+// uniformly slower machine shifts every ratio equally and passes; a regression
+// in one benchmark stands out against the others and fails.
+//
+// With fewer than two shared benchmarks there is no peer group to normalize
+// against, so benchsmoke falls back to comparing raw ratios against 1.0 —
+// only meaningful when base and cur come from the same machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	base := flag.String("base", "", "baseline `file` from go test -bench")
+	cur := flag.String("cur", "", "current `file` from go test -bench")
+	tol := flag.Float64("tol", 0.30, "allowed relative deviation from the median ratio")
+	flag.Parse()
+	if *base == "" || *cur == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchsmoke -base FILE -cur FILE [-tol 0.30]")
+		os.Exit(2)
+	}
+	if err := run(*base, *cur, *tol); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, curPath string, tol float64) error {
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	curData, err := os.ReadFile(curPath)
+	if err != nil {
+		return err
+	}
+	report, err := benchparse.Compare(string(baseData), string(curData), tol)
+	if err != nil {
+		return err
+	}
+	for _, r := range report.Rows {
+		status := "ok"
+		if r.Flagged {
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-50s base %12.1f  cur %12.1f  ratio %5.2f  norm %+6.1f%%  %s\n",
+			r.Name, r.Base, r.Cur, r.Ratio, 100*r.Deviation, status)
+	}
+	fmt.Printf("median machine-speed ratio: %.3f over %d shared benchmarks\n",
+		report.Median, len(report.Rows))
+	var bad []string
+	for _, r := range report.Rows {
+		if r.Flagged {
+			bad = append(bad, r.Name)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("%d benchmark(s) deviate more than %.0f%% from the median ratio: %v",
+			len(bad), 100*tol, bad)
+	}
+	return nil
+}

@@ -14,9 +14,15 @@
 //
 //	POST /optimize  {"sql": "...", "mem": "700:0.2,2000:0.8", "strategy": "c", "timeout_ms": 500}
 //	POST /compare   {"sql": "...", "mem": "..."}
+//	POST /trace     like /optimize, but bypasses the cache and returns the
+//	                decision trace (per-subset DP winners/runners-up) as JSON
+//	GET  /metrics   Prometheus text exposition of the lec_* metric family
 //	GET  /healthz   process liveness (200 while the process runs)
 //	GET  /readyz    load-balancer readiness (503 once draining)
 //	GET  /statsz    service counters as JSON
+//
+// With -pprof, the standard net/http/pprof profiling endpoints are mounted
+// under /debug/pprof/ on the same listener.
 //
 // In -demo mode a request may omit sql and mem; the Example 1.1 query and
 // memory distribution are used. Every field of the request is optional
@@ -40,6 +46,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -64,6 +72,9 @@ func main() {
 // daemon binds one serve.Service to the HTTP surface.
 type daemon struct {
 	svc *serve.Service
+	reg *obs.Registry
+	// pprof mounts the net/http/pprof endpoints when set.
+	pprof bool
 	// defaultQuery and defaultMem fill omitted request fields in -demo
 	// mode. The query is the fixture's bound block, not re-parsed SQL, so
 	// demo responses carry the paper's calibrated Example 1.1 numbers.
@@ -82,11 +93,12 @@ func run(args []string, out, errOut io.Writer) error {
 	cache := fs.Int("cache", 0, "plan cache capacity (0 = default 512, negative disables)")
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request optimization deadline")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	d := &daemon{}
+	d := &daemon{reg: obs.NewRegistry(), pprof: *pprofFlag}
 	var cat *catalog.Catalog
 	switch {
 	case *demo:
@@ -109,6 +121,7 @@ func run(args []string, out, errOut io.Writer) error {
 		QueueDepth:     *queue,
 		CacheCapacity:  *cache,
 		DefaultTimeout: *timeout,
+		Metrics:        d.reg,
 	})
 
 	srv := &http.Server{Addr: *addr, Handler: d.handler()}
@@ -154,7 +167,24 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.svc.Stats())
 	})
+	mux.HandleFunc("/trace", d.handleTrace)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	if d.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if d.reg == nil {
+		return
+	}
+	d.reg.WritePrometheus(w)
 }
 
 // optimizeRequest is the /optimize and /compare body. Every field is
@@ -280,6 +310,30 @@ func (d *daemon) handleCompare(w http.ResponseWriter, r *http.Request) {
 		out[i] = toDecisionJSON(dec)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"decisions": out})
+}
+
+// handleTrace serves one optimization with decision tracing on. It bypasses
+// the plan cache (cached decisions carry no trace) and returns both the
+// usual decision fields and the structured trace: per-subset DP events with
+// winner, runner-up, expected-cost gap, the root candidates, and the
+// rendered explain tree.
+func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	req, ctx, cancel, ok := d.parseRequest(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	dec, err := d.svc.Trace(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := map[string]any{"decision": toDecisionJSON(dec)}
+	if dec.Trace != nil {
+		out["trace"] = dec.Trace
+		out["trace_rendered"] = dec.Trace.Render()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func toDecisionJSON(dec *lec.Decision) decisionJSON {

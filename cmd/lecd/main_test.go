@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 	"repro/lec"
@@ -15,8 +16,10 @@ import (
 func newDemoDaemon(t *testing.T) *daemon {
 	t.Helper()
 	cat, q, dm := workload.Example11()
+	reg := obs.NewRegistry()
 	return &daemon{
-		svc:          serve.New(cat, serve.Config{}),
+		svc:          serve.New(cat, serve.Config{Metrics: reg}),
+		reg:          reg,
 		defaultQuery: q,
 		defaultMem:   dm,
 	}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint: after serving traffic, GET /metrics returns valid
+// Prometheus text exposition including the end-to-end latency histograms.
+func TestMetricsEndpoint(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	// Two optimizes: a miss and a cache hit.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE lec_serve_optimize_seconds histogram",
+		`lec_serve_optimize_seconds_bucket{le="+Inf"} 2`,
+		"lec_serve_optimize_seconds_count 2",
+		"lec_serve_requests_total 2",
+		"lec_serve_cache_hits_total 1",
+		"# TYPE lec_opt_costing_seconds histogram",
+		"lec_serve_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestTraceEndpoint: POST /trace returns the decision plus the structured
+// trace — per-subset events, root candidates, and the rendered tree.
+func TestTraceEndpoint(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/trace", "application/json", strings.NewReader(`{"strategy":"c"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Decision struct {
+			Strategy     string  `json:"strategy"`
+			ExpectedCost float64 `json:"expected_cost"`
+		} `json:"decision"`
+		Trace struct {
+			Events []struct {
+				Tables []string `json:"tables"`
+				Join   string   `json:"join"`
+				Cost   float64  `json:"cost"`
+			} `json:"events"`
+			Roots     []struct{ Cost float64 } `json:"roots"`
+			FinalCost float64                  `json:"final_cost"`
+		} `json:"trace"`
+		Rendered string `json:"trace_rendered"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Decision.Strategy != "algorithm-c" {
+		t.Errorf("strategy = %q", out.Decision.Strategy)
+	}
+	if len(out.Trace.Events) == 0 || len(out.Trace.Roots) == 0 {
+		t.Fatalf("empty trace: %+v", out.Trace)
+	}
+	best := out.Trace.Roots[0].Cost
+	for _, r := range out.Trace.Roots {
+		if r.Cost < best {
+			best = r.Cost
+		}
+	}
+	if best != out.Trace.FinalCost {
+		t.Errorf("min root cost %v != final cost %v", best, out.Trace.FinalCost)
+	}
+	if !strings.Contains(out.Rendered, "runner-up") {
+		t.Errorf("rendered trace missing runner-up lines:\n%s", out.Rendered)
+	}
+
+	// GET is rejected like the other POST endpoints.
+	get, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /trace status %d, want 405", get.StatusCode)
+	}
+}
+
+// TestPprofFlagGatesEndpoints: /debug/pprof/ is 404 without -pprof and live
+// with it.
+func TestPprofFlagGatesEndpoints(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("without -pprof: status %d, want 404", resp.StatusCode)
+	}
+	ts.Close()
+
+	d.pprof = true
+	ts = httptest.NewServer(d.handler())
+	defer ts.Close()
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Errorf("with -pprof: status %d body %q", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenTrace byte-compares `lecopt -demo -strategy c -trace` on the
+// quickstart (Example 1.1) query against the checked-in golden transcript.
+// The trace renderer is part of the tool's contract — plan explainers and
+// per-subset decision lines must not drift silently. Regenerate with
+// `go test ./cmd/lecopt -run TestGoldenTrace -update` after an intentional
+// change and review the diff.
+func TestGoldenTrace(t *testing.T) {
+	out, err := runCapture(t, "-demo", "-strategy", "c", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "demo_trace_c.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("trace output drifted from %s.\n--- got ---\n%s--- want ---\n%s", golden, out, want)
+	}
+}

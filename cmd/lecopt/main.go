@@ -9,6 +9,7 @@
 //	lecopt -catalog schema.txt -sql "..." -mem "100:0.5,4000:0.5" -strategy c
 //	lecopt -demo -volatility 0.3            # dynamic memory via a Markov walk
 //	lecopt -demo -strategy c -explain       # engine instrumentation counters
+//	lecopt -demo -strategy c -trace         # per-subset DP decision trace
 //	lecopt -demo -timeout 50ms -budget 1000 # fail-soft: bounded optimization
 //
 // The -mem spec is "value:probability, ..." (weights are normalized). The
@@ -98,6 +99,7 @@ func run(args []string, out, errOut io.Writer) error {
 	choice := fs.Bool("choice", false, "compile and print a [GC94] choice plan instead of optimizing")
 	simulate := fs.Int("simulate", 0, "simulate the chosen plan N times and report realized cost")
 	explain := fs.Bool("explain", false, "print the search engine's instrumentation counters")
+	trace := fs.Bool("trace", false, "record and print the per-subset DP decision trace (single -strategy runs)")
 	timeout := fs.Duration("timeout", 0, "optimization deadline; on expiry a degraded fallback plan is returned (0 = none)")
 	budget := fs.Int("budget", 0, "max cost-formula evaluations per optimization; on exhaustion a degraded fallback plan is returned (0 = unlimited)")
 	fs.Usage = func() {
@@ -182,7 +184,7 @@ serving:
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}})
+	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}, Trace: *trace})
 	fmt.Fprintf(out, "query:  %s\nmemory: %s\n\n", queryText, dm)
 
 	if *choice {
@@ -220,6 +222,13 @@ serving:
 		}
 		warnDegraded(errOut, d)
 		fmt.Fprintln(out, d.Explain())
+		if *trace {
+			if d.Trace != nil {
+				fmt.Fprint(out, d.Trace.Render())
+			} else {
+				fmt.Fprintln(errOut, "lecopt: warning: no decision trace recorded for this strategy")
+			}
+		}
 		if *explain {
 			printStats(out, d)
 		}

@@ -1,0 +1,136 @@
+// Package benchparse parses `go test -bench` output and compares two runs
+// with median-ratio normalization, so benchmark smoke checks survive being
+// run on machines of different speeds.
+package benchparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: its name (with the -N GOMAXPROCS suffix
+// stripped) and its ns/op.
+type Result struct {
+	Name string
+	NsOp float64
+}
+
+// Parse extracts benchmark results from go test -bench output. Lines that are
+// not benchmark results (headers, PASS, ok ...) are ignored. Repeated runs of
+// the same benchmark (e.g. -count=3) are averaged.
+func Parse(text string) ([]Result, error) {
+	sum := make(map[string]float64)
+	n := make(map[string]int)
+	var order []string
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines read: Name-N  iterations  123.4 ns/op  [more pairs].
+		var nsop float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+				}
+				nsop, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, seen := sum[name]; !seen {
+			order = append(order, name)
+		}
+		sum[name] += nsop
+		n[name]++
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, Result{Name: name, NsOp: sum[name] / float64(n[name])})
+	}
+	return out, nil
+}
+
+// Row is one shared benchmark in a comparison. Ratio is cur/base; Deviation
+// is the relative distance of Ratio from the median ratio (the machine-speed
+// factor); Flagged marks rows whose deviation exceeds the tolerance.
+type Row struct {
+	Name      string
+	Base, Cur float64
+	Ratio     float64
+	Deviation float64
+	Flagged   bool
+}
+
+// Report is the outcome of comparing two benchmark runs.
+type Report struct {
+	Rows   []Row
+	Median float64
+}
+
+// Compare parses both outputs and flags benchmarks whose cur/base ratio
+// deviates from the median ratio by more than tol. With fewer than two shared
+// benchmarks the median is defined as 1.0 (raw same-machine comparison).
+func Compare(baseText, curText string, tol float64) (*Report, error) {
+	base, err := Parse(baseText)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := Parse(curText)
+	if err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("baseline has no benchmark lines")
+	}
+	if len(cur) == 0 {
+		return nil, fmt.Errorf("current run has no benchmark lines")
+	}
+	baseBy := make(map[string]float64, len(base))
+	for _, r := range base {
+		baseBy[r.Name] = r.NsOp
+	}
+	var rows []Row
+	for _, c := range cur {
+		b, ok := baseBy[c.Name]
+		if !ok || b <= 0 || c.NsOp <= 0 {
+			continue
+		}
+		rows = append(rows, Row{Name: c.Name, Base: b, Cur: c.NsOp, Ratio: c.NsOp / b})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no shared benchmarks between baseline and current run")
+	}
+	med := 1.0
+	if len(rows) >= 2 {
+		ratios := make([]float64, len(rows))
+		for i, r := range rows {
+			ratios[i] = r.Ratio
+		}
+		sort.Float64s(ratios)
+		if n := len(ratios); n%2 == 1 {
+			med = ratios[n/2]
+		} else {
+			med = (ratios[n/2-1] + ratios[n/2]) / 2
+		}
+	}
+	for i := range rows {
+		rows[i].Deviation = rows[i].Ratio/med - 1
+		rows[i].Flagged = math.Abs(rows[i].Deviation) > tol
+	}
+	return &Report{Rows: rows, Median: med}, nil
+}

@@ -1,0 +1,101 @@
+package benchparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBase = `goos: linux
+goarch: amd64
+pkg: repro/internal/opt
+cpu: Fake CPU @ 3.00GHz
+BenchmarkDPCore/algC/chain-8         	    1000	   1000000 ns/op	  120000 B/op	    2000 allocs/op
+BenchmarkDPCore/algC/star-8          	     500	   2000000 ns/op
+BenchmarkDPCore/systemR/chain-8      	    2000	    500000 ns/op
+BenchmarkDPCore/algA/chain-buckets-8 	     100	  10000000 ns/op
+PASS
+ok  	repro/internal/opt	5.123s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(sampleBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkDPCore/algC/chain" || got[0].NsOp != 1e6 {
+		t.Errorf("first result = %+v, want chain @ 1e6 ns/op with -8 suffix stripped", got[0])
+	}
+}
+
+func TestParseAveragesRepeats(t *testing.T) {
+	text := "BenchmarkX-4 100 100 ns/op\nBenchmarkX-4 100 300 ns/op\n"
+	got, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].NsOp != 200 {
+		t.Fatalf("got %+v, want one averaged result at 200 ns/op", got)
+	}
+}
+
+// A uniformly 3x slower machine must pass: every ratio equals the median.
+func TestCompareUniformSlowdownPasses(t *testing.T) {
+	cur := strings.NewReplacer(
+		"1000000 ns/op", "3000000 ns/op",
+		"2000000 ns/op", "6000000 ns/op",
+		"500000 ns/op", "1500000 ns/op",
+		"10000000 ns/op", "30000000 ns/op",
+	).Replace(sampleBase)
+	rep, err := Compare(sampleBase, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Median-3.0) > 1e-9 {
+		t.Errorf("median = %v, want 3.0", rep.Median)
+	}
+	for _, r := range rep.Rows {
+		if r.Flagged {
+			t.Errorf("%s flagged under uniform slowdown: %+v", r.Name, r)
+		}
+	}
+}
+
+// One benchmark regressing 2x while the rest hold must be flagged even when
+// the whole run is on a slower machine.
+func TestCompareSingleRegressionFlagged(t *testing.T) {
+	cur := strings.NewReplacer(
+		"1000000 ns/op", "4000000 ns/op", // 4x: 2x real regression on a 2x slower box
+		"2000000 ns/op", "4000000 ns/op",
+		"500000 ns/op", "1000000 ns/op",
+		"10000000 ns/op", "20000000 ns/op",
+	).Replace(sampleBase)
+	rep, err := Compare(sampleBase, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged []string
+	for _, r := range rep.Rows {
+		if r.Flagged {
+			flagged = append(flagged, r.Name)
+		}
+	}
+	if len(flagged) != 1 || flagged[0] != "BenchmarkDPCore/algC/chain" {
+		t.Errorf("flagged = %v, want exactly the regressed chain benchmark", flagged)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare("no benchmarks here", sampleBase, 0.3); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := Compare(sampleBase, "PASS\n", 0.3); err == nil {
+		t.Error("empty current run accepted")
+	}
+	if _, err := Compare("BenchmarkA-1 10 5 ns/op\n", "BenchmarkB-1 10 5 ns/op\n", 0.3); err == nil {
+		t.Error("disjoint benchmark sets accepted")
+	}
+}

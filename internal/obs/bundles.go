@@ -1,0 +1,77 @@
+package obs
+
+// OptMetrics bundles the search engine's registry instruments so the hot
+// paths in internal/opt pay one pointer dereference per record instead of a
+// registry lookup. A nil *OptMetrics disables all recording. Safe for
+// concurrent use across engines sharing one bundle.
+type OptMetrics struct {
+	// Per-phase wall time of one optimization run, in seconds. Enumeration
+	// is total run time minus costing and bucketing.
+	EnumerationSeconds *Histogram
+	CostingSeconds     *Histogram
+	BucketingSeconds   *Histogram
+
+	// Counter mirrors of the engine's per-run Counters deltas.
+	Runs            *Counter
+	CostEvals       *Counter
+	Prunes          *Counter
+	MemoHits        *Counter
+	Subsets         *Counter
+	JoinSteps       *Counter
+	NonFiniteCosts  *Counter
+	Degradations    *Counter
+	PanicsRecovered *Counter
+
+	// BucketErrBound accumulates the equi-depth spread bound Σ p·(hi−lo)
+	// over every distribution bucketed during optimization (the paper's
+	// discretization error; refining buckets can only shrink it).
+	BucketErrBound *Counter
+}
+
+// NewOptMetrics registers the optimizer's metric family on reg. Returns nil
+// when reg is nil, so callers can pass the result around unconditionally.
+func NewOptMetrics(reg *Registry) *OptMetrics {
+	if reg == nil {
+		return nil
+	}
+	// Search phases are fast; extend the latency buckets downward.
+	phase := []float64{0.000001, 0.00001, 0.0001, 0.00025, 0.0005, 0.001,
+		0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	return &OptMetrics{
+		EnumerationSeconds: reg.Histogram("lec_opt_enumeration_seconds", "Plan enumeration time per optimization run (total minus costing; bucketing time is inside costing).", phase),
+		CostingSeconds:     reg.Histogram("lec_opt_costing_seconds", "Cost-formula evaluation time per optimization run.", phase),
+		BucketingSeconds:   reg.Histogram("lec_opt_bucketing_seconds", "Distribution bucketing/convolution time per optimization run.", phase),
+		Runs:               reg.Counter("lec_opt_runs_total", "Optimization runs completed."),
+		CostEvals:          reg.Counter("lec_opt_cost_evals_total", "Cost-formula evaluations."),
+		Prunes:             reg.Counter("lec_opt_prunes_total", "Candidate plans pruned by the DP."),
+		MemoHits:           reg.Counter("lec_opt_memo_hits_total", "Memo-table hits for subset size distributions."),
+		Subsets:            reg.Counter("lec_opt_subsets_total", "Relation subsets visited by the DP."),
+		JoinSteps:          reg.Counter("lec_opt_join_steps_total", "Join steps priced."),
+		NonFiniteCosts:     reg.Counter("lec_opt_nonfinite_costs_total", "Cost evaluations that produced NaN or Inf."),
+		Degradations:       reg.Counter("lec_opt_degradations_total", "Optimizations that returned a degraded (fallback) plan."),
+		PanicsRecovered:    reg.Counter("lec_opt_panics_recovered_total", "Panics recovered inside the search engine."),
+		BucketErrBound:     reg.Counter("lec_opt_bucket_err_bound_total", "Accumulated equi-depth bucketing spread bound (page I/Os)."),
+	}
+}
+
+// ReoptMetrics instruments the [KD98] re-optimization baseline.
+type ReoptMetrics struct {
+	Runs         *Counter
+	Restarts     *Counter
+	SunkIO       *Counter
+	DegradedRuns *Counter
+}
+
+// NewReoptMetrics registers the re-optimization metric family on reg.
+// Returns nil when reg is nil.
+func NewReoptMetrics(reg *Registry) *ReoptMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ReoptMetrics{
+		Runs:         reg.Counter("lec_reopt_runs_total", "Adaptive executions simulated."),
+		Restarts:     reg.Counter("lec_reopt_restarts_total", "Mid-execution restarts triggered by deviation."),
+		SunkIO:       reg.Counter("lec_reopt_sunk_io_total", "Page I/Os discarded by restarts."),
+		DegradedRuns: reg.Counter("lec_reopt_degraded_runs_total", "Adaptive executions cut short by context cancellation."),
+	}
+}

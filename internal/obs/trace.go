@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultTraceCap bounds the decision-trace ring buffer when the caller
+// does not choose a capacity. 4096 events covers every subset of a
+// 12-relation bushy search; larger searches wrap (oldest events dropped,
+// counted in Trace.Dropped).
+const DefaultTraceCap = 4096
+
+// TraceEvent records one DP decision: for one relation subset, the winning
+// (joined relation, join method) candidate, the runner-up, and the
+// expected-cost gap between them. A large gap means the decision was
+// robust; a near-zero gap flags a coin-flip the cost model could get wrong.
+type TraceEvent struct {
+	// Tables lists the subset's relation names in catalog order.
+	Tables []string `json:"tables"`
+	// Depth is the subset size |S|.
+	Depth int `json:"depth"`
+	// Join is the relation joined last in the winning plan for this subset.
+	Join string `json:"join"`
+	// Method is the winning join method (or access path at depth 1).
+	Method string `json:"method"`
+	// Cost is the winning candidate's expected cost.
+	Cost float64 `json:"cost"`
+	// RunnerUpJoin/RunnerUpMethod/RunnerUpCost describe the second-best
+	// candidate; empty/zero when only one candidate was feasible.
+	RunnerUpJoin   string  `json:"runner_up_join,omitempty"`
+	RunnerUpMethod string  `json:"runner_up_method,omitempty"`
+	RunnerUpCost   float64 `json:"runner_up_cost,omitempty"`
+	// Gap is RunnerUpCost − Cost (0 when there was no runner-up).
+	Gap float64 `json:"gap"`
+	// Candidates counts every (join, method) candidate priced for the subset.
+	Candidates int `json:"candidates"`
+	// Root marks the full-query subset.
+	Root bool `json:"root,omitempty"`
+}
+
+// RootCandidate records one complete plan considered at the root of the
+// search — a finished candidate for the whole query, order handling
+// included. The minimum Cost over all RootCandidates is the engine's
+// reported expected cost; the property tests assert exactly that.
+type RootCandidate struct {
+	// Join is the relation joined last (or the access path's table for
+	// single-relation queries).
+	Join string `json:"join"`
+	// Method is the final join method or access path.
+	Method string `json:"method"`
+	// Cost is the finished plan's expected cost, any final sort included.
+	Cost float64 `json:"cost"`
+	// Sorted reports that an explicit final sort was added to meet ORDER BY.
+	Sorted bool `json:"sorted,omitempty"`
+}
+
+// Trace is a snapshot of one optimization's recorded decisions.
+type Trace struct {
+	// Cap is the ring capacity the recorder ran with.
+	Cap int `json:"cap"`
+	// Dropped counts events that fell out of the ring.
+	Dropped int `json:"dropped,omitempty"`
+	// Events are per-subset decisions in recording order (oldest first).
+	Events []TraceEvent `json:"events"`
+	// Roots are the finished full-query candidates (never dropped unless
+	// RootsDropped > 0; their count is bounded by relations × methods).
+	Roots []RootCandidate `json:"roots,omitempty"`
+	// RootsDropped counts root candidates beyond the recording bound.
+	RootsDropped int `json:"roots_dropped,omitempty"`
+	// FinalCost is the expected cost of the plan the engine returned.
+	FinalCost float64 `json:"final_cost"`
+	// Rung and Reason mirror the Result's degradation state.
+	Rung   string `json:"rung,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// BucketErrBound is the accumulated equi-depth bucketing spread bound
+	// Σ p_k·(hi_k−lo_k) over every distribution bucketed during the run —
+	// an upper bound on how much discretization can move any expectation.
+	BucketErrBound float64 `json:"bucket_err_bound,omitempty"`
+}
+
+// maxRoots bounds Trace.Roots independently of the event ring: root
+// candidates are the ground truth for the minimality property, so they are
+// kept exactly up to a generous bound (n relations × handful of methods).
+const maxRoots = 1024
+
+// Recorder collects TraceEvents into a fixed-capacity ring buffer. It is
+// not safe for concurrent use — one recorder belongs to one search context,
+// matching the engine's single-goroutine search loop.
+type Recorder struct {
+	cap     int
+	events  []TraceEvent
+	start   int // ring read position once full
+	dropped int
+
+	roots        []RootCandidate
+	rootsDropped int
+}
+
+// NewRecorder returns a recorder with the given ring capacity
+// (DefaultTraceCap when cap <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Add appends one event, evicting the oldest when the ring is full.
+func (r *Recorder) Add(e TraceEvent) {
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start = (r.start + 1) % r.cap
+	r.dropped++
+}
+
+// AddRoot records one finished full-query candidate.
+func (r *Recorder) AddRoot(c RootCandidate) {
+	if len(r.roots) >= maxRoots {
+		r.rootsDropped++
+		return
+	}
+	r.roots = append(r.roots, c)
+}
+
+// Snapshot copies the recorded state into a Trace (oldest event first).
+// The recorder keeps accumulating afterwards.
+func (r *Recorder) Snapshot() *Trace {
+	t := &Trace{Cap: r.cap, Dropped: r.dropped, RootsDropped: r.rootsDropped}
+	t.Events = make([]TraceEvent, 0, len(r.events))
+	for i := 0; i < len(r.events); i++ {
+		t.Events = append(t.Events, r.events[(r.start+i)%len(r.events)])
+	}
+	t.Roots = append([]RootCandidate(nil), r.roots...)
+	return t
+}
+
+// Render formats the trace as a human-readable explain tree: subsets
+// grouped by depth, one winner/runner-up/gap line each, followed by the
+// finished root candidates and the final outcome.
+func (t *Trace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decision trace: %d subset decisions", len(t.Events))
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d dropped)", t.Dropped)
+	}
+	b.WriteString("\n")
+	// Group by depth, keeping recording order within a depth.
+	byDepth := map[int][]TraceEvent{}
+	depths := []int(nil)
+	for _, e := range t.Events {
+		if _, ok := byDepth[e.Depth]; !ok {
+			depths = append(depths, e.Depth)
+		}
+		byDepth[e.Depth] = append(byDepth[e.Depth], e)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		fmt.Fprintf(&b, "depth %d:\n", d)
+		for _, e := range byDepth[d] {
+			fmt.Fprintf(&b, "  {%s}: %s via %s  E[cost]=%s",
+				strings.Join(e.Tables, ","), e.Join, e.Method, fmtCost(e.Cost))
+			if e.RunnerUpMethod != "" {
+				fmt.Fprintf(&b, "  | runner-up %s via %s E[cost]=%s gap=%s",
+					e.RunnerUpJoin, e.RunnerUpMethod, fmtCost(e.RunnerUpCost), fmtCost(e.Gap))
+			}
+			fmt.Fprintf(&b, "  (%d candidates)\n", e.Candidates)
+		}
+	}
+	if len(t.Roots) > 0 {
+		fmt.Fprintf(&b, "root candidates (%d finished plans", len(t.Roots))
+		if t.RootsDropped > 0 {
+			fmt.Fprintf(&b, ", %d dropped", t.RootsDropped)
+		}
+		b.WriteString("):\n")
+		for _, c := range t.Roots {
+			mark := " "
+			if c.Cost == t.FinalCost {
+				mark = "*"
+			}
+			sorted := ""
+			if c.Sorted {
+				sorted = " +sort"
+			}
+			fmt.Fprintf(&b, "  %s %s via %s%s  E[cost]=%s\n", mark, c.Join, c.Method, sorted, fmtCost(c.Cost))
+		}
+	}
+	fmt.Fprintf(&b, "final: E[cost]=%s", fmtCost(t.FinalCost))
+	switch {
+	case t.Rung != "" && t.Reason != "":
+		fmt.Fprintf(&b, "  degraded=%s (%s)", t.Rung, t.Reason)
+	case t.Rung != "":
+		fmt.Fprintf(&b, "  degraded=%s", t.Rung)
+	case t.Reason != "":
+		fmt.Fprintf(&b, "  degraded (%s)", t.Reason)
+	}
+	if t.BucketErrBound > 0 {
+		fmt.Fprintf(&b, "  bucket-err<=%.4g", t.BucketErrBound)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// fmtCost prints costs compactly: integers without a decimal point,
+// fractional costs with four significant digits.
+func fmtCost(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Add(TraceEvent{Depth: i})
+	}
+	tr := r.Snapshot()
+	if tr.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped)
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(tr.Events))
+	}
+	// Oldest first: depths 2, 3, 4 survive.
+	for i, want := range []int{2, 3, 4} {
+		if tr.Events[i].Depth != want {
+			t.Fatalf("event %d depth = %d, want %d", i, tr.Events[i].Depth, want)
+		}
+	}
+}
+
+func TestRecorderDefaultCap(t *testing.T) {
+	r := NewRecorder(0)
+	if r.cap != DefaultTraceCap {
+		t.Fatalf("cap = %d, want %d", r.cap, DefaultTraceCap)
+	}
+}
+
+func TestRecorderRoots(t *testing.T) {
+	r := NewRecorder(4)
+	r.AddRoot(RootCandidate{Join: "A", Method: "nl", Cost: 10})
+	r.AddRoot(RootCandidate{Join: "B", Method: "hash", Cost: 7, Sorted: true})
+	tr := r.Snapshot()
+	if len(tr.Roots) != 2 || tr.Roots[1].Cost != 7 {
+		t.Fatalf("roots = %+v", tr.Roots)
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	tr := &Trace{
+		Cap: 16,
+		Events: []TraceEvent{
+			{Tables: []string{"A"}, Depth: 1, Join: "A", Method: "seqscan", Cost: 100, Candidates: 1},
+			{Tables: []string{"A", "B"}, Depth: 2, Join: "B", Method: "hash", Cost: 300,
+				RunnerUpJoin: "B", RunnerUpMethod: "nl", RunnerUpCost: 450, Gap: 150, Candidates: 4},
+		},
+		Roots:     []RootCandidate{{Join: "B", Method: "hash", Cost: 300}},
+		FinalCost: 300,
+	}
+	out := tr.Render()
+	for _, want := range []string{
+		"depth 1:",
+		"depth 2:",
+		"{A,B}: B via hash  E[cost]=300",
+		"runner-up B via nl E[cost]=450 gap=150",
+		"(4 candidates)",
+		"root candidates (1 finished plans):",
+		"* B via hash  E[cost]=300",
+		"final: E[cost]=300",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRenderDegraded(t *testing.T) {
+	tr := &Trace{FinalCost: 12.5, Rung: "greedy", Reason: "deadline exceeded", BucketErrBound: 0.25}
+	out := tr.Render()
+	if !strings.Contains(out, "degraded=greedy (deadline exceeded)") {
+		t.Fatalf("missing degradation in:\n%s", out)
+	}
+	if !strings.Contains(out, "bucket-err<=0.25") {
+		t.Fatalf("missing bucket error bound in:\n%s", out)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Cap:       8,
+		Events:    []TraceEvent{{Tables: []string{"A", "B"}, Depth: 2, Join: "B", Method: "hash", Cost: 3, Gap: 1, Candidates: 2}},
+		Roots:     []RootCandidate{{Join: "B", Method: "hash", Cost: 3}},
+		FinalCost: 3,
+	}
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.FinalCost != 3 || len(back.Events) != 1 || back.Events[0].Method != "hash" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

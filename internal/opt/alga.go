@@ -30,7 +30,7 @@ func AlgorithmA(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist
 // invocations share one engine session — only the coster changes between
 // buckets — so the memo tables, plan arena, and DP table are reused.
 func algorithmACandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
-	cands, counters, _, err := algorithmACandidatesCtx(context.Background(), cat, q, opts, dm)
+	cands, counters, _, _, err := algorithmACandidatesCtx(context.Background(), cat, q, opts, dm)
 	return cands, counters, err
 }
 

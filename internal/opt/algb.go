@@ -158,7 +158,7 @@ func AlgorithmB(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist
 // run on one engine session, so the memo tables, plan arena, and top-c
 // scratch are shared instead of rebuilt per bucket.
 func AlgorithmBCandidates(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, error) {
-	cands, counters, _, err := algorithmBCandidatesCtx(context.Background(), cat, q, opts, dm)
+	cands, counters, _, _, err := algorithmBCandidatesCtx(context.Background(), cat, q, opts, dm)
 	return cands, counters, err
 }
 

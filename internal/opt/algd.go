@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"time"
+
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/plan"
@@ -34,8 +36,23 @@ func (ctx *Context) RowDist(s query.RelSet) *stats.Dist {
 	} else {
 		j := s.Members()[0]
 		sj := s.Without(j)
+		// The recursive call computes (and memoizes) the sub-subset's
+		// distribution before the timed region opens, so nested bucketing
+		// time is attributed exactly once.
+		left := ctx.RowDist(sj)
+		right := ctx.baseRowDist(j)
+		var t0 time.Time
+		if ctx.metrics != nil {
+			t0 = time.Now()
+		}
 		sel := ctx.Q.StepSelectivityDist(sj, j, ctx.Opts.RebucketBudget)
-		d = stats.ResultSizeDist(ctx.RowDist(sj), ctx.baseRowDist(j), sel, ctx.Opts.RebucketBudget)
+		d = stats.ResultSizeDist(left, right, sel, ctx.Opts.RebucketBudget)
+		if ctx.metrics != nil {
+			ctx.bucketingNanos += time.Since(t0).Nanoseconds()
+		}
+		if ctx.metrics != nil || ctx.trace != nil {
+			ctx.accumBucketErr(left, right, sel)
+		}
 	}
 	ctx.subsetRowDist.put(s, d)
 	return d

@@ -32,9 +32,11 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 )
@@ -68,6 +70,18 @@ type Options struct {
 	// orders" idea — Example 1.1's Plan 1 is only found because the
 	// order-aware root credits sort-merge with the free order.
 	NaiveOrderHandling bool
+	// Trace enables the structured decision-trace recorder: per-subset DP
+	// decisions (winner, runner-up, expected-cost gap) and every finished
+	// root candidate are captured on Result.Trace. Off by default — when
+	// off, the search pays a single nil check per subset.
+	Trace bool
+	// TraceCap bounds the trace's event ring buffer; 0 means
+	// obs.DefaultTraceCap. Root candidates are bounded separately.
+	TraceCap int
+	// Metrics, when non-nil, receives per-run phase timings and counter
+	// deltas (see obs.NewOptMetrics). Off by default; safe to share across
+	// engines and goroutines.
+	Metrics *obs.OptMetrics
 }
 
 // DefaultBudget is the default Algorithm D rebucketing budget.
@@ -206,6 +220,19 @@ type Context struct {
 	pollCountdown int
 	nonFiniteMark int
 
+	// observability state (see obs.go): the decision-trace recorder (nil
+	// unless Options.Trace), the metrics bundle (nil unless
+	// Options.Metrics), per-run timing accumulators, and the accumulated
+	// equi-depth bucketing error bound.
+	trace          *obs.Recorder
+	metrics        *obs.OptMetrics
+	metricsMark    Counters
+	runStart       time.Time
+	costingNanos   int64
+	bucketingNanos int64
+	bucketErrBound float64
+	bucketErrMark  float64
+
 	Count Counters
 }
 
@@ -227,6 +254,10 @@ func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, err
 		subsetPages:   newFloatMemo(n),
 		subsetRowDist: newDistMemo(n),
 	}
+	if ctx.Opts.Trace {
+		ctx.trace = obs.NewRecorder(ctx.Opts.TraceCap)
+	}
+	ctx.metrics = ctx.Opts.Metrics
 	for i, name := range q.Tables {
 		tab, err := cat.Table(q.BaseTable(name))
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 )
@@ -32,6 +33,12 @@ type Result struct {
 	// plan the interrupted search had finished, RungGreedy for the greedy
 	// fallback at the distribution mean.
 	Rung string
+	// Trace is the structured decision trace, populated only when
+	// Options.Trace is set. Single-search strategies (SystemR, Algorithms
+	// C/C-dynamic/D, the LSC plans) record per-subset decisions and every
+	// finished root candidate; Algorithms A and B attach their shared
+	// session's trace; the aggregation path leaves it nil.
+	Trace *obs.Trace
 }
 
 // stepPricer abstracts how one plan-construction step is priced. The
@@ -82,6 +89,8 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 		s := ctx.BestScan(i)
 		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
 	}
+	tr := ctx.trace
+	ctx.traceScans()
 
 	full := query.FullSet(n)
 	var rootBest dpEntry
@@ -95,6 +104,10 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 				return
 			}
 			entry := dpEntry{cost: math.Inf(1)}
+			var tw traceWatch
+			if tr != nil {
+				tw = newTraceWatch()
+			}
 			s.ForEach(func(j int) {
 				if ctx.stopped() {
 					return
@@ -113,6 +126,9 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 					ctx.Count.JoinSteps++
 					stepCost := ctx.priceJoin(pr, m, left.node, scan, s, d-2)
 					total := base + stepCost
+					if tr != nil {
+						tw.consider(j, m, total)
+					}
 					if total < entry.cost {
 						entry = dpEntry{
 							node: ctx.NewJoin(left.node, scan, m, s, j),
@@ -133,6 +149,12 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 						if added {
 							ft += ctx.priceSort(pr, cand, d-2)
 						}
+						if tr != nil {
+							tr.AddRoot(obs.RootCandidate{
+								Join: ctx.Q.Tables[j], Method: m.String(),
+								Cost: ft, Sorted: added,
+							})
+						}
 						if ft < rootBest.cost {
 							rootBest = dpEntry{node: finished, cost: ft}
 							rootFound = true
@@ -140,6 +162,11 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 					}
 				}
 			})
+			if tr != nil {
+				if e, ok := tw.event(ctx, s, d, s == full); ok {
+					tr.Add(e)
+				}
+			}
 			if !math.IsInf(entry.cost, 1) {
 				best[s] = entry
 			}
@@ -183,6 +210,7 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 // finishSingle handles single-relation queries: every access path competes,
 // with the ORDER BY sort charged when the path does not deliver the order.
 func finishSingle(ctx *Context, pr stepPricer) (*Result, error) {
+	ctx.traceScans()
 	bestCost := math.Inf(1)
 	var bestNode plan.Node
 	for _, s := range ctx.Scans(0) {
@@ -190,6 +218,11 @@ func finishSingle(ctx *Context, pr stepPricer) (*Result, error) {
 		total := s.AccessCost()
 		if added {
 			total += ctx.priceSort(pr, s, 0)
+		}
+		if ctx.trace != nil {
+			ctx.trace.AddRoot(obs.RootCandidate{
+				Join: s.Table, Method: scanLabel(s), Cost: total, Sorted: added,
+			})
 		}
 		if total < bestCost {
 			bestCost, bestNode = total, finished

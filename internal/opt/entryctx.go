@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -110,7 +111,7 @@ func (d degradeInfo) apply(res *Result) {
 // buckets produced (plus the interrupted bucket's degraded plan), and the
 // aggregated Result is flagged.
 func AlgorithmACtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	cands, counters, deg, err := algorithmACandidatesCtx(rc, cat, q, opts, dm)
+	cands, counters, tr, deg, err := algorithmACandidatesCtx(rc, cat, q, opts, dm)
 	if err != nil {
 		return nil, err
 	}
@@ -120,24 +121,39 @@ func AlgorithmACtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts 
 	}
 	res := &Result{Plan: best, Cost: bestCost, Count: counters}
 	deg.apply(res)
+	stampTrace(tr, res)
 	return res, nil
+}
+
+// stampTrace attaches a multi-bucket session's trace snapshot to the
+// aggregated Result, stamping the final pick's outcome.
+func stampTrace(tr *obs.Trace, res *Result) {
+	if tr == nil {
+		return
+	}
+	tr.FinalCost = res.Cost
+	tr.Rung = res.Rung
+	if res.Degraded {
+		tr.Reason = res.Reason.String()
+	}
+	res.Trace = tr
 }
 
 // algorithmACandidatesCtx is the context-aware candidate generator behind
 // AlgorithmACtx. Budgets are metered against the session totals: once a
 // bucket degrades for an exogenous cause (deadline, budget) the remaining
 // buckets are skipped — they would only replay the greedy fallback.
-func algorithmACandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, degradeInfo, error) {
+func algorithmACandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, *obs.Trace, degradeInfo, error) {
 	var deg degradeInfo
 	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
 	if err != nil {
-		return nil, Counters{}, deg, err
+		return nil, Counters{}, nil, deg, err
 	}
 	seen := map[string]bool{}
 	var cands []plan.Node
 	for i := 0; i < dm.Len(); i++ {
 		if err := eng.SetCoster(FixedParams{Mem: dm.Value(i)}); err != nil {
-			return nil, eng.Stats(), deg, err
+			return nil, eng.Stats(), eng.traceSnapshot(), deg, err
 		}
 		res, err := eng.OptimizeCtx(rc)
 		if err != nil {
@@ -147,7 +163,7 @@ func algorithmACandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.
 				deg.note(eng.ctx.degradeReason(), RungPartial)
 				break
 			}
-			return nil, eng.Stats(), deg, fmt.Errorf("opt: algorithm A at m=%v: %w", dm.Value(i), err)
+			return nil, eng.Stats(), eng.traceSnapshot(), deg, fmt.Errorf("opt: algorithm A at m=%v: %w", dm.Value(i), err)
 		}
 		key := res.Plan.Key()
 		if !seen[key] {
@@ -161,7 +177,19 @@ func algorithmACandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.
 			}
 		}
 	}
-	return cands, eng.Stats(), deg, nil
+	return cands, eng.Stats(), eng.traceSnapshot(), deg, nil
+}
+
+// traceSnapshot returns the session recorder's cumulative trace, or nil
+// when tracing is disabled. Multi-bucket sessions use it to surface one
+// trace spanning every bucket's search.
+func (o *Optimizer) traceSnapshot() *obs.Trace {
+	if o.ctx.trace == nil {
+		return nil
+	}
+	t := o.ctx.trace.Snapshot()
+	t.BucketErrBound = o.ctx.bucketErrBound
+	return t
 }
 
 // runTopCGuarded is runTopC under the same recover discipline as the
@@ -182,7 +210,7 @@ func (o *Optimizer) runTopCGuarded(c int) (roots []topEntry, err error) {
 // AlgorithmBCtx is AlgorithmB under a request context and budget, with the
 // same shared-session budget semantics as AlgorithmACtx.
 func AlgorithmBCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
-	cands, counters, deg, err := algorithmBCandidatesCtx(rc, cat, q, opts, dm)
+	cands, counters, tr, deg, err := algorithmBCandidatesCtx(rc, cat, q, opts, dm)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +220,7 @@ func AlgorithmBCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts 
 	}
 	res := &Result{Plan: best, Cost: bestCost, Count: counters}
 	deg.apply(res)
+	stampTrace(tr, res)
 	return res, nil
 }
 
@@ -201,26 +230,29 @@ func AlgorithmBCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts 
 // buckets i+1..b too. The anytime guarantee holds at the pool level — if the
 // interrupted search produced no finished root at all, the greedy fallback
 // contributes the guaranteed candidate.
-func algorithmBCandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, degradeInfo, error) {
+func algorithmBCandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, *obs.Trace, degradeInfo, error) {
 	var deg degradeInfo
 	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
 	if err != nil {
-		return nil, Counters{}, deg, err
+		return nil, Counters{}, nil, deg, err
 	}
 	eng.ctx.beginRun(rc)
+	// The session never passes through OptimizeCtx, so the run is flushed
+	// to the metrics bundle here, whatever path exits the bucket loop.
+	defer eng.ctx.flushMetrics()
 	c := eng.ctx.Opts.TopC
 	seen := map[string]bool{}
 	var cands []plan.Node
 	for i := 0; i < dm.Len() && !eng.ctx.stopped(); i++ {
 		if err := eng.SetCoster(FixedParams{Mem: dm.Value(i)}); err != nil {
-			return nil, eng.Stats(), deg, err
+			return nil, eng.Stats(), eng.traceSnapshot(), deg, err
 		}
 		roots, err := eng.runTopCGuarded(c)
 		if err != nil {
 			if eng.ctx.stopped() {
 				break
 			}
-			return nil, eng.Stats(), deg, fmt.Errorf("opt: algorithm B at m=%v: %w", dm.Value(i), err)
+			return nil, eng.Stats(), eng.traceSnapshot(), deg, fmt.Errorf("opt: algorithm B at m=%v: %w", dm.Value(i), err)
 		}
 		for _, r := range roots {
 			if key := r.node.Key(); !seen[key] {
@@ -234,7 +266,7 @@ func algorithmBCandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.
 		if len(cands) == 0 {
 			fb, ferr := eng.fallbackGuarded()
 			if ferr != nil {
-				return nil, eng.Stats(), deg, fmt.Errorf("%w (fallback also failed: %v)", causeOrBudget(eng.ctx.stopCause), ferr)
+				return nil, eng.Stats(), eng.traceSnapshot(), deg, fmt.Errorf("%w (fallback also failed: %v)", causeOrBudget(eng.ctx.stopCause), ferr)
 			}
 			deg.rung = RungGreedy
 			cands = append(cands, fb.Plan)
@@ -242,12 +274,12 @@ func algorithmBCandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.
 		eng.ctx.Count.Degradations++
 	} else if eng.ctx.sawNonFinite() {
 		if len(cands) == 0 {
-			return nil, eng.Stats(), deg, ErrNonFinite
+			return nil, eng.Stats(), eng.traceSnapshot(), deg, ErrNonFinite
 		}
 		deg.note(DegradeNonFinite, RungFull)
 		eng.ctx.Count.Degradations++
 	}
-	return cands, eng.Stats(), deg, nil
+	return cands, eng.Stats(), eng.traceSnapshot(), deg, nil
 }
 
 // OptimizeWithAggregationCtx is OptimizeWithAggregation under a request
@@ -285,13 +317,13 @@ func aggregateCandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.S
 	core := *q
 	core.OrderBy = nil
 	core.GroupBy = nil
-	cands, counters, deg, err := algorithmBCandidatesCtx(rc, cat, &core, opts, dm)
+	cands, counters, _, deg, err := algorithmBCandidatesCtx(rc, cat, &core, opts, dm)
 	if err != nil {
 		return nil, counters, deg, err
 	}
 	ordered := core
 	ordered.OrderBy = q.GroupBy
-	moreCands, moreCounters, moreDeg, err := algorithmBCandidatesCtx(rc, cat, &ordered, opts, dm)
+	moreCands, moreCounters, _, moreDeg, err := algorithmBCandidatesCtx(rc, cat, &ordered, opts, dm)
 	if err != nil {
 		return nil, counters, deg, err
 	}

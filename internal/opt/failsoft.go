@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/faultinject"
@@ -134,6 +135,7 @@ func (ctx *Context) beginRun(rc context.Context) {
 	ctx.stopCause = nil
 	ctx.pollCountdown = 1 // poll immediately: catch already-expired contexts
 	ctx.nonFiniteMark = ctx.Count.NonFiniteCosts
+	ctx.beginObs()
 }
 
 // interrupt records the first interruption cause; later causes are ignored.
@@ -203,6 +205,10 @@ func (ctx *Context) guardCost(v float64) float64 {
 // the fail-soft machinery: the fault-injection site, the non-finite guard,
 // and the budget/cancellation checkpoint.
 func (ctx *Context) priceJoin(pr stepPricer, m cost.Method, left, right plan.Node, s query.RelSet, phase int) float64 {
+	var t0 time.Time
+	if ctx.metrics != nil {
+		t0 = time.Now()
+	}
 	var v float64
 	switch faultinject.Check(faultinject.JoinCost) {
 	case faultinject.KindNaN:
@@ -213,6 +219,9 @@ func (ctx *Context) priceJoin(pr stepPricer, m cost.Method, left, right plan.Nod
 		v = pr.joinStep(m, left, right, s, phase)
 	}
 	v = ctx.guardCost(v)
+	if ctx.metrics != nil {
+		ctx.costingNanos += time.Since(t0).Nanoseconds()
+	}
 	ctx.checkBudget()
 	return v
 }
@@ -220,6 +229,10 @@ func (ctx *Context) priceJoin(pr stepPricer, m cost.Method, left, right plan.Nod
 // priceSort prices the final ORDER BY sort with the same guards as
 // priceJoin.
 func (ctx *Context) priceSort(pr stepPricer, input plan.Node, phase int) float64 {
+	var t0 time.Time
+	if ctx.metrics != nil {
+		t0 = time.Now()
+	}
 	var v float64
 	switch faultinject.Check(faultinject.SortCost) {
 	case faultinject.KindNaN:
@@ -230,6 +243,9 @@ func (ctx *Context) priceSort(pr stepPricer, input plan.Node, phase int) float64
 		v = pr.sortStep(input, phase)
 	}
 	v = ctx.guardCost(v)
+	if ctx.metrics != nil {
+		ctx.costingNanos += time.Since(t0).Nanoseconds()
+	}
 	ctx.checkBudget()
 	return v
 }
@@ -255,7 +271,18 @@ func (ctx *Context) degradeReason() DegradeReason {
 // engine degrades down the ladder and still returns a valid finished plan,
 // flagged with Degraded/Reason/Rung — an error is returned only for
 // genuinely unplannable inputs.
+//
+// On the way out the run is flushed to Options.Metrics and, when tracing is
+// enabled, the decision trace is snapshotted onto the Result — every return
+// path of the inner optimization shares this epilogue.
 func (o *Optimizer) OptimizeCtx(rc context.Context) (*Result, error) {
+	res, err := o.optimizeCtxInner(rc)
+	o.ctx.flushMetrics()
+	o.ctx.attachTrace(res)
+	return res, err
+}
+
+func (o *Optimizer) optimizeCtxInner(rc context.Context) (*Result, error) {
 	o.ctx.beginRun(rc)
 	res, err := o.runPrimary()
 

@@ -1,0 +1,225 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file is the property/metamorphic pass over the observability layer
+// and the LEC objective. Each family runs ≥100 randomized cases.
+
+func propShapes(seed int64) workload.Topology {
+	return []workload.Topology{workload.Chain, workload.Star, workload.Clique}[seed%3]
+}
+
+// TestPropTraceRootsCoverOptimum: the returned plan's expected cost equals
+// the minimum over the finished root candidates the decision trace
+// enumerated — exactly, not approximately, because the engine's winner is
+// chosen from those very candidates. Per-event, the recorded winner never
+// costs more than its runner-up, and the gap is their difference.
+func TestPropTraceRootsCoverOptimum(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 60; seed++ {
+		for _, orderBy := range []bool{false, true} {
+			cat, q := randInstance(t, seed, 3+int(seed%2), propShapes(seed), orderBy)
+			dm := randMemDist3(seed)
+			res, err := AlgorithmC(cat, q, Options{Trace: true}, dm)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			tr := res.Trace
+			if tr == nil {
+				t.Fatalf("seed %d: Options.Trace set but no trace attached", seed)
+			}
+			if len(tr.Roots) == 0 {
+				t.Fatalf("seed %d: trace enumerated no root candidates", seed)
+			}
+			best := math.Inf(1)
+			for _, rc := range tr.Roots {
+				if rc.Cost < best {
+					best = rc.Cost
+				}
+			}
+			if best != res.Cost {
+				t.Errorf("seed %d orderBy=%v: min over %d trace roots = %v, engine cost %v",
+					seed, orderBy, len(tr.Roots), best, res.Cost)
+			}
+			if tr.FinalCost != res.Cost {
+				t.Errorf("seed %d: trace FinalCost %v != engine cost %v", seed, tr.FinalCost, res.Cost)
+			}
+			for _, e := range tr.Events {
+				if e.RunnerUpMethod == "" {
+					continue
+				}
+				if e.Cost > e.RunnerUpCost*(1+costTol) {
+					t.Errorf("seed %d %v: winner %v costs more than runner-up %v", seed, e.Tables, e.Cost, e.RunnerUpCost)
+				}
+				if math.Abs(e.Gap-(e.RunnerUpCost-e.Cost)) > 1e-9*(1+math.Abs(e.Gap)) {
+					t.Errorf("seed %d %v: gap %v != runner-up %v − winner %v", seed, e.Tables, e.Gap, e.RunnerUpCost, e.Cost)
+				}
+			}
+			cases++
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d cases, want ≥ 100", cases)
+	}
+}
+
+// TestPropTraceDisabledIsFree: with tracing and metrics off (the default),
+// the engine's decision is byte-identical to a traced run — same cost bits,
+// same plan, same instrumentation counters. Tracing observes the search; it
+// must never steer it.
+func TestPropTraceDisabledIsFree(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 50; seed++ {
+		for _, orderBy := range []bool{false, true} {
+			cat, q := randInstance(t, seed, 3+int(seed%2), propShapes(seed), orderBy)
+			dm := randMemDist3(seed)
+			plain, err := AlgorithmC(cat, q, Options{}, dm)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			traced, err := AlgorithmC(cat, q, Options{Trace: true}, dm)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if plain.Cost != traced.Cost {
+				t.Errorf("seed %d: cost %v (plain) != %v (traced)", seed, plain.Cost, traced.Cost)
+			}
+			if plain.Plan.Key() != traced.Plan.Key() {
+				t.Errorf("seed %d: plan %s != %s", seed, plain.Plan.Key(), traced.Plan.Key())
+			}
+			if plain.Count != traced.Count {
+				t.Errorf("seed %d: counters diverge: %+v vs %+v", seed, plain.Count, traced.Count)
+			}
+			if plain.Trace != nil {
+				t.Errorf("seed %d: untraced run attached a trace", seed)
+			}
+			cases++
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d cases, want ≥ 100", cases)
+	}
+}
+
+// scaleTables scales every table's size statistics by k in place.
+func scaleTables(cat *catalog.Catalog, k float64) {
+	for _, name := range cat.Names() {
+		tab := cat.MustTable(name)
+		tab.Pages *= k
+		tab.Rows = int64(math.Ceil(float64(tab.Rows) * k))
+		if tab.SizeDist != nil {
+			tab.SizeDist = tab.SizeDist.Scale(k)
+		}
+	}
+}
+
+// TestPropCardinalityScaleUpNeverCheaper: scaling every base relation up by
+// a common factor never decreases the chosen expected cost.
+//
+// Note this is deliberately weaker than "cardinality-scaling invariance"
+// (cost scaling linearly with input size): that is FALSE for this cost
+// model, whose join formulas have level-set boundaries at √size and size^¼
+// — scaling the inputs moves different plans across different boundaries,
+// so the optimum is not scale-equivariant and can even switch plans. What
+// IS a theorem: every cost formula is non-decreasing in its input sizes, so
+// every fixed plan gets no cheaper, so the minimum over the (unchanged)
+// plan space gets no cheaper.
+func TestPropCardinalityScaleUpNeverCheaper(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 50; seed++ {
+		for _, k := range []float64{2, 16} {
+			cat, q := randInstance(t, seed, 3+int(seed%2), propShapes(seed), seed%2 == 0)
+			dm := randMemDist3(seed)
+			orig, err := AlgorithmC(cat, q, Options{}, dm)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			scaleTables(cat, k)
+			scaled, err := AlgorithmC(cat, q, Options{}, dm)
+			if err != nil {
+				t.Fatalf("seed %d scaled: %v", seed, err)
+			}
+			if scaled.Cost < orig.Cost*(1-costTol) {
+				t.Errorf("seed %d k=%v: scaled-up instance got cheaper: %v < %v", seed, k, scaled.Cost, orig.Cost)
+			}
+			cases++
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d cases, want ≥ 100", cases)
+	}
+}
+
+// TestPropMemoryScaleUpNeverWorse: scaling the memory distribution's
+// support up by k ≥ 1 never increases the chosen expected cost — every cost
+// formula is non-increasing in buffer memory, pointwise per bucket, so
+// every plan's expectation drops or holds and so does the minimum.
+func TestPropMemoryScaleUpNeverWorse(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 50; seed++ {
+		for _, k := range []float64{1.5, 8} {
+			cat, q := randInstance(t, seed, 3+int(seed%2), propShapes(seed), seed%2 == 1)
+			dm := randMemDist3(seed)
+			base, err := AlgorithmC(cat, q, Options{}, dm)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			up, err := AlgorithmC(cat, q, Options{}, dm.Scale(k))
+			if err != nil {
+				t.Fatalf("seed %d scaled: %v", seed, err)
+			}
+			if up.Cost > base.Cost*(1+costTol) {
+				t.Errorf("seed %d k=%v: more memory made the optimum worse: %v > %v", seed, k, up.Cost, base.Cost)
+			}
+			cases++
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d cases, want ≥ 100", cases)
+	}
+}
+
+// TestPropWeightScaleInvariance: the memory distribution normalizes its
+// weights, so multiplying every raw weight by a common positive factor is
+// exactly the same distribution and must produce the same decision.
+func TestPropWeightScaleInvariance(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 50; seed++ {
+		for _, c := range []float64{0.25, 1000} {
+			cat, q := randInstance(t, seed, 3+int(seed%2), propShapes(seed), seed%2 == 0)
+			dm := randMemDist3(seed)
+			vals := make([]float64, dm.Len())
+			w := make([]float64, dm.Len())
+			for i := 0; i < dm.Len(); i++ {
+				vals[i] = dm.Value(i)
+				w[i] = dm.Prob(i) * c
+			}
+			dm2 := stats.MustNew(vals, w)
+			a, err := AlgorithmC(cat, q, Options{}, dm)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			b, err := AlgorithmC(cat, q, Options{}, dm2)
+			if err != nil {
+				t.Fatalf("seed %d rescaled: %v", seed, err)
+			}
+			if relDiff(a.Cost, b.Cost) > 1e-12 {
+				t.Errorf("seed %d c=%v: weight scaling changed the cost: %v vs %v", seed, c, a.Cost, b.Cost)
+			}
+			if a.Plan.Key() != b.Plan.Key() {
+				t.Errorf("seed %d c=%v: weight scaling changed the plan", seed, c)
+			}
+			cases++
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d cases, want ≥ 100", cases)
+	}
+}

@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+)
+
+// Validate checks the structural invariants every servable plan must hold:
+// no nil nodes, join inputs covering disjoint relation sets, known scan and
+// join methods, finite non-negative size estimates, and non-negative
+// relation indexes. The metamorphic serve tests run every decision — cached,
+// coalesced, degraded, or produced under fault injection — through it: a
+// degraded plan may be worse than the full-search one, but it must never be
+// malformed.
+func Validate(n Node) error {
+	if n == nil {
+		return fmt.Errorf("plan: nil root")
+	}
+	return validate(n)
+}
+
+func validate(n Node) error {
+	if n == nil {
+		return fmt.Errorf("plan: nil node")
+	}
+	for _, c := range n.children() {
+		if err := validate(c); err != nil {
+			return err
+		}
+	}
+	if err := checkSize(n.OutPages(), "output pages", n); err != nil {
+		return err
+	}
+	if err := checkSize(n.OutRows(), "output rows", n); err != nil {
+		return err
+	}
+	switch v := n.(type) {
+	case *Scan:
+		if v.RelIdx < 0 {
+			return fmt.Errorf("plan: scan of %q has negative relation index %d", v.Table, v.RelIdx)
+		}
+		switch v.Method {
+		case SeqScan:
+		case IndexScan:
+			if v.Index == "" {
+				return fmt.Errorf("plan: index scan of %q names no index", v.Table)
+			}
+		default:
+			return fmt.Errorf("plan: scan of %q has unknown method %v", v.Table, v.Method)
+		}
+		if err := checkSize(v.BasePages, "base pages", n); err != nil {
+			return err
+		}
+		if err := checkSize(v.BaseRows, "base rows", n); err != nil {
+			return err
+		}
+	case *Join:
+		if v.Left == nil || v.Right == nil {
+			return fmt.Errorf("plan: join %v has a nil input", v.Method)
+		}
+		known := false
+		for _, m := range cost.Methods() {
+			if v.Method == m {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("plan: join has unknown method %v", v.Method)
+		}
+		if overlap := v.Left.Rels().Intersect(v.Right.Rels()); overlap != 0 {
+			return fmt.Errorf("plan: join %v inputs overlap on relations %v", v.Method, overlap)
+		}
+	case *Sort:
+		if v.Input == nil {
+			return fmt.Errorf("plan: sort by %v has a nil input", v.Key_)
+		}
+	case *Aggregate:
+		if v.Input == nil {
+			return fmt.Errorf("plan: %v has a nil input", v.Method)
+		}
+		if v.Method != HashAgg && v.Method != SortAgg {
+			return fmt.Errorf("plan: aggregate has unknown method %v", v.Method)
+		}
+	default:
+		return fmt.Errorf("plan: unknown node type %T", n)
+	}
+	return nil
+}
+
+func checkSize(v float64, what string, n Node) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("plan: %T has non-finite or negative %s %v", n, what, v)
+	}
+	return nil
+}

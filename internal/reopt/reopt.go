@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/query"
 )
@@ -29,6 +30,9 @@ type Policy struct {
 	Threshold float64
 	// MaxRestarts bounds the restarts per execution (default 2).
 	MaxRestarts int
+	// Metrics, when non-nil, receives per-execution observability counters
+	// (runs, restarts, sunk I/O, degraded executions).
+	Metrics *obs.ReoptMetrics
 }
 
 func (p Policy) withDefaults() Policy {
@@ -54,6 +58,11 @@ type Outcome struct {
 	// completion without the re-optimization the policy called for. Total
 	// is still a faithful realized cost — of a less adaptive execution.
 	Degraded bool
+	// Stats accumulates the engine's search counters across the initial
+	// optimization AND every restart's re-optimization — summing, not
+	// keeping the last run's counters, so the restart loop's true
+	// optimization work is not under-reported.
+	Stats opt.Stats
 }
 
 // Run simulates executing the query with [KD98]-style re-optimization:
@@ -86,6 +95,13 @@ func RunContext(ctx context.Context, cat *catalog.Catalog, q *query.SPJ, opts op
 		return Outcome{}, err
 	}
 	var out Outcome
+	out.Stats.Add(res.Count)
+	if m := policy.Metrics; m != nil {
+		m.Runs.Inc()
+		if res.Degraded {
+			m.DegradedRuns.Inc()
+		}
+	}
 	clock := 0 // wall-clock phase index into the trace
 	for {
 		phases, err := eval.RunPhases(res.Plan, shiftTrace(tr, clock))
@@ -114,6 +130,16 @@ func RunContext(ctx context.Context, cat *catalog.Catalog, q *query.SPJ, opts op
 				res, err = opt.SystemRCtx(ctx, cat, q, opts, observed)
 				if err != nil {
 					return Outcome{}, err
+				}
+				// Accumulate — don't overwrite — the re-optimization's
+				// search counters, or restart loops under-report their work.
+				out.Stats.Add(res.Count)
+				if m := policy.Metrics; m != nil {
+					m.Restarts.Inc()
+					m.SunkIO.Add(done)
+					if res.Degraded {
+						m.DegradedRuns.Inc()
+					}
 				}
 				restarted = true
 				break

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/query"
 	"repro/internal/sqlparse"
@@ -77,6 +78,11 @@ type Config struct {
 	// RetryAfterHint is the per-queued-request unit used to size the
 	// retry-after hint on shed responses. Default 25ms.
 	RetryAfterHint time.Duration
+	// Metrics, when non-nil, receives the service's instrument family
+	// (lec_serve_*) plus live admission gauges, and — unless Options.Metrics
+	// is already set — the engine's lec_opt_* bundle. Nil disables metrics
+	// entirely; the request paths pay a single pointer check.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +172,7 @@ type Service struct {
 	runner func(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (*lec.Decision, error)
 
 	c counters
+	m *serveMetrics // nil when Config.Metrics is nil
 }
 
 // counters are the service-level monotonic counters; gauges are read live.
@@ -186,6 +193,11 @@ type counters struct {
 // UpdateCatalog.
 func New(cat *catalog.Catalog, cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	if cfg.Metrics != nil && cfg.Options.Metrics == nil {
+		// Engine-level metrics ride on the same registry unless the caller
+		// wired their own bundle.
+		cfg.Options.Metrics = obs.NewOptMetrics(cfg.Metrics)
+	}
 	s := &Service{
 		cfg:   cfg,
 		cat:   cat,
@@ -197,6 +209,7 @@ func New(cat *catalog.Catalog, cfg Config) *Service {
 	s.breakers.m = make(map[string]*breaker)
 	s.backoff = newJitter(cfg.Retry.Seed)
 	s.runner = s.run
+	s.m = newServeMetrics(cfg.Metrics, s)
 	return s
 }
 
@@ -238,6 +251,16 @@ func (s *Service) Draining() bool { return s.draining.Load() }
 // then admission control, breaker, and the budgeted engine run. The
 // returned Response always carries a valid Decision when err is nil.
 func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) {
+	if s.m == nil {
+		return s.optimize(ctx, req)
+	}
+	t0 := time.Now()
+	resp, err := s.optimize(ctx, req)
+	s.m.observeOptimize(time.Since(t0), resp, err)
+	return resp, err
+}
+
+func (s *Service) optimize(ctx context.Context, req Request) (*Response, error) {
 	s.c.requests.Add(1)
 	if s.draining.Load() {
 		return nil, ErrDraining
@@ -341,6 +364,16 @@ func (s *Service) run(ctx context.Context, q *query.SPJ, req Request, b lec.Budg
 // any other work but bypassing the plan cache and breaker (its six runs
 // span all coster configurations).
 func (s *Service) Compare(ctx context.Context, req Request) ([]*lec.Decision, error) {
+	if s.m == nil {
+		return s.compare(ctx, req)
+	}
+	t0 := time.Now()
+	ds, err := s.compare(ctx, req)
+	s.m.observeRun(s.m.compareSeconds, time.Since(t0), anyDegraded(ds), err)
+	return ds, err
+}
+
+func (s *Service) compare(ctx context.Context, req Request) ([]*lec.Decision, error) {
 	s.c.requests.Add(1)
 	if s.draining.Load() {
 		return nil, ErrDraining
@@ -369,6 +402,59 @@ func (s *Service) Compare(ctx context.Context, req Request) ([]*lec.Decision, er
 		s.c.searchMu.Unlock()
 	}
 	return ds, err
+}
+
+// Trace serves one request with decision tracing enabled and returns the
+// Decision, whose Trace field carries the per-subset DP record. It bypasses
+// the plan cache and circuit breaker — a cached Decision has no trace, and
+// a diagnostic read should observe the live configuration, not a pinned
+// plan — but honors drain mode, the default timeout, and admission control
+// (including the pressure ladder) like any other engine run.
+func (s *Service) Trace(ctx context.Context, req Request) (*lec.Decision, error) {
+	if s.m == nil {
+		return s.traceRun(ctx, req)
+	}
+	t0 := time.Now()
+	dec, err := s.traceRun(ctx, req)
+	s.m.observeRun(s.m.traceSeconds, time.Since(t0), dec != nil && dec.Degraded, err)
+	return dec, err
+}
+
+func (s *Service) traceRun(ctx context.Context, req Request) (dec *lec.Decision, err error) {
+	s.c.requests.Add(1)
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	ctx, cancel := s.withDefaultTimeout(ctx)
+	defer cancel()
+	q, err := s.bind(req)
+	if err != nil {
+		return nil, err
+	}
+	release, rung, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer func() {
+		if p := recover(); p != nil {
+			dec, err = nil, fmt.Errorf("%w: serving worker panic: %v", lec.ErrInternal, p)
+		}
+	}()
+	s.catMu.RLock()
+	defer s.catMu.RUnlock()
+	faultinject.Check(faultinject.ServeOptimize)
+	opts := s.cfg.Options
+	opts.Budget = tightenBudget(opts.Budget, rung.Budget)
+	opts.Trace = true
+	s.c.optimizations.Add(1)
+	dec, err = lec.NewWithOptions(s.cat, opts).OptimizeContext(ctx, q, req.Env, req.Strategy)
+	if dec != nil {
+		s.c.searchMu.Lock()
+		s.c.search.Add(dec.Stats)
+		s.c.searchMu.Unlock()
+	}
+	return dec, err
 }
 
 // bind resolves the request's query under the catalog read lock.
@@ -470,8 +556,19 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-func (s *Service) breakerTripped() { s.breakers.trips.Add(1) }
-func (s *Service) breakerReset()   { s.breakers.resets.Add(1) }
+func (s *Service) breakerTripped() {
+	s.breakers.trips.Add(1)
+	if s.m != nil {
+		s.m.breakerTrips.Inc()
+	}
+}
+
+func (s *Service) breakerReset() {
+	s.breakers.resets.Add(1)
+	if s.m != nil {
+		s.m.breakerResets.Inc()
+	}
+}
 
 // tightenBudget folds a pressure rung's budget into the base: each bound
 // applies when it is set and stricter than (or absent from) the base. The

@@ -103,8 +103,23 @@ func bucketizeEquiDepth(d *Dist, b int) *Dist {
 	if b >= d.Len() {
 		return cloneDist(d)
 	}
-	// Assign support points to buckets by cumulative probability. Support is
-	// already sorted, so a single sweep suffices.
+	assignments := equiDepthAssignments(d, b)
+	return mergeByBucket(d, func(v float64) int {
+		i := sort.SearchFloat64s(d.vals, v)
+		return assignments[i]
+	})
+}
+
+// equiDepthAssignments maps each support point of d to its equi-depth
+// bucket index in [0, b): points are swept in sorted order and a new bucket
+// opens each time the cumulative probability crosses the next k/b quantile.
+// This is the single source of truth for the equi-depth partition — both
+// the bucketizer and RebucketErrorBound derive from it, which is what makes
+// the bound's refinement property provable: the cut set for b buckets is a
+// subset of the cut set for 2b buckets (every threshold k/b is also the
+// threshold 2k/(2b)), so doubling b only ever splits buckets, never merges
+// them.
+func equiDepthAssignments(d *Dist, b int) []int {
 	target := 1.0 / float64(b)
 	assignments := make([]int, d.Len())
 	acc, bucket := 0.0, 0
@@ -115,10 +130,7 @@ func bucketizeEquiDepth(d *Dist, b int) *Dist {
 			bucket++
 		}
 	}
-	return mergeByBucket(d, func(v float64) int {
-		i := sort.SearchFloat64s(d.vals, v)
-		return assignments[i]
-	})
+	return assignments
 }
 
 // mergeByBucket collapses support points mapping to the same bucket index

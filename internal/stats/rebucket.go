@@ -48,6 +48,45 @@ func RebucketBudget3(budget int) (bx, by, bz int) {
 	}
 }
 
+// RebucketErrorBound bounds the error Rebucket(d, b) can introduce into any
+// expectation over d: each bucket is collapsed to its conditional mean, so a
+// value can move by at most its bucket's spread, and the probability-weighted
+// spread Σ_k p_k·(hi_k − lo_k) bounds the total displacement. For Lipschitz
+// cost formulas this is (up to the Lipschitz constant) the discretization
+// error of paper §3.6.3/§3.7: "a large number of buckets gives a closer
+// approximation to the true probability distribution."
+//
+// The bound is 0 when no rebucketing occurs (d.Len() ≤ b), and it never
+// increases when b doubles: the equi-depth cut points for b buckets are a
+// subset of those for 2b (see equiDepthAssignments), so doubling only splits
+// buckets, and a split bucket's spread terms are dominated by the original's.
+// The property tests assert exactly this monotonicity.
+func RebucketErrorBound(d *Dist, b int) float64 {
+	if b < 1 {
+		b = 1
+	}
+	if d.Len() <= b {
+		return 0
+	}
+	assignments := equiDepthAssignments(d, b)
+	bound := 0.0
+	i := 0
+	for i < d.Len() {
+		j := i
+		for j+1 < d.Len() && assignments[j+1] == assignments[i] {
+			j++
+		}
+		// Support is sorted ascending, so the bucket spans [Value(i), Value(j)].
+		p := 0.0
+		for k := i; k <= j; k++ {
+			p += d.Prob(k)
+		}
+		bound += p * (d.Value(j) - d.Value(i))
+		i = j + 1
+	}
+	return bound
+}
+
 // ResultSizeDist computes the distribution of the join result size
 // |A ⋈ B| = |A|·|B|·σ for independent size and selectivity distributions,
 // rebucketing the inputs to fit budget support points in the output

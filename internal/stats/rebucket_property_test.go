@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genWideDist draws a random distribution with up to 96 support points, so
+// bucket budgets up to 32 still force real rebucketing.
+func genWideDist(rng *rand.Rand) *Dist {
+	n := rng.Intn(93) + 4
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64()*1e6 + 1e-6
+		weights[i] = rng.Float64() + 1e-3
+	}
+	return MustNew(vals, weights)
+}
+
+// TestPropRebucketErrorBoundDoublingMonotone (paper §3.6.3/§3.7): doubling
+// the bucket budget never increases the reported rebucketing error bound.
+// The equi-depth cut thresholds for b buckets (k/b − ε for k < b) are a
+// subset of those for 2b (k/(2b) − ε), so every b-bucket is a union of
+// 2b-buckets and its probability-weighted spread dominates the sum of its
+// parts' spreads.
+func TestPropRebucketErrorBoundDoublingMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := genWideDist(rng)
+		for _, b := range []int{1, 2, 4, 8, 16, 32} {
+			lo, hi := RebucketErrorBound(d, 2*b), RebucketErrorBound(d, b)
+			if lo > hi+1e-9 {
+				t.Logf("seed %d b=%d: bound grew under doubling: %v > %v", seed, b, lo, hi)
+				return false
+			}
+			if lo < 0 || hi < 0 {
+				t.Logf("seed %d b=%d: negative bound (%v, %v)", seed, b, lo, hi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRebucketErrorBoundSoundness: the bound really bounds what
+// Rebucket can do to an expectation of any 1-Lipschitz function. The
+// identity function is the extremal 1-Lipschitz witness; Rebucket preserves
+// the mean exactly, so also probe E[min(x, c)] for random clamps c, which
+// rebucketing genuinely displaces.
+func TestPropRebucketErrorBoundSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := genWideDist(rng)
+		for _, b := range []int{2, 5, 16} {
+			r := Rebucket(d, b)
+			bound := RebucketErrorBound(d, b)
+			for trial := 0; trial < 4; trial++ {
+				c := d.Min() + rng.Float64()*(d.Max()-d.Min())
+				clamp := func(x float64) float64 {
+					if x > c {
+						return c
+					}
+					return x
+				}
+				got := r.Expect(clamp) - d.Expect(clamp)
+				if got < 0 {
+					got = -got
+				}
+				if got > bound+1e-9*(1+bound) {
+					t.Logf("seed %d b=%d c=%v: displacement %v exceeds bound %v", seed, b, c, got, bound)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRebucketErrorBoundZeroWhenNoRebucket: when the distribution already
+// fits the budget the bound is exactly zero.
+func TestRebucketErrorBoundZeroWhenNoRebucket(t *testing.T) {
+	d := MustNew([]float64{1, 2, 3}, []float64{1, 1, 1})
+	for _, b := range []int{3, 4, 100} {
+		if got := RebucketErrorBound(d, b); got != 0 {
+			t.Errorf("b=%d: bound %v, want 0", b, got)
+		}
+	}
+	if got := RebucketErrorBound(d, 1); got <= 0 {
+		t.Errorf("b=1: bound %v, want > 0 (all mass in one bucket spanning the support)", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -148,7 +149,12 @@ type Decision struct {
 	// DegradeRung names the ladder rung that produced a degraded plan
 	// (RungPartial or RungGreedy; empty for a completed search).
 	DegradeRung string
-	env         Environment
+	// Trace is the structured decision trace — per-subset winner/runner-up
+	// decisions and every finished root candidate — populated only when
+	// Options.Trace is set. Render it with Trace.Render() or serialize it
+	// as JSON.
+	Trace *obs.Trace
+	env   Environment
 }
 
 // Explain renders the plan tree with its cost summary.
@@ -237,6 +243,7 @@ func (o *Optimizer) newDecision(s Strategy, res *opt.Result, q *query.SPJ, env E
 		Degraded:      res.Degraded,
 		DegradeReason: res.Reason,
 		DegradeRung:   res.Rung,
+		Trace:         res.Trace,
 		env:           env,
 	}
 }
@@ -345,6 +352,14 @@ type (
 	Budget = opt.Budget
 	// DegradeReason says why a Decision is degraded.
 	DegradeReason = opt.DegradeReason
+	// Trace is the structured decision trace (see Decision.Trace and
+	// Options.Trace).
+	Trace = obs.Trace
+	// TraceEvent is one per-subset DP decision inside a Trace.
+	TraceEvent = obs.TraceEvent
+	// OptMetrics is the engine's registry-backed metric bundle (see
+	// Options.Metrics and obs.NewOptMetrics).
+	OptMetrics = obs.OptMetrics
 )
 
 // Engine spaces.
