@@ -28,11 +28,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The unified engine shares memo tables and a plan arena across runs;
-# the race detector over its package (and the public API that drives it)
-# guards that sharing.
+# The unified engine shares memo tables and a plan arena across runs, and
+# the level-synchronized parallel driver shares both across worker
+# goroutines; run the optimizer package at -cpu 1,4 so the parallel DP's
+# locking is exercised both starved and oversubscribed.
 race:
-	$(GO) test -race ./internal/opt ./lec
+	$(GO) test -race -cpu 1,4 ./internal/opt
+	$(GO) test -race ./lec
 
 # The serving layer is all shared mutable state (cache shards, admission
 # channels, breakers, catalog RWMutex); run its suite twice under the race
@@ -40,8 +42,12 @@ race:
 serve-race:
 	$(GO) test -race -count=2 ./internal/serve/... ./internal/obs ./cmd/lecd/...
 
+# -cpu=1 pins GOMAXPROCS so ns/op is comparable across hosts and against
+# the checked-in baseline (BenchmarkDPCoreParallel sizes its worker pool
+# from GOMAXPROCS). For the multi-core scaling sweep run
+# `go test -bench=BenchmarkDPCoreParallel -cpu 1,2,4 ./internal/opt`.
 bench:
-	$(GO) test -bench=BenchmarkDPCore -benchmem -run=^$$ ./internal/opt
+	$(GO) test -bench=BenchmarkDPCore -benchmem -cpu=1 -run=^$$ ./internal/opt
 
 # Combined coverage over the optimizer core, the serving layer, and the
 # observability package; fails below COVER_MIN percent.
@@ -56,7 +62,7 @@ cover:
 # median-ratio normalization (see cmd/benchsmoke): a uniformly slower machine
 # passes, a single benchmark drifting >30% from its peers fails.
 bench-smoke:
-	$(GO) test -bench=BenchmarkDPCore -benchmem -run=^$$ ./internal/opt > /tmp/lec-bench-cur.txt; \
+	$(GO) test -bench=BenchmarkDPCore -benchmem -cpu=1 -run=^$$ ./internal/opt > /tmp/lec-bench-cur.txt; \
 		status=$$?; cat /tmp/lec-bench-cur.txt; exit $$status
 	$(GO) run ./cmd/benchsmoke -base internal/opt/testdata/dpcore_bench_baseline.txt -cur /tmp/lec-bench-cur.txt
 

@@ -9,6 +9,7 @@
 //	lecd -demo                              # paper's Example 1.1 catalog
 //	lecd -catalog schema.txt -addr :7077
 //	lecd -demo -workers 4 -queue 32 -timeout 2s
+//	lecd -demo -workers 4 -parallelism 4     # multi-core plan search per request
 //
 // Endpoints:
 //
@@ -89,6 +90,7 @@ func run(args []string, out, errOut io.Writer) error {
 	demo := fs.Bool("demo", false, "serve the paper's Example 1.1 catalog (and default query)")
 	catalogPath := fs.String("catalog", "", "catalog description file")
 	workers := fs.Int("workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
+	parallelism := fs.Int("parallelism", 1, "per-request engine parallelism ceiling, degraded toward 1 as worker slots fill")
 	queue := fs.Int("queue", 0, "queued requests beyond workers before shedding (0 = default 64)")
 	cache := fs.Int("cache", 0, "plan cache capacity (0 = default 512, negative disables)")
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request optimization deadline")
@@ -118,6 +120,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	d.svc = serve.New(cat, serve.Config{
 		Workers:        *workers,
+		Parallelism:    *parallelism,
 		QueueDepth:     *queue,
 		CacheCapacity:  *cache,
 		DefaultTimeout: *timeout,

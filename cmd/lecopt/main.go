@@ -11,6 +11,7 @@
 //	lecopt -demo -strategy c -explain       # engine instrumentation counters
 //	lecopt -demo -strategy c -trace         # per-subset DP decision trace
 //	lecopt -demo -timeout 50ms -budget 1000 # fail-soft: bounded optimization
+//	lecopt -demo -strategy c -parallel 0    # multi-core DP (0 = all cores)
 //
 // The -mem spec is "value:probability, ..." (weights are normalized). The
 // catalog file format is documented in internal/catalog.Load.
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 
@@ -102,6 +104,7 @@ func run(args []string, out, errOut io.Writer) error {
 	trace := fs.Bool("trace", false, "record and print the per-subset DP decision trace (single -strategy runs)")
 	timeout := fs.Duration("timeout", 0, "optimization deadline; on expiry a degraded fallback plan is returned (0 = none)")
 	budget := fs.Int("budget", 0, "max cost-formula evaluations per optimization; on exhaustion a degraded fallback plan is returned (0 = unlimited)")
+	parallel := fs.Int("parallel", 1, "DP search parallelism: worker goroutines per level (0 = GOMAXPROCS); plans are identical at any setting")
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: lecopt (-demo | -catalog <file>) [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -184,7 +187,10 @@ serving:
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}, Trace: *trace})
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}, Trace: *trace, Parallelism: *parallel})
 	fmt.Fprintf(out, "query:  %s\nmemory: %s\n\n", queryText, dm)
 
 	if *choice {

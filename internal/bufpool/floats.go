@@ -1,0 +1,37 @@
+package bufpool
+
+import "sync"
+
+// Floats is a process-wide recycler for float64 scratch slices. The batched
+// expected-cost kernel (internal/cost) materializes per-session bucket
+// vectors — values, probabilities, derived block sizes — whose lifetimes are
+// one optimizer session; recycling them keeps Algorithm A/B bucket loops
+// from re-allocating the same vectors once per bucket. The pool is
+// best-effort: slices whose capacity no longer fits a request are dropped on
+// the floor for the GC.
+var floats sync.Pool
+
+// GetFloats returns a zeroed float64 slice of length n, reusing pooled
+// backing storage when a large-enough slice is available.
+func GetFloats(n int) []float64 {
+	if v := floats.Get(); v != nil {
+		s := v.([]float64)
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutFloats returns a slice obtained from GetFloats to the pool. The caller
+// must not retain any reference to s afterwards.
+func PutFloats(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	floats.Put(s[:0:cap(s)])
+}

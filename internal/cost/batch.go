@@ -1,0 +1,173 @@
+package cost
+
+import (
+	"math"
+
+	"repro/internal/bufpool"
+	"repro/internal/stats"
+)
+
+// This file is the batched expected-cost kernel. The DP inner loop prices
+// every join method for one (left, right) candidate pair back to back, and
+// the per-method expectations walk the same memory buckets with the same
+// per-pair invariants (max, min, a+b, the √ and ⁴√ thresholds). The batch
+// entry points hoist the per-session work — clamped bucket vectors, prefix
+// tables — out of the per-candidate path and evaluate all methods in one
+// fused pass, producing bit-identical values to the per-method routines
+// (ExpJoinCostMem, ExpJoinCost3): each method's accumulator sees exactly the
+// same floating-point operations in the same order.
+
+// NumMethods is the number of join methods — the length of the per-method
+// output vectors of the batched kernels, indexed by the Method constants
+// (Methods() order).
+const NumMethods = numMethods
+
+// JoinCosts evaluates Φ(m, a, b, mem) for every method in one call, writing
+// out[m] = JoinCost(m, a, b, mem). It is the b = 1 (fixed-parameter) batch.
+func JoinCosts(a, b, mem float64, out *[NumMethods]float64) {
+	if mem < 1 {
+		mem = 1
+	}
+	out[SortMerge] = sortMergeCost(a, b, mem)
+	out[GraceHash] = graceHashCost(a, b, mem)
+	out[NestedLoop] = nestedLoopCost(a, b, mem)
+	out[BlockNL] = blockNLCost(a, b, mem)
+}
+
+// MemBatch precomputes the bucket vectors of one memory distribution for
+// fused all-methods expectation: the values clamped to ≥ 1 page (JoinCost's
+// clamp), the probabilities, and BlockNL's per-bucket block size. Build one
+// per session (per phase distribution) and reuse it for every candidate;
+// Release returns the scratch vectors to the shared pool.
+type MemBatch struct {
+	n      int
+	vals   []float64 // memory values clamped to ≥ 1, in Dist bucket order
+	probs  []float64
+	blocks []float64 // max(1, mem−2): BlockNL's block size per bucket
+}
+
+// NewMemBatch builds the bucket vectors for dm using pooled scratch slices.
+func NewMemBatch(dm *stats.Dist) *MemBatch {
+	n := dm.Len()
+	mb := &MemBatch{
+		n:      n,
+		vals:   bufpool.GetFloats(n),
+		probs:  bufpool.GetFloats(n),
+		blocks: bufpool.GetFloats(n),
+	}
+	for i := 0; i < n; i++ {
+		v := dm.Value(i)
+		if v < 1 {
+			v = 1
+		}
+		mb.vals[i] = v
+		mb.probs[i] = dm.Prob(i)
+		bl := v - 2
+		if bl < 1 {
+			bl = 1
+		}
+		mb.blocks[i] = bl
+	}
+	return mb
+}
+
+// Len returns the bucket count of the underlying distribution.
+func (mb *MemBatch) Len() int { return mb.n }
+
+// Release returns the batch's scratch vectors to the pool. The batch must
+// not be used afterwards.
+func (mb *MemBatch) Release() {
+	bufpool.PutFloats(mb.vals)
+	bufpool.PutFloats(mb.probs)
+	bufpool.PutFloats(mb.blocks)
+	mb.vals, mb.probs, mb.blocks = nil, nil, nil
+}
+
+// ExpJoinCosts writes out[m] = ExpJoinCostMem(m, a, b, dm) for every method
+// in one pass over the buckets. Per-pair invariants (the formulas' max, min,
+// sum and the √/⁴√ case thresholds) are hoisted; each bucket contributes to
+// each method's accumulator with exactly the arithmetic the per-method
+// Dist.Expect walk performs, so the results are bit-identical.
+func (mb *MemBatch) ExpJoinCosts(a, b float64, out *[NumMethods]float64) {
+	l := math.Max(a, b)
+	s := math.Min(a, b)
+	sum := a + b
+	rl := math.Sqrt(l)
+	rrl := math.Sqrt(rl)
+	rs := math.Sqrt(s)
+	rrs := math.Sqrt(rs)
+	thr := s + 2
+	nlExp := a + a*b
+	aPos := a > 0
+	var sm, gh, nl, bnl float64
+	for i, mem := range mb.vals {
+		p := mb.probs[i]
+		var f float64
+		switch { // smFactor(l, mem)
+		case mem > rl:
+			f = 2
+		case mem > rrl:
+			f = 4
+		default:
+			f = 6
+		}
+		sm += f * sum * p
+		switch { // ghFactor(s, mem)
+		case mem > rs:
+			f = 2
+		case mem > rrs:
+			f = 4
+		default:
+			f = 6
+		}
+		gh += f * sum * p
+		if mem >= thr { // nestedLoopCost's cache threshold
+			nl += sum * p
+		} else {
+			nl += nlExp * p
+		}
+		if aPos {
+			bnl += (a + math.Ceil(a/mb.blocks[i])*b) * p
+		} else {
+			bnl += b * p
+		}
+	}
+	out[SortMerge] = sm
+	out[GraceHash] = gh
+	out[NestedLoop] = nl
+	out[BlockNL] = bnl
+}
+
+// MemTable is the per-session precomputation for the three-distribution
+// expectation E[Φ(m, A, B, M)]: the memory distribution clamped once (the
+// fast routines' JoinCost-clamp agreement) and its prefix table built once,
+// shared across every candidate and every method.
+type MemTable struct {
+	raw     *stats.Dist
+	clamped *stats.Dist
+	table   *stats.PrefixTable
+}
+
+// NewMemTable builds the shared memory-side tables for dm.
+func NewMemTable(dm *stats.Dist) *MemTable {
+	c := clampMem(dm)
+	return &MemTable{raw: dm, clamped: c, table: stats.NewPrefixTable(c)}
+}
+
+// Dist returns the raw (unclamped) distribution the table was built from.
+func (mt *MemTable) Dist() *stats.Dist { return mt.raw }
+
+// ExpJoinCosts3 writes out[m] = ExpJoinCost3(m, da, db, mt.Dist()) for every
+// method, building the operand prefix tables once and sharing them (and the
+// session memory table) across the sort-merge, Grace-hash and nested-loop
+// sweeps. BlockNL has no piecewise-constant structure and keeps its naive
+// product, exactly as ExpJoinCost3 does. Table construction is a pure
+// function of the distributions and the sweeps are read-only, so each
+// method's value is bit-identical to its per-method call.
+func ExpJoinCosts3(da, db *stats.Dist, mt *MemTable, out *[NumMethods]float64) {
+	ta, tb := stats.NewPrefixTable(da), stats.NewPrefixTable(db)
+	out[SortMerge] = fastExpSortMergeT(ta, tb, mt.table)
+	out[GraceHash] = fastExpGraceHashT(ta, tb, mt.table)
+	out[NestedLoop] = fastExpNestedLoopT(ta, tb, mt.table)
+	out[BlockNL] = ExpJoinCost3Naive(BlockNL, da, db, mt.clamped)
+}

@@ -1,0 +1,118 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// randDist builds a random positive distribution with n buckets, optionally
+// including sub-page memory values so the clamp path is exercised.
+func randDist(rng *rand.Rand, n int, subPage bool) *stats.Dist {
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		v := math.Exp(rng.Float64()*12 - 2) // ~0.14 .. 22026
+		if !subPage && v < 1 {
+			v += 1
+		}
+		vals[i] = v
+		weights[i] = rng.Float64() + 0.01
+	}
+	return stats.MustNew(vals, weights)
+}
+
+// bitsEqual fails the test unless got and want are the same float64 bit
+// pattern — the batched kernels promise bit-identity, not tolerance.
+func bitsEqual(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("%s: got %v (%#x), want %v (%#x)",
+			label, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestJoinCostsMatchesJoinCost checks the fixed-memory batch against the
+// per-method formula, including the mem < 1 clamp and a = 0.
+func TestJoinCostsMatchesJoinCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := [][3]float64{
+		{0, 500, 100}, {500, 0, 100}, {0, 0, 1}, {1, 1, 0.25}, {3, 7, 2},
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, [3]float64{
+			math.Exp(rng.Float64() * 10), math.Exp(rng.Float64() * 10),
+			math.Exp(rng.Float64()*8 - 2),
+		})
+	}
+	var out [NumMethods]float64
+	for _, c := range cases {
+		a, b, mem := c[0], c[1], c[2]
+		JoinCosts(a, b, mem, &out)
+		for _, m := range Methods() {
+			bitsEqual(t, m.String(), out[m], JoinCost(m, a, b, mem))
+		}
+	}
+}
+
+// TestMemBatchMatchesExpJoinCostMem checks the fused bucket pass against the
+// per-method Dist.Expect walk bit for bit across random sizes and memory
+// distributions (with and without sub-page buckets that trigger clamping).
+func TestMemBatchMatchesExpJoinCostMem(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		dm := randDist(rng, 1+rng.Intn(9), trial%2 == 0)
+		mb := NewMemBatch(dm)
+		var out [NumMethods]float64
+		for pair := 0; pair < 20; pair++ {
+			a := math.Exp(rng.Float64() * 11)
+			b := math.Exp(rng.Float64() * 11)
+			if pair == 0 {
+				a = 0
+			}
+			mb.ExpJoinCosts(a, b, &out)
+			for _, m := range Methods() {
+				bitsEqual(t, m.String(), out[m], ExpJoinCostMem(m, a, b, dm))
+			}
+		}
+		mb.Release()
+	}
+}
+
+// TestExpJoinCosts3MatchesExpJoinCost3 checks the shared-table batch against
+// the per-method three-distribution routine bit for bit. Sub-page memory
+// buckets exercise the clamp (which can merge duplicate clamped values).
+func TestExpJoinCosts3MatchesExpJoinCost3(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		dm := randDist(rng, 1+rng.Intn(7), trial%2 == 0)
+		mt := NewMemTable(dm)
+		var out [NumMethods]float64
+		for pair := 0; pair < 10; pair++ {
+			da := randDist(rng, 1+rng.Intn(6), false)
+			db := randDist(rng, 1+rng.Intn(6), false)
+			ExpJoinCosts3(da, db, mt, &out)
+			for _, m := range Methods() {
+				bitsEqual(t, m.String(), out[m], ExpJoinCost3(m, da, db, dm))
+			}
+		}
+	}
+}
+
+// TestMemBatchReuseAfterRelease ensures pooled scratch reuse yields correct
+// vectors for a different-sized successor batch.
+func TestMemBatchReuseAfterRelease(t *testing.T) {
+	d1 := stats.MustNew([]float64{0.5, 200, 700, 1500, 3000}, []float64{0.1, 0.2, 0.4, 0.2, 0.1})
+	mb := NewMemBatch(d1)
+	mb.Release()
+	d2 := stats.MustNew([]float64{100, 900}, []float64{0.5, 0.5})
+	mb2 := NewMemBatch(d2)
+	defer mb2.Release()
+	var out [NumMethods]float64
+	mb2.ExpJoinCosts(123, 4567, &out)
+	for _, m := range Methods() {
+		bitsEqual(t, m.String(), out[m], ExpJoinCostMem(m, 123, 4567, d2))
+	}
+}

@@ -90,7 +90,13 @@ func (k *kappaSweeps) at(x float64) float64 {
 //	E[Φ·1{A≤B}] = Σ_b Pr[B=b]·κ(b)·( Σ_{a≤b} a·Pr[A=a] + b·Pr[A≤b] )
 //	E[Φ·1{A>B}] = Σ_a Pr[A=a]·κ(a)·( Σ_{b<a} b·Pr[B=b] + a·Pr[B<a] )
 func fastExpSortMerge(da, db, dm *stats.Dist) float64 {
-	ta, tb, tm := stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm)
+	return fastExpSortMergeT(stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm))
+}
+
+// fastExpSortMergeT is fastExpSortMerge over prebuilt prefix tables, so the
+// batched kernel (ExpJoinCosts3) can share one table set across methods.
+func fastExpSortMergeT(ta, tb, tm *stats.PrefixTable) float64 {
+	da, db := ta.Dist(), tb.Dist()
 
 	total := 0.0
 	// Term 1: A ≤ B, larger input is B. Iterate b ascending.
@@ -125,7 +131,12 @@ func fastExpSortMerge(da, db, dm *stats.Dist) float64 {
 //	E[Φ·1{A≤B}] = Σ_a Pr[A=a]·κ(a)·( a·Pr[B≥a] + Σ_{b≥a} b·Pr[B=b] )
 //	E[Φ·1{A>B}] = Σ_b Pr[B=b]·κ(b)·( b·Pr[A>b] + Σ_{a>b} a·Pr[A=a] )
 func fastExpGraceHash(da, db, dm *stats.Dist) float64 {
-	ta, tb, tm := stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm)
+	return fastExpGraceHashT(stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm))
+}
+
+// fastExpGraceHashT is fastExpGraceHash over prebuilt prefix tables.
+func fastExpGraceHashT(ta, tb, tm *stats.PrefixTable) float64 {
+	da, db := ta.Dist(), tb.Dist()
 
 	total := 0.0
 	// Term 1: A ≤ B, smaller input is A. Pr[B ≥ a] = 1 − Pr[B < a].
@@ -168,7 +179,12 @@ func fastExpGraceHash(da, db, dm *stats.Dist) float64 {
 // where PB≥ = Pr[B ≥ a], PE_B≥ = Σ_{b≥a} b·Pr[B=b], PA> = Pr[A > b],
 // PE_A> = Σ_{a>b} a·Pr[A=a].
 func fastExpNestedLoop(da, db, dm *stats.Dist) float64 {
-	ta, tb, tm := stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm)
+	return fastExpNestedLoopT(stats.NewPrefixTable(da), stats.NewPrefixTable(db), stats.NewPrefixTable(dm))
+}
+
+// fastExpNestedLoopT is fastExpNestedLoop over prebuilt prefix tables.
+func fastExpNestedLoopT(ta, tb, tm *stats.PrefixTable) float64 {
+	da, db := ta.Dist(), tb.Dist()
 
 	total := 0.0
 	// Term 1: A ≤ B (S = A). Iterate a ascending; thresholds a+2 ascend.

@@ -26,6 +26,17 @@ import (
 // consistent ("the size of the result is independent of the choice of j";
 // we always split off the lowest relation index). Memoized.
 func (ctx *Context) RowDist(s query.RelSet) *stats.Dist {
+	if p := ctx.par; p != nil {
+		p.memoMu.Lock()
+		defer p.memoMu.Unlock()
+	}
+	return ctx.rowDistLocked(s)
+}
+
+// rowDistLocked is RowDist's body; in a parallel run the whole recursion
+// happens under one hold of the run's memo lock, so a subset's distribution
+// is computed exactly once however the workers interleave.
+func (ctx *Context) rowDistLocked(s query.RelSet) *stats.Dist {
 	if d, ok := ctx.subsetRowDist.get(s); ok {
 		ctx.Count.MemoHits++
 		return d
@@ -39,7 +50,7 @@ func (ctx *Context) RowDist(s query.RelSet) *stats.Dist {
 		// The recursive call computes (and memoizes) the sub-subset's
 		// distribution before the timed region opens, so nested bucketing
 		// time is attributed exactly once.
-		left := ctx.RowDist(sj)
+		left := ctx.rowDistLocked(sj)
 		right := ctx.baseRowDist(j)
 		var t0 time.Time
 		if ctx.metrics != nil {
@@ -50,8 +61,8 @@ func (ctx *Context) RowDist(s query.RelSet) *stats.Dist {
 		if ctx.metrics != nil {
 			ctx.bucketingNanos += time.Since(t0).Nanoseconds()
 		}
-		if ctx.metrics != nil || ctx.trace != nil {
-			ctx.accumBucketErr(left, right, sel)
+		if ctx.obsWant {
+			ctx.accumBucketErr(s, left, right, sel)
 		}
 	}
 	ctx.subsetRowDist.put(s, d)
@@ -91,6 +102,9 @@ func (ctx *Context) PagesDistOf(s query.RelSet) *stats.Dist {
 type distCoster struct {
 	ctx *Context
 	dm  *stats.Dist
+	// mt is the session's precomputed memory-side tables for the fused
+	// all-methods kernel (see batch.go); built once per compile.
+	mt *cost.MemTable
 }
 
 func (dc distCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, _ int) float64 {

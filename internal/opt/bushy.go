@@ -43,61 +43,81 @@ func (o *Optimizer) runBushy() (*Result, error) {
 	full := query.FullSet(n)
 	rootBest := dpEntry{cost: math.Inf(1)}
 	var rootFound bool
-	methods := ctx.Opts.Methods
+	bp := batchFor(pr)
 
 	for d := 2; d <= n && !ctx.stopped(); d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
-			if !ctx.visitSubset() {
-				return
-			}
-			entry := dpEntry{cost: math.Inf(1)}
-			lowest := query.NewRelSet(s.Members()[0])
-			for l := (s - 1) & s; l != 0 && !ctx.stopped(); l = (l - 1) & s {
-				if !l.Contains(lowest) {
-					continue // canonical split; operand orders handled below
+			r := o.solveBushy(ctx, pr, bp, best, s, d, full)
+			applySubset(ctx, best, s, &r, &rootBest, &rootFound)
+		})
+	}
+	return o.finishBushy(ctx, rootBest, rootFound)
+}
+
+// solveBushy solves one lattice node of the all-splits DP: every canonical
+// split of s priced in both operand orders, and — at the full set — the
+// finished root candidates. Like solveLeftDeep it reads only fully-solved
+// lower levels of best and writes nothing shared. The bushy DP records no
+// trace events.
+func (o *Optimizer) solveBushy(ctx *Context, pr stepPricer, bp batchStepPricer, best []dpEntry, s query.RelSet, d int, full query.RelSet) subsetResult {
+	res := subsetResult{entry: dpEntry{cost: math.Inf(1)}, rootBest: dpEntry{cost: math.Inf(1)}}
+	if !ctx.visitSubset() {
+		return res
+	}
+	methods := ctx.Opts.Methods
+	lowest := query.NewRelSet(s.Members()[0])
+	for l := (s - 1) & s; l != 0 && !ctx.stopped(); l = (l - 1) & s {
+		if !l.Contains(lowest) {
+			continue // canonical split; operand orders handled below
+		}
+		r := s &^ l
+		le, re := best[l], best[r]
+		if le.node == nil || re.node == nil {
+			continue
+		}
+		if ctx.Opts.AvoidCrossProducts && !ctx.connected(l, r) && !crossUnavoidable(ctx, s) {
+			continue
+		}
+		base := le.cost + re.cost
+		// One batch per operand order: the batched kernel's values depend on
+		// (left, right), and both orders are priced per method.
+		var mbs [2]methodBatch
+		for _, m := range methods {
+			for oi, ord := range [2][2]dpEntry{{le, re}, {re, le}} {
+				ctx.Count.JoinSteps++
+				var stepCost float64
+				if bp != nil {
+					stepCost = ctx.priceJoinBatched(bp, &mbs[oi], m, ord[0].node, ord[1].node, s, d-2)
+				} else {
+					stepCost = ctx.priceJoin(pr, m, ord[0].node, ord[1].node, s, d-2)
 				}
-				r := s &^ l
-				le, re := best[l], best[r]
-				if le.node == nil || re.node == nil {
-					continue
+				total := base + stepCost
+				if total < res.entry.cost {
+					res.entry.cost = total
+					res.win = winStep{left: ord[0].node, right: ord[1].node, m: m}
+				} else {
+					ctx.Count.Prunes++
 				}
-				if ctx.Opts.AvoidCrossProducts && !ctx.connected(l, r) && !crossUnavoidable(ctx, s) {
-					continue
-				}
-				base := le.cost + re.cost
-				for _, m := range methods {
-					for _, ord := range [2][2]dpEntry{{le, re}, {re, le}} {
-						ctx.Count.JoinSteps++
-						stepCost := ctx.priceJoin(pr, m, ord[0].node, ord[1].node, s, d-2)
-						total := base + stepCost
-						if total < entry.cost {
-							entry = dpEntry{
-								node: ctx.newBushyJoin(ord[0].node, ord[1].node, m, s),
-								cost: total,
-							}
-						} else {
-							ctx.Count.Prunes++
-						}
-						if s == full {
-							cand := ctx.newBushyJoin(ord[0].node, ord[1].node, m, s)
-							finished, added := ctx.FinishPlan(cand)
-							ft := total
-							if added {
-								ft += ctx.priceSort(pr, cand, d-2)
-							}
-							if ft < rootBest.cost {
-								rootBest = dpEntry{node: finished, cost: ft}
-								rootFound = true
-							}
-						}
+				if s == full {
+					cand := ctx.newBushyJoin(ord[0].node, ord[1].node, m, s)
+					finished, added := ctx.FinishPlan(cand)
+					ft := total
+					if added {
+						ft += ctx.priceSort(pr, cand, d-2)
+					}
+					if ft < res.rootBest.cost {
+						res.rootBest = dpEntry{node: finished, cost: ft}
+						res.rootFound = true
 					}
 				}
 			}
-			if !math.IsInf(entry.cost, 1) {
-				best[s] = entry
-			}
-		})
+		}
 	}
+	return res
+}
+
+// finishBushy is the bushy drivers' shared epilogue.
+func (o *Optimizer) finishBushy(ctx *Context, rootBest dpEntry, rootFound bool) (*Result, error) {
 	if ctx.stopped() {
 		if rootFound {
 			return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.snapshotCount()}, nil

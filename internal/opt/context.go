@@ -82,6 +82,15 @@ type Options struct {
 	// deltas (see obs.NewOptMetrics). Off by default; safe to share across
 	// engines and goroutines.
 	Metrics *obs.OptMetrics
+	// Parallelism is the worker count of the level-synchronized parallel
+	// search (see pardp.go). 0 or 1 runs the classical sequential DP; N ≥ 2
+	// partitions each lattice level's subsets across min(N, subsets)
+	// workers. Any value produces byte-identical plans, costs, Stats and
+	// traces for runs that complete without interruption; only budget/
+	// cancellation *trip points* can differ under N ≥ 2, because the shared
+	// meters advance in schedule order. Algorithm B's top-c search and the
+	// pipelined space always run sequentially.
+	Parallelism int
 }
 
 // DefaultBudget is the default Algorithm D rebucketing budget.
@@ -220,17 +229,27 @@ type Context struct {
 	pollCountdown int
 	nonFiniteMark int
 
+	// par points at the shared state of a level-synchronized parallel run
+	// (see pardp.go); nil in sequential mode, so the hot paths pay one nil
+	// check. Worker shells share the root's par, memos and arena; their
+	// private fields (Count, marks) shard the instrumentation.
+	par           *parRun
+	parEvalMark   int // CostEvals already published to par.evals
+	parSubsetMark int // Subsets already published to par.subsets
+
 	// observability state (see obs.go): the decision-trace recorder (nil
 	// unless Options.Trace), the metrics bundle (nil unless
-	// Options.Metrics), per-run timing accumulators, and the accumulated
-	// equi-depth bucketing error bound.
+	// Options.Metrics), per-run timing accumulators, and the per-subset
+	// equi-depth bucketing error contributions (summed in ascending subset
+	// order, so the session total is schedule-independent).
 	trace          *obs.Recorder
 	metrics        *obs.OptMetrics
+	obsWant        bool // metrics or trace enabled — session-constant
 	metricsMark    Counters
 	runStart       time.Time
 	costingNanos   int64
 	bucketingNanos int64
-	bucketErrBound float64
+	bucketErr      *errMemo
 	bucketErrMark  float64
 
 	Count Counters
@@ -253,11 +272,13 @@ func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, err
 		subsetRows:    newFloatMemo(n),
 		subsetPages:   newFloatMemo(n),
 		subsetRowDist: newDistMemo(n),
+		bucketErr:     &errMemo{n: n},
 	}
 	if ctx.Opts.Trace {
 		ctx.trace = obs.NewRecorder(ctx.Opts.TraceCap)
 	}
 	ctx.metrics = ctx.Opts.Metrics
+	ctx.obsWant = ctx.metrics != nil || ctx.trace != nil
 	for i, name := range q.Tables {
 		tab, err := cat.Table(q.BaseTable(name))
 		if err != nil {
@@ -440,17 +461,30 @@ func (ctx *Context) BestScan(i int) *plan.Scan {
 
 // SubsetRows returns the estimated row count of ⋈_{i∈S} A_i: the product of
 // the filtered base cardinalities and the selectivities of every join
-// predicate internal to S. It is independent of join order.
+// predicate internal to S. It is independent of join order. In a parallel
+// run the shared memo is guarded by the run's memo lock; the compute-once
+// discipline keeps MemoHits totals schedule-independent (hits = calls −
+// distinct subsets, however calls interleave).
 func (ctx *Context) SubsetRows(s query.RelSet) float64 {
+	if p := ctx.par; p != nil {
+		p.memoMu.Lock()
+		defer p.memoMu.Unlock()
+	}
+	return ctx.subsetRowsLocked(s)
+}
+
+func (ctx *Context) subsetRowsLocked(s query.RelSet) float64 {
 	if r, ok := ctx.subsetRows.get(s); ok {
 		ctx.Count.MemoHits++
 		return r
 	}
 	rows := 1.0
 	s.ForEach(func(i int) { rows *= ctx.baseRows[i] })
-	for _, p := range ctx.Q.Joins {
-		li, ri := ctx.Q.TableIndex(p.Left.Table), ctx.Q.TableIndex(p.Right.Table)
-		if s.Has(li) && s.Has(ri) {
+	for pi, p := range ctx.Q.Joins {
+		// predSides resolved the endpoint names once at session build; the
+		// factors multiply in Q.Joins order, same as query.StepSelectivity.
+		ends := ctx.predSides[pi]
+		if s.Has(ends[0]) && s.Has(ends[1]) {
 			rows *= p.Selectivity
 		}
 	}
@@ -468,11 +502,19 @@ func (ctx *Context) SubsetPPR(s query.RelSet) float64 {
 
 // SubsetPages returns the estimated result size in pages.
 func (ctx *Context) SubsetPages(s query.RelSet) float64 {
+	if p := ctx.par; p != nil {
+		p.memoMu.Lock()
+		defer p.memoMu.Unlock()
+	}
+	return ctx.subsetPagesLocked(s)
+}
+
+func (ctx *Context) subsetPagesLocked(s query.RelSet) float64 {
 	if p, ok := ctx.subsetPages.get(s); ok {
 		ctx.Count.MemoHits++
 		return p
 	}
-	pages := ctx.SubsetRows(s) * ctx.SubsetPPR(s)
+	pages := ctx.subsetRowsLocked(s) * ctx.SubsetPPR(s)
 	if s.Len() == 1 {
 		pages = ctx.basePages[s.Single()]
 	}
@@ -490,7 +532,20 @@ func (ctx *Context) SubsetPages(s query.RelSet) float64 {
 // which the DP does once per lattice extension, and Algorithms A/B once per
 // memory bucket on top of that.
 func (ctx *Context) NewJoin(left plan.Node, right *plan.Scan, m cost.Method, s query.RelSet, j int) *plan.Join {
-	jn, isNew := ctx.arena.Join(left, right, m)
+	var jn *plan.Join
+	var isNew bool
+	if p := ctx.par; p != nil {
+		// The lock covers only the intern probe. Filling the estimate fields
+		// outside it is safe: within a level exactly one task interns each
+		// candidate structure (a left-deep node's (S\{j}, j, method) key
+		// determines S), so no other worker touches a node until the level
+		// barrier publishes it.
+		p.arenaMu.Lock()
+		jn, isNew = ctx.arena.Join(left, right, m)
+		p.arenaMu.Unlock()
+	} else {
+		jn, isNew = ctx.arena.Join(left, right, m)
+	}
 	if isNew {
 		ctx.Count.PlansBuilt++
 		jn.Preds = ctx.stepPreds(s.Without(j), j)
@@ -530,6 +585,10 @@ func (ctx *Context) FinishPlan(n plan.Node) (plan.Node, bool) {
 		return n, false
 	}
 	col := *ctx.Q.OrderBy
+	if p := ctx.par; p != nil {
+		p.arenaMu.Lock()
+		defer p.arenaMu.Unlock()
+	}
 	st, isNew := ctx.arena.Sort(n, col)
 	if isNew {
 		ctx.Count.PlansBuilt++

@@ -69,6 +69,152 @@ type dpEntry struct {
 	cost float64
 }
 
+// winStep identifies a subset's winning join without materializing it: the
+// operands and method of the cheapest candidate. The node itself is interned
+// by applySubset during the (single-threaded, task-ordered) merge, which
+// keeps the plan arena — and its lock — entirely out of the workers' solve
+// loops. scan is set for left-deep winners, right for bushy ones.
+type winStep struct {
+	left  plan.Node
+	right plan.Node
+	scan  *plan.Scan
+	m     cost.Method
+	j     int
+}
+
+func (w *winStep) found() bool { return w.scan != nil || w.right != nil }
+
+// subsetResult is everything solving one lattice node produces: the best DP
+// entry (cost in entry, node deferred to win), the trace artifacts (the
+// subset's decision event and, at the full set, the finished root candidates
+// in consideration order), and the best finished root. Solvers write nothing
+// shared — the driver applies results in subset order, which is what lets
+// the parallel driver replay the sequential walk byte for byte.
+type subsetResult struct {
+	entry     dpEntry
+	win       winStep
+	event     obs.TraceEvent
+	hasEvent  bool
+	roots     []obs.RootCandidate
+	rootBest  dpEntry
+	rootFound bool
+}
+
+// solveLeftDeep solves one lattice node of the left-deep DP: the best
+// extension of every solved S\{j} by relation j, and — at the full set —
+// the finished root candidates with the ORDER BY sort charged. It reads
+// only fully-solved lower levels of best; ctx is the calling worker's
+// context (the root's in sequential mode, a shell in parallel mode).
+func (o *Optimizer) solveLeftDeep(ctx *Context, pr stepPricer, bp batchStepPricer, best []dpEntry, s query.RelSet, d int, full query.RelSet) subsetResult {
+	res := subsetResult{entry: dpEntry{cost: math.Inf(1)}, rootBest: dpEntry{cost: math.Inf(1)}}
+	if !ctx.visitSubset() {
+		return res
+	}
+	// Gate trace work on the option, not the recorder: parallel worker
+	// shells carry a nil recorder (the root flushes their events), but must
+	// still produce them.
+	wantTrace := ctx.Opts.Trace
+	var tw traceWatch
+	if wantTrace {
+		tw = newTraceWatch()
+	}
+	methods := ctx.Opts.Methods
+	s.ForEach(func(j int) {
+		if ctx.stopped() {
+			return
+		}
+		sj := s.Without(j)
+		left := best[sj]
+		if left.node == nil {
+			return
+		}
+		if !ctx.extensionAllowed(sj, j) {
+			return
+		}
+		scan := ctx.BestScan(j)
+		base := left.cost + scan.AccessCost()
+		var mb methodBatch
+		for _, m := range methods {
+			ctx.Count.JoinSteps++
+			var stepCost float64
+			if bp != nil {
+				stepCost = ctx.priceJoinBatched(bp, &mb, m, left.node, scan, s, d-2)
+			} else {
+				stepCost = ctx.priceJoin(pr, m, left.node, scan, s, d-2)
+			}
+			total := base + stepCost
+			if wantTrace {
+				tw.consider(j, m, total)
+			}
+			if total < res.entry.cost {
+				res.entry.cost = total
+				res.win = winStep{left: left.node, scan: scan, m: m, j: j}
+			} else {
+				ctx.Count.Prunes++
+			}
+			// At the root, order matters: a slightly costlier join
+			// whose sort-merge output satisfies ORDER BY can beat the
+			// cheapest join once the final sort is charged. Evaluate
+			// every root candidate with the sort included (unless the
+			// ablation flag reverts to naive handling).
+			if s == full && !ctx.Opts.NaiveOrderHandling {
+				cand := ctx.NewJoin(left.node, scan, m, s, j)
+				finished, added := ctx.FinishPlan(cand)
+				ft := total
+				if added {
+					ft += ctx.priceSort(pr, cand, d-2)
+				}
+				if wantTrace {
+					res.roots = append(res.roots, obs.RootCandidate{
+						Join: ctx.Q.Tables[j], Method: m.String(),
+						Cost: ft, Sorted: added,
+					})
+				}
+				if ft < res.rootBest.cost {
+					res.rootBest = dpEntry{node: finished, cost: ft}
+					res.rootFound = true
+				}
+			}
+		}
+	})
+	if wantTrace {
+		if e, ok := tw.event(ctx, s, d, s == full); ok {
+			res.event, res.hasEvent = e, true
+		}
+	}
+	return res
+}
+
+// applySubset merges one solved subset into the driver's state: trace
+// artifacts are flushed to the root recorder (candidates first, then the
+// decision event — the order the sequential walk emits them), the winning
+// join is interned and the DP table gains the entry, and the best finished
+// root is folded in. Called in subset order by both drivers; interning here
+// rather than in the solvers keeps the arena out of the parallel workers'
+// loops and makes PlansBuilt/MemoHits totals trivially schedule-independent.
+func applySubset(ctx *Context, best []dpEntry, s query.RelSet, r *subsetResult, rootBest *dpEntry, rootFound *bool) {
+	if tr := ctx.trace; tr != nil {
+		for _, rc := range r.roots {
+			tr.AddRoot(rc)
+		}
+		if r.hasEvent {
+			tr.Add(r.event)
+		}
+	}
+	if r.win.found() {
+		if r.win.scan != nil {
+			r.entry.node = ctx.NewJoin(r.win.left, r.win.scan, r.win.m, s, r.win.j)
+		} else {
+			r.entry.node = ctx.newBushyJoin(r.win.left, r.win.right, r.win.m, s)
+		}
+		best[s] = r.entry
+	}
+	if r.rootFound && r.rootBest.cost < rootBest.cost {
+		*rootBest = r.rootBest
+		*rootFound = true
+	}
+}
+
 // runLeftDeep executes the bottom-up dynamic program over the subset
 // lattice (paper §2.2) using the engine's pricer, returning the best
 // finished left-deep plan (with the ORDER BY sort applied if required).
@@ -89,89 +235,26 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 		s := ctx.BestScan(i)
 		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
 	}
-	tr := ctx.trace
 	ctx.traceScans()
 
 	full := query.FullSet(n)
-	var rootBest dpEntry
-	rootBest.cost = math.Inf(1)
+	rootBest := dpEntry{cost: math.Inf(1)}
 	var rootFound bool
-	methods := ctx.Opts.Methods
+	bp := batchFor(pr)
 
 	for d := 2; d <= n && !ctx.stopped(); d++ {
 		query.SubsetsOfSize(n, d, func(s query.RelSet) {
-			if !ctx.visitSubset() {
-				return
-			}
-			entry := dpEntry{cost: math.Inf(1)}
-			var tw traceWatch
-			if tr != nil {
-				tw = newTraceWatch()
-			}
-			s.ForEach(func(j int) {
-				if ctx.stopped() {
-					return
-				}
-				sj := s.Without(j)
-				left := best[sj]
-				if left.node == nil {
-					return
-				}
-				if !ctx.extensionAllowed(sj, j) {
-					return
-				}
-				scan := ctx.BestScan(j)
-				base := left.cost + scan.AccessCost()
-				for _, m := range methods {
-					ctx.Count.JoinSteps++
-					stepCost := ctx.priceJoin(pr, m, left.node, scan, s, d-2)
-					total := base + stepCost
-					if tr != nil {
-						tw.consider(j, m, total)
-					}
-					if total < entry.cost {
-						entry = dpEntry{
-							node: ctx.NewJoin(left.node, scan, m, s, j),
-							cost: total,
-						}
-					} else {
-						ctx.Count.Prunes++
-					}
-					// At the root, order matters: a slightly costlier join
-					// whose sort-merge output satisfies ORDER BY can beat the
-					// cheapest join once the final sort is charged. Evaluate
-					// every root candidate with the sort included (unless the
-					// ablation flag reverts to naive handling).
-					if s == full && !ctx.Opts.NaiveOrderHandling {
-						cand := ctx.NewJoin(left.node, scan, m, s, j)
-						finished, added := ctx.FinishPlan(cand)
-						ft := total
-						if added {
-							ft += ctx.priceSort(pr, cand, d-2)
-						}
-						if tr != nil {
-							tr.AddRoot(obs.RootCandidate{
-								Join: ctx.Q.Tables[j], Method: m.String(),
-								Cost: ft, Sorted: added,
-							})
-						}
-						if ft < rootBest.cost {
-							rootBest = dpEntry{node: finished, cost: ft}
-							rootFound = true
-						}
-					}
-				}
-			})
-			if tr != nil {
-				if e, ok := tw.event(ctx, s, d, s == full); ok {
-					tr.Add(e)
-				}
-			}
-			if !math.IsInf(entry.cost, 1) {
-				best[s] = entry
-			}
+			r := o.solveLeftDeep(ctx, pr, bp, best, s, d, full)
+			applySubset(ctx, best, s, &r, &rootBest, &rootFound)
 		})
 	}
+	return o.finishLeftDeep(ctx, pr, best, full, n, rootBest, rootFound)
+}
+
+// finishLeftDeep is the left-deep drivers' shared epilogue: the anytime
+// salvage paths when the run was interrupted, the naive-order ablation, and
+// the normal order-aware return.
+func (o *Optimizer) finishLeftDeep(ctx *Context, pr stepPricer, best []dpEntry, full query.RelSet, n int, rootBest dpEntry, rootFound bool) (*Result, error) {
 	if ctx.stopped() {
 		// Anytime: hand back the best complete root candidate found before
 		// the interruption, if the walk got that far; OptimizeCtx flags it

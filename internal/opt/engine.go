@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/cost"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -204,12 +205,14 @@ func NewOptimizer(cat *catalog.Catalog, q *query.SPJ, opts Options, cfg Config) 
 }
 
 // Reconfigure swaps the engine's configuration while keeping the session
-// state (memo tables, arena, counters).
+// state (memo tables, arena, counters). The outgoing pricer's pooled batch
+// scratch is recycled — Algorithm A/B sessions reconfigure once per bucket.
 func (o *Optimizer) Reconfigure(cfg Config) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
 	o.cfg = cfg
+	releasePricerCaches(o.pricer)
 	o.pricer = o.compile()
 	return nil
 }
@@ -262,7 +265,16 @@ func (o *Optimizer) OptimizeTop(c int) ([]plan.Node, []float64, error) {
 // and MultiParams is Algorithm D's distribution-propagating coster. The
 // config has already been validated.
 func (o *Optimizer) compile() stepPricer {
-	ctx := o.ctx
+	return o.compileFor(o.ctx)
+}
+
+// compileFor compiles the configured pricer against an arbitrary context —
+// o.ctx for the sequential engine, a worker shell for the parallel driver
+// (each worker prices through its own shell so counter shards stay private).
+// Batch-capable pricers get their per-session caches built here: the
+// phase-indexed pricer's clamped bucket vectors, Algorithm D's shared
+// memory-side prefix table.
+func (o *Optimizer) compileFor(ctx *Context) stepPricer {
 	switch obj := o.cfg.objective().(type) {
 	case ExponentialUtility:
 		return ceCoster{ctx: ctx, phases: o.phaseDists(), gamma: obj.Gamma}
@@ -273,9 +285,10 @@ func (o *Optimizer) compile() stepPricer {
 		case FixedParams:
 			return fixedCoster{ctx: ctx, mem: c.Mem}
 		case MultiParams:
-			return distCoster{ctx: ctx, dm: c.Mem}
+			return distCoster{ctx: ctx, dm: c.Mem, mt: cost.NewMemTable(c.Mem)}
 		default:
-			return phasedCoster{ctx: ctx, phases: o.phaseDists()}
+			phases := o.phaseDists()
+			return phasedCoster{ctx: ctx, phases: phases, batches: newPhaseBatches(phases)}
 		}
 	}
 }

@@ -188,7 +188,7 @@ func (o *Optimizer) traceSnapshot() *obs.Trace {
 		return nil
 	}
 	t := o.ctx.trace.Snapshot()
-	t.BucketErrBound = o.ctx.bucketErrBound
+	t.BucketErrBound = o.ctx.bucketErr.total()
 	return t
 }
 

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/cost"
@@ -10,6 +11,58 @@ import (
 	"repro/internal/query"
 	"repro/internal/stats"
 )
+
+// errMemo accumulates the per-subset equi-depth bucketing error
+// contributions (Algorithm D's rebucket spread bounds). A subset's
+// contribution depends only on the subset, so keeping the terms per subset
+// and summing them in ascending subset order makes the session total
+// independent of evaluation schedule — the parallel DP produces the same
+// float64 as the sequential one. Storage mirrors floatMemo: dense for small
+// queries, a map beyond denseMemoMaxRels.
+type errMemo struct {
+	n      int
+	dense  []float64
+	sparse map[query.RelSet]float64
+}
+
+// add accumulates v into subset s's slot. Callers in a parallel run hold the
+// run's memo lock (accumBucketErr sits inside the RowDist compute path).
+func (m *errMemo) add(s query.RelSet, v float64) {
+	if m.n <= denseMemoMaxRels {
+		if m.dense == nil {
+			m.dense = make([]float64, 1<<uint(m.n))
+		}
+		m.dense[s] += v
+		return
+	}
+	if m.sparse == nil {
+		m.sparse = make(map[query.RelSet]float64)
+	}
+	m.sparse[s] += v
+}
+
+// total sums the contributions in ascending subset order.
+func (m *errMemo) total() float64 {
+	t := 0.0
+	if m.dense != nil {
+		for _, v := range m.dense {
+			t += v
+		}
+		return t
+	}
+	if m.sparse == nil {
+		return 0
+	}
+	keys := make([]query.RelSet, 0, len(m.sparse))
+	for k := range m.sparse {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		t += m.sparse[k]
+	}
+	return t
+}
 
 // This file is the engine's observability glue: flushing per-run counter
 // deltas and phase timings to the Options.Metrics bundle, snapshotting the
@@ -26,7 +79,7 @@ func (ctx *Context) beginObs() {
 	ctx.runStart = time.Now()
 	ctx.costingNanos = 0
 	ctx.bucketingNanos = 0
-	ctx.bucketErrMark = ctx.bucketErrBound
+	ctx.bucketErrMark = ctx.bucketErr.total()
 }
 
 // flushMetrics observes one finished run on the metrics bundle: phase
@@ -58,11 +111,12 @@ func (ctx *Context) flushMetrics() {
 	m.NonFiniteCosts.Add(float64(d.NonFiniteCosts - mark.NonFiniteCosts))
 	m.Degradations.Add(float64(d.Degradations - mark.Degradations))
 	m.PanicsRecovered.Add(float64(d.PanicsRecovered - mark.PanicsRecovered))
-	m.BucketErrBound.Add(ctx.bucketErrBound - ctx.bucketErrMark)
+	bErr := ctx.bucketErr.total()
+	m.BucketErrBound.Add(bErr - ctx.bucketErrMark)
 	// Re-mark so a session that flushes twice (e.g. a bucket loop followed
 	// by an aggregation) never double-counts a delta.
 	ctx.metricsMark = ctx.Count
-	ctx.bucketErrMark = ctx.bucketErrBound
+	ctx.bucketErrMark = bErr
 }
 
 // attachTrace snapshots the recorder onto res, stamping the final outcome.
@@ -77,22 +131,22 @@ func (ctx *Context) attachTrace(res *Result) {
 	if res.Degraded {
 		t.Reason = res.Reason.String()
 	}
-	t.BucketErrBound = ctx.bucketErrBound
+	t.BucketErrBound = ctx.bucketErr.total()
 	res.Trace = t
 }
 
 // accumBucketErr adds the spread bounds of one ResultSizeDist call's input
-// rebuckets to the session's accumulated bucketing error bound (Algorithm D
-// only — the other costers never rebucket).
-func (ctx *Context) accumBucketErr(da, db, sel *stats.Dist) {
+// rebuckets to subset s's slot of the session's bucketing error memo
+// (Algorithm D only — the other costers never rebucket).
+func (ctx *Context) accumBucketErr(s query.RelSet, da, db, sel *stats.Dist) {
 	budget := ctx.Opts.RebucketBudget
 	if budget <= 0 {
 		return
 	}
 	bx, by, bz := stats.RebucketBudget3(budget)
-	ctx.bucketErrBound += stats.RebucketErrorBound(da, bx) +
-		stats.RebucketErrorBound(db, by) +
-		stats.RebucketErrorBound(sel, bz)
+	ctx.bucketErr.add(s, stats.RebucketErrorBound(da, bx)+
+		stats.RebucketErrorBound(db, by)+
+		stats.RebucketErrorBound(sel, bz))
 }
 
 // traceWatch tracks, for one relation subset, the best and second-best

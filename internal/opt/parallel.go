@@ -1,8 +1,11 @@
 package opt
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/plan"
@@ -16,23 +19,62 @@ import (
 // the b× compile-time cost of LEC approximation parallelizes perfectly.
 // The result is identical to AlgorithmA up to cost ties.
 func AlgorithmAParallel(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
+	return AlgorithmAParallelCtx(context.Background(), cat, q, opts, dm)
+}
+
+// AlgorithmAParallelCtx is AlgorithmAParallel under a request context. The
+// b invocations are spread over a bounded pool of min(parallelism, b)
+// workers pulling buckets from a shared cursor — not one goroutine per
+// bucket, so a fine-grained distribution cannot oversubscribe the host.
+// The first failing bucket cancels the remaining invocations; buckets are
+// still merged (counters, candidate dedupe, error choice) in bucket order,
+// so the outcome does not depend on worker interleaving.
+func AlgorithmAParallelCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) (*Result, error) {
 	// Validate once up front so workers cannot race on a bad query.
 	if err := q.Validate(cat); err != nil {
 		return nil, err
 	}
+	b := dm.Len()
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > b {
+		workers = b
+	}
+
+	// Each bucket's engine runs sequentially; the fan-out is across buckets.
+	// (Nesting the level-synchronized driver inside the pool would multiply
+	// goroutines without adding parallel work.)
+	bopts := opts
+	bopts.Parallelism = 1
+
 	type slot struct {
 		res *Result
 		err error
 	}
-	slots := make([]slot, dm.Len())
+	slots := make([]slot, b)
+	wc, cancel := context.WithCancel(rc)
+	defer cancel()
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < dm.Len(); i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			res, err := SystemR(cat, q, opts, dm.Value(i))
-			slots[i] = slot{res: res, err: err}
-		}(i)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= b || wc.Err() != nil {
+					return
+				}
+				res, err := SystemRCtx(wc, cat, q, bopts, dm.Value(i))
+				slots[i] = slot{res: res, err: err}
+				if err != nil {
+					cancel() // stop the other buckets early
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
 
@@ -42,6 +84,15 @@ func AlgorithmAParallel(cat *catalog.Catalog, q *query.SPJ, opts Options, dm *st
 	for i, s := range slots {
 		if s.err != nil {
 			return nil, fmt.Errorf("opt: parallel A at m=%v: %w", dm.Value(i), s.err)
+		}
+		if s.res == nil {
+			// Skipped after cancellation: some bucket failed; report it.
+			for j := i + 1; j < b; j++ {
+				if slots[j].err != nil {
+					return nil, fmt.Errorf("opt: parallel A at m=%v: %w", dm.Value(j), slots[j].err)
+				}
+			}
+			return nil, fmt.Errorf("opt: parallel A at m=%v: %w", dm.Value(i), wc.Err())
 		}
 		counters.Add(s.res.Count)
 		if key := s.res.Plan.Key(); !seen[key] {

@@ -1,0 +1,195 @@
+package opt
+
+// Determinism proof for the level-synchronized parallel DP: for every valid
+// Space × Coster × Objective configuration, a run with Parallelism N ≥ 2
+// must be byte-identical to the sequential run — same plan key, the same
+// float64 bit pattern for the cost, equal Stats counters, and a deeply
+// equal decision trace. The fault-matrix test separately checks that
+// injected faults under parallel execution still land on the anytime
+// ladder (valid plan or typed error) and never hang.
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/stats"
+)
+
+// parGridConfigs enumerates every valid engine configuration over a shared
+// memory distribution (MultiParams only prices expected cost; the pipelined
+// space always runs sequentially and is excluded).
+func parGridConfigs(dm *stats.Dist) map[string]Config {
+	chain := stats.MustNewChain(dm.Support(), [][]float64{
+		{0.7, 0.2, 0.1},
+		{0.2, 0.6, 0.2},
+		{0.1, 0.2, 0.7},
+	})
+	costers := map[string]Coster{
+		"fixed":  FixedParams{Mem: dm.Mean()},
+		"static": StaticParams{Mem: dm},
+		"phased": PhasedParams{Phases: []*stats.Dist{dm, dm.Scale(0.5), dm.Scale(2)}},
+		"markov": MarkovParams{Chain: chain, Initial: dm},
+		"multi":  MultiParams{Mem: dm},
+	}
+	objectives := map[string]Objective{
+		"expcost": ExpectedCost{},
+		"ceq":     ExponentialUtility{Gamma: 1e-5},
+		"mv":      VariancePenalized{Lambda: 1e-7},
+	}
+	spaces := map[string]Space{"leftdeep": SpaceLeftDeep, "bushy": SpaceBushy}
+	out := map[string]Config{}
+	for sn, sp := range spaces {
+		for cn, co := range costers {
+			for on, ob := range objectives {
+				if cn == "multi" && on != "expcost" {
+					continue // rejected by Config.validate
+				}
+				out[sn+"/"+cn+"/"+on] = Config{Space: sp, Coster: co, Objective: ob}
+			}
+		}
+	}
+	return out
+}
+
+// runOnce optimizes one fresh session at the given parallelism.
+func runOnce(t *testing.T, name string, cfg Config, opts Options, seed int64, n int) (*Result, Stats) {
+	t.Helper()
+	cat, q := randInstance(t, seed, n, 0, true)
+	eng, err := NewOptimizer(cat, q, opts, cfg)
+	if err != nil {
+		t.Fatalf("%s: NewOptimizer: %v", name, err)
+	}
+	res, err := eng.Optimize()
+	if err != nil {
+		t.Fatalf("%s: Optimize: %v", name, err)
+	}
+	return res, eng.Stats()
+}
+
+func TestParallelMatchesSequentialAcrossGrid(t *testing.T) {
+	dm := stats.MustNew([]float64{200, 900, 4000}, []float64{0.3, 0.4, 0.3})
+	for name, cfg := range parGridConfigs(dm) {
+		for _, seed := range []int64{7101, 7102} {
+			n := 6
+			if seed == 7102 {
+				n = 7
+			}
+			seq, seqStats := runOnce(t, name, cfg, Options{Trace: true}, seed, n)
+			for _, par := range []int{2, 4} {
+				got, gotStats := runOnce(t, name, cfg, Options{Trace: true, Parallelism: par}, seed, n)
+				if got.Plan.Key() != seq.Plan.Key() {
+					t.Errorf("%s seed %d P=%d: plan %s != sequential %s",
+						name, seed, par, got.Plan.Key(), seq.Plan.Key())
+				}
+				if math.Float64bits(got.Cost) != math.Float64bits(seq.Cost) {
+					t.Errorf("%s seed %d P=%d: cost %v (%#x) != sequential %v (%#x)",
+						name, seed, par, got.Cost, math.Float64bits(got.Cost),
+						seq.Cost, math.Float64bits(seq.Cost))
+				}
+				if gotStats != seqStats {
+					t.Errorf("%s seed %d P=%d: stats %+v != sequential %+v",
+						name, seed, par, gotStats, seqStats)
+				}
+				if got.Count != seq.Count {
+					t.Errorf("%s seed %d P=%d: result counters %+v != sequential %+v",
+						name, seed, par, got.Count, seq.Count)
+				}
+				if !reflect.DeepEqual(got.Trace, seq.Trace) {
+					t.Errorf("%s seed %d P=%d: trace diverged from sequential\npar: %+v\nseq: %+v",
+						name, seed, par, got.Trace, seq.Trace)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSessionReuse: Algorithm A's SetCoster loop over one shared
+// session must stay byte-identical under parallelism — memos, arena and
+// cumulative counters carry across the per-bucket runs.
+func TestParallelSessionReuse(t *testing.T) {
+	dm := stats.MustNew([]float64{150, 800, 5000}, []float64{0.25, 0.5, 0.25})
+	run := func(par int) ([]string, []uint64, Stats) {
+		cat, q := randInstance(t, 7203, 6, 0, true)
+		eng, err := NewOptimizer(cat, q, Options{Parallelism: par}, Config{Coster: FixedParams{Mem: dm.Value(0)}})
+		if err != nil {
+			t.Fatalf("NewOptimizer: %v", err)
+		}
+		var keys []string
+		var costs []uint64
+		for i := 0; i < dm.Len(); i++ {
+			if err := eng.SetCoster(FixedParams{Mem: dm.Value(i)}); err != nil {
+				t.Fatalf("SetCoster: %v", err)
+			}
+			res, err := eng.Optimize()
+			if err != nil {
+				t.Fatalf("Optimize: %v", err)
+			}
+			keys = append(keys, res.Plan.Key())
+			costs = append(costs, math.Float64bits(res.Cost))
+		}
+		return keys, costs, eng.Stats()
+	}
+	seqKeys, seqCosts, seqStats := run(1)
+	for _, par := range []int{2, 4} {
+		keys, costs, st := run(par)
+		if !reflect.DeepEqual(keys, seqKeys) || !reflect.DeepEqual(costs, seqCosts) {
+			t.Errorf("P=%d: per-bucket results diverged: %v / %v vs %v / %v", par, keys, costs, seqKeys, seqCosts)
+		}
+		if st != seqStats {
+			t.Errorf("P=%d: session stats %+v != sequential %+v", par, st, seqStats)
+		}
+	}
+}
+
+// TestParallelFaultMatrix: every injected fault kind under Parallelism 4
+// must end with a valid finished plan (possibly degraded) or a typed error
+// — and must not deadlock a worker or the level barrier.
+func TestParallelFaultMatrix(t *testing.T) {
+	dm := stats.MustNew([]float64{200, 900, 4000}, []float64{0.3, 0.4, 0.3})
+	faults := map[string]faultinject.Rule{
+		"nan":    {Site: faultinject.JoinCost, Kind: faultinject.KindNaN, After: 3, Every: 5},
+		"inf":    {Site: faultinject.JoinCost, Kind: faultinject.KindInf, After: 3, Every: 5},
+		"panic":  {Site: faultinject.JoinCost, Kind: faultinject.KindPanic, After: 10},
+		"cancel": {Site: faultinject.JoinCost, Kind: faultinject.KindCancel, After: 15},
+	}
+	for fname, rule := range faults {
+		for _, space := range []Space{SpaceLeftDeep, SpaceBushy} {
+			t.Run(fname+"/"+space.String(), func(t *testing.T) {
+				cat, q := randInstance(t, 7301, 6, 0, true)
+				eng, err := NewOptimizer(cat, q, Options{Parallelism: 4, Trace: true},
+					Config{Space: space, Coster: StaticParams{Mem: dm}})
+				if err != nil {
+					t.Fatalf("NewOptimizer: %v", err)
+				}
+				rc, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				in := faultinject.New(1, rule)
+				in.OnCancel(cancel)
+				faultinject.Enable(in)
+				defer faultinject.Disable()
+
+				done := make(chan struct{})
+				var res *Result
+				var oerr error
+				go func() {
+					res, oerr = eng.OptimizeCtx(rc)
+					close(done)
+				}()
+				select {
+				case <-done:
+				case <-time.After(30 * time.Second):
+					t.Fatal("parallel run hung under fault injection")
+				}
+				if oerr != nil {
+					// Typed failure is acceptable for total poisoning.
+					return
+				}
+				checkValidPlan(t, res, q, fname)
+			})
+		}
+	}
+}

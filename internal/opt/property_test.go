@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -138,5 +140,31 @@ func TestAlgorithmAParallelMatchesSerial(t *testing.T) {
 	q.Tables = append(q.Tables, "ghost")
 	if _, err := AlgorithmAParallel(cat, q, Options{}, stats.Point(100)); err == nil {
 		t.Error("invalid query accepted")
+	}
+}
+
+// TestAlgorithmAParallelCtxCancel: a cancelled request context stops the
+// bucket fan-out with a typed error instead of running the full sweep.
+func TestAlgorithmAParallelCtxCancel(t *testing.T) {
+	cat, q := randInstance(t, 3, 5, workload.Clique, true)
+	dm := randMemDist3(9100)
+	rc, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AlgorithmAParallelCtx(rc, cat, q, Options{}, dm); err == nil {
+		t.Error("pre-cancelled context produced a result")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	// A live context with a bounded pool still matches the serial sweep.
+	serial, err := AlgorithmA(cat, q, Options{}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AlgorithmAParallelCtx(context.Background(), cat, q, Options{Parallelism: 2}, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(serial.Cost, par.Cost) > costTol {
+		t.Errorf("serial %v != bounded-pool parallel %v", serial.Cost, par.Cost)
 	}
 }

@@ -58,6 +58,9 @@ func phaseDistAt(phases []*stats.Dist, phase int) *stats.Dist {
 type phasedCoster struct {
 	ctx    *Context
 	phases []*stats.Dist
+	// batches holds the per-phase clamped bucket vectors of the fused
+	// all-methods kernel (see batch.go); built once per compile.
+	batches *phaseBatches
 }
 
 func (p phasedCoster) joinStep(m cost.Method, left, right plan.Node, _ query.RelSet, phase int) float64 {
