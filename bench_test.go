@@ -53,6 +53,7 @@ func BenchmarkE16_PageLevel(b *testing.B)  { runExperiment(b, bench.E16PageLevel
 func BenchmarkE17_Aggregate(b *testing.B)  { runExperiment(b, bench.E17Aggregation) }
 func BenchmarkE18_EngineGrid(b *testing.B) { runExperiment(b, bench.E18EngineGrid) }
 func BenchmarkE19_Anytime(b *testing.B)    { runExperiment(b, bench.E19AnytimeCurve) }
+func BenchmarkE20_GraphEnum(b *testing.B)  { runExperiment(b, bench.E20GraphAwareEnumeration) }
 func BenchmarkF1_NodeDists(b *testing.B)   { runExperiment(b, bench.F1NodeDistributions) }
 
 // --- micro-benchmarks -------------------------------------------------

@@ -91,6 +91,7 @@ func run(args []string, out, errOut io.Writer) error {
 	catalogPath := fs.String("catalog", "", "catalog description file")
 	workers := fs.Int("workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
 	parallelism := fs.Int("parallelism", 1, "per-request engine parallelism ceiling, degraded toward 1 as worker slots fill")
+	enum := fs.String("enum", "exhaustive", "subset-lattice enumerator for every request: exhaustive|connected")
 	queue := fs.Int("queue", 0, "queued requests beyond workers before shedding (0 = default 64)")
 	cache := fs.Int("cache", 0, "plan cache capacity (0 = default 512, negative disables)")
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request optimization deadline")
@@ -118,12 +119,17 @@ func run(args []string, out, errOut io.Writer) error {
 	default:
 		return errors.New("need -demo or -catalog <file>")
 	}
+	enumMode, err := lec.ParseEnumeration(*enum)
+	if err != nil {
+		return err
+	}
 	d.svc = serve.New(cat, serve.Config{
 		Workers:        *workers,
 		Parallelism:    *parallelism,
 		QueueDepth:     *queue,
 		CacheCapacity:  *cache,
 		DefaultTimeout: *timeout,
+		Options:        lec.Options{Enumeration: enumMode},
 		Metrics:        d.reg,
 	})
 

@@ -12,6 +12,7 @@
 //	lecopt -demo -strategy c -trace         # per-subset DP decision trace
 //	lecopt -demo -timeout 50ms -budget 1000 # fail-soft: bounded optimization
 //	lecopt -demo -strategy c -parallel 0    # multi-core DP (0 = all cores)
+//	lecopt -demo -strategy c -enum connected # graph-aware enumeration (csg only)
 //
 // The -mem spec is "value:probability, ..." (weights are normalized). The
 // catalog file format is documented in internal/catalog.Load.
@@ -105,6 +106,7 @@ func run(args []string, out, errOut io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "optimization deadline; on expiry a degraded fallback plan is returned (0 = none)")
 	budget := fs.Int("budget", 0, "max cost-formula evaluations per optimization; on exhaustion a degraded fallback plan is returned (0 = unlimited)")
 	parallel := fs.Int("parallel", 1, "DP search parallelism: worker goroutines per level (0 = GOMAXPROCS); plans are identical at any setting")
+	enum := fs.String("enum", "exhaustive", "subset-lattice enumerator: exhaustive|connected (connected skips cross-join subsets; falls back to exhaustive on disconnected join graphs)")
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: lecopt (-demo | -catalog <file>) [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -190,7 +192,11 @@ serving:
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}, Trace: *trace, Parallelism: *parallel})
+	enumMode, err := lec.ParseEnumeration(*enum)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}, Trace: *trace, Parallelism: *parallel, Enumeration: enumMode})
 	fmt.Fprintf(out, "query:  %s\nmemory: %s\n\n", queryText, dm)
 
 	if *choice {
@@ -291,6 +297,10 @@ func printStats(out io.Writer, d *lec.Decision) {
 	s := d.Stats
 	fmt.Fprintf(out, "search: %d subsets, %d join steps, %d cost evals, %d prunes\n",
 		s.Subsets, s.JoinSteps, s.CostEvals, s.Prunes)
+	if s.SubsetsEnumerated > 0 {
+		fmt.Fprintf(out, "enum:   %v; %d lattice subsets emitted, %d skipped as disconnected\n",
+			d.Enumeration, s.SubsetsEnumerated, s.SubsetsSkipped)
+	}
 	fmt.Fprintf(out, "memo:   %d hits; arena: %d nodes, %d hits, %d built\n",
 		s.MemoHits, s.ArenaSize, s.ArenaHits, s.PlansBuilt)
 	if s.MergeCombos > 0 {

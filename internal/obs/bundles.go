@@ -11,6 +11,13 @@ type OptMetrics struct {
 	CostingSeconds     *Histogram
 	BucketingSeconds   *Histogram
 
+	// Per-enumerator mirrors of the phase histograms. The text registry has
+	// no label support, so the enumerator label is encoded in the metric
+	// name (…_seconds_exhaustive / …_seconds_connected); the unsuffixed
+	// histograms above remain the all-runs totals.
+	PhaseExhaustive *OptPhaseMetrics
+	PhaseConnected  *OptPhaseMetrics
+
 	// Counter mirrors of the engine's per-run Counters deltas.
 	Runs            *Counter
 	CostEvals       *Counter
@@ -21,6 +28,12 @@ type OptMetrics struct {
 	NonFiniteCosts  *Counter
 	Degradations    *Counter
 	PanicsRecovered *Counter
+
+	// Enumerator instruments: subsets the lattice enumerator emitted to the
+	// search, and subsets the connected enumerator pruned as disconnected.
+	// skipped / (enumerated + skipped) is the pruning fraction per shape.
+	SubsetsEnumerated *Counter
+	SubsetsSkipped    *Counter
 
 	// BucketErrBound accumulates the equi-depth spread bound Σ p·(hi−lo)
 	// over every distribution bucketed during optimization (the paper's
@@ -35,6 +48,33 @@ type OptMetrics struct {
 	ParallelRuns       *Counter
 	WorkerBusySeconds  *Counter
 	BarrierWaitSeconds *Counter
+}
+
+// OptPhaseMetrics is one enumerator's mirror of the per-phase histograms.
+type OptPhaseMetrics struct {
+	EnumerationSeconds *Histogram
+	CostingSeconds     *Histogram
+	BucketingSeconds   *Histogram
+}
+
+// Phase returns the per-enumerator phase bundle (connected or exhaustive).
+// Nil-safe: a nil *OptMetrics returns nil.
+func (m *OptMetrics) Phase(connected bool) *OptPhaseMetrics {
+	if m == nil {
+		return nil
+	}
+	if connected {
+		return m.PhaseConnected
+	}
+	return m.PhaseExhaustive
+}
+
+func newOptPhaseMetrics(reg *Registry, suffix string, buckets []float64) *OptPhaseMetrics {
+	return &OptPhaseMetrics{
+		EnumerationSeconds: reg.Histogram("lec_opt_enumeration_seconds_"+suffix, "Plan enumeration time per optimization run under the "+suffix+" enumerator.", buckets),
+		CostingSeconds:     reg.Histogram("lec_opt_costing_seconds_"+suffix, "Cost-formula evaluation time per optimization run under the "+suffix+" enumerator.", buckets),
+		BucketingSeconds:   reg.Histogram("lec_opt_bucketing_seconds_"+suffix, "Distribution bucketing/convolution time per optimization run under the "+suffix+" enumerator.", buckets),
+	}
 }
 
 // NewOptMetrics registers the optimizer's metric family on reg. Returns nil
@@ -55,6 +95,10 @@ func NewOptMetrics(reg *Registry) *OptMetrics {
 		Prunes:             reg.Counter("lec_opt_prunes_total", "Candidate plans pruned by the DP."),
 		MemoHits:           reg.Counter("lec_opt_memo_hits_total", "Memo-table hits for subset size distributions."),
 		Subsets:            reg.Counter("lec_opt_subsets_total", "Relation subsets visited by the DP."),
+		SubsetsEnumerated:  reg.Counter("lec_opt_subsets_enumerated_total", "Relation subsets emitted by the lattice enumerator."),
+		SubsetsSkipped:     reg.Counter("lec_opt_subsets_skipped_total", "Relation subsets pruned by the connected enumerator as disconnected."),
+		PhaseExhaustive:    newOptPhaseMetrics(reg, "exhaustive", phase),
+		PhaseConnected:     newOptPhaseMetrics(reg, "connected", phase),
 		JoinSteps:          reg.Counter("lec_opt_join_steps_total", "Join steps priced."),
 		NonFiniteCosts:     reg.Counter("lec_opt_nonfinite_costs_total", "Cost evaluations that produced NaN or Inf."),
 		Degradations:       reg.Counter("lec_opt_degradations_total", "Optimizations that returned a degraded (fallback) plan."),

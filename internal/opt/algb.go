@@ -84,14 +84,14 @@ func (o *Optimizer) runTopC(c int) ([]topEntry, error) {
 
 	lists := o.topTable(n)
 	for i := 0; i < n; i++ {
-		lists[query.NewRelSet(i)] = scanLists[i]
+		lists.put(query.NewRelSet(i), scanLists[i])
 	}
 	full := query.FullSet(n)
 	var roots []topEntry
 	methods := ctx.Opts.Methods
 
 	for d := 2; d <= n && !ctx.stopped(); d++ {
-		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+		ctx.forEachLevel(d, func(s query.RelSet) {
 			if !ctx.visitSubset() {
 				return
 			}
@@ -101,7 +101,9 @@ func (o *Optimizer) runTopC(c int) ([]topEntry, error) {
 					return
 				}
 				sj := s.Without(j)
-				left := lists[sj]
+				// Empty under the connected enumerator when S\{j} is
+				// disconnected — the same csg restriction as the single-best DP.
+				left := lists.get(sj)
 				if len(left) == 0 || !ctx.extensionAllowed(sj, j) {
 					return
 				}
@@ -119,7 +121,7 @@ func (o *Optimizer) runTopC(c int) ([]topEntry, error) {
 					roots = append(roots, finishEntry(ctx, pr, e, d-2))
 				}
 			}
-			lists[s] = sortTruncate(ctx, merged, c)
+			lists.put(s, sortTruncate(ctx, merged, c))
 		})
 	}
 	if ctx.stopped() && len(roots) == 0 {

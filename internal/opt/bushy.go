@@ -38,7 +38,7 @@ func (o *Optimizer) runBushy() (*Result, error) {
 	best := o.dpTable(n)
 	for i := 0; i < n; i++ {
 		s := ctx.BestScan(i)
-		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
+		best.put(query.NewRelSet(i), dpEntry{node: s, cost: s.AccessCost()})
 	}
 	full := query.FullSet(n)
 	rootBest := dpEntry{cost: math.Inf(1)}
@@ -46,7 +46,7 @@ func (o *Optimizer) runBushy() (*Result, error) {
 	bp := batchFor(pr)
 
 	for d := 2; d <= n && !ctx.stopped(); d++ {
-		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+		ctx.forEachLevel(d, func(s query.RelSet) {
 			r := o.solveBushy(ctx, pr, bp, best, s, d, full)
 			applySubset(ctx, best, s, &r, &rootBest, &rootFound)
 		})
@@ -59,7 +59,7 @@ func (o *Optimizer) runBushy() (*Result, error) {
 // finished root candidates. Like solveLeftDeep it reads only fully-solved
 // lower levels of best and writes nothing shared. The bushy DP records no
 // trace events.
-func (o *Optimizer) solveBushy(ctx *Context, pr stepPricer, bp batchStepPricer, best []dpEntry, s query.RelSet, d int, full query.RelSet) subsetResult {
+func (o *Optimizer) solveBushy(ctx *Context, pr stepPricer, bp batchStepPricer, best *dpTab, s query.RelSet, d int, full query.RelSet) subsetResult {
 	res := subsetResult{entry: dpEntry{cost: math.Inf(1)}, rootBest: dpEntry{cost: math.Inf(1)}}
 	if !ctx.visitSubset() {
 		return res
@@ -71,7 +71,10 @@ func (o *Optimizer) solveBushy(ctx *Context, pr stepPricer, bp batchStepPricer, 
 			continue // canonical split; operand orders handled below
 		}
 		r := s &^ l
-		le, re := best[l], best[r]
+		// Under the connected enumerator only connected halves were ever
+		// solved; a split across a disconnected boundary finds an empty
+		// entry and is skipped, which is the csg/cmp-pair restriction.
+		le, re := best.get(l), best.get(r)
 		if le.node == nil || re.node == nil {
 			continue
 		}

@@ -82,6 +82,16 @@ type Options struct {
 	// deltas (see obs.NewOptMetrics). Off by default; safe to share across
 	// engines and goroutines.
 	Metrics *obs.OptMetrics
+	// Enumeration selects the lattice sweep policy (see enum.go):
+	// EnumExhaustive (the default — every subset, byte-identical to the
+	// pre-seam engine) or EnumConnected (only connected subgraphs of the
+	// join graph, DPconn-style). Connected enumeration returns the same
+	// plan, cost and trace as exhaustive whenever the exhaustive winner
+	// contains no cross join, and falls back to exhaustive automatically
+	// when the join graph is disconnected. It applies to the left-deep,
+	// bushy and top-c lattice sweeps; the pipelined space and the
+	// exhaustive oracles are unaffected.
+	Enumeration Enumeration
 	// Parallelism is the worker count of the level-synchronized parallel
 	// search (see pardp.go). 0 or 1 runs the classical sequential DP; N ≥ 2
 	// partitions each lattice level's subsets across min(N, subsets)
@@ -141,6 +151,15 @@ type Counters struct {
 	MaxMergeCombos int
 	// Subsets counts lattice nodes (relation subsets) the search visited.
 	Subsets int
+	// SubsetsEnumerated counts lattice nodes the enumerator emitted to the
+	// level sweeps (before budget/cancellation gating). Equal across
+	// Parallelism settings; under EnumExhaustive it approaches 2^n.
+	SubsetsEnumerated int
+	// SubsetsSkipped counts lattice nodes the connected enumerator pruned
+	// without a visit — per level, C(n,d) minus the connected subsets
+	// emitted. Always zero under EnumExhaustive; the enumerated/skipped
+	// ratio is the observable pruning win per query shape.
+	SubsetsSkipped int
 	// JoinSteps counts join steps priced (one per method per extension).
 	JoinSteps int
 	// Prunes counts candidates considered and discarded: non-improving DP
@@ -175,6 +194,8 @@ func (c *Counters) Add(other Counters) {
 		c.MaxMergeCombos = other.MaxMergeCombos
 	}
 	c.Subsets += other.Subsets
+	c.SubsetsEnumerated += other.SubsetsEnumerated
+	c.SubsetsSkipped += other.SubsetsSkipped
 	c.JoinSteps += other.JoinSteps
 	c.Prunes += other.Prunes
 	c.MemoHits += other.MemoHits
@@ -210,6 +231,16 @@ type Context struct {
 	relPreds  [][]relPredRef // per relation: predicates touching it, in Q.Joins order
 	conn      []query.RelSet // per relation: relations it shares a predicate with
 	predSides [][2]int       // per Q.Joins entry: (left, right) relation indices (-1 if unknown)
+
+	// enumeration state (see enum.go): the effective enumerator (requested
+	// EnumConnected degrades to EnumExhaustive on disconnected graphs), the
+	// cached connected-subgraph levels, and the predicted table sizing the
+	// memos and DP tables are allocated from. The csg cache is only mutated
+	// by the drivers' level sweeps (never inside worker solvers), so shells
+	// can share it without locking.
+	enumEff Enumeration
+	csg     *query.CsgEnum
+	sizing  memoSizing
 
 	// arena interns join and sort nodes for the session.
 	arena *plan.Arena
@@ -264,15 +295,11 @@ func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, err
 	n := q.NumRels()
 	ctx := &Context{
 		Cat: cat, Q: q, Opts: opts.normalize(),
-		baseRows:      make([]float64, n),
-		basePages:     make([]float64, n),
-		ppr:           make([]float64, n),
-		scans:         make([][]*plan.Scan, n),
-		arena:         plan.NewArena(),
-		subsetRows:    newFloatMemo(n),
-		subsetPages:   newFloatMemo(n),
-		subsetRowDist: newDistMemo(n),
-		bucketErr:     &errMemo{n: n},
+		baseRows:  make([]float64, n),
+		basePages: make([]float64, n),
+		ppr:       make([]float64, n),
+		scans:     make([][]*plan.Scan, n),
+		arena:     plan.NewArena(),
 	}
 	if ctx.Opts.Trace {
 		ctx.trace = obs.NewRecorder(ctx.Opts.TraceCap)
@@ -303,6 +330,14 @@ func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, err
 		}
 	}
 	ctx.buildJoinIndex()
+	// The enumerator is built on the join index, and the memo tables are
+	// sized from the enumerator's predicted subset count — so both come
+	// after buildJoinIndex. All memo backing arrays stay lazily allocated.
+	ctx.initEnum()
+	ctx.subsetRows = newFloatMemo(ctx.sizing)
+	ctx.subsetPages = newFloatMemo(ctx.sizing)
+	ctx.subsetRowDist = newDistMemo(ctx.sizing)
+	ctx.bucketErr = &errMemo{sz: ctx.sizing}
 	return ctx, nil
 }
 

@@ -33,6 +33,10 @@ type Result struct {
 	// plan the interrupted search had finished, RungGreedy for the greedy
 	// fallback at the distribution mean.
 	Rung string
+	// Enumeration is the lattice enumerator that was actually in effect:
+	// the requested Options.Enumeration, except that EnumConnected reports
+	// EnumExhaustive when the disconnected-graph fallback engaged.
+	Enumeration Enumeration
 	// Trace is the structured decision trace, populated only when
 	// Options.Trace is set. Single-search strategies (SystemR, Algorithms
 	// C/C-dynamic/D, the LSC plans) record per-subset decisions and every
@@ -105,7 +109,7 @@ type subsetResult struct {
 // the finished root candidates with the ORDER BY sort charged. It reads
 // only fully-solved lower levels of best; ctx is the calling worker's
 // context (the root's in sequential mode, a shell in parallel mode).
-func (o *Optimizer) solveLeftDeep(ctx *Context, pr stepPricer, bp batchStepPricer, best []dpEntry, s query.RelSet, d int, full query.RelSet) subsetResult {
+func (o *Optimizer) solveLeftDeep(ctx *Context, pr stepPricer, bp batchStepPricer, best *dpTab, s query.RelSet, d int, full query.RelSet) subsetResult {
 	res := subsetResult{entry: dpEntry{cost: math.Inf(1)}, rootBest: dpEntry{cost: math.Inf(1)}}
 	if !ctx.visitSubset() {
 		return res
@@ -124,7 +128,11 @@ func (o *Optimizer) solveLeftDeep(ctx *Context, pr stepPricer, bp batchStepPrice
 			return
 		}
 		sj := s.Without(j)
-		left := best[sj]
+		// Under the connected enumerator a disconnected S\{j} was never
+		// solved, so its entry is empty and the extension is skipped — which
+		// is exactly the csg–cmp restriction: every explored plan's prefixes
+		// are connected.
+		left := best.get(sj)
 		if left.node == nil {
 			return
 		}
@@ -192,7 +200,7 @@ func (o *Optimizer) solveLeftDeep(ctx *Context, pr stepPricer, bp batchStepPrice
 // root is folded in. Called in subset order by both drivers; interning here
 // rather than in the solvers keeps the arena out of the parallel workers'
 // loops and makes PlansBuilt/MemoHits totals trivially schedule-independent.
-func applySubset(ctx *Context, best []dpEntry, s query.RelSet, r *subsetResult, rootBest *dpEntry, rootFound *bool) {
+func applySubset(ctx *Context, best *dpTab, s query.RelSet, r *subsetResult, rootBest *dpEntry, rootFound *bool) {
 	if tr := ctx.trace; tr != nil {
 		for _, rc := range r.roots {
 			tr.AddRoot(rc)
@@ -207,7 +215,7 @@ func applySubset(ctx *Context, best []dpEntry, s query.RelSet, r *subsetResult, 
 		} else {
 			r.entry.node = ctx.newBushyJoin(r.win.left, r.win.right, r.win.m, s)
 		}
-		best[s] = r.entry
+		best.put(s, r.entry)
 	}
 	if r.rootFound && r.rootBest.cost < rootBest.cost {
 		*rootBest = r.rootBest
@@ -233,7 +241,7 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 	// memory-independent.
 	for i := 0; i < n; i++ {
 		s := ctx.BestScan(i)
-		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
+		best.put(query.NewRelSet(i), dpEntry{node: s, cost: s.AccessCost()})
 	}
 	ctx.traceScans()
 
@@ -243,7 +251,7 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 	bp := batchFor(pr)
 
 	for d := 2; d <= n && !ctx.stopped(); d++ {
-		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+		ctx.forEachLevel(d, func(s query.RelSet) {
 			r := o.solveLeftDeep(ctx, pr, bp, best, s, d, full)
 			applySubset(ctx, best, s, &r, &rootBest, &rootFound)
 		})
@@ -254,7 +262,7 @@ func (o *Optimizer) runLeftDeep() (*Result, error) {
 // finishLeftDeep is the left-deep drivers' shared epilogue: the anytime
 // salvage paths when the run was interrupted, the naive-order ablation, and
 // the normal order-aware return.
-func (o *Optimizer) finishLeftDeep(ctx *Context, pr stepPricer, best []dpEntry, full query.RelSet, n int, rootBest dpEntry, rootFound bool) (*Result, error) {
+func (o *Optimizer) finishLeftDeep(ctx *Context, pr stepPricer, best *dpTab, full query.RelSet, n int, rootBest dpEntry, rootFound bool) (*Result, error) {
 	if ctx.stopped() {
 		// Anytime: hand back the best complete root candidate found before
 		// the interruption, if the walk got that far; OptimizeCtx flags it
@@ -262,7 +270,7 @@ func (o *Optimizer) finishLeftDeep(ctx *Context, pr stepPricer, best []dpEntry, 
 		if rootFound {
 			return &Result{Plan: rootBest.node, Cost: rootBest.cost, Count: ctx.snapshotCount()}, nil
 		}
-		if e := best[full]; e.node != nil {
+		if e := best.get(full); e.node != nil {
 			finished, added := ctx.FinishPlan(e.node)
 			total := e.cost
 			if added {
@@ -273,7 +281,7 @@ func (o *Optimizer) finishLeftDeep(ctx *Context, pr stepPricer, best []dpEntry, 
 		return nil, ctx.stopCause
 	}
 	if ctx.Opts.NaiveOrderHandling {
-		entry := best[full]
+		entry := best.get(full)
 		if entry.node == nil {
 			return nil, fmt.Errorf("opt: no plan found (disconnected lattice?)")
 		}

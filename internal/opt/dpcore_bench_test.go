@@ -61,6 +61,54 @@ func BenchmarkDPCore(b *testing.B) {
 	})
 }
 
+// BenchmarkDPCoreLargeN measures the connected (csg) enumerator past the
+// exhaustive engine's practical wall. A chain or cycle of n relations has
+// only O(n²) connected subgraphs, so the graph-aware DP solves n = 30 in
+// thousands of memo entries where the 2^30 lattice is out of reach; a star's
+// connected family is still 2^(n-1), so the star rows stop at n = 20 and
+// chart how the enumerator degrades toward exhaustive on dense-centered
+// graphs. Exhaustive rows are included only where they finish in reasonable
+// time (n = 15).
+func BenchmarkDPCoreLargeN(b *testing.B) {
+	dm := stats.MustNew(
+		[]float64{200, 700, 1500, 3000, 6000},
+		[]float64{0.1, 0.2, 0.4, 0.2, 0.1})
+	type row struct {
+		shape workload.Topology
+		n     int
+		enum  Enumeration
+	}
+	rows := []row{
+		{workload.Chain, 15, EnumExhaustive},
+		{workload.Chain, 15, EnumConnected},
+		{workload.Chain, 20, EnumConnected},
+		{workload.Chain, 30, EnumConnected},
+		{workload.Cycle, 15, EnumConnected},
+		{workload.Cycle, 20, EnumConnected},
+		{workload.Cycle, 30, EnumConnected},
+		{workload.Star, 15, EnumExhaustive},
+		{workload.Star, 15, EnumConnected},
+		{workload.Star, 20, EnumConnected},
+	}
+	for _, r := range rows {
+		rng := rand.New(rand.NewSource(7))
+		cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: r.n})
+		q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: r.n, Shape: r.shape, OrderBy: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := Options{Enumeration: r.enum}
+		b.Run(fmt.Sprintf("algC/%v/n%d/%v", r.shape, r.n, r.enum), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AlgorithmC(cat, q, opts, dm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDPCoreParallel measures the level-synchronized parallel driver
 // against the same workloads. Parallelism tracks GOMAXPROCS, so running
 // with -cpu 1,2,4 sweeps the sequential engine (the driver falls back to

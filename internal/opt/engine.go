@@ -183,9 +183,12 @@ type Optimizer struct {
 	cfg    Config
 	pricer stepPricer
 
-	// scratch reused across runs
-	dp        []dpEntry    // left-deep / bushy DP table, indexed by RelSet
-	top       [][]topEntry // top-c lists, indexed by RelSet
+	// scratch reused across runs. The dense slices back dpt/topt when the
+	// session's sizing is dense; sparse runs allocate fresh tables per run.
+	dp        []dpEntry    // dense left-deep / bushy DP backing, indexed by RelSet
+	top       [][]topEntry // dense top-c backing, indexed by RelSet
+	dpt       dpTab        // the current run's DP table (salvage reads it too)
+	topt      topTab       // the current run's top-c table
 	scanTops  [][]topEntry // per-relation sorted access paths (top-c)
 	scanTopsC int          // the c scanTops was truncated to
 }
@@ -316,30 +319,42 @@ func (o *Optimizer) phaseDists() []*stats.Dist {
 	}
 }
 
-// dpTable returns the cleared 2^n-entry DP table, reusing the allocation
-// across runs (node == nil marks an unsolved subset).
-func (o *Optimizer) dpTable(n int) []dpEntry {
-	size := 1 << uint(n)
-	if cap(o.dp) < size {
-		o.dp = make([]dpEntry, size)
+// dpTable returns the cleared DP table for a run (node == nil marks an
+// unsolved subset). Dense sizing reuses the 2^n backing slice across runs;
+// sparse sizing allocates a table proportional to the enumerator's
+// prediction — an n=30 chain run costs hundreds of entries, not 2^30.
+func (o *Optimizer) dpTable(n int) *dpTab {
+	if o.ctx.sizing.dense {
+		size := 1 << uint(n)
+		if cap(o.dp) < size {
+			o.dp = make([]dpEntry, size)
+		} else {
+			o.dp = o.dp[:size]
+			clear(o.dp)
+		}
+		o.dpt = dpTab{dense: o.dp}
 	} else {
-		o.dp = o.dp[:size]
-		clear(o.dp)
+		o.dpt = dpTab{sparse: newSparseTab[dpEntry](o.ctx.sizing.predict)}
 	}
-	return o.dp
+	return &o.dpt
 }
 
-// topTable returns the cleared 2^n-entry top-c list table, reusing the
-// allocation across runs.
-func (o *Optimizer) topTable(n int) [][]topEntry {
-	size := 1 << uint(n)
-	if cap(o.top) < size {
-		o.top = make([][]topEntry, size)
+// topTable returns the cleared top-c list table, with the same dense/sparse
+// split as dpTable.
+func (o *Optimizer) topTable(n int) *topTab {
+	if o.ctx.sizing.dense {
+		size := 1 << uint(n)
+		if cap(o.top) < size {
+			o.top = make([][]topEntry, size)
+		} else {
+			o.top = o.top[:size]
+			clear(o.top)
+		}
+		o.topt = topTab{dense: o.top}
 	} else {
-		o.top = o.top[:size]
-		clear(o.top)
+		o.topt = topTab{sparse: newSparseTab[[]topEntry](o.ctx.sizing.predict)}
 	}
-	return o.top
+	return &o.topt
 }
 
 // scanLists returns the per-relation access-path lists sorted ascending by

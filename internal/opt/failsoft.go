@@ -330,6 +330,9 @@ func (ctx *Context) degradeReason() DegradeReason {
 // path of the inner optimization shares this epilogue.
 func (o *Optimizer) OptimizeCtx(rc context.Context) (*Result, error) {
 	res, err := o.optimizeCtxInner(rc)
+	if res != nil {
+		res.Enumeration = o.ctx.enumEff
+	}
 	o.ctx.flushMetrics()
 	o.ctx.attachTrace(res)
 	return res, err
@@ -537,7 +540,6 @@ func (o *Optimizer) salvageSeeds(mem float64) []greedySeed {
 	deepestLen := 1
 	deepest.cost = math.Inf(1)
 	cheapest.cost = math.Inf(1)
-	size := 1 << uint(o.ctx.Q.NumRels())
 	consider := func(s query.RelSet, node plan.Node) {
 		if node == nil {
 			return
@@ -557,18 +559,11 @@ func (o *Optimizer) salvageSeeds(mem float64) []greedySeed {
 			cheapest = greedySeed{node, s, c}
 		}
 	}
-	if len(o.dp) >= size {
-		for s := 0; s < size; s++ {
-			consider(query.RelSet(s), o.dp[s].node)
-		}
-	}
-	if len(o.top) >= size {
-		for s := 0; s < size; s++ {
-			if len(o.top[s]) > 0 {
-				consider(query.RelSet(s), o.top[s][0].node)
-			}
-		}
-	}
+	// Both the single-best DP table and the top-c lists are inspected via
+	// their dense-or-sparse forms; a zero-value table (the run never built
+	// one, e.g. the pipelined space) yields nothing.
+	o.dpt.forEach(func(s query.RelSet, e dpEntry) { consider(s, e.node) })
+	o.topt.forEach(func(s query.RelSet, l []topEntry) { consider(s, l[0].node) })
 	var seeds []greedySeed
 	if deepest.node != nil {
 		seeds = append(seeds, deepest)

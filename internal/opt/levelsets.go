@@ -29,12 +29,19 @@ func QueryMemBreakpoints(cat *catalog.Catalog, q *query.SPJ, opts Options) ([]fl
 	n := q.NumRels()
 	set := map[float64]bool{}
 	// Every join step the lattice can produce: subset S joined with
-	// relation j ∉ S.
+	// relation j ∉ S. The sweep follows the configured enumerator — under
+	// EnumConnected the optimizer only ever prices extensions of connected
+	// subsets by adjacent relations, so the breakpoint set matches the
+	// steps that search can construct.
+	connectedOnly := ctx.EffectiveEnumeration() == EnumConnected
 	for d := 1; d < n; d++ {
-		query.SubsetsOfSize(n, d, func(s query.RelSet) {
+		ctx.forEachLevel(d, func(s query.RelSet) {
 			a := ctx.SubsetPages(s)
 			for j := 0; j < n; j++ {
 				if s.Has(j) {
+					continue
+				}
+				if connectedOnly && ctx.conn[j]&s == 0 {
 					continue
 				}
 				b := ctx.basePages[j]

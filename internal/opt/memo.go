@@ -8,76 +8,90 @@ import (
 )
 
 // The per-subset memo tables are on the DP's hot path: every join step asks
-// for the pages/rows of its operand subsets. For the query sizes the DP can
-// actually enumerate, a dense slice indexed by the RelSet bitmask beats a
-// map — no hashing, no bucket growth — at a memory cost of 2^n entries.
-// Past denseMemoMaxRels relations the table would dwarf the working set, so
-// the memos fall back to maps (the DP itself is Ω(2^n) and long infeasible
-// before that point; the fallback just keeps construction cheap for callers
-// that build a Context without running the full lattice).
-const denseMemoMaxRels = 20
+// for the pages/rows of its operand subsets. Their representation is driven
+// by the enumerator's predicted subset count (memoSizing, enum.go): when
+// the effective enumeration will touch a large fraction of the 2^n lattice,
+// a dense slice indexed by the RelSet bitmask beats a hash table — no
+// hashing, no bucket growth; when the enumerator predicts a sparse lattice
+// (connected enumeration over a large sparse join graph, or n past
+// denseMemoMaxRels), an open-addressed sparseTab keyed by RelSet keeps the
+// footprint proportional to the subsets actually touched — an n=30 chain
+// allocates hundreds of entries, not 2^30. Either way the backing storage
+// is allocated lazily on first put, so a Context built for inspection
+// (breakpoint analysis, admission control) costs nothing.
 
 // floatMemo memoizes a float64 per relation subset. Dense entries use NaN
 // as the "unset" sentinel — no legitimate subset statistic is NaN.
 type floatMemo struct {
-	dense []float64
-	m     map[query.RelSet]float64
+	sz     memoSizing
+	dense  []float64
+	sparse *sparseTab[float64]
 }
 
-func newFloatMemo(n int) *floatMemo {
-	if n <= denseMemoMaxRels {
-		d := make([]float64, 1<<uint(n))
-		for i := range d {
-			d[i] = math.NaN()
-		}
-		return &floatMemo{dense: d}
-	}
-	return &floatMemo{m: make(map[query.RelSet]float64)}
-}
+func newFloatMemo(sz memoSizing) *floatMemo { return &floatMemo{sz: sz} }
 
 func (fm *floatMemo) get(s query.RelSet) (float64, bool) {
 	if fm.dense != nil {
 		v := fm.dense[s]
 		return v, !math.IsNaN(v)
 	}
-	v, ok := fm.m[s]
-	return v, ok
+	if fm.sparse != nil {
+		return fm.sparse.get(s)
+	}
+	return 0, false
 }
 
 func (fm *floatMemo) put(s query.RelSet, v float64) {
+	if fm.dense == nil && fm.sparse == nil {
+		if fm.sz.dense {
+			d := make([]float64, 1<<uint(fm.sz.n))
+			for i := range d {
+				d[i] = math.NaN()
+			}
+			fm.dense = d
+		} else {
+			fm.sparse = newSparseTab[float64](fm.sz.predict)
+		}
+	}
 	if fm.dense != nil {
 		fm.dense[s] = v
 		return
 	}
-	fm.m[s] = v
+	fm.sparse.put(s, v)
 }
 
 // distMemo memoizes a distribution per relation subset (nil = unset).
 type distMemo struct {
-	dense []*stats.Dist
-	m     map[query.RelSet]*stats.Dist
+	sz     memoSizing
+	dense  []*stats.Dist
+	sparse *sparseTab[*stats.Dist]
 }
 
-func newDistMemo(n int) *distMemo {
-	if n <= denseMemoMaxRels {
-		return &distMemo{dense: make([]*stats.Dist, 1<<uint(n))}
-	}
-	return &distMemo{m: make(map[query.RelSet]*stats.Dist)}
-}
+func newDistMemo(sz memoSizing) *distMemo { return &distMemo{sz: sz} }
 
 func (dm *distMemo) get(s query.RelSet) (*stats.Dist, bool) {
 	if dm.dense != nil {
 		d := dm.dense[s]
 		return d, d != nil
 	}
-	d, ok := dm.m[s]
-	return d, ok
+	if dm.sparse != nil {
+		d, ok := dm.sparse.get(s)
+		return d, ok && d != nil
+	}
+	return nil, false
 }
 
 func (dm *distMemo) put(s query.RelSet, d *stats.Dist) {
+	if dm.dense == nil && dm.sparse == nil {
+		if dm.sz.dense {
+			dm.dense = make([]*stats.Dist, 1<<uint(dm.sz.n))
+		} else {
+			dm.sparse = newSparseTab[*stats.Dist](dm.sz.predict)
+		}
+	}
 	if dm.dense != nil {
 		dm.dense[s] = d
 		return
 	}
-	dm.m[s] = d
+	dm.sparse.put(s, d)
 }

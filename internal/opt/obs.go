@@ -2,7 +2,6 @@ package opt
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/cost"
@@ -17,28 +16,29 @@ import (
 // contribution depends only on the subset, so keeping the terms per subset
 // and summing them in ascending subset order makes the session total
 // independent of evaluation schedule — the parallel DP produces the same
-// float64 as the sequential one. Storage mirrors floatMemo: dense for small
-// queries, a map beyond denseMemoMaxRels.
+// float64 as the sequential one. Storage mirrors floatMemo: sized by the
+// enumerator's prediction, lazily allocated on first add.
 type errMemo struct {
-	n      int
+	sz     memoSizing
 	dense  []float64
-	sparse map[query.RelSet]float64
+	sparse *sparseTab[float64]
 }
 
 // add accumulates v into subset s's slot. Callers in a parallel run hold the
 // run's memo lock (accumBucketErr sits inside the RowDist compute path).
 func (m *errMemo) add(s query.RelSet, v float64) {
-	if m.n <= denseMemoMaxRels {
-		if m.dense == nil {
-			m.dense = make([]float64, 1<<uint(m.n))
+	if m.dense == nil && m.sparse == nil {
+		if m.sz.dense {
+			m.dense = make([]float64, 1<<uint(m.sz.n))
+		} else {
+			m.sparse = newSparseTab[float64](m.sz.predict)
 		}
+	}
+	if m.dense != nil {
 		m.dense[s] += v
 		return
 	}
-	if m.sparse == nil {
-		m.sparse = make(map[query.RelSet]float64)
-	}
-	m.sparse[s] += v
+	*m.sparse.ref(s) += v
 }
 
 // total sums the contributions in ascending subset order.
@@ -53,13 +53,9 @@ func (m *errMemo) total() float64 {
 	if m.sparse == nil {
 		return 0
 	}
-	keys := make([]query.RelSet, 0, len(m.sparse))
-	for k := range m.sparse {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		t += m.sparse[k]
+	for _, k := range m.sparse.keysSorted() {
+		v, _ := m.sparse.get(k)
+		t += v
 	}
 	return t
 }
@@ -101,12 +97,21 @@ func (ctx *Context) flushMetrics() {
 	m.EnumerationSeconds.Observe(enum)
 	m.CostingSeconds.Observe(costing)
 	m.BucketingSeconds.Observe(bucketing)
+	// Per-enumerator phase mirrors — the registry's label-free encoding of
+	// the enumerator label on phase timings.
+	if ph := m.Phase(ctx.enumEff == EnumConnected); ph != nil {
+		ph.EnumerationSeconds.Observe(enum)
+		ph.CostingSeconds.Observe(costing)
+		ph.BucketingSeconds.Observe(bucketing)
+	}
 	d, mark := ctx.Count, ctx.metricsMark
 	m.Runs.Inc()
 	m.CostEvals.Add(float64(d.CostEvals - mark.CostEvals))
 	m.Prunes.Add(float64(d.Prunes - mark.Prunes))
 	m.MemoHits.Add(float64(d.MemoHits - mark.MemoHits))
 	m.Subsets.Add(float64(d.Subsets - mark.Subsets))
+	m.SubsetsEnumerated.Add(float64(d.SubsetsEnumerated - mark.SubsetsEnumerated))
+	m.SubsetsSkipped.Add(float64(d.SubsetsSkipped - mark.SubsetsSkipped))
 	m.JoinSteps.Add(float64(d.JoinSteps - mark.JoinSteps))
 	m.NonFiniteCosts.Add(float64(d.NonFiniteCosts - mark.NonFiniteCosts))
 	m.Degradations.Add(float64(d.Degradations - mark.Degradations))

@@ -23,8 +23,9 @@ import (
 //     levels, evaluated with the same inner iteration orders as the
 //     sequential DP;
 //   - results are stored by task index and merged into the DP table (and
-//     the trace) in task order, which is the sequential visiting order
-//     (query.SubsetsOfSize ascending);
+//     the trace) in task order, which is the sequential visiting order (the
+//     effective enumerator's ascending level order: query.SubsetsOfSize for
+//     the exhaustive sweep, the cached csg levels for the connected one);
 //   - counters are sharded per worker shell and merged with the commutative
 //     Counters.Add; memo-hit totals are schedule-independent because the
 //     shared memos compute each subset exactly once under the run's locks
@@ -142,7 +143,7 @@ func (o *Optimizer) runLevelSync(workers int, bushy bool) (*Result, error) {
 	best := o.dpTable(n)
 	for i := 0; i < n; i++ {
 		s := ctx.BestScan(i)
-		best[query.NewRelSet(i)] = dpEntry{node: s, cost: s.AccessCost()}
+		best.put(query.NewRelSet(i), dpEntry{node: s, cost: s.AccessCost()})
 	}
 	if !bushy {
 		ctx.traceScans()
@@ -178,8 +179,11 @@ func (o *Optimizer) runLevelSync(workers int, bushy bool) (*Result, error) {
 	var tasks []query.RelSet
 	var res []subsetResult
 	for d := 2; d <= n && !ctx.stopped(); d++ {
-		tasks = tasks[:0]
-		query.SubsetsOfSize(n, d, func(s query.RelSet) { tasks = append(tasks, s) })
+		// Task generation (and csg level materialization) happens on the
+		// driver goroutine before the fan-out, in the sequential visiting
+		// order — so the per-level batches are identical per enumerator at
+		// any parallelism.
+		tasks = ctx.appendLevel(tasks[:0], d)
 		if cap(res) < len(tasks) {
 			res = make([]subsetResult, len(tasks))
 		} else {

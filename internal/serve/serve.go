@@ -567,6 +567,9 @@ type Stats struct {
 	ConfiguredParallelism, EffectiveParallelism int
 	// Generation is the current catalog generation.
 	Generation uint64
+	// Enumeration names the configured subset-lattice enumerator
+	// (Config.Options.Enumeration) every admitted run plans under.
+	Enumeration string
 	// Search accumulates the engine's own instrumentation counters
 	// (subsets, cost evals, prunes, fault events) across every run.
 	Search opt.Stats
@@ -587,6 +590,7 @@ func (s *Service) Stats() Stats {
 	}
 	st.ConfiguredParallelism = s.cfg.Parallelism
 	st.EffectiveParallelism = s.effectiveParallelism()
+	st.Enumeration = s.cfg.Options.Enumeration.String()
 	st.CacheHits, st.CacheMisses, st.Coalesced, st.Evictions, st.Invalidations = s.cache.counters()
 	st.BreakerTrips, st.BreakerResets = s.breakers.counts()
 	s.c.searchMu.Lock()

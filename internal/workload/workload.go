@@ -30,6 +30,9 @@ const (
 	Clique
 	// RandomTree joins along a random spanning tree.
 	RandomTree
+	// Cycle joins t0–t1–…–t(n-1) and closes the ring back to t0, the
+	// smallest shape with a non-tree join graph.
+	Cycle
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +46,8 @@ func (t Topology) String() string {
 		return "clique"
 	case RandomTree:
 		return "random-tree"
+	case Cycle:
+		return "cycle"
 	default:
 		return fmt.Sprintf("Topology(%d)", int(t))
 	}
@@ -147,7 +152,7 @@ func (s QuerySpec) withDefaults() QuerySpec {
 	if s.NumRels <= 0 {
 		s.NumRels = 4
 	}
-	if s.Shape < Chain || s.Shape > RandomTree {
+	if s.Shape < Chain || s.Shape > Cycle {
 		s.Shape = Chain
 	}
 	return s
@@ -203,6 +208,13 @@ func RandomQuery(rng *rand.Rand, cat *catalog.Catalog, spec QuerySpec) (*query.S
 	case RandomTree:
 		for i := 1; i < n; i++ {
 			addJoin(rng.Intn(i), i)
+		}
+	case Cycle:
+		for i := 0; i+1 < n; i++ {
+			addJoin(i, i+1)
+		}
+		if n > 2 {
+			addJoin(n-1, 0)
 		}
 	}
 	for i := 0; i < n; i++ {

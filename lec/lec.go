@@ -149,6 +149,10 @@ type Decision struct {
 	// DegradeRung names the ladder rung that produced a degraded plan
 	// (RungPartial or RungGreedy; empty for a completed search).
 	DegradeRung string
+	// Enumeration is the lattice enumerator the search actually used:
+	// the configured Options.Enumeration, unless the connected enumerator
+	// fell back to exhaustive for a disconnected join graph.
+	Enumeration Enumeration
 	// Trace is the structured decision trace — per-subset winner/runner-up
 	// decisions and every finished root candidate — populated only when
 	// Options.Trace is set. Render it with Trace.Render() or serialize it
@@ -243,6 +247,7 @@ func (o *Optimizer) newDecision(s Strategy, res *opt.Result, q *query.SPJ, env E
 		Degraded:      res.Degraded,
 		DegradeReason: res.Reason,
 		DegradeRung:   res.Rung,
+		Enumeration:   res.Enumeration,
 		Trace:         res.Trace,
 		env:           env,
 	}
@@ -275,6 +280,7 @@ func (o *Optimizer) optimizeAggregate(ctx context.Context, q *query.SPJ, env Env
 		Degraded:      res.Degraded,
 		DegradeReason: res.Reason,
 		DegradeRung:   res.Rung,
+		Enumeration:   res.Enumeration,
 		env:           env,
 	}, nil
 }
@@ -352,6 +358,10 @@ type (
 	Budget = opt.Budget
 	// DegradeReason says why a Decision is degraded.
 	DegradeReason = opt.DegradeReason
+	// Enumeration selects the subset-lattice enumerator (see
+	// Options.Enumeration): EnumExhaustive walks every subset, EnumConnected
+	// only connected subgraphs of the join graph.
+	Enumeration = opt.Enumeration
 	// Trace is the structured decision trace (see Decision.Trace and
 	// Options.Trace).
 	Trace = obs.Trace
@@ -383,6 +393,16 @@ const (
 	RungPartial = opt.RungPartial
 	RungGreedy  = opt.RungGreedy
 )
+
+// Lattice enumerators (see Options.Enumeration).
+const (
+	EnumExhaustive = opt.EnumExhaustive
+	EnumConnected  = opt.EnumConnected
+)
+
+// ParseEnumeration parses an enumerator name ("exhaustive", "connected";
+// "" means exhaustive) for flag and config surfaces.
+func ParseEnumeration(s string) (Enumeration, error) { return opt.ParseEnumeration(s) }
 
 // OptimizeSearch plans a query block with an explicit Space × Objective
 // configuration of the unified engine. The environment supplies the coster:
