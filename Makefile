@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve-race bench bench-smoke cover fuzz
+.PHONY: check fmt vet build test race serve-race fleet-race bench bench-smoke cover fuzz
 
 # Fuzz budget per target; override with `make fuzz FUZZTIME=1m`.
 FUZZTIME ?= 10s
@@ -13,7 +13,7 @@ FUZZTIME ?= 10s
 # below it.
 COVER_MIN ?= 70
 
-check: fmt vet build test race serve-race cover
+check: fmt vet build test race serve-race fleet-race cover
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -41,6 +41,12 @@ race:
 # detector so single-flight and invalidation schedules get a second draw.
 serve-race:
 	$(GO) test -race -count=2 ./internal/serve/... ./internal/obs ./cmd/lecd/...
+
+# The fleet layer races hedges against lookups, generation adoptions
+# against propagation, and drain against snapshot writes; two runs under
+# the race detector give the fault-injection schedules a second draw.
+fleet-race:
+	$(GO) test -race -count=2 ./internal/fleet/... ./internal/faultinject/...
 
 # -cpu=1 pins GOMAXPROCS so ns/op is comparable across hosts and against
 # the checked-in baseline (BenchmarkDPCoreParallel sizes its worker pool

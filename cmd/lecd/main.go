@@ -10,6 +10,18 @@
 //	lecd -catalog schema.txt -addr :7077
 //	lecd -demo -workers 4 -queue 32 -timeout 2s
 //	lecd -demo -workers 4 -parallelism 4     # multi-core plan search per request
+//	lecd -demo -addr 127.0.0.1:7081 \
+//	     -peers 127.0.0.1:7081,127.0.0.1:7082 \
+//	     -snapshot /var/lib/lecd/plans.snap   # fleet member with warm start
+//
+// With -peers, the daemon joins a static fleet: plan-cache keys are
+// partitioned across the peers by consistent hashing, a request for a key
+// another peer owns is answered from that peer's cache (single-flight
+// preserved fleet-wide), catalog-generation bumps propagate to every peer,
+// and slow peer lookups are hedged to the key's successor. Every fleet
+// failure — partition, stale peer, slow peer, peer crash — falls back to
+// the local single-node path. -snapshot (with or without -peers) persists
+// the plan cache on drain and warm-starts it on boot.
 //
 // Endpoints:
 //
@@ -21,6 +33,9 @@
 //	GET  /healthz   process liveness (200 while the process runs)
 //	GET  /readyz    load-balancer readiness (503 once draining)
 //	GET  /statsz    service counters as JSON
+//	GET  /clusterz  fleet status as JSON ({"fleet": false} when standalone)
+//	POST /fleet/v1/lookup, /fleet/v1/propagate
+//	                the peer-to-peer protocol (mounted only with -peers)
 //
 // With -pprof, the standard net/http/pprof profiling endpoints are mounted
 // under /debug/pprof/ on the same listener.
@@ -51,10 +66,12 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/serve"
@@ -74,6 +91,9 @@ func main() {
 type daemon struct {
 	svc *serve.Service
 	reg *obs.Registry
+	// fleet, when non-nil, routes /optimize through the peer layer
+	// (-peers and/or -snapshot).
+	fleet *fleet.Node
 	// pprof mounts the net/http/pprof endpoints when set.
 	pprof bool
 	// defaultQuery and defaultMem fill omitted request fields in -demo
@@ -97,6 +117,10 @@ func run(args []string, out, errOut io.Writer) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request optimization deadline")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	peersFlag := fs.String("peers", "", "comma-separated fleet peer addresses (host:port), including this node; enables the fleet layer")
+	selfFlag := fs.String("self", "", "this node's address exactly as listed in -peers (default: -addr)")
+	snapshotFlag := fs.String("snapshot", "", "plan-cache snapshot file: warm-started at boot, saved on drain")
+	hedge := fs.Duration("hedge", 25*time.Millisecond, "peer hedge delay (slow-owner and pressured-queue hedging); negative disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,10 +157,48 @@ func run(args []string, out, errOut io.Writer) error {
 		Metrics:        d.reg,
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: d.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *peersFlag != "" || *snapshotFlag != "" {
+		self := *selfFlag
+		if self == "" {
+			self = *addr
+		}
+		var peers []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			peers = []string{self} // fleet of one: snapshots without peers
+		}
+		node, err := fleet.New(d.svc, fleet.Config{
+			Self:         self,
+			Peers:        peers,
+			Transport:    &fleet.HTTPTransport{},
+			HedgeDelay:   *hedge,
+			SnapshotPath: *snapshotFlag,
+			Metrics:      d.reg,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(errOut, "lecd: "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		d.fleet = node
+		// Warm start before the listener opens: the first request a load
+		// balancer sends must already see the replayed cache.
+		if *snapshotFlag != "" {
+			if replayed, err := node.LoadSnapshot(ctx); err == nil && replayed > 0 {
+				fmt.Fprintf(out, "lecd: warm start: replayed %d cached plans\n", replayed)
+			}
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: d.handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(out, "lecd: serving on %s\n", *addr)
@@ -152,8 +214,17 @@ func run(args []string, out, errOut io.Writer) error {
 	d.svc.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return err
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	// Snapshot after drain (the cache is flushed and sealed) and after the
+	// listener closed (no new warm-set entries); a failed save is logged by
+	// the node and must never block the exit.
+	if d.fleet != nil {
+		if err := d.fleet.SaveSnapshot(); err == nil && *snapshotFlag != "" {
+			fmt.Fprintln(out, "lecd: plan-cache snapshot saved")
+		}
+	}
+	if shutdownErr != nil {
+		return shutdownErr
 	}
 	fmt.Fprintln(out, "lecd: drained, exiting")
 	return nil
@@ -176,6 +247,16 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.svc.Stats())
 	})
+	mux.HandleFunc("/clusterz", func(w http.ResponseWriter, r *http.Request) {
+		if d.fleet == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"fleet": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, d.fleet.Status())
+	})
+	if d.fleet != nil {
+		mux.Handle("/fleet/", fleet.Handler(d.fleet))
+	}
 	mux.HandleFunc("/trace", d.handleTrace)
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	if d.pprof {
@@ -224,6 +305,12 @@ type optimizeResponse struct {
 	Coalesced bool   `json:"coalesced,omitempty"`
 	Pinned    bool   `json:"pinned,omitempty"`
 	Pressure  string `json:"pressure,omitempty"`
+	// Fleet routing diagnostics (set only when the daemon runs with -peers).
+	PeerHit  bool   `json:"peer_hit,omitempty"`
+	PeerNode string `json:"peer_node,omitempty"`
+	Hedged   bool   `json:"hedged,omitempty"`
+	HedgeWon bool   `json:"hedge_won,omitempty"`
+	FellBack bool   `json:"fell_back,omitempty"`
 }
 
 func (d *daemon) parseRequest(w http.ResponseWriter, r *http.Request) (serve.Request, context.Context, context.CancelFunc, bool) {
@@ -289,6 +376,15 @@ func (d *daemon) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	if d.fleet != nil {
+		rep, err := d.fleet.Optimize(ctx, req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleetResponse(rep))
+		return
+	}
 	resp, err := d.svc.Optimize(ctx, req)
 	if err != nil {
 		writeError(w, err)
@@ -301,6 +397,42 @@ func (d *daemon) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Pinned:       resp.Pinned,
 		Pressure:     resp.Pressure,
 	})
+}
+
+// fleetResponse flattens a fleet Reply for the client, whichever side of
+// the ring produced it.
+func fleetResponse(rep *fleet.Reply) optimizeResponse {
+	out := optimizeResponse{
+		PeerHit:  rep.PeerHit,
+		PeerNode: rep.PeerNode,
+		Hedged:   rep.Hedged,
+		HedgeWon: rep.HedgeWon,
+		FellBack: rep.FellBack,
+	}
+	if rep.Peer != nil {
+		pd := rep.Peer.Decision
+		out.decisionJSON = decisionJSON{
+			Strategy:      pd.Strategy,
+			ExpectedCost:  pd.ExpectedCost,
+			StdDev:        pd.StdDev,
+			P95:           pd.P95,
+			Degraded:      pd.Degraded,
+			DegradeReason: pd.DegradeReason,
+			DegradeRung:   pd.DegradeRung,
+			Plan:          pd.Plan,
+		}
+		out.Cached = rep.Peer.Cached
+		out.Coalesced = rep.Peer.Coalesced || rep.Coalesced
+		out.Pinned = rep.Peer.Pinned
+		out.Pressure = rep.Peer.Pressure
+		return out
+	}
+	out.decisionJSON = toDecisionJSON(rep.Local.Decision)
+	out.Cached = rep.Local.Cached
+	out.Coalesced = rep.Local.Coalesced || rep.Coalesced
+	out.Pinned = rep.Local.Pinned
+	out.Pressure = rep.Local.Pressure
+	return out
 }
 
 func (d *daemon) handleCompare(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -220,5 +221,127 @@ func TestDrainFlipsReadiness(t *testing.T) {
 func TestRunRequiresCatalog(t *testing.T) {
 	if err := run(nil, &strings.Builder{}, &strings.Builder{}); err == nil {
 		t.Fatal("run without -demo or -catalog did not fail")
+	}
+}
+
+func TestClusterzStandalone(t *testing.T) {
+	d := newDemoDaemon(t)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/clusterz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := out["fleet"]; !ok || v != false {
+		t.Errorf("/clusterz without -peers = %v, want {\"fleet\": false}", out)
+	}
+	// Without a fleet node, the peer protocol is not mounted.
+	pr, err := http.Post(ts.URL+"/fleet/v1/propagate", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusNotFound {
+		t.Errorf("/fleet/v1/propagate without -peers = %d, want 404", pr.StatusCode)
+	}
+}
+
+// newFleetDaemon builds one peered demo daemon behind a late-bound
+// httptest server, returning it once its handler (which needs the fleet
+// node, which needs every peer address) is wired.
+func newFleetDaemons(t *testing.T) map[string]*daemon {
+	t.Helper()
+	handlers := make([]http.Handler, 2)
+	servers := make([]*httptest.Server, 2)
+	for i := range servers {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handlers[i].ServeHTTP(w, r)
+		}))
+		t.Cleanup(servers[i].Close)
+	}
+	peers := []string{
+		servers[0].Listener.Addr().String(),
+		servers[1].Listener.Addr().String(),
+	}
+	daemons := make(map[string]*daemon, 2)
+	for i, addr := range peers {
+		d := newDemoDaemon(t)
+		node, err := fleet.New(d.svc, fleet.Config{
+			Self: addr, Peers: peers, Transport: &fleet.HTTPTransport{},
+			HedgeDelay: -1, Metrics: d.reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.fleet = node
+		handlers[i] = d.handler()
+		daemons[addr] = d
+	}
+	return daemons
+}
+
+// TestFleetDaemons drives two peered daemons through the public HTTP
+// surface: the demo request is optimized exactly once fleet-wide, the
+// non-owner's response is a peer hit, and /clusterz reports the routing.
+func TestFleetDaemons(t *testing.T) {
+	daemons := newFleetDaemons(t)
+
+	var outs []optimizeResponse
+	for addr := range daemons {
+		resp, err := http.Post("http://"+addr+"/optimize", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out optimizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out.Plan == "" {
+			t.Fatalf("fleet /optimize on %s: status %d, %+v", addr, resp.StatusCode, out)
+		}
+		outs = append(outs, out)
+	}
+
+	var totalOpt int64
+	var peerHits int64
+	for addr, d := range daemons {
+		totalOpt += d.svc.Stats().Optimizations
+
+		resp, err := http.Get("http://" + addr + "/clusterz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st fleet.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Self != addr || len(st.Peers) != 2 {
+			t.Errorf("/clusterz on %s: self=%q peers=%d", addr, st.Self, len(st.Peers))
+		}
+		peerHits += st.PeerHits
+	}
+	if totalOpt != 1 {
+		t.Errorf("two peered daemons ran %d optimizations for one key, want 1", totalOpt)
+	}
+	if peerHits != 1 {
+		t.Errorf("fleet recorded %d peer hits, want 1", peerHits)
+	}
+	var sawPeerHit bool
+	for _, out := range outs {
+		if out.PeerHit && out.PeerNode != "" {
+			sawPeerHit = true
+		}
+	}
+	if !sawPeerHit {
+		t.Error("no response reported a cross-node peer hit")
 	}
 }

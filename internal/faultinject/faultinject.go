@@ -42,6 +42,20 @@ const (
 	// overload path); a panic simulates a coster configuration that blows
 	// up the worker (the circuit-breaker path).
 	ServeOptimize Site = "serve/optimize"
+	// FleetPeerLookup fires once per peer plan-cache lookup issued by the
+	// fleet layer, before the transport sends it. A drop simulates a
+	// network partition toward that peer, a stall a slow peer, a panic a
+	// peer (or transport) blowing up mid-call — each must leave the
+	// requester on its single-node fallback path.
+	FleetPeerLookup Site = "fleet/peer-lookup"
+	// FleetPropagate fires once per peer per catalog-generation
+	// propagation. A drop leaves that peer on a stale generation, which
+	// the lookup protocol must then detect and reject/refresh.
+	FleetPropagate Site = "fleet/propagate"
+	// FleetSnapshot fires once per plan-cache snapshot save or load. A
+	// drop simulates a failed disk write/read; the daemon must cold-start
+	// (or exit its drain) cleanly, never crash.
+	FleetSnapshot Site = "fleet/snapshot"
 )
 
 // Kind is the failure a rule injects at its site.
@@ -70,6 +84,12 @@ const (
 	// rule is a no-op, so released workers re-hitting the site pass
 	// straight through.
 	KindHold
+	// KindDrop makes the site report that the network (or disk) dropped
+	// the operation — the partition primitive. Check returns it to the
+	// caller, which translates it into its own transport error; unlike
+	// KindPanic nothing unwinds, the operation just fails the way a
+	// severed link fails.
+	KindDrop
 )
 
 // String implements fmt.Stringer.
@@ -89,6 +109,8 @@ func (k Kind) String() string {
 		return "stall"
 	case KindHold:
 		return "hold"
+	case KindDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -234,8 +256,9 @@ func Active() *Injector { return active.Load() }
 
 // Check records a hit of the site on the active injector and executes any
 // side-effecting fault it schedules: KindPanic panics, KindStall sleeps,
-// KindCancel invokes the OnCancel hook. Value faults (KindNaN, KindInf) are
-// returned to the caller, which substitutes the corrupted cost itself.
+// KindCancel invokes the OnCancel hook. Value faults (KindNaN, KindInf,
+// KindDrop) are returned to the caller, which substitutes the corrupted
+// cost — or fails the dropped network operation — itself.
 // With no active injector it returns KindNone immediately.
 func Check(s Site) Kind {
 	in := Active()

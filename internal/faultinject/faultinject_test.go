@@ -173,6 +173,85 @@ func TestHoldParksUntilRelease(t *testing.T) {
 	}
 }
 
+func TestKindStringCoverage(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{KindNone, "none"},
+		{KindPanic, "panic"},
+		{KindNaN, "nan"},
+		{KindInf, "inf"},
+		{KindCancel, "cancel"},
+		{KindStall, "stall"},
+		{KindHold, "hold"},
+		{KindDrop, "drop"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.kind), got, c.want)
+		}
+	}
+}
+
+// TestFleetSiteKinds drives each fleet site through the kinds its callers
+// handle, alongside the existing serve/opt kinds: KindDrop is a value fault
+// (returned, nothing unwinds), stalls sleep in place, and each site's rules
+// stay isolated from its siblings.
+func TestFleetSiteKinds(t *testing.T) {
+	cases := []struct {
+		site Site
+		kind Kind
+	}{
+		{FleetPeerLookup, KindDrop},
+		{FleetPeerLookup, KindNone},
+		{FleetPropagate, KindDrop},
+		{FleetSnapshot, KindDrop},
+	}
+	for _, c := range cases {
+		t.Run(string(c.site)+"/"+c.kind.String(), func(t *testing.T) {
+			rules := []Rule{}
+			if c.kind != KindNone {
+				rules = append(rules, Rule{Site: c.site, Kind: c.kind, After: 1, Every: 1})
+			}
+			in := New(1, rules...)
+			Enable(in)
+			defer Disable()
+			if got := Check(c.site); got != c.kind {
+				t.Fatalf("Check(%s) = %v, want %v", c.site, got, c.kind)
+			}
+			// Sibling fleet sites must not fire on this site's rules.
+			for _, other := range []Site{FleetPeerLookup, FleetPropagate, FleetSnapshot} {
+				if other == c.site {
+					continue
+				}
+				if got := Check(other); got != KindNone {
+					t.Errorf("rule on %s fired at %s: %v", c.site, other, got)
+				}
+			}
+		})
+	}
+}
+
+func TestDropDoesNotUnwind(t *testing.T) {
+	in := New(1, Rule{Site: FleetPeerLookup, Kind: KindDrop, After: 2})
+	Enable(in)
+	defer Disable()
+	if k := Check(FleetPeerLookup); k != KindNone {
+		t.Fatalf("hit 1: %v, want none", k)
+	}
+	if k := Check(FleetPeerLookup); k != KindDrop {
+		t.Fatalf("hit 2: %v, want drop", k)
+	}
+	if k := Check(FleetPeerLookup); k != KindNone {
+		t.Fatalf("hit 3: %v (rule is fire-once)", k)
+	}
+	if in.Fires(FleetPeerLookup) != 1 {
+		t.Errorf("fires = %d, want 1", in.Fires(FleetPeerLookup))
+	}
+}
+
 func TestServeSitesAreDistinct(t *testing.T) {
 	in := New(1, Rule{Site: ServeAdmit, Kind: KindNaN, After: 1})
 	Enable(in)

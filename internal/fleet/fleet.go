@@ -1,0 +1,661 @@
+// Package fleet turns N serve.Services into one plan-serving cluster that
+// is never worse than a single node. It applies the paper's discipline —
+// plans chosen by expected cost must stay good across runtime conditions
+// the optimizer cannot predict — to the system that serves those plans:
+// peers partition the plan-cache key space by consistent hashing, route
+// lookups to the owner before running any local dynamic program (so a
+// fleet-wide stampede on one key runs exactly one DP in the whole
+// cluster), propagate catalog-generation bumps so an invalidation is
+// fleet-wide without a stampede, hedge slow lookups to the key's successor
+// peer, and persist the plan cache across restarts.
+//
+// The robustness contract mirrors serve's: every failure of the *fleet*
+// machinery — partition, slow peer, stale generation, peer panic, corrupt
+// snapshot — degrades to the single-node path, visibly (counters,
+// /clusterz) but never fatally. A request can fail for local reasons
+// (invalid SQL, local overload, a dead context); it can never fail because
+// a peer failed.
+//
+// Generations are a convergent maximum: every node's serve.Service counts
+// its own invalidations, propagation pushes the number to every peer, and
+// both lookup directions piggyback adoption (a responder behind the
+// requester catches up before answering; a requester behind the responder
+// adopts from the reply). Two concurrent invalidations at different nodes
+// can land on the same number for different catalog states — the static
+// peer list is assumed to receive catalog mutations out of band (a config
+// deploy), with the generation protocol carrying only the invalidation
+// signal, exactly like serve's own generation-scoped cache keys.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Config tunes a fleet Node. Self and Transport are required when Peers
+// names more than one node; the zero value of everything else gets
+// defaults from withDefaults.
+type Config struct {
+	// Self is this node's identity in Peers.
+	Self string
+	// Peers is the static fleet membership, including Self. Order does
+	// not matter; every node sorts the list before building its ring.
+	// With fewer than two distinct peers the node serves everything
+	// locally (a fleet of one still gets snapshots).
+	Peers []string
+	// Transport moves lookups and propagations between peers.
+	Transport Transport
+	// HedgeDelay is how long a peer lookup may run before a hedge is sent
+	// to the key's successor peer; it also gates the pressured-queue
+	// hedge. 0 means the 25ms default; negative disables hedging.
+	HedgeDelay time.Duration
+	// LookupTimeout bounds one peer lookup. Default 2s.
+	LookupTimeout time.Duration
+	// PropagateTimeout bounds one generation propagation per peer.
+	// Default 2s.
+	PropagateTimeout time.Duration
+	// SnapshotPath, when set, is where the plan-cache snapshot is saved
+	// on drain and loaded from on warm start.
+	SnapshotPath string
+	// SnapshotLimit bounds the recorded warm set. Default 1024.
+	SnapshotLimit int
+	// ReplayTimeout bounds each entry's re-optimization during warm
+	// start. Default 5s.
+	ReplayTimeout time.Duration
+	// Metrics, when non-nil, receives the lec_fleet_* instrument family.
+	// Nil disables fleet metrics entirely (nothing is registered).
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives operational log lines (snapshot
+	// failures, propagation drops).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 25 * time.Millisecond
+	}
+	if c.LookupTimeout <= 0 {
+		c.LookupTimeout = 2 * time.Second
+	}
+	if c.PropagateTimeout <= 0 {
+		c.PropagateTimeout = 2 * time.Second
+	}
+	if c.SnapshotLimit <= 0 {
+		c.SnapshotLimit = 1024
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Node is one fleet member: a routing and replication layer over exactly
+// one serve.Service. All methods are safe for concurrent use.
+type Node struct {
+	svc  *serve.Service
+	cfg  Config
+	ring *ring
+
+	flights group // requester-side single-flight over remote keys
+
+	warmMu  sync.Mutex
+	warmSet map[string]snapshotEntry // key -> replayable request spec
+
+	peerMu    sync.Mutex
+	peerState map[string]*peerState
+
+	c counters
+	m *fleetMetrics // nil when Config.Metrics is nil
+}
+
+type counters struct {
+	peerHits        atomic.Int64
+	peerMisses      atomic.Int64
+	hedges          atomic.Int64
+	hedgeWins       atomic.Int64
+	drops           atomic.Int64
+	staleRejected   atomic.Int64
+	adoptions       atomic.Int64
+	propagateSent   atomic.Int64
+	propagateFailed atomic.Int64
+
+	snapshotSaves        atomic.Int64
+	snapshotSaveFailures atomic.Int64
+	snapshotLoads        atomic.Int64
+	snapshotLoadFailures atomic.Int64
+	snapshotReplayed     atomic.Int64
+}
+
+type peerState struct {
+	lastError   string
+	lastErrorAt time.Time
+	lastOKAt    time.Time
+}
+
+// New builds a fleet node over the service. The service must be the one
+// the daemon serves: the node routes into it for every local computation.
+func New(svc *serve.Service, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	r := newRing(cfg.Peers)
+	if r.size() >= 2 {
+		if cfg.Self == "" {
+			return nil, errors.New("fleet: Config.Self is required with peers")
+		}
+		found := false
+		for _, p := range r.peers {
+			if p == cfg.Self {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fleet: self %q not in peer list %v", cfg.Self, r.peers)
+		}
+		if cfg.Transport == nil {
+			return nil, errors.New("fleet: Config.Transport is required with peers")
+		}
+	}
+	n := &Node{
+		svc:       svc,
+		cfg:       cfg,
+		ring:      r,
+		warmSet:   make(map[string]snapshotEntry),
+		peerState: make(map[string]*peerState),
+	}
+	n.flights.calls = make(map[string]*call)
+	n.m = newFleetMetrics(cfg.Metrics, n)
+	return n, nil
+}
+
+// Service returns the underlying serve.Service.
+func (n *Node) Service() *serve.Service { return n.svc }
+
+// Self returns this node's fleet identity.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Reply is one fleet-served response: exactly one of Local or Peer is set.
+type Reply struct {
+	// Local is set when this node's own service produced the answer
+	// (it owned the key, every peer path failed, or a local hedge won).
+	Local *serve.Response
+	// Peer is set when a peer served the answer over the wire.
+	Peer *WireResponse
+	// PeerNode names the peer that answered (when Peer is set).
+	PeerNode string
+	// PeerHit reports the answer came from a peer.
+	PeerHit bool
+	// Hedged reports a hedge was launched for this request.
+	Hedged bool
+	// HedgeWon reports the hedge branch answered first.
+	HedgeWon bool
+	// FellBack reports the peer path failed and the answer came from the
+	// single-node fallback.
+	FellBack bool
+	// Coalesced reports this request shared an identical in-flight fleet
+	// lookup instead of issuing its own.
+	Coalesced bool
+}
+
+// Degraded reports whether the served plan came from a degradation ladder.
+func (r *Reply) Degraded() bool {
+	if r.Local != nil && r.Local.Decision != nil {
+		return r.Local.Decision.Degraded
+	}
+	if r.Peer != nil {
+		return r.Peer.Decision.Degraded
+	}
+	return false
+}
+
+// Optimize serves one request through the fleet: canonicalize, hash the
+// key to its owner, look up the owner's plan cache before any local DP,
+// hedge to the successor when the owner is slow or the local queue is
+// pressured, and fall back to the single-node path on any peer failure.
+func (n *Node) Optimize(ctx context.Context, req serve.Request) (*Reply, error) {
+	bound, key, err := n.svc.Canonicalize(req)
+	if err != nil {
+		return nil, err
+	}
+	if n.ring.size() < 2 {
+		return n.localOnly(ctx, bound, key)
+	}
+	owner := n.ring.owner(key)
+	if owner == n.cfg.Self {
+		return n.ownerPath(ctx, bound, key)
+	}
+	return n.remotePath(ctx, bound, key, owner)
+}
+
+// localOnly is the fleet-of-one path: straight through to the service,
+// recording the warm set.
+func (n *Node) localOnly(ctx context.Context, req serve.Request, key string) (*Reply, error) {
+	resp, err := n.svc.Optimize(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	n.noteServed(key, req, resp)
+	return &Reply{Local: resp}, nil
+}
+
+// ownerPath serves a key this node owns. Under queue pressure it hedges
+// the computation to the key's successor peer immediately — shedding
+// latency, not correctness, since first-response-wins and the loser is
+// cancelled.
+func (n *Node) ownerPath(ctx context.Context, req serve.Request, key string) (*Reply, error) {
+	if n.cfg.HedgeDelay > 0 {
+		if _, pressured := n.svc.Pressure(); pressured {
+			return n.race(ctx, req, key, "", true)
+		}
+	}
+	return n.localOnly(ctx, req, key)
+}
+
+// remotePath serves a key a peer owns: requester-side single-flight over
+// the peer lookup, then the race (lookup, optional hedge, local fallback).
+func (n *Node) remotePath(ctx context.Context, req serve.Request, key, owner string) (*Reply, error) {
+	r, coalesced, err := n.flights.do(ctx, key, func() (*Reply, error) {
+		return n.race(ctx, req, key, owner, false)
+	})
+	if coalesced && r != nil {
+		cp := *r
+		cp.Coalesced = true
+		return &cp, err
+	}
+	return r, err
+}
+
+// branchOut is one race branch's outcome.
+type branchOut struct {
+	hedge bool
+	local *serve.Response
+	wire  *WireResponse
+	node  string
+	err   error
+}
+
+// race runs the primary branch — a lookup to owner, or this node's own
+// computation when owner is "" (the pressured-owner case) — against an
+// optional hedge to the key's successor. First success wins and cancels
+// the loser; if every branch fails the request falls back to a local run.
+func (n *Node) race(ctx context.Context, req serve.Request, key, owner string, immediateHedge bool) (*Reply, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make(chan branchOut, 2)
+	pending := 1
+	localPrimary := owner == ""
+	if localPrimary {
+		go n.localBranch(rctx, req, key, false, out)
+	} else {
+		go n.lookupBranch(rctx, owner, key, req, false, out)
+	}
+
+	succ := n.ring.successor(key)
+	hedgeable := n.cfg.HedgeDelay > 0 && succ != "" && succ != owner && !(localPrimary && succ == n.cfg.Self)
+	var hedgeC <-chan time.Time
+	if hedgeable && !immediateHedge {
+		timer := time.NewTimer(n.cfg.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	hedged := false
+	launchHedge := func() {
+		hedged = true
+		hedgeable = false
+		hedgeC = nil
+		pending++
+		n.c.hedges.Add(1)
+		if n.m != nil {
+			n.m.hedges.Inc()
+		}
+		if succ == n.cfg.Self {
+			go n.localBranch(rctx, req, key, true, out)
+		} else {
+			go n.lookupBranch(rctx, succ, key, req, true, out)
+		}
+	}
+	if hedgeable && immediateHedge {
+		launchHedge()
+	}
+
+	var localErr, peerErr error
+	for {
+		select {
+		case b := <-out:
+			pending--
+			if b.err == nil {
+				cancel()
+				return n.winner(b, req, key, hedged), nil
+			}
+			if b.local != nil || (b.hedge && succ == n.cfg.Self) || (!b.hedge && localPrimary) {
+				localErr = b.err
+			} else {
+				peerErr = b.err
+			}
+			if pending == 0 {
+				if localErr != nil {
+					// A local branch already ran and genuinely failed;
+					// that error is the request's, not a peer's.
+					return nil, localErr
+				}
+				return n.fallback(ctx, req, key, hedged, peerErr)
+			}
+		case <-hedgeC:
+			launchHedge()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// winner wraps the winning branch into a Reply, counting it.
+func (n *Node) winner(b branchOut, req serve.Request, key string, hedged bool) *Reply {
+	r := &Reply{Hedged: hedged, HedgeWon: b.hedge}
+	if b.hedge {
+		n.c.hedgeWins.Add(1)
+		if n.m != nil {
+			n.m.hedgeWins.Inc()
+		}
+	}
+	if b.local != nil {
+		r.Local = b.local
+		n.noteServed(key, req, b.local)
+		return r
+	}
+	r.Peer = b.wire
+	r.PeerNode = b.node
+	r.PeerHit = true
+	n.c.peerHits.Add(1)
+	if n.m != nil {
+		n.m.peerHits.Inc()
+	}
+	return r
+}
+
+// fallback is the end of every peer-failure path: a plain local run. It
+// only fails for local reasons, preserving the contract that no request
+// fails because a peer failed.
+func (n *Node) fallback(ctx context.Context, req serve.Request, key string, hedged bool, cause error) (*Reply, error) {
+	n.c.peerMisses.Add(1)
+	if n.m != nil {
+		n.m.peerMisses.Inc()
+	}
+	n.cfg.Logf("fleet: peer path for key failed (%v); falling back to local run", cause)
+	resp, err := n.svc.Optimize(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	n.noteServed(key, req, resp)
+	return &Reply{Local: resp, Hedged: hedged, FellBack: true}, nil
+}
+
+// localBranch runs this node's own service as a race branch.
+func (n *Node) localBranch(ctx context.Context, req serve.Request, key string, hedge bool, out chan<- branchOut) {
+	resp, err := n.svc.Optimize(ctx, req)
+	if err != nil {
+		out <- branchOut{hedge: hedge, local: &serve.Response{}, err: err}
+		return
+	}
+	out <- branchOut{hedge: hedge, local: resp}
+}
+
+// lookupBranch runs one peer lookup as a race branch, isolating panics:
+// a peer (or transport) blowing up mid-call is a peer failure like any
+// other, never the requester's crash.
+func (n *Node) lookupBranch(ctx context.Context, peer, key string, req serve.Request, hedge bool, out chan<- branchOut) {
+	defer func() {
+		if p := recover(); p != nil {
+			n.c.drops.Add(1)
+			if n.m != nil {
+				n.m.drops.Inc()
+			}
+			n.notePeerError(peer, fmt.Sprintf("panic: %v", p))
+			out <- branchOut{hedge: hedge, node: peer, err: fmt.Errorf("%w: %s panicked: %v", ErrPeerUnreachable, peer, p)}
+		}
+	}()
+	rep, err := n.lookup(ctx, peer, key, req, hedge)
+	if err != nil {
+		out <- branchOut{hedge: hedge, node: peer, err: err}
+		return
+	}
+	out <- branchOut{hedge: hedge, wire: &rep.Resp, node: rep.Node}
+}
+
+// lookup sends one peer lookup and applies the generation protocol to the
+// reply: reject older-generation answers (nudging the laggard with a
+// propagate), adopt newer ones.
+func (n *Node) lookup(ctx context.Context, peer, key string, req serve.Request, hedge bool) (*LookupReply, error) {
+	if faultinject.Check(faultinject.FleetPeerLookup) == faultinject.KindDrop {
+		n.c.drops.Add(1)
+		if n.m != nil {
+			n.m.drops.Inc()
+		}
+		n.notePeerError(peer, "injected partition")
+		return nil, fmt.Errorf("%w: %s (injected partition)", ErrPeerUnreachable, peer)
+	}
+	wreq, err := newLookupRequest(key, req, n.svc.Generation())
+	if err != nil {
+		return nil, err
+	}
+	wreq.Hedge = hedge
+	lctx, cancel := context.WithTimeout(ctx, n.cfg.LookupTimeout)
+	defer cancel()
+	rep, err := n.cfg.Transport.Lookup(lctx, peer, wreq)
+	if err != nil {
+		n.c.drops.Add(1)
+		if n.m != nil {
+			n.m.drops.Inc()
+		}
+		n.notePeerError(peer, err.Error())
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, peer, err)
+	}
+	gen := n.svc.Generation()
+	if rep.Generation < gen {
+		n.c.staleRejected.Add(1)
+		if n.m != nil {
+			n.m.staleRejected.Inc()
+		}
+		n.notePeerError(peer, fmt.Sprintf("stale generation %d < %d", rep.Generation, gen))
+		go n.propagateTo(peer, gen)
+		return nil, fmt.Errorf("%w: %s answered at g%d, local is g%d", ErrStaleGeneration, peer, rep.Generation, gen)
+	}
+	if rep.Generation > gen {
+		n.adopt(rep.Generation)
+	}
+	n.notePeerOK(peer)
+	return rep, nil
+}
+
+// HandleLookup answers one incoming peer lookup: adopt any newer
+// generation the requester carries, rebuild the request against the local
+// catalog, and serve it through the local single-flight cache — which is
+// the mechanism that keeps a fleet-wide stampede at one engine run.
+func (n *Node) HandleLookup(ctx context.Context, req *LookupRequest) (*LookupReply, error) {
+	if req.Generation > n.svc.Generation() {
+		n.adopt(req.Generation)
+	}
+	sreq, err := req.toServe()
+	if err != nil {
+		return nil, err
+	}
+	bound, key, err := n.svc.Canonicalize(sreq)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.svc.Optimize(ctx, bound)
+	if err != nil {
+		return nil, err
+	}
+	n.noteServed(key, bound, resp)
+	return &LookupReply{Generation: n.svc.Generation(), Node: n.cfg.Self, Resp: ToWire(resp)}, nil
+}
+
+// HandlePropagate adopts an incoming generation bump and returns the
+// local generation afterward (which is higher when this node was ahead —
+// the sender adopts in turn). Receivers never re-propagate: the origin
+// notifies every peer directly, so a bump costs N-1 messages, not a
+// gossip storm.
+func (n *Node) HandlePropagate(gen uint64) uint64 {
+	n.adopt(gen)
+	return n.svc.Generation()
+}
+
+func (n *Node) adopt(gen uint64) {
+	if n.svc.AdoptGeneration(gen) {
+		n.c.adoptions.Add(1)
+		if n.m != nil {
+			n.m.adoptions.Inc()
+		}
+	}
+}
+
+// Invalidate bumps the local catalog generation and propagates the bump
+// to every peer, waiting for the acknowledgements (bounded by
+// PropagateTimeout each). Dropped propagations leave that peer stale —
+// which the lookup protocol detects and repairs on the next contact.
+func (n *Node) Invalidate() uint64 {
+	n.svc.Invalidate()
+	gen := n.svc.Generation()
+	n.propagate(gen)
+	return gen
+}
+
+// UpdateCatalog applies a catalog mutation locally (see
+// serve.Service.UpdateCatalog) and propagates the generation bump.
+func (n *Node) UpdateCatalog(mutate func(*catalog.Catalog) error) error {
+	if err := n.svc.UpdateCatalog(mutate); err != nil {
+		return err
+	}
+	n.propagate(n.svc.Generation())
+	return nil
+}
+
+func (n *Node) propagate(gen uint64) {
+	var wg sync.WaitGroup
+	for _, p := range n.ring.peers {
+		if p == n.cfg.Self {
+			continue
+		}
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			n.propagateTo(p, gen)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// propagateTo pushes one generation bump to one peer, observing the
+// propagation latency and adopting back when the peer is ahead.
+func (n *Node) propagateTo(peer string, gen uint64) {
+	defer func() {
+		if p := recover(); p != nil {
+			n.c.propagateFailed.Add(1)
+			if n.m != nil {
+				n.m.propagateFailed.Inc()
+			}
+			n.notePeerError(peer, fmt.Sprintf("propagate panic: %v", p))
+		}
+	}()
+	if faultinject.Check(faultinject.FleetPropagate) == faultinject.KindDrop {
+		n.c.drops.Add(1)
+		n.c.propagateFailed.Add(1)
+		if n.m != nil {
+			n.m.drops.Inc()
+			n.m.propagateFailed.Inc()
+		}
+		n.notePeerError(peer, "propagate dropped (injected partition)")
+		n.cfg.Logf("fleet: generation %d propagation to %s dropped", gen, peer)
+		return
+	}
+	t0 := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PropagateTimeout)
+	defer cancel()
+	peerGen, err := n.cfg.Transport.Propagate(ctx, peer, gen)
+	if err != nil {
+		n.c.propagateFailed.Add(1)
+		if n.m != nil {
+			n.m.propagateFailed.Inc()
+		}
+		n.notePeerError(peer, err.Error())
+		n.cfg.Logf("fleet: generation %d propagation to %s failed: %v", gen, peer, err)
+		return
+	}
+	n.c.propagateSent.Add(1)
+	if n.m != nil {
+		n.m.propagateSent.Inc()
+		n.m.propagateSeconds.Observe(time.Since(t0).Seconds())
+	}
+	n.notePeerOK(peer)
+	if peerGen > gen {
+		n.adopt(peerGen)
+	}
+}
+
+func (n *Node) notePeerError(peer, msg string) {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	st := n.peerState[peer]
+	if st == nil {
+		st = &peerState{}
+		n.peerState[peer] = st
+	}
+	st.lastError = msg
+	st.lastErrorAt = time.Now()
+}
+
+func (n *Node) notePeerOK(peer string) {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	st := n.peerState[peer]
+	if st == nil {
+		st = &peerState{}
+		n.peerState[peer] = st
+	}
+	st.lastOKAt = time.Now()
+}
+
+// group is the requester-side single-flight over remote keys: concurrent
+// identical requests on this node share one peer lookup instead of
+// stampeding the owner with N wire calls.
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done  chan struct{}
+	reply *Reply
+	err   error
+}
+
+func (g *group) do(ctx context.Context, key string, fn func() (*Reply, error)) (r *Reply, coalesced bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.reply, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.reply, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.reply, false, c.err
+}

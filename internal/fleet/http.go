@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Peer protocol paths, mounted by Handler and dialed by HTTPTransport. The
+// version segment lets a future incompatible protocol coexist on one port.
+const (
+	lookupPath    = "/fleet/v1/lookup"
+	propagatePath = "/fleet/v1/propagate"
+)
+
+// propagateBody is the propagate request/reply JSON body.
+type propagateBody struct {
+	Generation uint64 `json:"generation"`
+}
+
+// HTTPTransport dials peers over HTTP: a peer name is a host:port and the
+// protocol is POST + JSON on the /fleet/v1/* paths that Handler mounts.
+type HTTPTransport struct {
+	// Client, when nil, uses a private client with sane timeouts.
+	Client *http.Client
+	// Scheme defaults to "http".
+	Scheme string
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (t *HTTPTransport) url(peer, path string) string {
+	scheme := t.Scheme
+	if scheme == "" {
+		scheme = "http"
+	}
+	return fmt.Sprintf("%s://%s%s", scheme, peer, path)
+}
+
+func (t *HTTPTransport) post(ctx context.Context, url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("peer returned %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Lookup implements Transport.
+func (t *HTTPTransport) Lookup(ctx context.Context, peer string, req *LookupRequest) (*LookupReply, error) {
+	var rep LookupReply
+	if err := t.post(ctx, t.url(peer, lookupPath), req, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Propagate implements Transport.
+func (t *HTTPTransport) Propagate(ctx context.Context, peer string, gen uint64) (uint64, error) {
+	var rep propagateBody
+	if err := t.post(ctx, t.url(peer, propagatePath), propagateBody{Generation: gen}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Generation, nil
+}
+
+// Handler returns the peer-facing HTTP handler for the node: the server
+// side of HTTPTransport. Mount it on the same mux as the client API.
+func Handler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(lookupPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req LookupRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rep, err := n.HandleLookup(r.Context(), &req)
+		if err != nil {
+			// The requester treats any lookup failure as a peer miss and
+			// falls back locally; the status code is diagnostic only.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc(propagatePath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var body propagateBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, propagateBody{Generation: n.HandlePropagate(body.Generation)})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingAgreement: every node must compute identical ownership from its
+// own copy of the peer list, regardless of listing order or duplicates —
+// that agreement is the whole coordination protocol.
+func TestRingAgreement(t *testing.T) {
+	a := newRing([]string{"n1", "n2", "n3"})
+	b := newRing([]string{"n3", "n1", "n2", "n1", ""})
+	if a.size() != 3 || b.size() != 3 {
+		t.Fatalf("ring sizes %d/%d, want 3", a.size(), b.size())
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("rings disagree on owner of %q: %s vs %s", key, a.owner(key), b.owner(key))
+		}
+		if a.successor(key) != b.successor(key) {
+			t.Fatalf("rings disagree on successor of %q", key)
+		}
+	}
+}
+
+// TestRingSuccessorDistinct: with ≥2 peers the hedge target is never the
+// owner — hedging to the same failed node would be no hedge at all.
+func TestRingSuccessorDistinct(t *testing.T) {
+	r := newRing([]string{"n1", "n2", "n3"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r.owner(key) == r.successor(key) {
+			t.Fatalf("owner and successor of %q are both %s", key, r.owner(key))
+		}
+	}
+}
+
+// TestRingSpread is a sanity bound on the vnode count: across many keys no
+// node of a 3-node ring should own a grossly unfair share.
+func TestRingSpread(t *testing.T) {
+	r := newRing([]string{"n1", "n2", "n3"})
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for peer, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("peer %s owns %.0f%% of keys — ring badly unbalanced", peer, 100*share)
+		}
+	}
+}
+
+// TestRingDegenerate: empty and single-peer rings stay well-defined.
+func TestRingDegenerate(t *testing.T) {
+	empty := newRing(nil)
+	if got := empty.owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	solo := newRing([]string{"only"})
+	if got := solo.owner("k"); got != "only" {
+		t.Errorf("solo ring owner = %q", got)
+	}
+	if got := solo.successor("k"); got != "only" {
+		t.Errorf("solo ring successor = %q", got)
+	}
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import "time"
+
+// PeerStatus is one ring member's health as seen from this node.
+type PeerStatus struct {
+	Name      string `json:"name"`
+	Self      bool   `json:"self,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	// LastErrorAt / LastOKAt are RFC 3339 timestamps, empty when the event
+	// has not happened.
+	LastErrorAt string `json:"last_error_at,omitempty"`
+	LastOKAt    string `json:"last_ok_at,omitempty"`
+}
+
+// Status is a point-in-time snapshot of the fleet layer, served by the
+// daemon's /clusterz endpoint.
+type Status struct {
+	Self       string       `json:"self"`
+	Peers      []PeerStatus `json:"peers"`
+	Generation uint64       `json:"generation"`
+
+	PeerHits        int64 `json:"peer_hits"`
+	PeerMisses      int64 `json:"peer_misses"`
+	Hedges          int64 `json:"hedges"`
+	HedgeWins       int64 `json:"hedge_wins"`
+	Drops           int64 `json:"drops"`
+	StaleRejected   int64 `json:"stale_rejected"`
+	Adoptions       int64 `json:"adoptions"`
+	PropagateSent   int64 `json:"propagate_sent"`
+	PropagateFailed int64 `json:"propagate_failed"`
+
+	SnapshotSaves        int64  `json:"snapshot_saves"`
+	SnapshotSaveFailures int64  `json:"snapshot_save_failures"`
+	SnapshotLoads        int64  `json:"snapshot_loads"`
+	SnapshotLoadFailures int64  `json:"snapshot_load_failures"`
+	SnapshotReplayed     int64  `json:"snapshot_replayed"`
+	WarmSetSize          int    `json:"warm_set_size"`
+	SnapshotPath         string `json:"snapshot_path,omitempty"`
+}
+
+// Status snapshots the fleet counters and per-peer health.
+func (n *Node) Status() Status {
+	st := Status{
+		Self:       n.cfg.Self,
+		Generation: n.svc.Generation(),
+
+		PeerHits:        n.c.peerHits.Load(),
+		PeerMisses:      n.c.peerMisses.Load(),
+		Hedges:          n.c.hedges.Load(),
+		HedgeWins:       n.c.hedgeWins.Load(),
+		Drops:           n.c.drops.Load(),
+		StaleRejected:   n.c.staleRejected.Load(),
+		Adoptions:       n.c.adoptions.Load(),
+		PropagateSent:   n.c.propagateSent.Load(),
+		PropagateFailed: n.c.propagateFailed.Load(),
+
+		SnapshotSaves:        n.c.snapshotSaves.Load(),
+		SnapshotSaveFailures: n.c.snapshotSaveFailures.Load(),
+		SnapshotLoads:        n.c.snapshotLoads.Load(),
+		SnapshotLoadFailures: n.c.snapshotLoadFailures.Load(),
+		SnapshotReplayed:     n.c.snapshotReplayed.Load(),
+		WarmSetSize:          n.WarmSetSize(),
+		SnapshotPath:         n.cfg.SnapshotPath,
+	}
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	for _, p := range n.ring.peers {
+		ps := PeerStatus{Name: p, Self: p == n.cfg.Self}
+		if s := n.peerState[p]; s != nil {
+			ps.LastError = s.lastError
+			if !s.lastErrorAt.IsZero() {
+				ps.LastErrorAt = s.lastErrorAt.Format(time.RFC3339Nano)
+			}
+			if !s.lastOKAt.IsZero() {
+				ps.LastOKAt = s.lastOKAt.Format(time.RFC3339Nano)
+			}
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	return st
+}

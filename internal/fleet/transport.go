@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/lec"
+)
+
+// ErrPeerUnreachable reports a peer lookup or propagation that the network
+// dropped — a partition, a dead peer, a refused connection. It is always a
+// recoverable condition: the caller falls back to the single-node path.
+var ErrPeerUnreachable = errors.New("fleet: peer unreachable")
+
+// ErrStaleGeneration reports a peer answer produced under an older catalog
+// generation than this node's. The answer is discarded and the request
+// falls back to a local run; the laggard peer is nudged with a propagate.
+var ErrStaleGeneration = errors.New("fleet: stale peer generation")
+
+// Transport moves fleet messages between peers. Implementations must be
+// safe for concurrent use. The fault-injection sites (fleet/peer-lookup,
+// fleet/propagate) live in the Node above the transport, so every
+// implementation — loopback or HTTP — sees the same fault matrix.
+type Transport interface {
+	// Lookup asks peer for its answer to the request: a cached plan if it
+	// has one, a freshly coalesced optimization if not.
+	Lookup(ctx context.Context, peer string, req *LookupRequest) (*LookupReply, error)
+	// Propagate tells peer the catalog generation has reached gen. It
+	// returns the peer's generation after adoption, which may be higher
+	// than gen — the caller then adopts in turn (anti-entropy).
+	Propagate(ctx context.Context, peer string, gen uint64) (peerGen uint64, err error)
+}
+
+// LookupRequest is one peer plan lookup on the wire. It carries the full
+// canonical request, not just the key: the owner answers from its cache
+// when it can and runs (single-flighted) the optimization when it cannot,
+// which is what keeps a fleet-wide stampede at exactly one engine run.
+type LookupRequest struct {
+	// Key is the generation-free canonical request key (ownership identity).
+	Key string `json:"key"`
+	// SQL is the canonical pseudo-SQL rendering of the bound query.
+	SQL string `json:"sql"`
+	// Strategy is the numeric lec.Strategy.
+	Strategy int `json:"strategy"`
+	// MemVals/MemProbs encode the memory distribution.
+	MemVals  []float64 `json:"mem_vals"`
+	MemProbs []float64 `json:"mem_probs"`
+	// ChainStates/ChainRows encode the optional Markov memory chain.
+	ChainStates []float64   `json:"chain_states,omitempty"`
+	ChainRows   [][]float64 `json:"chain_rows,omitempty"`
+	// Generation is the requester's catalog generation; a responder that
+	// is behind adopts it before answering.
+	Generation uint64 `json:"generation"`
+	// Hedge marks a hedged lookup sent to a non-owner (diagnostic only).
+	Hedge bool `json:"hedge,omitempty"`
+}
+
+// LookupReply is a peer's answer.
+type LookupReply struct {
+	// Generation the responder answered under. The requester rejects
+	// replies older than its own generation and adopts newer ones.
+	Generation uint64 `json:"generation"`
+	// Node is the responder's identity.
+	Node string `json:"node"`
+	// Resp is the responder's serve response, flattened for the wire.
+	Resp WireResponse `json:"resp"`
+}
+
+// WireDecision is a lec.Decision flattened for the wire: everything a
+// serving client consumes, with the plan as its rendered explain tree.
+type WireDecision struct {
+	Strategy      string  `json:"strategy"`
+	ExpectedCost  float64 `json:"expected_cost"`
+	StdDev        float64 `json:"std_dev"`
+	P95           float64 `json:"p95"`
+	Degraded      bool    `json:"degraded,omitempty"`
+	DegradeReason string  `json:"degrade_reason,omitempty"`
+	DegradeRung   string  `json:"degrade_rung,omitempty"`
+	Plan          string  `json:"plan"`
+}
+
+// WireResponse is a serve.Response flattened for the wire.
+type WireResponse struct {
+	Decision  WireDecision `json:"decision"`
+	Cached    bool         `json:"cached,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Pinned    bool         `json:"pinned,omitempty"`
+	Pressure  string       `json:"pressure,omitempty"`
+}
+
+// ToWire flattens a serve.Response for the wire.
+func ToWire(r *serve.Response) WireResponse {
+	out := WireResponse{Cached: r.Cached, Coalesced: r.Coalesced, Pinned: r.Pinned, Pressure: r.Pressure}
+	if d := r.Decision; d != nil {
+		out.Decision = WireDecision{
+			Strategy:     d.Strategy.String(),
+			ExpectedCost: d.ExpectedCost,
+			StdDev:       d.Risk.StdDev,
+			P95:          d.Risk.P95,
+			Degraded:     d.Degraded,
+			DegradeRung:  d.DegradeRung,
+			Plan:         d.Explain(),
+		}
+		if d.Degraded {
+			out.Decision.DegradeReason = d.DegradeReason.String()
+		}
+	}
+	return out
+}
+
+// newLookupRequest flattens one canonicalized serve request. The request
+// must carry a bound Query (Service.Canonicalize guarantees it).
+func newLookupRequest(key string, req serve.Request, gen uint64) (*LookupRequest, error) {
+	if req.Query == nil {
+		return nil, fmt.Errorf("fleet: request not canonicalized")
+	}
+	out := &LookupRequest{
+		Key:        key,
+		SQL:        req.Query.String(),
+		Strategy:   int(req.Strategy),
+		Generation: gen,
+	}
+	if m := req.Env.Memory; m != nil {
+		out.MemVals = m.Support()
+		out.MemProbs = m.Probs()
+	}
+	if c := req.Env.Chain; c != nil {
+		out.ChainStates = c.States()
+		out.ChainRows = make([][]float64, c.NumStates())
+		for i := 0; i < c.NumStates(); i++ {
+			out.ChainRows[i] = c.TransitionRow(i)
+		}
+	}
+	return out, nil
+}
+
+// toServe reconstructs the serve request on the responding side. The SQL is
+// re-bound against the responder's own catalog — a peer never executes a
+// plan fragment it did not derive itself.
+func (r *LookupRequest) toServe() (serve.Request, error) {
+	out := serve.Request{SQL: r.SQL, Strategy: lec.Strategy(r.Strategy)}
+	if len(r.MemVals) > 0 {
+		m, err := stats.New(r.MemVals, r.MemProbs)
+		if err != nil {
+			return out, fmt.Errorf("fleet: bad memory distribution on the wire: %w", err)
+		}
+		out.Env.Memory = m
+	}
+	if len(r.ChainStates) > 0 {
+		c, err := stats.NewChain(r.ChainStates, r.ChainRows)
+		if err != nil {
+			return out, fmt.Errorf("fleet: bad memory chain on the wire: %w", err)
+		}
+		out.Env.Chain = c
+	}
+	return out, nil
+}
+
+// Loopback is the in-process transport for tests and single-binary
+// clusters: peers are Nodes registered under their names, and a lookup is
+// a direct method call. A name with no registered node is unreachable —
+// which is also how a test simulates a permanently dead peer.
+type Loopback struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+}
+
+// NewLoopback returns an empty loopback fabric.
+func NewLoopback() *Loopback {
+	return &Loopback{nodes: make(map[string]*Node)}
+}
+
+// Register attaches a node under its fleet name.
+func (l *Loopback) Register(name string, n *Node) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nodes[name] = n
+}
+
+func (l *Loopback) node(name string) (*Node, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n, ok := l.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrPeerUnreachable, name)
+	}
+	return n, nil
+}
+
+// Lookup implements Transport.
+func (l *Loopback) Lookup(ctx context.Context, peer string, req *LookupRequest) (*LookupReply, error) {
+	n, err := l.node(peer)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleLookup(ctx, req)
+}
+
+// Propagate implements Transport.
+func (l *Loopback) Propagate(ctx context.Context, peer string, gen uint64) (uint64, error) {
+	n, err := l.node(peer)
+	if err != nil {
+		return 0, err
+	}
+	return n.HandlePropagate(gen), nil
+}

@@ -32,6 +32,17 @@ type planCache struct {
 	coalesced     atomic.Int64
 	evictions     atomic.Int64
 	invalidations atomic.Int64
+
+	// flightMu/flightCond guard the live-leader count and the seal. drain
+	// seals the cache and waits for flights to reach zero; a leader that
+	// registered before the seal is waited for (its insert, if any, lands
+	// before drain returns), one that squeaked in after runs to completion
+	// but its insert is suppressed — either way no entry appears after
+	// drain has returned.
+	flightMu   sync.Mutex
+	flightCond *sync.Cond
+	flights    int
+	sealed     bool
 }
 
 type cacheShard struct {
@@ -63,6 +74,7 @@ func newPlanCache(shards, capacity int) *planCache {
 		perShard = -1
 	}
 	c := &planCache{shards: make([]cacheShard, shards), capacity: perShard}
+	c.flightCond = sync.NewCond(&c.flightMu)
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*list.Element)
 		c.shards[i].inflight = make(map[string]*flight)
@@ -122,18 +134,45 @@ func (c *planCache) do(ctx context.Context, key string, fn func() (*Response, er
 	f := &flight{done: make(chan struct{})}
 	sh.inflight[key] = f
 	sh.mu.Unlock()
+	c.flightMu.Lock()
+	c.flights++
+	// A leader that registers before the seal is flushed: drain waits for
+	// it, so its insert lands before drain returns. One that registers
+	// after the seal raced the draining flag; it still serves its caller,
+	// but its insert is suppressed so nothing lands post-drain.
+	sealed := c.sealed
+	c.flightMu.Unlock()
 	c.misses.Add(1)
 
 	f.resp, f.err = fn()
 
 	sh.mu.Lock()
 	delete(sh.inflight, key)
-	if f.err == nil && c.cacheable(f.resp) {
+	if f.err == nil && !sealed && c.cacheable(f.resp) {
 		c.insertLocked(sh, key, f.resp)
 	}
 	sh.mu.Unlock()
 	close(f.done)
+	c.flightMu.Lock()
+	c.flights--
+	if c.flights == 0 {
+		c.flightCond.Broadcast()
+	}
+	c.flightMu.Unlock()
 	return f.resp, false, f.err
+}
+
+// drain seals the cache against further inserts and waits until every
+// in-flight single-flight leader has finished (insert included). After
+// drain returns the cache contents are final: a snapshot taken then can
+// never race a late insert.
+func (c *planCache) drain() {
+	c.flightMu.Lock()
+	c.sealed = true
+	for c.flights > 0 {
+		c.flightCond.Wait()
+	}
+	c.flightMu.Unlock()
 }
 
 // cacheable rejects responses that must not outlive the condition that

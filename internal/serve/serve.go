@@ -235,6 +235,24 @@ func (s *Service) Invalidate() {
 	s.cache.purgeBelow(s.gen.Load())
 }
 
+// AdoptGeneration raises the catalog generation to gen — a peer told us the
+// fleet has moved on — purging every older cached plan. It never lowers the
+// generation (a stale or replayed propagation is a no-op), so concurrent
+// adoptions and local Invalidates converge on the maximum. Reports whether
+// the generation actually advanced.
+func (s *Service) AdoptGeneration(gen uint64) bool {
+	for {
+		cur := s.gen.Load()
+		if gen <= cur {
+			return false
+		}
+		if s.gen.CompareAndSwap(cur, gen) {
+			s.cache.purgeBelow(gen)
+			return true
+		}
+	}
+}
+
 // UpdateCatalog applies a catalog/statistics mutation under the write lock
 // — no optimization runs while mutate executes — and then invalidates the
 // plan cache. The mutation must not retain the *catalog.Catalog.
@@ -249,10 +267,25 @@ func (s *Service) UpdateCatalog(mutate func(*catalog.Catalog) error) error {
 	return nil
 }
 
+// ViewCatalog runs fn with the live catalog under the read lock. fn must
+// only read — mutations go through UpdateCatalog. The fleet layer uses it
+// to fingerprint the catalog for snapshot compatibility checks.
+func (s *Service) ViewCatalog(fn func(*catalog.Catalog)) {
+	s.catMu.RLock()
+	defer s.catMu.RUnlock()
+	fn(s.cat)
+}
+
 // BeginDrain puts the service into drain mode: every subsequent Optimize
 // and Compare fails fast with ErrDraining while in-flight requests run to
-// completion. It cannot be undone; drain is the prelude to shutdown.
-func (s *Service) BeginDrain() { s.draining.Store(true) }
+// completion. Before returning it flushes the plan cache's in-flight
+// single-flight leaders — their results land (or are suppressed) before
+// drain reports done, so a snapshot taken after BeginDrain never races a
+// late cache insert. It cannot be undone; drain is the prelude to shutdown.
+func (s *Service) BeginDrain() {
+	s.draining.Store(true)
+	s.cache.drain()
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Service) Draining() bool { return s.draining.Load() }
@@ -539,6 +572,34 @@ func (s *Service) keys(q *query.SPJ, req Request) (ckey, bkey string) {
 	bkey = requestKey(q, req.Strategy, req.Env)
 	ckey = fmt.Sprintf("g%d|%s", s.gen.Load(), bkey)
 	return ckey, bkey
+}
+
+// Canonicalize binds the request's query against the live catalog and
+// returns the bound request plus its generation-free request key — the
+// canonical (query, strategy, environment) identity the fleet layer hashes
+// for cache-key ownership. The returned request carries the bound Query, so
+// optimizing it later skips the re-parse.
+func (s *Service) Canonicalize(req Request) (Request, string, error) {
+	q, err := s.bind(req)
+	if err != nil {
+		return req, "", err
+	}
+	req.Query = q
+	return req, requestKey(q, req.Strategy, req.Env), nil
+}
+
+// Pressure reports the live admission queue depth and whether it has
+// reached the first pressure-ladder rung — the "this node is busy enough
+// to start degrading budgets" signal the fleet layer uses as its hedging
+// trigger.
+func (s *Service) Pressure() (depth int, pressured bool) {
+	depth = len(s.queue)
+	for _, r := range s.cfg.Ladder {
+		if depth >= r.Depth {
+			return depth, true
+		}
+	}
+	return depth, false
 }
 
 // Stats is a point-in-time snapshot of the service counters.
