@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve-race fleet-race bench bench-smoke cover fuzz
+.PHONY: check fmt vet build test race serve-race fleet-race fleet-chaos bench bench-smoke cover fuzz
 
 # Fuzz budget per target; override with `make fuzz FUZZTIME=1m`.
 FUZZTIME ?= 10s
@@ -47,6 +47,15 @@ serve-race:
 # the race detector give the fault-injection schedules a second draw.
 fleet-race:
 	$(GO) test -race -count=2 ./internal/fleet/... ./internal/faultinject/...
+
+# Extended seeded chaos soak: 25 rounds of kill/restart/join/leave under
+# concurrent load with the race detector on, asserting zero request errors,
+# view and generation convergence, and the one-DP-per-key budget every
+# round. Override the length with `make fleet-chaos CHAOS_ROUNDS=100`.
+CHAOS_ROUNDS ?= 25
+
+fleet-chaos:
+	LEC_CHAOS_ROUNDS=$(CHAOS_ROUNDS) $(GO) test -race -run TestFleetChaosSoak -v ./internal/fleet
 
 # -cpu=1 pins GOMAXPROCS so ns/op is comparable across hosts and against
 # the checked-in baseline (BenchmarkDPCoreParallel sizes its worker pool

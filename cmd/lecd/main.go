@@ -14,14 +14,26 @@
 //	     -peers 127.0.0.1:7081,127.0.0.1:7082 \
 //	     -snapshot /var/lib/lecd/plans.snap   # fleet member with warm start
 //
-// With -peers, the daemon joins a static fleet: plan-cache keys are
+// With -peers, the daemon boots as a fleet member: plan-cache keys are
 // partitioned across the peers by consistent hashing, a request for a key
 // another peer owns is answered from that peer's cache (single-flight
 // preserved fleet-wide), catalog-generation bumps propagate to every peer,
-// and slow peer lookups are hedged to the key's successor. Every fleet
-// failure — partition, stale peer, slow peer, peer crash — falls back to
-// the local single-node path. -snapshot (with or without -peers) persists
-// the plan cache on drain and warm-starts it on boot.
+// and slow or loaded peer lookups are hedged to the next replica. Every
+// fleet failure — partition, stale peer, slow peer, peer crash — falls
+// back to the local single-node path. -snapshot (with or without -peers)
+// persists the plan cache on drain and warm-starts it on boot.
+//
+// Membership is dynamic: -join lists seed peers of a *running* fleet and
+// makes this node enter it live — the seeds hand over the warm request
+// specs for every key the new node now owns, so its first requests for
+// inherited keys are cache hits. -leave-on-drain announces departure on
+// shutdown so the ring rebalances (and hands warmth off) before the
+// process exits. -replicas R>1 gives every key R owners: the primary
+// serves, the others receive asynchronous warm pushes and take over warm
+// when the primary dies. A per-peer failure detector (-health-* flags)
+// skips suspected peers instead of paying the lookup timeout; /clusterz
+// shows each peer's detector state, windowed error rate, and reported
+// queue depth.
 //
 // Endpoints:
 //
@@ -34,8 +46,9 @@
 //	GET  /readyz    load-balancer readiness (503 once draining)
 //	GET  /statsz    service counters as JSON
 //	GET  /clusterz  fleet status as JSON ({"fleet": false} when standalone)
-//	POST /fleet/v1/lookup, /fleet/v1/propagate
-//	                the peer-to-peer protocol (mounted only with -peers)
+//	POST /fleet/v1/lookup, /fleet/v1/propagate,
+//	     /fleet/v1/membership, /fleet/v1/handoff
+//	                the peer-to-peer protocol (mounted with -peers or -join)
 //
 // With -pprof, the standard net/http/pprof profiling endpoints are mounted
 // under /debug/pprof/ on the same listener.
@@ -61,6 +74,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -118,9 +132,17 @@ func run(args []string, out, errOut io.Writer) error {
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	peersFlag := fs.String("peers", "", "comma-separated fleet peer addresses (host:port), including this node; enables the fleet layer")
+	joinFlag := fs.String("join", "", "comma-separated seed addresses of a running fleet to join live (this node need not be listed)")
 	selfFlag := fs.String("self", "", "this node's address exactly as listed in -peers (default: -addr)")
 	snapshotFlag := fs.String("snapshot", "", "plan-cache snapshot file: warm-started at boot, saved on drain")
 	hedge := fs.Duration("hedge", 25*time.Millisecond, "peer hedge delay (slow-owner and pressured-queue hedging); negative disables")
+	hedgeQueue := fs.Int("hedge-queue", 0, "hedge immediately when the owner's reported queue depth reaches this (0 disables the load trigger)")
+	replicas := fs.Int("replicas", 1, "owners per plan-cache key; >1 warms standby replicas so one node's death degrades the hit rate by ~1/R")
+	healthWindow := fs.Int("health-window", 0, "failure-detector sliding window per peer (0 = default 16)")
+	healthRate := fs.Float64("health-error-rate", 0, "windowed error rate that suspects a peer (0 = default 0.5)")
+	healthConsecutive := fs.Int("health-consecutive", 0, "consecutive failures that suspect a peer (0 = default 3)")
+	healthProbe := fs.Duration("health-probe-after", 0, "cooldown before a suspected peer gets a half-open probe (0 = default 500ms)")
+	leaveOnDrain := fs.Bool("leave-on-drain", false, "announce departure from the fleet on shutdown so the ring rebalances before exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,13 +182,21 @@ func run(args []string, out, errOut io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *peersFlag != "" || *snapshotFlag != "" {
+	joining := *joinFlag != ""
+	if *peersFlag != "" && joining {
+		return errors.New("-peers and -join are mutually exclusive: -peers boots a static member, -join enters a running fleet")
+	}
+	if *peersFlag != "" || *snapshotFlag != "" || joining {
 		self := *selfFlag
 		if self == "" {
 			self = *addr
 		}
+		seedList := *peersFlag
+		if joining {
+			seedList = *joinFlag
+		}
 		var peers []string
-		for _, p := range strings.Split(*peersFlag, ",") {
+		for _, p := range strings.Split(seedList, ",") {
 			if p = strings.TrimSpace(p); p != "" {
 				peers = append(peers, p)
 			}
@@ -175,10 +205,18 @@ func run(args []string, out, errOut io.Writer) error {
 			peers = []string{self} // fleet of one: snapshots without peers
 		}
 		node, err := fleet.New(d.svc, fleet.Config{
-			Self:         self,
-			Peers:        peers,
-			Transport:    &fleet.HTTPTransport{},
-			HedgeDelay:   *hedge,
+			Self:            self,
+			Peers:           peers,
+			Transport:       &fleet.HTTPTransport{},
+			Replicas:        *replicas,
+			HedgeDelay:      *hedge,
+			HedgeQueueDepth: *hedgeQueue,
+			Health: fleet.HealthConfig{
+				Window:          *healthWindow,
+				TripErrorRate:   *healthRate,
+				TripConsecutive: *healthConsecutive,
+				ProbeAfter:      *healthProbe,
+			},
 			SnapshotPath: *snapshotFlag,
 			Metrics:      d.reg,
 			Logf: func(format string, a ...any) {
@@ -198,10 +236,25 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: d.handler()}
+	// Listen before joining: the seeds start handing warm specs to this
+	// node the moment the join is announced, so the endpoints must already
+	// accept.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(out, "lecd: serving on %s\n", *addr)
+	if joining {
+		if err := d.fleet.JoinFleet(ctx); err != nil {
+			srv.Close()
+			return fmt.Errorf("join: %w", err)
+		}
+		fmt.Fprintf(out, "lecd: joined fleet at epoch %d: %s\n",
+			d.fleet.Epoch(), strings.Join(d.fleet.Peers(), ","))
+	}
 
 	select {
 	case err := <-errc:
@@ -211,6 +264,15 @@ func run(args []string, out, errOut io.Writer) error {
 	// Drain: readiness flips, new optimizations fail fast, in-flight ones
 	// get the grace period.
 	fmt.Fprintln(out, "lecd: draining")
+	if d.fleet != nil && *leaveOnDrain {
+		// Announce departure while the endpoints still accept: the ring
+		// rebalances and this node's warm keys are handed to their new
+		// owners before anything stops serving.
+		leaveCtx, leaveCancel := context.WithTimeout(context.Background(), *drain)
+		d.fleet.LeaveFleet(leaveCtx)
+		leaveCancel()
+		fmt.Fprintln(out, "lecd: left the fleet")
+	}
 	d.svc.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -56,6 +56,16 @@ const (
 	// drop simulates a failed disk write/read; the daemon must cold-start
 	// (or exit its drain) cleanly, never crash.
 	FleetSnapshot Site = "fleet/snapshot"
+	// FleetMembership fires once per outgoing membership exchange (join
+	// and leave announcements, epoch syncs). A drop simulates a lost
+	// announcement: the peer stays on an older membership epoch until the
+	// lookup piggyback repairs it.
+	FleetMembership Site = "fleet/membership"
+	// FleetHandoff fires once per outgoing warm-handoff batch (rebalance
+	// transfers after a membership change, and asynchronous replica
+	// pushes). A drop loses only warmth, never correctness: the receiver
+	// serves its first request cold and re-optimizes.
+	FleetHandoff Site = "fleet/handoff"
 )
 
 // Kind is the failure a rule injects at its site.
@@ -90,6 +100,13 @@ const (
 	// KindPanic nothing unwinds, the operation just fails the way a
 	// severed link fails.
 	KindDrop
+	// KindFlap alternates the site between failing and healthy phases —
+	// the flapping-peer primitive for failure-detector hysteresis tests.
+	// Starting at the rule's After-th hit, the site drops for Every
+	// consecutive hits, passes for the next Every, and so on (Every ≤ 0
+	// means phases of length 1). During a failing phase Check returns
+	// KindDrop, so instrumented call sites need no flap-specific handling.
+	KindFlap
 )
 
 // String implements fmt.Stringer.
@@ -111,6 +128,8 @@ func (k Kind) String() string {
 		return "hold"
 	case KindDrop:
 		return "drop"
+	case KindFlap:
+		return "flap"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -147,6 +166,14 @@ func (r Rule) due(hit int) bool {
 	f := r.first()
 	if hit < f {
 		return false
+	}
+	if r.Kind == KindFlap {
+		period := r.Every
+		if period < 1 {
+			period = 1
+		}
+		// Phases alternate failing/healthy, failing first.
+		return ((hit-f)/period)%2 == 0
 	}
 	if hit == f {
 		return true
@@ -289,6 +316,9 @@ func Check(s Site) Kind {
 		in.holding[s]--
 		in.mu.Unlock()
 		return KindNone
+	case KindFlap:
+		// A flap in its failing phase looks like a severed link.
+		return KindDrop
 	}
 	return r.Kind
 }

@@ -186,6 +186,7 @@ func TestKindStringCoverage(t *testing.T) {
 		{KindStall, "stall"},
 		{KindHold, "hold"},
 		{KindDrop, "drop"},
+		{KindFlap, "flap"},
 		{Kind(99), "Kind(99)"},
 	}
 	for _, c := range cases {
@@ -208,6 +209,8 @@ func TestFleetSiteKinds(t *testing.T) {
 		{FleetPeerLookup, KindNone},
 		{FleetPropagate, KindDrop},
 		{FleetSnapshot, KindDrop},
+		{FleetMembership, KindDrop},
+		{FleetHandoff, KindDrop},
 	}
 	for _, c := range cases {
 		t.Run(string(c.site)+"/"+c.kind.String(), func(t *testing.T) {
@@ -222,7 +225,7 @@ func TestFleetSiteKinds(t *testing.T) {
 				t.Fatalf("Check(%s) = %v, want %v", c.site, got, c.kind)
 			}
 			// Sibling fleet sites must not fire on this site's rules.
-			for _, other := range []Site{FleetPeerLookup, FleetPropagate, FleetSnapshot} {
+			for _, other := range []Site{FleetPeerLookup, FleetPropagate, FleetSnapshot, FleetMembership, FleetHandoff} {
 				if other == c.site {
 					continue
 				}
@@ -249,6 +252,43 @@ func TestDropDoesNotUnwind(t *testing.T) {
 	}
 	if in.Fires(FleetPeerLookup) != 1 {
 		t.Errorf("fires = %d, want 1", in.Fires(FleetPeerLookup))
+	}
+}
+
+// TestFlapSchedule pins the alternating phases of KindFlap: starting at
+// After, the site drops for Every hits, passes for Every, and repeats —
+// and the failing phase surfaces as KindDrop so call sites need no
+// flap-specific handling.
+func TestFlapSchedule(t *testing.T) {
+	in := New(1, Rule{Site: FleetPeerLookup, Kind: KindFlap, After: 2, Every: 3})
+	Enable(in)
+	defer Disable()
+	want := []Kind{
+		KindNone,                     // hit 1: before After
+		KindDrop, KindDrop, KindDrop, // hits 2-4: failing phase
+		KindNone, KindNone, KindNone, // hits 5-7: healthy phase
+		KindDrop, KindDrop, KindDrop, // hits 8-10: failing again
+		KindNone, // hit 11
+	}
+	for i, w := range want {
+		if got := Check(FleetPeerLookup); got != w {
+			t.Fatalf("hit %d: %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestFlapDefaultPeriodIsOne(t *testing.T) {
+	in := New(1, Rule{Site: FleetPeerLookup, Kind: KindFlap})
+	Enable(in)
+	defer Disable()
+	for i := 1; i <= 6; i++ {
+		want := KindDrop
+		if i%2 == 0 {
+			want = KindNone
+		}
+		if got := Check(FleetPeerLookup); got != want {
+			t.Fatalf("hit %d: %v, want %v", i, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+// TestFleetChaosSoak is the seeded kill/restart/join/leave soak behind
+// `make fleet-chaos`: every round mutates the fleet, converges it, then
+// drives concurrent load and asserts the standing invariants —
+//
+//   - zero request errors, ever (local fallback is always possible);
+//   - membership views converge after every change;
+//   - catalog generations converge through the piggyback protocol;
+//   - request-path engine runs stay within the one-DP-per-key budget:
+//     a calm round costs exactly one run for the round's fresh key, and
+//     only rounds that killed or cold-restarted a node may re-optimize
+//     the standing warm key.
+//
+// LEC_CHAOS_ROUNDS extends the default six rounds.
+func TestFleetChaosSoak(t *testing.T) {
+	rounds := 6
+	if s := os.Getenv("LEC_CHAOS_ROUNDS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			rounds = v
+		}
+	}
+	rng := rand.New(rand.NewSource(20260809))
+	lb := NewLoopback()
+
+	var all []*Node
+	live := map[string]*Node{}
+	dead := map[string]bool{}
+	mk := func(name string, seeds []string) *Node {
+		cat, _, _ := workload.Example11()
+		n, err := New(serve.New(cat, serve.Config{Workers: 2}), Config{
+			Self: name, Peers: seeds, Transport: lb, HedgeDelay: -1,
+			Replicas: 2,
+			Health:   HealthConfig{TripConsecutive: 2, ProbeAfter: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb.Register(name, n)
+		all = append(all, n)
+		live[name] = n
+		return n
+	}
+	seeds := []string{"n0", "n1", "n2"}
+	for _, nm := range seeds {
+		mk(nm, seeds)
+	}
+	nextID := 3
+
+	anyLive := func() *Node {
+		names := make([]string, 0, len(live))
+		for nm := range live {
+			names = append(names, nm)
+		}
+		sort.Strings(names)
+		return live[names[0]]
+	}
+	liveNames := func() []string {
+		names := make([]string, 0, len(live))
+		for nm := range live {
+			names = append(names, nm)
+		}
+		sort.Strings(names)
+		return names
+	}
+	liveList := func() []*Node {
+		out := make([]*Node, 0, len(live))
+		for _, nm := range liveNames() {
+			out = append(out, live[nm])
+		}
+		return out
+	}
+
+	// reqForRound builds a fresh plan-cache key per round by shifting the
+	// memory distribution — same query, different environment.
+	reqForRound := func(r int) serve.Request {
+		dm, err := stats.New([]float64{700, 2000 + float64(10*r)}, []float64{0.2, 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := exampleRequest()
+		req.Env = lec.Environment{Memory: dm}
+		return req
+	}
+	// The standing warm key is round 0's fresh key: every later round
+	// re-requests it to prove warmth survives the faults.
+	warmReq := reqForRound(1)
+
+	// requestDPs counts engine runs driven by requests: every object that
+	// ever lived, minus handoff/replica replays and snapshot replays.
+	requestDPs := func() int64 {
+		var sum int64
+		for _, n := range all {
+			st := n.Status()
+			sum += n.svc.Stats().Optimizations - st.WarmFills - st.SnapshotReplayed
+		}
+		return sum
+	}
+
+	convergeViews := func(round int) {
+		t.Helper()
+		waitFor(t, 10*time.Second, fmt.Sprintf("views to converge in round %d", round), func() bool {
+			want := ""
+			for _, n := range liveList() {
+				got := fmt.Sprintf("%d|%v", n.Epoch(), n.Peers())
+				if want == "" {
+					want = got
+				} else if got != want {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	convergeGenerations := func(round int) {
+		t.Helper()
+		waitFor(t, 10*time.Second, fmt.Sprintf("generations to converge in round %d", round), func() bool {
+			var max uint64
+			for _, n := range liveList() {
+				if g := n.svc.Generation(); g > max {
+					max = g
+				}
+			}
+			for _, n := range liveList() {
+				if n.svc.Generation() != max {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	invalidated := false
+	for r := 0; r < rounds; r++ {
+		// 1. One membership or process fault per round (round 0 is warmup).
+		action := "none"
+		if r > 0 {
+			options := []string{"none"}
+			if len(live) > 2 {
+				options = append(options, "kill", "leave")
+			}
+			if len(dead) > 0 {
+				options = append(options, "restart")
+			}
+			if len(anyLive().Peers()) < 5 {
+				options = append(options, "join")
+			}
+			action = options[rng.Intn(len(options))]
+		}
+		switch action {
+		case "kill":
+			nm := liveNames()[rng.Intn(len(live))]
+			lb.Deregister(nm)
+			delete(live, nm)
+			dead[nm] = true
+			t.Logf("round %d: kill %s (live %d)", r, nm, len(live))
+		case "restart":
+			var nm string
+			for d := range dead {
+				nm = d
+				break
+			}
+			delete(dead, nm)
+			n := mk(nm, anyLive().Peers())
+			if err := n.JoinFleet(context.Background()); err != nil {
+				t.Fatalf("round %d: restart %s failed to rejoin: %v", r, nm, err)
+			}
+			t.Logf("round %d: restart %s (live %d)", r, nm, len(live))
+		case "join":
+			nm := fmt.Sprintf("n%d", nextID)
+			nextID++
+			n := mk(nm, liveNames())
+			if err := n.JoinFleet(context.Background()); err != nil {
+				t.Fatalf("round %d: join %s failed: %v", r, nm, err)
+			}
+			t.Logf("round %d: join %s (live %d)", r, nm, len(live))
+		case "leave":
+			nm := liveNames()[rng.Intn(len(live))]
+			n := live[nm]
+			n.LeaveFleet(context.Background())
+			lb.Deregister(nm)
+			delete(live, nm)
+			t.Logf("round %d: leave %s (live %d)", r, nm, len(live))
+		default:
+			t.Logf("round %d: calm (live %d)", r, len(live))
+		}
+
+		// 2. Converge membership, drain async handoffs and pushes.
+		convergeViews(r)
+		settle(t, all)
+
+		// calm: nothing this round can have moved ownership or cooled a
+		// cache, and no live node suspects another — the sharp one-DP
+		// assertion applies.
+		calm := action == "none"
+		if calm {
+			for _, n := range liveList() {
+				for _, p := range n.Status().Peers {
+					if _, isLive := live[p.Name]; isLive && !p.Self && p.State != "healthy" {
+						calm = false
+					}
+				}
+			}
+		}
+
+		// 3. Concurrent load: the round's fresh key plus the standing warm
+		// key, from every live node at once.
+		fresh := reqForRound(r + 1)
+		base := requestDPs()
+		nodesNow := liveList()
+		var wg sync.WaitGroup
+		errs := make(chan error, 4*len(nodesNow))
+		for i, n := range nodesNow {
+			wg.Add(1)
+			go func(i int, n *Node) {
+				defer wg.Done()
+				for j, req := range []serve.Request{fresh, warmReq} {
+					if _, err := n.Optimize(context.Background(), req); err != nil {
+						errs <- fmt.Errorf("round %d node %s req %d: %w", r, n.Self(), j, err)
+					}
+				}
+			}(i, n)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		// 4. Account for every engine run this round cost.
+		settle(t, all)
+		delta := requestDPs() - base
+		if r == 0 {
+			if delta != 1 {
+				t.Fatalf("round 0 ran %d request-path engine runs, want exactly 1", delta)
+			}
+		} else if calm {
+			want := int64(1)
+			if invalidated {
+				want = 2 // the invalidation round cooled the warm key once
+			}
+			if delta != want {
+				t.Fatalf("calm round %d ran %d request-path engine runs, want %d", r, delta, want)
+			}
+		} else {
+			// A faulted round may also re-optimize the warm key — once per
+			// node at worst (every replica of it died) — never more.
+			max := int64(2 * len(live))
+			if delta < 1 || delta > max {
+				t.Fatalf("round %d (%s) ran %d request-path engine runs, want 1..%d", r, action, delta, max)
+			}
+		}
+		invalidated = false
+
+		// 5. Every third round, invalidate fleet-wide and require the
+		// generation to converge across live nodes.
+		if r%3 == 2 {
+			anyLive().Invalidate()
+			invalidated = true
+		}
+		convergeGenerations(r)
+	}
+}

@@ -26,6 +26,14 @@ func exampleRequest() serve.Request {
 // timing; mut customizes per-node configs before construction.
 func newTestFleet(t *testing.T, names []string, mut func(name string, cfg *Config, scfg *serve.Config)) map[string]*Node {
 	t.Helper()
+	_, nodes := newTestFleetLB(t, names, mut)
+	return nodes
+}
+
+// newTestFleetLB is newTestFleet exposing the fabric, for tests that
+// register joiners or deregister (kill) nodes mid-flight.
+func newTestFleetLB(t *testing.T, names []string, mut func(name string, cfg *Config, scfg *serve.Config)) (*Loopback, map[string]*Node) {
+	t.Helper()
 	lb := NewLoopback()
 	nodes := make(map[string]*Node, len(names))
 	for _, name := range names {
@@ -42,7 +50,7 @@ func newTestFleet(t *testing.T, names []string, mut func(name string, cfg *Confi
 		lb.Register(name, n)
 		nodes[name] = n
 	}
-	return nodes
+	return lb, nodes
 }
 
 // ownerOf resolves the key and its owner for a request, from any node.
@@ -52,7 +60,7 @@ func ownerOf(t *testing.T, n *Node, req serve.Request) (key, owner string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return key, n.ring.owner(key)
+	return key, n.view().ring.owner(key)
 }
 
 func totalOptimizations(nodes map[string]*Node) int64 {
@@ -157,16 +165,12 @@ func TestPartitionFallsBackLocally(t *testing.T) {
 // lookups, modeling a responder that never learns how far the fleet has
 // moved (the forward-adoption repair is unavailable, as with a peer
 // replaying old state). Its stale replies must then be rejected.
-type amnesicTransport struct{ inner Transport }
+type amnesicTransport struct{ Transport }
 
 func (a amnesicTransport) Lookup(ctx context.Context, peer string, req *LookupRequest) (*LookupReply, error) {
 	cp := *req
 	cp.Generation = 0
-	return a.inner.Lookup(ctx, peer, &cp)
-}
-
-func (a amnesicTransport) Propagate(ctx context.Context, peer string, gen uint64) (uint64, error) {
-	return a.inner.Propagate(ctx, peer, gen)
+	return a.Transport.Lookup(ctx, peer, &cp)
 }
 
 // TestStaleGenerationRejected bumps the requester's generation without
@@ -303,8 +307,10 @@ func TestPeerPanicIsolated(t *testing.T) {
 		}
 	}
 
+	// Every hit, not After:1 — a race-loser goroutine from an earlier
+	// hedging test may still consume one lookup hit after its test ended.
 	in := faultinject.New(1, faultinject.Rule{
-		Site: faultinject.FleetPeerLookup, Kind: faultinject.KindPanic, After: 1,
+		Site: faultinject.FleetPeerLookup, Kind: faultinject.KindPanic, Every: 1,
 	})
 	faultinject.Enable(in)
 	t.Cleanup(faultinject.Disable)
@@ -432,18 +438,18 @@ func TestDeadPeerUnreachable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n.ring.owner(key) == "live" {
+	if n.view().ring.owner(key) == "live" {
 		// Vary the strategy to move the key to the dead peer's arc.
 		for _, s := range []lec.Strategy{lec.LSCMean, lec.LSCMode, lec.AlgorithmA, lec.AlgorithmB, lec.AlgorithmD} {
 			r := req
 			r.Strategy = s
-			if _, k, err := n.svc.Canonicalize(r); err == nil && n.ring.owner(k) == "dead" {
+			if _, k, err := n.svc.Canonicalize(r); err == nil && n.view().ring.owner(k) == "dead" {
 				req = r
 				break
 			}
 		}
 	}
-	if _, key, _ = n.svc.Canonicalize(req); n.ring.owner(key) != "dead" {
+	if _, key, _ = n.svc.Canonicalize(req); n.view().ring.owner(key) != "dead" {
 		t.Skip("no example strategy hashes to the dead peer on this ring")
 	}
 

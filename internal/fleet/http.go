@@ -13,8 +13,10 @@ import (
 // Peer protocol paths, mounted by Handler and dialed by HTTPTransport. The
 // version segment lets a future incompatible protocol coexist on one port.
 const (
-	lookupPath    = "/fleet/v1/lookup"
-	propagatePath = "/fleet/v1/propagate"
+	lookupPath     = "/fleet/v1/lookup"
+	propagatePath  = "/fleet/v1/propagate"
+	membershipPath = "/fleet/v1/membership"
+	handoffPath    = "/fleet/v1/handoff"
 )
 
 // propagateBody is the propagate request/reply JSON body.
@@ -86,6 +88,24 @@ func (t *HTTPTransport) Propagate(ctx context.Context, peer string, gen uint64) 
 	return rep.Generation, nil
 }
 
+// Membership implements Transport.
+func (t *HTTPTransport) Membership(ctx context.Context, peer string, msg *MembershipMsg) (*MembershipMsg, error) {
+	var rep MembershipMsg
+	if err := t.post(ctx, t.url(peer, membershipPath), msg, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Handoff implements Transport.
+func (t *HTTPTransport) Handoff(ctx context.Context, peer string, req *HandoffRequest) (int, error) {
+	var rep HandoffReply
+	if err := t.post(ctx, t.url(peer, handoffPath), req, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Accepted, nil
+}
+
 // Handler returns the peer-facing HTTP handler for the node: the server
 // side of HTTPTransport. Mount it on the same mux as the client API.
 func Handler(n *Node) http.Handler {
@@ -120,6 +140,30 @@ func Handler(n *Node) http.Handler {
 			return
 		}
 		writeJSON(w, propagateBody{Generation: n.HandlePropagate(body.Generation)})
+	})
+	mux.HandleFunc(membershipPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var msg MembershipMsg
+		if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, n.HandleMembership(&msg))
+	})
+	mux.HandleFunc(handoffPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req HandoffRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, HandoffReply{Accepted: n.HandleHandoff(r.Context(), &req)})
 	})
 	return mux
 }

@@ -52,7 +52,7 @@ func TestHTTPTransportPeerHit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if n.ring.owner(key) == n.cfg.Self {
+		if n.view().ring.owner(key) == n.cfg.Self {
 			ownerNode = n
 		} else {
 			requester = n

@@ -1,0 +1,423 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// newJoiner builds a node that is not yet a member: its Peers list names
+// only seeds, and it must JoinFleet to enter the ring.
+func newJoiner(t *testing.T, lb *Loopback, name string, seeds []string, mut func(cfg *Config, scfg *serve.Config)) *Node {
+	t.Helper()
+	cat, _, _ := workload.Example11()
+	scfg := serve.Config{Workers: 2}
+	cfg := Config{Self: name, Peers: seeds, Transport: lb, HedgeDelay: -1}
+	if mut != nil {
+		mut(&cfg, &scfg)
+	}
+	n, err := New(serve.New(cat, scfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Register(name, n)
+	return n
+}
+
+// joinerOwning searches candidate names for one that would own the key
+// after joining the given members — so handoff tests deterministically
+// exercise an ownership transfer, whatever the hash layout.
+func joinerOwning(t *testing.T, members []string, key string) string {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("j%d", i)
+		v := newView(1, append(append([]string{}, members...), name))
+		if v.ring.owner(key) == name {
+			return name
+		}
+	}
+	t.Fatal("no candidate joiner name owns the key")
+	return ""
+}
+
+// TestJoinHandsOffWarmKeys is the live-join acceptance path: a fleet of
+// two serves a key, a third node joins at runtime and becomes the key's
+// owner, the old owner hands the warm spec off, and the joiner's first
+// request for the inherited key is a cache hit — no re-optimization.
+func TestJoinHandsOffWarmKeys(t *testing.T) {
+	seeds := []string{"a", "b"}
+	lb, nodes := newTestFleetLB(t, seeds, nil)
+	req := exampleRequest()
+	key, owner0 := ownerOf(t, nodes["a"], req)
+
+	// Warm the key at its current owner.
+	if _, err := nodes[owner0].Optimize(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	joiner := joinerOwning(t, seeds, key)
+	jn := newJoiner(t, lb, joiner, seeds, nil)
+	if err := jn.JoinFleet(context.Background()); err != nil {
+		t.Fatalf("join failed: %v", err)
+	}
+
+	// The proposal announced synchronously: every node is at epoch 1 with
+	// three members.
+	for _, n := range []*Node{nodes["a"], nodes["b"], jn} {
+		if got := n.Epoch(); got != 1 {
+			t.Fatalf("%s at epoch %d after join, want 1", n.Self(), got)
+		}
+		if got := len(n.Peers()); got != 3 {
+			t.Fatalf("%s sees %d members after join, want 3", n.Self(), got)
+		}
+	}
+
+	// The old owner's rebalance hands the warm spec to the joiner, which
+	// replays it through its own optimizer.
+	waitFor(t, 5*time.Second, "warm handoff to the joiner", func() bool {
+		st := jn.Status()
+		return st.WarmFills+st.WarmHits >= 1
+	})
+	if got := nodes[owner0].c.handoffSent.Load(); got == 0 {
+		t.Errorf("old owner %s sent no handoff specs", owner0)
+	}
+
+	// First request at the joiner: warm, not re-optimized.
+	opts := jn.svc.Stats().Optimizations
+	rep, err := jn.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Local == nil || !rep.Local.Cached {
+		t.Fatalf("joiner's first request for the inherited key was not a cache hit: %+v", rep)
+	}
+	if got := jn.svc.Stats().Optimizations; got != opts {
+		t.Errorf("joiner re-optimized the inherited key: %d -> %d engine runs", opts, got)
+	}
+}
+
+// TestLeaveRebalancesWarmKeys: a member leaves under its own steam; views
+// converge without it, its warm keys are handed to the new owner, and the
+// fleet serves them without a fresh engine run.
+func TestLeaveRebalancesWarmKeys(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	_, nodes := newTestFleetLB(t, names, nil)
+	req := exampleRequest()
+	key, owner0 := ownerOf(t, nodes["a"], req)
+	if _, err := nodes[owner0].Optimize(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes[owner0].LeaveFleet(context.Background())
+	var remaining []*Node
+	for name, n := range nodes {
+		if name != owner0 {
+			remaining = append(remaining, n)
+		}
+	}
+	for _, n := range remaining {
+		if got := n.Epoch(); got != 1 {
+			t.Fatalf("%s at epoch %d after leave, want 1", n.Self(), got)
+		}
+		if n.view().has(owner0) {
+			t.Fatalf("%s still lists %s after its leave", n.Self(), owner0)
+		}
+	}
+
+	newOwner := remaining[0].view().ring.owner(key)
+	var ownerNode, other *Node
+	for _, n := range remaining {
+		if n.Self() == newOwner {
+			ownerNode = n
+		} else {
+			other = n
+		}
+	}
+	waitFor(t, 5*time.Second, "warm handoff to the new owner", func() bool {
+		st := ownerNode.Status()
+		return st.WarmFills+st.WarmHits >= 1
+	})
+
+	// Serving the key through the survivor costs zero fresh engine runs.
+	before := totalOptimizations(nodes)
+	rep, err := other.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PeerHit {
+		t.Fatalf("rebalanced key not served from the new owner's cache: %+v", rep)
+	}
+	if after := totalOptimizations(nodes); after != before {
+		t.Errorf("serving a rebalanced warm key ran %d fresh optimizations", after-before)
+	}
+}
+
+// TestEpochPiggybackRepairsView: a node that missed a membership change
+// converges through ordinary lookups — the epoch rides on requests and
+// replies, and a mismatch in either direction triggers one background
+// exchange, exactly like generation repair.
+func TestEpochPiggybackRepairsView(t *testing.T) {
+	nodes := newTestFleet(t, []string{"a", "b"}, nil)
+	req := exampleRequest()
+	_, owner := ownerOf(t, nodes["a"], req)
+	requester := nodes["a"]
+	if owner == "a" {
+		requester = nodes["b"]
+	}
+
+	// Responder ahead: the reply's epoch pulls the requester forward.
+	nodes[owner].adoptView(5, nodes[owner].Peers())
+	if _, err := requester.Optimize(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "requester to adopt epoch 5", func() bool {
+		return requester.Epoch() == 5
+	})
+
+	// Requester ahead: the request's epoch makes the responder sync back.
+	requester.adoptView(7, requester.Peers())
+	if _, err := requester.Optimize(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "responder to adopt epoch 7", func() bool {
+		return nodes[owner].Epoch() == 7
+	})
+}
+
+// TestEqualEpochTiebreak: two concurrent proposals at the same epoch must
+// resolve identically everywhere, whichever order they arrive in — the
+// fingerprint is a deterministic total order, not a coin flip.
+func TestEqualEpochTiebreak(t *testing.T) {
+	va := newView(1, []string{"a", "b", "c"})
+	vb := newView(1, []string{"a", "b", "d"})
+	if va.fp == vb.fp {
+		t.Fatal("distinct peer lists share a fingerprint")
+	}
+	mk := func() *Node {
+		cat, _, _ := workload.Example11()
+		n, err := New(serve.New(cat, serve.Config{}), Config{Self: "z", Peers: []string{"z"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	n1, n2 := mk(), mk()
+	n1.adoptView(va.epoch, va.peers)
+	n1.adoptView(vb.epoch, vb.peers)
+	n2.adoptView(vb.epoch, vb.peers)
+	n2.adoptView(va.epoch, va.peers)
+	p1, p2 := fmt.Sprint(n1.Peers()), fmt.Sprint(n2.Peers())
+	if p1 != p2 {
+		t.Fatalf("same-epoch proposals diverged: %s vs %s", p1, p2)
+	}
+}
+
+// TestJoinWithDeadSeedsFails: a joiner whose every membership exchange is
+// dropped reports the failure instead of silently serving solo; once the
+// partition heals the same call succeeds.
+func TestJoinWithDeadSeedsFails(t *testing.T) {
+	lb, nodes := newTestFleetLB(t, []string{"a", "b"}, nil)
+	jn := newJoiner(t, lb, "j", []string{"a", "b"}, nil)
+
+	in := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.FleetMembership, Kind: faultinject.KindDrop, Every: 1,
+	})
+	faultinject.Enable(in)
+	if err := jn.JoinFleet(context.Background()); err == nil {
+		t.Fatal("join with all seeds unreachable reported success")
+	}
+	if got := jn.c.membershipFailed.Load(); got < 2 {
+		t.Errorf("membershipFailed = %d, want >= 2", got)
+	}
+	faultinject.Disable()
+
+	if err := jn.JoinFleet(context.Background()); err != nil {
+		t.Fatalf("join after partition healed failed: %v", err)
+	}
+	for _, n := range []*Node{nodes["a"], nodes["b"], jn} {
+		if !n.view().has("j") {
+			t.Errorf("%s does not list the joiner", n.Self())
+		}
+	}
+}
+
+// TestHandoffDropCostsOnlyWarmth: dropping the warm handoff leaves the
+// joiner cold for its inherited keys — it re-optimizes on first request,
+// correctly, and the drop is counted. Losing a handoff is never an error.
+func TestHandoffDropCostsOnlyWarmth(t *testing.T) {
+	seeds := []string{"a", "b"}
+	lb, nodes := newTestFleetLB(t, seeds, nil)
+	req := exampleRequest()
+	key, owner0 := ownerOf(t, nodes["a"], req)
+	if _, err := nodes[owner0].Optimize(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	in := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.FleetHandoff, Kind: faultinject.KindDrop, Every: 1,
+	})
+	faultinject.Enable(in)
+	t.Cleanup(faultinject.Disable)
+
+	joiner := joinerOwning(t, seeds, key)
+	jn := newJoiner(t, lb, joiner, seeds, nil)
+	if err := jn.JoinFleet(context.Background()); err != nil {
+		t.Fatalf("join failed: %v", err)
+	}
+	waitFor(t, 5*time.Second, "the dropped handoff to be counted", func() bool {
+		return nodes[owner0].c.handoffFailed.Load() >= 1
+	})
+
+	rep, err := jn.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatalf("cold inherited key failed: %v", err)
+	}
+	if rep.Local == nil || rep.Local.Cached {
+		t.Fatalf("cold joiner should have run the engine fresh: %+v", rep)
+	}
+	if jn.svc.Stats().Optimizations != 1 {
+		t.Errorf("joiner ran %d optimizations, want 1", jn.svc.Stats().Optimizations)
+	}
+}
+
+// TestSnapshotCarriesMembership: the snapshot persists the membership
+// view, so a restarted node rejoins the ring it left instead of reverting
+// to its stale seed list.
+func TestSnapshotCarriesMembership(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	cat, _, _ := workload.Example11()
+	n, err := New(serve.New(cat, serve.Config{Workers: 2}), Config{
+		Self: "a", Peers: []string{"a"}, SnapshotPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.adoptView(3, []string{"a", "x"})
+	if err := n.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	cat2, _, _ := workload.Example11()
+	n2, err := New(serve.New(cat2, serve.Config{Workers: 2}), Config{
+		Self: "a", Peers: []string{"a"}, SnapshotPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.LoadSnapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := n2.Epoch(); got != 3 {
+		t.Errorf("restarted node at epoch %d, want 3", got)
+	}
+	if !n2.view().has("x") {
+		t.Errorf("restarted node lost the ring: %v", n2.Peers())
+	}
+}
+
+// TestJoinMidStampede is the join-mid-stampede row of the fault matrix:
+// a node joins while concurrent identical requests are in flight. Zero
+// requests may fail, and the ownership transition costs at most one
+// duplicate engine run (old owner and new owner racing the handover).
+func TestJoinMidStampede(t *testing.T) {
+	seeds := []string{"a", "b"}
+	lb, nodes := newTestFleetLB(t, seeds, nil)
+	req := exampleRequest()
+	key, _ := ownerOf(t, nodes["a"], req)
+	joiner := joinerOwning(t, seeds, key)
+	jn := newJoiner(t, lb, joiner, seeds, nil)
+
+	const waves = 4
+	const perWave = 8
+	errs := make(chan error, waves*perWave)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for w := 0; w < waves; w++ {
+			var inner [perWave]chan struct{}
+			for i := 0; i < perWave; i++ {
+				inner[i] = make(chan struct{})
+				n := nodes["a"]
+				if i%2 == 1 {
+					n = nodes["b"]
+				}
+				go func(n *Node, ch chan struct{}) {
+					defer close(ch)
+					if _, err := n.Optimize(context.Background(), req); err != nil {
+						errs <- err
+					}
+				}(n, inner[i])
+			}
+			for _, ch := range inner {
+				<-ch
+			}
+		}
+	}()
+	if err := jn.JoinFleet(context.Background()); err != nil {
+		t.Fatalf("join mid-stampede failed: %v", err)
+	}
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Fatalf("request failed during join: %v", err)
+	}
+
+	// Let in-flight handoffs and replica pushes settle, then account for
+	// every engine run: request-path DPs are total runs minus handoff
+	// replays, and the handover may legitimately run the DP on both the
+	// old and the new owner — but never more.
+	all := []*Node{nodes["a"], nodes["b"], jn}
+	settle(t, all)
+	var fills, total int64
+	for _, n := range all {
+		fills += n.Status().WarmFills
+		total += n.svc.Stats().Optimizations
+	}
+	requestDPs := total - fills
+	if requestDPs < 1 || requestDPs > 2 {
+		t.Errorf("join mid-stampede ran %d request-path engine runs, want 1 or 2", requestDPs)
+	}
+}
+
+// settle waits until no node's engine-run or warm-fill counters moved for
+// a few polls — in-flight async handoffs and pushes have drained.
+func settle(t *testing.T, nodes []*Node) {
+	t.Helper()
+	stable := 0
+	last := int64(-1)
+	deadline := time.Now().Add(5 * time.Second)
+	for stable < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never quiesced")
+		}
+		var sum int64
+		for _, n := range nodes {
+			st := n.Status()
+			sum += n.svc.Stats().Optimizations + st.WarmFills + st.WarmHits + st.HandoffSent + st.HandoffFailed
+		}
+		if sum == last {
+			stable++
+		} else {
+			stable, last = 0, sum
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

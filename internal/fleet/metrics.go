@@ -18,6 +18,19 @@ type fleetMetrics struct {
 	propagateFailed  *obs.Counter
 	propagateSeconds *obs.Histogram
 
+	healthTrips  *obs.Counter
+	healthProbes *obs.Counter
+	healthSkips  *obs.Counter
+	failovers    *obs.Counter
+
+	membershipAdoptions *obs.Counter
+
+	handoffSent   *obs.Counter
+	handoffFailed *obs.Counter
+	warmFills     *obs.Counter
+	warmHits      *obs.Counter
+	replicaPushes *obs.Counter
+
 	snapshotSaves        *obs.Counter
 	snapshotSaveFailures *obs.Counter
 	snapshotLoads        *obs.Counter
@@ -41,6 +54,19 @@ func newFleetMetrics(reg *obs.Registry, n *Node) *fleetMetrics {
 		propagateFailed:  reg.Counter("lec_fleet_propagate_failed_total", "Generation propagations dropped or failed."),
 		propagateSeconds: reg.Histogram("lec_fleet_propagate_seconds", "Latency of one acknowledged generation propagation.", nil),
 
+		healthTrips:  reg.Counter("lec_fleet_health_trips_total", "Peers moved to suspect by the failure detector."),
+		healthProbes: reg.Counter("lec_fleet_health_probes_total", "Half-open probes admitted to suspected peers."),
+		healthSkips:  reg.Counter("lec_fleet_health_skips_total", "Chain peers skipped by routing while suspect."),
+		failovers:    reg.Counter("lec_fleet_failovers_total", "Lookups failed over to the next replica after a branch error."),
+
+		membershipAdoptions: reg.Counter("lec_fleet_membership_adoptions_total", "Membership views adopted from peers or proposals."),
+
+		handoffSent:   reg.Counter("lec_fleet_handoff_sent_total", "Warm request specs delivered to peers (rebalance and replica pushes)."),
+		handoffFailed: reg.Counter("lec_fleet_handoff_failed_total", "Warm-handoff batches dropped or failed."),
+		warmFills:     reg.Counter("lec_fleet_warm_fills_total", "Handed-off specs replayed into a fresh local plan."),
+		warmHits:      reg.Counter("lec_fleet_warm_hits_total", "Handed-off specs already warm in the local cache."),
+		replicaPushes: reg.Counter("lec_fleet_replica_pushes_total", "Fresh plans pushed to the key's other replicas as specs."),
+
 		snapshotSaves:        reg.Counter("lec_fleet_snapshot_saves_total", "Plan-cache snapshots written on drain."),
 		snapshotSaveFailures: reg.Counter("lec_fleet_snapshot_save_failures_total", "Plan-cache snapshot writes that failed."),
 		snapshotLoads:        reg.Counter("lec_fleet_snapshot_loads_total", "Plan-cache snapshots loaded at boot."),
@@ -48,9 +74,12 @@ func newFleetMetrics(reg *obs.Registry, n *Node) *fleetMetrics {
 		snapshotReplayed:     reg.Counter("lec_fleet_snapshot_replayed_total", "Snapshot entries successfully replayed into the plan cache."),
 	}
 	reg.GaugeFunc("lec_fleet_peers", "Distinct peers on this node's hash ring.", func() float64 {
-		return float64(n.ring.size())
+		return float64(n.view().ring.size())
 	})
-	reg.GaugeFunc("lec_fleet_warm_set_size", "Request specs recorded for the next snapshot.", func() float64 {
+	reg.GaugeFunc("lec_fleet_membership_epoch", "Current membership view epoch.", func() float64 {
+		return float64(n.Epoch())
+	})
+	reg.GaugeFunc("lec_fleet_warm_set_size", "Request specs recorded for snapshots, handoff, and replication.", func() float64 {
 		return float64(n.WarmSetSize())
 	})
 	return m

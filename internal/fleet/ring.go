@@ -100,6 +100,37 @@ func (r *ring) successor(key string) string {
 	return owner
 }
 
+// sequence returns up to k distinct peers in ring order starting at the
+// key's owning point. sequence(key, R) is the key's replica set under
+// replicated ownership (the first element is the primary), and
+// sequence(key, 2)[1] is the classic hedge successor.
+func (r *ring) sequence(key string, k int) []string {
+	if len(r.points) == 0 || k < 1 {
+		return nil
+	}
+	if k > len(r.peers) {
+		k = len(r.peers)
+	}
+	out := make([]string, 0, k)
+	i := r.at(key)
+	for step := 0; step < len(r.points) && len(out) < k; step++ {
+		p := r.points[(i+step)%len(r.points)].peer
+		if !containsPeer(out, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsPeer(list []string, p string) bool {
+	for _, q := range list {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
 // at returns the index of the key's owning ring point.
 func (r *ring) at(key string) int {
 	h := ringHash(key)

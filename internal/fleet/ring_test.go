@@ -54,6 +54,52 @@ func TestRingSpread(t *testing.T) {
 	}
 }
 
+// TestRingSequence: sequence(key, k) returns k distinct peers starting at
+// the owner, agrees with owner/successor, and ring order is stable — the
+// replica-set contract replicated ownership rests on.
+func TestRingSequence(t *testing.T) {
+	r := newRing([]string{"n1", "n2", "n3", "n4"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.sequence(key, 3)
+		if len(seq) != 3 {
+			t.Fatalf("sequence(%q, 3) = %v", key, seq)
+		}
+		if seq[0] != r.owner(key) {
+			t.Fatalf("sequence(%q)[0] = %s, owner = %s", key, seq[0], r.owner(key))
+		}
+		if seq[1] != r.successor(key) {
+			t.Fatalf("sequence(%q)[1] = %s, successor = %s", key, seq[1], r.successor(key))
+		}
+		seen := map[string]bool{}
+		for _, p := range seq {
+			if seen[p] {
+				t.Fatalf("sequence(%q) repeats %s: %v", key, p, seq)
+			}
+			seen[p] = true
+		}
+		// A longer prefix never reorders a shorter one.
+		if full := r.sequence(key, 4); full[0] != seq[0] || full[1] != seq[1] || full[2] != seq[2] {
+			t.Fatalf("sequence(%q) unstable: %v vs %v", key, seq, full)
+		}
+	}
+}
+
+// TestRingSequenceClamped: asking for more replicas than peers returns
+// every peer once; degenerate inputs stay well-defined.
+func TestRingSequenceClamped(t *testing.T) {
+	r := newRing([]string{"a", "b"})
+	if seq := r.sequence("k", 5); len(seq) != 2 {
+		t.Errorf("sequence clamp: %v", seq)
+	}
+	if seq := r.sequence("k", 0); seq != nil {
+		t.Errorf("sequence(k, 0) = %v", seq)
+	}
+	if seq := newRing(nil).sequence("k", 2); seq != nil {
+		t.Errorf("empty ring sequence = %v", seq)
+	}
+}
+
 // TestRingDegenerate: empty and single-peer rings stay well-defined.
 func TestRingDegenerate(t *testing.T) {
 	empty := newRing(nil)

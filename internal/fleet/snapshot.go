@@ -31,27 +31,38 @@ type snapshotFile struct {
 	Fingerprint string `json:"fingerprint"`
 	// Generation is the catalog generation at save time; the booting node
 	// adopts it so generation numbers stay monotonic across a restart.
-	Generation uint64          `json:"generation"`
-	SavedBy    string          `json:"saved_by,omitempty"`
-	Entries    []snapshotEntry `json:"entries"`
+	Generation uint64 `json:"generation"`
+	// Epoch/Peers are the membership view at save time; the booting node
+	// adopts them (when newer than its seed list) so a restart rejoins
+	// the ring it left.
+	Epoch   uint64     `json:"epoch,omitempty"`
+	Peers   []string   `json:"peers,omitempty"`
+	SavedBy string     `json:"saved_by,omitempty"`
+	Entries []WarmSpec `json:"entries"`
 }
 
-// snapshotEntry is one replayable request spec — the same flattening the
-// wire uses (see LookupRequest).
-type snapshotEntry struct {
+// WarmSpec is one replayable request spec — the same flattening the wire
+// uses (see LookupRequest). It is the unit of snapshots, membership
+// handoff, and replica pushes alike: specs travel, plans never do, so a
+// receiver only ever serves plans it derived against its own catalog.
+type WarmSpec struct {
 	SQL         string      `json:"sql"`
 	Strategy    int         `json:"strategy"`
+	JoinSels    []float64   `json:"join_sels,omitempty"`
+	SelSels     []float64   `json:"sel_sels,omitempty"`
 	MemVals     []float64   `json:"mem_vals,omitempty"`
 	MemProbs    []float64   `json:"mem_probs,omitempty"`
 	ChainStates []float64   `json:"chain_states,omitempty"`
 	ChainRows   [][]float64 `json:"chain_rows,omitempty"`
 }
 
-// toServe rebuilds the entry as a serve request (shared with the wire path).
-func (e snapshotEntry) toServe() (serve.Request, error) {
+// toServe rebuilds the spec as a serve request (shared with the wire path).
+func (e WarmSpec) toServe() (serve.Request, error) {
 	w := LookupRequest{
 		SQL:         e.SQL,
 		Strategy:    e.Strategy,
+		JoinSels:    e.JoinSels,
+		SelSels:     e.SelSels,
 		MemVals:     e.MemVals,
 		MemProbs:    e.MemProbs,
 		ChainStates: e.ChainStates,
@@ -61,12 +72,10 @@ func (e snapshotEntry) toServe() (serve.Request, error) {
 }
 
 // noteServed records a successfully served request into the bounded warm
-// set. Pinned and degraded decisions are excluded — a snapshot replays only
-// plans worth having again.
+// set — the shared source for snapshots, membership handoff, and replica
+// pushes, so it records regardless of SnapshotPath. Pinned and degraded
+// decisions are excluded — only plans worth having again travel.
 func (n *Node) noteServed(key string, req serve.Request, resp *serve.Response) {
-	if n.cfg.SnapshotPath == "" {
-		return
-	}
 	if resp == nil || resp.Decision == nil || resp.Pinned || resp.Decision.Degraded {
 		return
 	}
@@ -74,9 +83,11 @@ func (n *Node) noteServed(key string, req serve.Request, resp *serve.Response) {
 	if err != nil {
 		return
 	}
-	e := snapshotEntry{
+	e := WarmSpec{
 		SQL:         wreq.SQL,
 		Strategy:    wreq.Strategy,
+		JoinSels:    wreq.JoinSels,
+		SelSels:     wreq.SelSels,
 		MemVals:     wreq.MemVals,
 		MemProbs:    wreq.MemProbs,
 		ChainStates: wreq.ChainStates,
@@ -132,16 +143,19 @@ func (n *Node) saveSnapshot() error {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	entries := make([]snapshotEntry, 0, len(keys))
+	entries := make([]WarmSpec, 0, len(keys))
 	for _, k := range keys {
 		entries = append(entries, n.warmSet[k])
 	}
 	n.warmMu.Unlock()
 
+	v := n.view()
 	f := snapshotFile{
 		Version:     snapshotVersion,
 		Fingerprint: n.catalogFingerprint(),
 		Generation:  n.svc.Generation(),
+		Epoch:       v.epoch,
+		Peers:       v.peers,
 		SavedBy:     n.cfg.Self,
 		Entries:     entries,
 	}
@@ -183,6 +197,9 @@ func (n *Node) LoadSnapshot(ctx context.Context) (replayed int, err error) {
 		n.m.snapshotLoads.Inc()
 	}
 	n.adopt(f.Generation)
+	if f.Epoch > 0 && len(f.Peers) > 0 {
+		n.adoptView(f.Epoch, f.Peers)
+	}
 	for _, e := range f.Entries {
 		req, err := e.toServe()
 		if err != nil {

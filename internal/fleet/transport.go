@@ -23,8 +23,9 @@ var ErrStaleGeneration = errors.New("fleet: stale peer generation")
 
 // Transport moves fleet messages between peers. Implementations must be
 // safe for concurrent use. The fault-injection sites (fleet/peer-lookup,
-// fleet/propagate) live in the Node above the transport, so every
-// implementation — loopback or HTTP — sees the same fault matrix.
+// fleet/propagate, fleet/membership, fleet/handoff) live in the Node
+// above the transport, so every implementation — loopback or HTTP — sees
+// the same fault matrix.
 type Transport interface {
 	// Lookup asks peer for its answer to the request: a cached plan if it
 	// has one, a freshly coalesced optimization if not.
@@ -33,6 +34,27 @@ type Transport interface {
 	// returns the peer's generation after adoption, which may be higher
 	// than gen — the caller then adopts in turn (anti-entropy).
 	Propagate(ctx context.Context, peer string, gen uint64) (peerGen uint64, err error)
+	// Membership exchanges epoch-numbered peer-list views with peer: the
+	// peer adopts msg when newer and replies with its own view.
+	Membership(ctx context.Context, peer string, msg *MembershipMsg) (*MembershipMsg, error)
+	// Handoff delivers a batch of warm request specs for peer to replay
+	// through its own optimizer, returning how many entries it accepted.
+	Handoff(ctx context.Context, peer string, req *HandoffRequest) (accepted int, err error)
+}
+
+// HandoffRequest is one warm-handoff batch on the wire: request specs —
+// never plans — that the receiver replays through its own optimizer. It
+// carries both rebalance transfers (membership changes) and asynchronous
+// replica pushes.
+type HandoffRequest struct {
+	From    string     `json:"from"`
+	Epoch   uint64     `json:"epoch"`
+	Entries []WarmSpec `json:"entries"`
+}
+
+// HandoffReply acknowledges a handoff batch.
+type HandoffReply struct {
+	Accepted int `json:"accepted"`
 }
 
 // LookupRequest is one peer plan lookup on the wire. It carries the full
@@ -46,6 +68,13 @@ type LookupRequest struct {
 	SQL string `json:"sql"`
 	// Strategy is the numeric lec.Strategy.
 	Strategy int `json:"strategy"`
+	// JoinSels/SelSels carry the bound query's numeric join/selection
+	// selectivities, which the canonical SQL rendering cannot express —
+	// without them the responder's rebind would silently substitute
+	// catalog-derived estimates and optimize a different query under the
+	// same key.
+	JoinSels []float64 `json:"join_sels,omitempty"`
+	SelSels  []float64 `json:"sel_sels,omitempty"`
 	// MemVals/MemProbs encode the memory distribution.
 	MemVals  []float64 `json:"mem_vals"`
 	MemProbs []float64 `json:"mem_probs"`
@@ -55,6 +84,11 @@ type LookupRequest struct {
 	// Generation is the requester's catalog generation; a responder that
 	// is behind adopts it before answering.
 	Generation uint64 `json:"generation"`
+	// Epoch is the requester's membership epoch; a responder that is
+	// behind syncs views with From in the background.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// From is the requester's fleet identity (the sync target).
+	From string `json:"from,omitempty"`
 	// Hedge marks a hedged lookup sent to a non-owner (diagnostic only).
 	Hedge bool `json:"hedge,omitempty"`
 }
@@ -64,8 +98,14 @@ type LookupReply struct {
 	// Generation the responder answered under. The requester rejects
 	// replies older than its own generation and adopts newer ones.
 	Generation uint64 `json:"generation"`
+	// Epoch is the responder's membership epoch; a requester that is
+	// behind syncs views in the background.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Node is the responder's identity.
 	Node string `json:"node"`
+	// QueueDepth is the responder's admission queue depth at answer time
+	// — the load signal behind load-aware hedging.
+	QueueDepth int `json:"queue_depth,omitempty"`
 	// Resp is the responder's serve response, flattened for the wire.
 	Resp WireResponse `json:"resp"`
 }
@@ -124,6 +164,18 @@ func newLookupRequest(key string, req serve.Request, gen uint64) (*LookupRequest
 		Strategy:   int(req.Strategy),
 		Generation: gen,
 	}
+	if len(req.Query.Joins) > 0 {
+		out.JoinSels = make([]float64, len(req.Query.Joins))
+		for i, j := range req.Query.Joins {
+			out.JoinSels[i] = j.Selectivity
+		}
+	}
+	if len(req.Query.Selections) > 0 {
+		out.SelSels = make([]float64, len(req.Query.Selections))
+		for i, sel := range req.Query.Selections {
+			out.SelSels[i] = sel.Selectivity
+		}
+	}
 	if m := req.Env.Memory; m != nil {
 		out.MemVals = m.Support()
 		out.MemProbs = m.Probs()
@@ -142,7 +194,12 @@ func newLookupRequest(key string, req serve.Request, gen uint64) (*LookupRequest
 // re-bound against the responder's own catalog — a peer never executes a
 // plan fragment it did not derive itself.
 func (r *LookupRequest) toServe() (serve.Request, error) {
-	out := serve.Request{SQL: r.SQL, Strategy: lec.Strategy(r.Strategy)}
+	out := serve.Request{
+		SQL:           r.SQL,
+		Strategy:      lec.Strategy(r.Strategy),
+		JoinSels:      r.JoinSels,
+		SelectionSels: r.SelSels,
+	}
 	if len(r.MemVals) > 0 {
 		m, err := stats.New(r.MemVals, r.MemProbs)
 		if err != nil {
@@ -181,6 +238,14 @@ func (l *Loopback) Register(name string, n *Node) {
 	l.nodes[name] = n
 }
 
+// Deregister detaches a node: the name becomes unreachable, which is how
+// a chaos test kills a peer without stopping its goroutines first.
+func (l *Loopback) Deregister(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.nodes, name)
+}
+
 func (l *Loopback) node(name string) (*Node, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -207,4 +272,22 @@ func (l *Loopback) Propagate(ctx context.Context, peer string, gen uint64) (uint
 		return 0, err
 	}
 	return n.HandlePropagate(gen), nil
+}
+
+// Membership implements Transport.
+func (l *Loopback) Membership(ctx context.Context, peer string, msg *MembershipMsg) (*MembershipMsg, error) {
+	n, err := l.node(peer)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleMembership(msg), nil
+}
+
+// Handoff implements Transport.
+func (l *Loopback) Handoff(ctx context.Context, peer string, req *HandoffRequest) (int, error) {
+	n, err := l.node(peer)
+	if err != nil {
+		return 0, err
+	}
+	return n.HandleHandoff(ctx, req), nil
 }

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+// exampleRequestBound is the demo request with the *programmatic* query:
+// the paper's explicit join selectivity, which differs from what the
+// binder would derive from catalog statistics for the same SQL text.
+func exampleRequestBound() serve.Request {
+	_, q, dm := workload.Example11()
+	return serve.Request{Query: q, Env: lec.Environment{Memory: dm}, Strategy: lec.AlgorithmC}
+}
+
+// TestWireSpecRoundTripsExplicitSelectivity is the regression test for
+// the wire-spec fidelity bug: a request whose bound query carries
+// explicit selectivities used to cross the wire as SQL text only, so a
+// cold owner re-bound it with catalog-derived estimates — optimizing a
+// genuinely different query — and, because the cache key was also
+// selectivity-blind, cached the wrong plan under the right key. The fix
+// carries the selectivities in the spec and in the key: a cold-owner
+// lookup must return exactly the plan a solo node computes.
+func TestWireSpecRoundTripsExplicitSelectivity(t *testing.T) {
+	cat, _, _ := workload.Example11()
+	solo := serve.New(cat, serve.Config{Workers: 2})
+	req := exampleRequestBound()
+	ref, err := solo.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Decision.ExpectedCost
+
+	nodes := newTestFleet(t, []string{"a", "b"}, nil)
+	_, owner := ownerOf(t, nodes["a"], req)
+	requester := nodes["a"]
+	if owner == "a" {
+		requester = nodes["b"]
+	}
+
+	// Cold fleet, request at the non-owner: the owner computes from the
+	// wire spec. Its answer must match the solo computation.
+	rep, err := requester.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PeerHit || rep.Peer == nil {
+		t.Fatalf("expected a peer hit from the cold owner, got %+v", rep)
+	}
+	if got := rep.Peer.Decision.ExpectedCost; got != want {
+		t.Fatalf("cold owner computed E[cost]=%v over the wire, solo node computes %v — the spec did not round-trip", got, want)
+	}
+
+	// The owner's direct answer for the same programmatic request is the
+	// cached entry from that computation — same cost, no second engine run.
+	rep2, err := nodes[owner].Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Local == nil || !rep2.Local.Cached {
+		t.Fatalf("owner should serve its wire-computed plan from cache, got %+v", rep2)
+	}
+	if got := rep2.Local.Decision.ExpectedCost; got != want {
+		t.Fatalf("owner cached E[cost]=%v under the key, want %v", got, want)
+	}
+	if total := totalOptimizations(nodes); total != 1 {
+		t.Fatalf("fleet ran %d optimizations, want 1", total)
+	}
+
+	// And the SQL-text rendering of the same query is a *different*
+	// request (binder-derived selectivity): it must not collide with the
+	// programmatic key or be served its cached plan.
+	sqlReq := exampleRequest()
+	kProg, _ := ownerOf(t, nodes["a"], req)
+	kSQL, _ := ownerOf(t, nodes["a"], sqlReq)
+	if kProg == kSQL {
+		t.Fatalf("programmatic and SQL-derived requests share key %q — selectivities missing from the key", kProg)
+	}
+}

@@ -233,9 +233,12 @@ func genOf(key string) uint64 {
 
 // requestKey canonicalizes one (query, strategy, environment) triple. The
 // query renders through its canonical pseudo-SQL form, so textual variants
-// that bind to the same block share a key; the environment contributes an
-// FNV-64 fingerprint over its exact support, probabilities, and Markov
-// transition rows.
+// that bind to the same block share a key; the FNV-64 fingerprint covers
+// what the rendering cannot express — the environment's exact support,
+// probabilities, and Markov transition rows, plus the bound query's
+// numeric join/selection selectivities (two queries with the same text
+// but different explicit selectivities are different queries and must
+// not share a cache entry).
 func requestKey(q *query.SPJ, s lec.Strategy, env lec.Environment) string {
 	h := fnv.New64a()
 	writeFloat := func(v float64) {
@@ -259,6 +262,13 @@ func requestKey(q *query.SPJ, s lec.Strategy, env lec.Environment) string {
 				writeFloat(p)
 			}
 		}
+	}
+	h.Write([]byte{0xfe}) // separate the environment from the selectivities
+	for _, j := range q.Joins {
+		writeFloat(j.Selectivity)
+	}
+	for _, sel := range q.Selections {
+		writeFloat(sel.Selectivity)
 	}
 	return fmt.Sprintf("%d|%016x|%s", int(s), h.Sum64(), q.String())
 }

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/lec"
+)
+
+// TestRequestKeyIncludesSelectivities pins the cache-identity rule behind
+// the fleet wire format: two requests with identical SQL text but
+// different join selectivities are different queries and must not share
+// a cache key, and JoinSels must reconstruct the programmatic query from
+// its SQL rendering exactly (same key, same plan).
+func TestRequestKeyIncludesSelectivities(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	svc := New(cat, Config{Workers: 2})
+	env := lec.Environment{Memory: dm}
+
+	prog := Request{Query: q, Env: env, Strategy: lec.AlgorithmC}
+	text := Request{SQL: q.String(), Env: env, Strategy: lec.AlgorithmC}
+	rebuilt := Request{SQL: q.String(), JoinSels: []float64{q.Joins[0].Selectivity}, Env: env, Strategy: lec.AlgorithmC}
+
+	_, kProg, err := svc.Canonicalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kText, err := svc.Canonicalize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kRebuilt, err := svc.Canonicalize(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kProg == kText {
+		t.Errorf("programmatic (explicit selectivity) and SQL-bound requests share key %q", kProg)
+	}
+	if kProg != kRebuilt {
+		t.Errorf("JoinSels rebind key %q != programmatic key %q", kRebuilt, kProg)
+	}
+
+	// Same plan, not just same key.
+	rp, err := svc.Optimize(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := svc.Optimize(context.Background(), rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Cached {
+		t.Error("JoinSels rebind should hit the programmatic request's cache entry")
+	}
+	if rp.Decision.ExpectedCost != rr.Decision.ExpectedCost {
+		t.Errorf("rebind E[cost]=%v, programmatic E[cost]=%v", rr.Decision.ExpectedCost, rp.Decision.ExpectedCost)
+	}
+
+	// A selectivity list that does not match the bound query is a typed
+	// invalid-query error, not a silent partial apply.
+	_, _, err = svc.Canonicalize(Request{SQL: q.String(), JoinSels: []float64{0.5, 0.5}, Env: env, Strategy: lec.AlgorithmC})
+	if !errors.Is(err, lec.ErrInvalidQuery) {
+		t.Errorf("mismatched JoinSels: got %v, want ErrInvalidQuery", err)
+	}
+}

@@ -135,6 +135,16 @@ type Request struct {
 	// Strategy selects the algorithm (default AlgorithmC via zero value —
 	// note lec.LSCMean is the zero Strategy, so set this explicitly).
 	Strategy lec.Strategy
+	// JoinSels / SelectionSels, when non-empty, override the bound
+	// query's join/selection selectivities position-for-position after
+	// SQL binding. They exist so a query built programmatically with
+	// explicit selectivities can round-trip through its canonical SQL
+	// rendering (the fleet wire format and warm snapshots) without the
+	// rebinding side silently reverting to catalog-derived estimates —
+	// which would be a different query under the same text. Ignored when
+	// Query is set; lengths must match the bound predicate lists.
+	JoinSels      []float64
+	SelectionSels []float64
 }
 
 // Response is one served decision plus how it was produced.
@@ -537,6 +547,22 @@ func (s *Service) bind(req Request) (*query.SPJ, error) {
 	if err != nil {
 		return nil, classify(err)
 	}
+	if len(req.JoinSels) > 0 {
+		if len(req.JoinSels) != len(q.Joins) {
+			return nil, fmt.Errorf("%w: %d join selectivities for %d joins", lec.ErrInvalidQuery, len(req.JoinSels), len(q.Joins))
+		}
+		for i, sel := range req.JoinSels {
+			q.Joins[i].Selectivity = sel
+		}
+	}
+	if len(req.SelectionSels) > 0 {
+		if len(req.SelectionSels) != len(q.Selections) {
+			return nil, fmt.Errorf("%w: %d selection selectivities for %d selections", lec.ErrInvalidQuery, len(req.SelectionSels), len(q.Selections))
+		}
+		for i, sel := range req.SelectionSels {
+			q.Selections[i].Selectivity = sel
+		}
+	}
 	return q, nil
 }
 
@@ -600,6 +626,15 @@ func (s *Service) Pressure() (depth int, pressured bool) {
 		}
 	}
 	return depth, false
+}
+
+// QueueState reports the live admission queue as (depth, capacity,
+// pressured). The fleet layer piggybacks the depth on every lookup reply
+// so peers can hedge on the owner's actual load instead of only a fixed
+// delay.
+func (s *Service) QueueState() (depth, capacity int, pressured bool) {
+	depth, pressured = s.Pressure()
+	return depth, cap(s.queue), pressured
 }
 
 // Stats is a point-in-time snapshot of the service counters.
