@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve-race fleet-race fleet-chaos bench bench-smoke cover fuzz
+.PHONY: check fmt vet build test race serve-race fleet-race fleet-chaos bench bench-smoke cover fuzz calibrate
 
 # Fuzz budget per target; override with `make fuzz FUZZTIME=1m`.
 FUZZTIME ?= 10s
@@ -64,10 +64,11 @@ fleet-chaos:
 bench:
 	$(GO) test -bench=BenchmarkDPCore -benchmem -cpu=1 -run=^$$ ./internal/opt
 
-# Combined coverage over the optimizer core, the serving layer, and the
-# observability package; fails below COVER_MIN percent.
+# Combined coverage over the optimizer core, the serving layer, the
+# observability package, and the calibration harness; fails below
+# COVER_MIN percent.
 cover:
-	$(GO) test -coverprofile=/tmp/lec-cover.out ./internal/opt ./internal/serve ./internal/obs
+	$(GO) test -coverprofile=/tmp/lec-cover.out ./internal/opt ./internal/serve ./internal/obs ./internal/calib
 	@total=$$($(GO) tool cover -func=/tmp/lec-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
@@ -80,6 +81,16 @@ bench-smoke:
 	$(GO) test -bench=BenchmarkDPCore -benchmem -cpu=1 -run=^$$ ./internal/opt > /tmp/lec-bench-cur.txt; \
 		status=$$?; cat /tmp/lec-bench-cur.txt; exit $$status
 	$(GO) run ./cmd/benchsmoke -base internal/opt/testdata/dpcore_bench_baseline.txt -cur /tmp/lec-bench-cur.txt
+
+# Closed-loop calibration on the seeded skewed workload: optimize, execute,
+# measure q-error and P-error against the true-statistics oracle, feed the
+# observations back, and re-optimize. -check makes it a gate: the run fails
+# unless the median q-error and median P-error strictly improve (or start
+# perfect) after feedback. Override the workload with CALIBRATE_FLAGS.
+CALIBRATE_FLAGS ?= -seed 2 -rounds 3
+
+calibrate:
+	$(GO) run ./cmd/leccal $(CALIBRATE_FLAGS) -check
 
 # Smoke the native fuzz targets: the parser/binder and the public optimizer
 # facade must never panic on arbitrary input (see ISSUE robustness work).

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenReport byte-compares the default `leccal` trajectory transcript
+// against the checked-in golden file. The report renderer — column layout,
+// precision, the before/after summary line — is part of the tool's
+// contract, and the numbers themselves pin the seeded workload: a drift
+// here means either the renderer or the measurement pipeline changed.
+// Regenerate with `go test ./cmd/leccal -run TestGoldenReport -update`
+// after an intentional change and review the diff.
+func TestGoldenReport(t *testing.T) {
+	out, err := runCapture(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "default_report.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("report drifted from %s.\n--- got ---\n%s--- want ---\n%s", golden, out, want)
+	}
+}

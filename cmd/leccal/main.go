@@ -1,0 +1,164 @@
+// Command leccal runs the closed-loop calibration harness: generate a
+// skewed synthetic database, optimize and execute a query workload, measure
+// q-error and P-error against a true-statistics oracle, feed the
+// observations back into the optimizer's parameter distributions, and
+// re-optimize — printing the before/after error trajectory.
+//
+// Usage:
+//
+//	leccal                             # default skewed workload, 3 rounds
+//	leccal -seed 7 -rounds 4           # longer trajectory on another seed
+//	leccal -topologies chain,star      # restrict the join-graph sweep
+//	leccal -strategy algd              # calibrate Algorithm D instead of C
+//	leccal -mem "400:0.7,1200:0.3" -truemem "6:0.4,12:0.4,28:0.2"
+//	leccal -check                      # exit 1 unless the loop improved
+//	leccal -metrics                    # dump lec_calib_* instruments after the run
+//
+// The -mem / -truemem specs are "value:probability, ..." page distributions
+// (weights are normalized): -mem is what the optimizer believes about
+// memory grants, -truemem is what the environment actually provides.
+//
+// Exit codes: 0 success, 1 run failed (or -check saw no improvement),
+// 2 usage error, 3 invalid input (bad distribution, topology, strategy).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/calib"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Exit codes.
+const (
+	exitFail  = 1
+	exitUsage = 2
+	exitInput = 3
+)
+
+// CLI-layer sentinels mirroring lecopt's taxonomy.
+var (
+	errUsage = errors.New("usage")
+	errInput = errors.New("invalid input")
+	errCheck = errors.New("calibration did not improve")
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "leccal:", err)
+	switch {
+	case errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp):
+		os.Exit(exitUsage)
+	case errors.Is(err, errInput):
+		os.Exit(exitInput)
+	default:
+		os.Exit(exitFail)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("leccal", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	seed := fs.Int64("seed", 2, "workload seed; equal seeds give byte-identical trajectories")
+	tables := fs.Int("tables", 4, "catalog size")
+	rels := fs.Int("rels", 3, "relations joined per query")
+	queries := fs.Int("queries", 2, "queries generated per topology")
+	rounds := fs.Int("rounds", 3, "measured rounds (round 0 is the uncalibrated baseline)")
+	topologies := fs.String("topologies", "", "comma-separated join-graph shapes (default: all of chain,star,clique,random-tree,cycle)")
+	strategy := fs.String("strategy", "algc", "optimizer under calibration: algc|algd|systemr")
+	memSpec := fs.String("mem", "", "believed memory distribution, value:prob pairs (pages)")
+	trueMemSpec := fs.String("truemem", "", "true memory distribution, value:prob pairs (pages)")
+	skew := fs.Float64("skew", 1.3, "Zipf exponent of each table's fk column")
+	corr := fs.Float64("corr", 0.8, "fk→val correlation strength in [0,1]")
+	check := fs.Bool("check", false, "exit non-zero unless median q-error and P-error improved (or started perfect)")
+	metrics := fs.Bool("metrics", false, "print the lec_calib_* instrument snapshot after the run")
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: leccal [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+		fmt.Fprint(errOut, `
+exit codes:
+  0  success
+  1  run failed, or -check saw no improvement
+  2  usage error
+  3  invalid input (bad distribution, topology, strategy)
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("%w: unexpected arguments %v", errUsage, fs.Args())
+	}
+
+	cfg := calib.Config{
+		Seed:               *seed,
+		Tables:             *tables,
+		Rels:               *rels,
+		QueriesPerTopology: *queries,
+		Rounds:             *rounds,
+		Skew:               *skew,
+		Correlation:        *corr,
+	}
+	st, err := calib.ParseStrategy(*strategy)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errInput, err)
+	}
+	cfg.Strategy = st
+	if *memSpec != "" {
+		d, err := stats.ParseDist(*memSpec)
+		if err != nil {
+			return fmt.Errorf("%w: -mem: %w", errInput, err)
+		}
+		cfg.BelievedMem = d
+	}
+	if *trueMemSpec != "" {
+		d, err := stats.ParseDist(*trueMemSpec)
+		if err != nil {
+			return fmt.Errorf("%w: -truemem: %w", errInput, err)
+		}
+		cfg.TrueMem = d
+	}
+	if *topologies != "" {
+		for _, name := range strings.Split(*topologies, ",") {
+			topo, err := workload.ParseTopology(strings.TrimSpace(name))
+			if err != nil {
+				return fmt.Errorf("%w: %w", errInput, err)
+			}
+			cfg.Topologies = append(cfg.Topologies, topo)
+		}
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		cfg.Metrics = obs.NewCalibMetrics(reg)
+	}
+
+	report, err := calib.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, report.Format())
+	if *metrics {
+		fmt.Fprintln(out)
+		if err := reg.WritePrometheus(out); err != nil {
+			return err
+		}
+	}
+	if *check && !report.Improved() {
+		return errCheck
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb, eb strings.Builder
+	err := run(args, &sb, &eb)
+	return sb.String(), err
+}
+
+// TestDefaultRunImproves: the default seeded workload passes -check —
+// median q-error and P-error strictly improve after feedback — and the
+// transcript shows the trajectory summary.
+func TestDefaultRunImproves(t *testing.T) {
+	out, err := runCapture(t, "-check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"calibration trajectory", "median q-error", "round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeterministicOutput: equal invocations produce byte-identical
+// transcripts.
+func TestDeterministicOutput(t *testing.T) {
+	a, err := runCapture(t, "-seed", "5", "-rounds", "2", "-topologies", "chain,star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCapture(t, "-seed", "5", "-rounds", "2", "-topologies", "chain,star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same invocation diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFlagPlumbing: strategy, topology, and distribution flags reach the
+// harness; bad values map to the input-error exit class.
+func TestFlagPlumbing(t *testing.T) {
+	out, err := runCapture(t, "-strategy", "systemr", "-rounds", "2",
+		"-topologies", "chain", "-queries", "1",
+		"-mem", "500:1", "-truemem", "8:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy systemr") || !strings.Contains(out, "1 queries") {
+		t.Errorf("flags not reflected in output:\n%s", out)
+	}
+	for _, bad := range [][]string{
+		{"-strategy", "nope"},
+		{"-topologies", "pentagram"},
+		{"-mem", "garbage"},
+		{"-truemem", ":::"},
+	} {
+		if _, err := runCapture(t, bad...); !errors.Is(err, errInput) {
+			t.Errorf("%v: got %v, want input error", bad, err)
+		}
+	}
+	if _, err := runCapture(t, "positional"); !errors.Is(err, errUsage) {
+		t.Errorf("positional arg: got %v, want usage error", err)
+	}
+}
+
+// TestMetricsFlag: -metrics appends the lec_calib_* instrument snapshot.
+func TestMetricsFlag(t *testing.T) {
+	out, err := runCapture(t, "-metrics", "-rounds", "2", "-topologies", "chain", "-queries", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lec_calib_rounds_total", "lec_calib_qerr_median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

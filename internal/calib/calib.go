@@ -1,0 +1,283 @@
+// Package calib is the closed-loop calibration harness: it generates
+// skewed data the optimizer's statistics get wrong, runs optimizer-chosen
+// plans for real, measures how wrong the estimates were (q-error) and how
+// much the wrongness cost (P-error against a true-statistics oracle), and
+// feeds the observations back into the optimizer's parameter distributions
+// — then re-optimizes and measures again.
+//
+// This is the OptimizerTester pattern: the paper's LEC machinery assumes
+// bucket distributions for run-time parameters exist; §3.7 notes they
+// "would be estimated from observations of the running system". The
+// harness supplies exactly that estimation loop and quantifies how fast
+// the loop converges: on a Zipf-skewed, correlated workload the round-0
+// q-error is large (the generators break the uniformity and independence
+// assumptions on purpose — see engine.GenSpec), and one feedback round
+// collapses it toward 1.
+package calib
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Strategy names the optimizer the harness drives.
+type Strategy string
+
+// Strategies.
+const (
+	// StrategyAlgC runs Algorithm C: least expected cost under the believed
+	// memory distribution (the default).
+	StrategyAlgC Strategy = "algc"
+	// StrategyAlgD runs Algorithm D: multi-parameter distributions
+	// (memory, sizes, selectivities).
+	StrategyAlgD Strategy = "algd"
+	// StrategySystemR runs the classical optimizer at the believed
+	// distribution's mean.
+	StrategySystemR Strategy = "systemr"
+)
+
+// ParseStrategy validates a strategy name.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyAlgC, StrategyAlgD, StrategySystemR:
+		return Strategy(s), nil
+	case "":
+		return StrategyAlgC, nil
+	}
+	return "", fmt.Errorf("calib: unknown strategy %q (want algc, algd, or systemr)", s)
+}
+
+// Config parameterizes one calibration run. The zero value (plus a Seed)
+// is a sensible skewed workload.
+type Config struct {
+	// Seed drives every random choice; equal seeds give byte-identical
+	// trajectories.
+	Seed int64
+	// Tables is the catalog size (default 4).
+	Tables int
+	// Rels is the relations-per-query count (default 3).
+	Rels int
+	// QueriesPerTopology is the number of queries generated for each
+	// topology (default 2).
+	QueriesPerTopology int
+	// Rounds is the number of measured rounds; feedback is applied between
+	// rounds, so round 0 is the uncalibrated baseline (default 2).
+	Rounds int
+	// Topologies are the join-graph shapes to sweep (default: all).
+	Topologies []workload.Topology
+	// Strategy selects the optimizer under calibration (default algc).
+	Strategy Strategy
+	// BelievedMem is the optimizer's (wrong) prior over memory grants, in
+	// pages. The default believes memory is plentiful.
+	BelievedMem *stats.Dist
+	// TrueMem is the environment's actual memory distribution; per-query
+	// grants are drawn from it once and held fixed across rounds (paired
+	// design: rounds differ only in beliefs). The default is scarce.
+	TrueMem *stats.Dist
+	// Skew is the Zipf exponent of each table's fk column (default 1.3).
+	Skew float64
+	// Correlation is the fk→val correlation strength (default 0.8).
+	Correlation float64
+	// Budget caps posterior support sizes (default DefaultFeedbackBudget).
+	Budget int
+	// PriorWeight is the pseudo-count weight of prior beliefs against
+	// observations (default 4).
+	PriorWeight float64
+	// MinPages / MaxPages bound generated table sizes (defaults 4 / 16 —
+	// small enough that every plan executes for real in tests).
+	MinPages, MaxPages float64
+	// Metrics, when non-nil, receives lec_calib_* instrument updates.
+	Metrics *obs.CalibMetrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tables <= 0 {
+		c.Tables = 4
+	}
+	if c.Rels <= 0 {
+		c.Rels = 3
+	}
+	if c.Rels > c.Tables {
+		c.Rels = c.Tables
+	}
+	if c.QueriesPerTopology <= 0 {
+		c.QueriesPerTopology = 2
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if len(c.Topologies) == 0 {
+		c.Topologies = workload.Topologies()
+	}
+	if c.Strategy == "" {
+		c.Strategy = StrategyAlgC
+	}
+	if c.BelievedMem == nil {
+		c.BelievedMem = stats.MustNew([]float64{400, 1200}, []float64{0.7, 0.3})
+	}
+	if c.TrueMem == nil {
+		c.TrueMem = stats.MustNew([]float64{6, 12, 28}, []float64{0.4, 0.4, 0.2})
+	}
+	if c.Skew <= 0 {
+		c.Skew = 1.3
+	}
+	if c.Correlation < 0 || c.Correlation > 1 {
+		c.Correlation = 0.8
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.8
+	}
+	if c.Budget <= 0 {
+		c.Budget = DefaultFeedbackBudget
+	}
+	if c.PriorWeight <= 0 {
+		c.PriorWeight = 4
+	}
+	if c.MinPages <= 0 {
+		c.MinPages = 4
+	}
+	if c.MaxPages <= c.MinPages {
+		c.MaxPages = 16
+	}
+	return c
+}
+
+// queryEnv is one query's fixed environment across rounds: the (mutable,
+// feedback-updated) query, its measured truth, its memory grant, and its
+// oracle's realized I/O.
+type queryEnv struct {
+	q        *query.SPJ
+	topology workload.Topology
+	truth    *TrueStats
+	memGrant float64
+	oracleIO float64
+}
+
+// Run executes the full closed loop and returns the trajectory report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cat := workload.RandomCatalog(rng, workload.CatalogSpec{
+		NumTables:      cfg.Tables,
+		MinPages:       cfg.MinPages,
+		MaxPages:       cfg.MaxPages,
+		RowsPerPage:    5,
+		IndexProb:      0.5,
+		FKDistinctFrac: 0.34,
+	})
+	db, err := engine.GenerateDBWith(rng, cat, 0, engine.GenSpec{
+		Columns: map[string]engine.ColumnGen{
+			"fk":  {Model: engine.ColZipf, Skew: cfg.Skew},
+			"val": {Model: engine.ColCorrelated, CorrelateWith: "fk", Strength: cfg.Correlation},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var queries []*queryEnv
+	for _, topo := range cfg.Topologies {
+		for j := 0; j < cfg.QueriesPerTopology; j++ {
+			q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{
+				NumRels:       cfg.Rels,
+				Shape:         topo,
+				OrderBy:       j == 0 && topo == workload.Chain,
+				SelectionProb: 0.8,
+				SelSpread:     0.5,
+			})
+			if err != nil {
+				return nil, err
+			}
+			truth, err := MeasureTrueStats(db, q)
+			if err != nil {
+				return nil, err
+			}
+			grant := cfg.TrueMem.Sample(rng)
+			env := &queryEnv{q: q, topology: topo, truth: truth, memGrant: grant}
+			// The oracle plan — classical optimization under measured-true
+			// statistics at the actual grant — is fixed across rounds.
+			oracle, err := opt.SystemR(cat, TrueQuery(q, truth), opt.Options{}, grant)
+			if err != nil {
+				return nil, err
+			}
+			om, err := MeasurePlan(db, oracle.Plan, int(grant))
+			if err != nil {
+				return nil, err
+			}
+			env.oracleIO = om.IO
+			queries = append(queries, env)
+		}
+	}
+
+	believedMem := cfg.BelievedMem
+	consts := FitConstants(nil) // identity constants
+	var allSteps []StepObs
+	report := &Report{Queries: len(queries), Strategy: string(cfg.Strategy)}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		rs := RoundStats{Round: round, Constants: consts}
+		var qerrs, perrs []float64
+		var roundSteps []StepObs
+		var memObs []float64
+		for _, env := range queries {
+			chosen, err := optimize(cfg.Strategy, cat, env.q, believedMem)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := MeasurePlan(db, chosen.Plan, int(env.memGrant))
+			if err != nil {
+				return nil, err
+			}
+			qerrs = append(qerrs, meas.QErr)
+			perr := 1.0
+			if env.oracleIO > 0 && meas.IO > env.oracleIO {
+				perr = meas.IO / env.oracleIO
+			}
+			perrs = append(perrs, perr)
+			roundSteps = append(roundSteps, meas.Steps...)
+			memObs = append(memObs, env.memGrant)
+		}
+		rs.QErrMedian, rs.QErrP90, rs.QErrMax = percentile(qerrs, 0.5), percentile(qerrs, 0.9), percentile(qerrs, 1)
+		rs.PErrMedian, rs.PErrP90, rs.PErrMax = percentile(perrs, 0.5), percentile(perrs, 0.9), percentile(perrs, 1)
+		rs.ModelErr = ModelError(roundSteps, consts)
+
+		// Feedback: selectivities, memory posterior, cost constants. Applied
+		// after measuring, so round r+1 runs on round r's observations.
+		for _, env := range queries {
+			ApplyFeedback(env.q, env.truth, cfg.PriorWeight)
+		}
+		post, bound, err := UpdateFromSamples(believedMem, memObs, cfg.PriorWeight, cfg.Budget)
+		if err != nil {
+			return nil, err
+		}
+		believedMem = post
+		rs.MemBound = bound
+		allSteps = append(allSteps, roundSteps...)
+		consts = FitConstants(allSteps)
+
+		report.Rounds = append(report.Rounds, rs)
+		cfg.Metrics.RecordRound(rs.QErrMedian, rs.PErrMedian, rs.ModelErr, bound, len(queries), len(roundSteps))
+	}
+	return report, nil
+}
+
+// optimize dispatches on the strategy.
+func optimize(s Strategy, cat *catalog.Catalog, q *query.SPJ, mem *stats.Dist) (*opt.Result, error) {
+	switch s {
+	case StrategyAlgD:
+		return opt.AlgorithmD(cat, q, opt.Options{}, mem)
+	case StrategySystemR:
+		return opt.SystemR(cat, q, opt.Options{}, mem.Mean())
+	default:
+		return opt.AlgorithmC(cat, q, opt.Options{}, mem)
+	}
+}

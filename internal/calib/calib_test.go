@@ -1,0 +1,147 @@
+package calib
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestClosedLoopImprovesEstimates is the package's headline assertion: on a
+// Zipf-skewed, correlated workload the uncalibrated round-0 median q-error
+// is large, and one feedback round strictly improves both the median
+// q-error and the median P-error.
+func TestClosedLoopImprovesEstimates(t *testing.T) {
+	r, err := Run(Config{Seed: 2, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rounds) != 3 {
+		t.Fatalf("got %d rounds, want 3", len(r.Rounds))
+	}
+	f, l := r.First(), r.Last()
+	if f.QErrMedian < 2 {
+		t.Errorf("round-0 median q-error %.3f suspiciously small — the skewed "+
+			"generators should break the estimates", f.QErrMedian)
+	}
+	if !(l.QErrMedian < f.QErrMedian) {
+		t.Errorf("median q-error did not improve: %.3f -> %.3f", f.QErrMedian, l.QErrMedian)
+	}
+	if !(f.PErrMedian > 1) {
+		t.Errorf("round-0 median P-error %.3f, want > 1 on this seed", f.PErrMedian)
+	}
+	if !(l.PErrMedian < f.PErrMedian) {
+		t.Errorf("median P-error did not improve: %.3f -> %.3f", f.PErrMedian, l.PErrMedian)
+	}
+	if !r.Improved() {
+		t.Error("Improved() = false on an improving trajectory")
+	}
+}
+
+// TestRunDeterminism: equal seeds produce byte-identical trajectory
+// reports — the property that makes every trajectory replayable.
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Errorf("same seed diverged:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+	c, err := Run(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() == c.Format() {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestRunStrategies: every strategy closes the loop; error percentiles
+// stay ≥ 1 and constants stay positive.
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []Strategy{StrategyAlgC, StrategyAlgD, StrategySystemR} {
+		r, err := Run(Config{
+			Seed: 3, Strategy: s, Rounds: 2,
+			Topologies:         []workload.Topology{workload.Chain, workload.Star},
+			QueriesPerTopology: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Queries != 2 {
+			t.Errorf("%s: %d queries, want 2", s, r.Queries)
+		}
+		for _, rs := range r.Rounds {
+			if rs.QErrMedian < 1 || rs.PErrMedian < 1 {
+				t.Errorf("%s round %d: errors below 1: q=%v p=%v",
+					s, rs.Round, rs.QErrMedian, rs.PErrMedian)
+			}
+			for m, c := range rs.Constants {
+				if !(c > 0) {
+					t.Errorf("%s round %d: constant for %v is %v", s, rs.Round, m, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRunRecordsMetrics: the lec_calib_* bundle sees one record per round
+// with the final medians on the gauges.
+func TestRunRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewCalibMetrics(reg)
+	r, err := Run(Config{
+		Seed: 2, Rounds: 2, Metrics: m,
+		Topologies:         []workload.Topology{workload.Chain},
+		QueriesPerTopology: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rounds.Value(); got != 2 {
+		t.Errorf("rounds counter %v, want 2", got)
+	}
+	if got := m.Queries.Value(); got != 4 {
+		t.Errorf("queries counter %v, want 4", got)
+	}
+	if got := m.QErrMedian.Value(); got != r.Last().QErrMedian {
+		t.Errorf("q-error gauge %v, want %v", got, r.Last().QErrMedian)
+	}
+	// A nil bundle must be safe.
+	(*obs.CalibMetrics)(nil).RecordRound(1, 1, 0, 0, 1, 1)
+}
+
+// TestParseStrategy: known names parse, the empty string defaults, junk is
+// rejected.
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []string{"algc", "algd", "systemr"} {
+		if got, err := ParseStrategy(s); err != nil || string(got) != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if got, err := ParseStrategy(""); err != nil || got != StrategyAlgC {
+		t.Errorf("empty strategy: %v, %v", got, err)
+	}
+	if _, err := ParseStrategy("voodoo"); err == nil {
+		t.Error("junk strategy accepted")
+	}
+}
+
+// TestPercentile: nearest-rank behavior on a known slice.
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := percentile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := percentile(xs, 1); got != 5 {
+		t.Errorf("max = %v, want 5", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Feedback: folding execution observations back into the optimizer's
+// parameter distributions and cost-model constants.
+//
+// The paper's §3.7 closes with the observation that the bucket
+// distributions "would in practice be estimated from observations of the
+// running system" — this file is that estimation. Three channels flow back:
+//
+//   - Parameter samples (observed memory grants) update bucket
+//     distributions through the same rebucketing machinery Algorithm D
+//     uses to keep propagated distributions small (stats.Rebucket,
+//     paper §3.6.3). The update is a Bayesian-flavored mixture: the prior
+//     keeps weight priorWeight/(priorWeight+n) against n observations.
+//   - Predicate selectivities observed as k-of-n success counts replace
+//     the optimizer's guesses via Laplace-smoothed shrinkage
+//     (BlendSelectivity) and widen into posterior distributions with
+//     catalog.SelectivityDistFromSample.
+//   - Realized page I/O from replayed plans calibrates per-method
+//     cost-model constants by least squares through the origin
+//     (FitConstants): realized ≈ c_m · formula.
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+// DefaultFeedbackBudget caps posterior support sizes, mirroring the
+// optimizer's default rebucketing budget.
+const DefaultFeedbackBudget = 27
+
+// UpdateFromSamples folds observed parameter samples into a prior bucket
+// distribution: the empirical distribution of the samples is mixed with the
+// prior (prior weight priorWeight/(priorWeight+n)) and the mixture is
+// rebucketed to the budget. It returns the posterior and the bucketing-error
+// bound the rebucket incurred (stats.RebucketErrorBound of the mixture at
+// the budget).
+//
+// Two properties the tests enforce: the bound is monotone non-increasing in
+// the budget (more buckets never approximate worse — paper §3.7), and the
+// update is a fixed point on already-perfect beliefs (a point prior fed
+// samples equal to its point stays that point, with zero bound).
+func UpdateFromSamples(prior *stats.Dist, samples []float64, priorWeight float64, budget int) (*stats.Dist, float64, error) {
+	if prior == nil {
+		return nil, 0, fmt.Errorf("calib: nil prior")
+	}
+	if len(samples) == 0 {
+		return prior, 0, nil
+	}
+	if priorWeight < 0 || math.IsNaN(priorWeight) {
+		return nil, 0, fmt.Errorf("calib: bad prior weight %v", priorWeight)
+	}
+	if budget < 1 {
+		budget = DefaultFeedbackBudget
+	}
+	emp, err := stats.FromSamples(samples)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := priorWeight / (priorWeight + float64(len(samples)))
+	mixed, err := prior.Mix(emp, w)
+	if err != nil {
+		return nil, 0, err
+	}
+	bound := stats.RebucketErrorBound(mixed, budget)
+	return stats.Rebucket(mixed, budget), bound, nil
+}
+
+// SampleCount is an observed k-of-n Bernoulli outcome: of N trials
+// (candidate rows or row pairs examined during execution), K succeeded
+// (passed the filter, matched the join key).
+type SampleCount struct {
+	K, N int64
+}
+
+// Laplace returns the add-one-smoothed success estimate (K+1)/(N+2), which
+// is never 0 or 1 on finite data — exactly what query.Validate's (0, 1]
+// selectivity domain needs.
+func (s SampleCount) Laplace() float64 {
+	if s.N <= 0 {
+		return 0.5
+	}
+	return float64(s.K+1) / float64(s.N+2)
+}
+
+// BlendSelectivity shrinks an observed selectivity toward the prior
+// estimate with prior weight priorWeight/(priorWeight+N). Large
+// observations dominate, empty observations leave the prior untouched, and
+// a prior that already equals the observation is a fixed point. The result
+// is clamped to (0, 1].
+func BlendSelectivity(prior float64, obs SampleCount, priorWeight float64) float64 {
+	if obs.N <= 0 {
+		return prior
+	}
+	if priorWeight < 0 || math.IsNaN(priorWeight) {
+		priorWeight = 0
+	}
+	w := priorWeight / (priorWeight + float64(obs.N))
+	sel := w*prior + (1-w)*obs.Laplace()
+	if sel <= 0 {
+		sel = obs.Laplace()
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// StepObs pairs one replayed join step's closed-form cost with its measured
+// page I/O — one point of the per-method regression.
+type StepObs struct {
+	Method   cost.Method
+	Formula  float64
+	Measured float64
+}
+
+// FitConstants fits one multiplicative constant per join method by least
+// squares through the origin: c_m = Σ f·y / Σ f² over that method's
+// (formula f, measured y) observations. Methods with no usable
+// observations — or a degenerate fit (non-positive or non-finite c) — keep
+// the identity constant 1. On observations with measured ≡ formula the fit
+// is exactly 1 (the perfect-model fixed point), and every returned constant
+// is finite and strictly positive by construction.
+func FitConstants(obs []StepObs) map[cost.Method]float64 {
+	num := map[cost.Method]float64{}
+	den := map[cost.Method]float64{}
+	for _, o := range obs {
+		if o.Formula <= 0 || o.Measured < 0 ||
+			math.IsNaN(o.Formula) || math.IsInf(o.Formula, 0) ||
+			math.IsNaN(o.Measured) || math.IsInf(o.Measured, 0) {
+			continue
+		}
+		num[o.Method] += o.Formula * o.Measured
+		den[o.Method] += o.Formula * o.Formula
+	}
+	out := make(map[cost.Method]float64, len(cost.Methods()))
+	for _, m := range cost.Methods() {
+		out[m] = 1
+		if den[m] > 0 {
+			if c := num[m] / den[m]; c > 0 && !math.IsInf(c, 0) && !math.IsNaN(c) {
+				out[m] = c
+			}
+		}
+	}
+	return out
+}
+
+// ModelError returns the mean relative error of the calibrated cost model
+// c_m·formula against the measured I/O, over the given observations.
+// Observations are floored at one page so zero-I/O steps cannot divide by
+// zero. Returns 0 when there are no observations.
+func ModelError(obs []StepObs, consts map[cost.Method]float64) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, o := range obs {
+		c := consts[o.Method]
+		if c == 0 {
+			c = 1
+		}
+		m := o.Measured
+		if m < 1 {
+			m = 1
+		}
+		sum += math.Abs(c*o.Formula-o.Measured) / m
+	}
+	return sum / float64(len(obs))
+}

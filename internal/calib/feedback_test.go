@@ -1,0 +1,205 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+// randomDist builds a random bucket distribution with n support points.
+func randomDist(rng *rand.Rand, n int) *stats.Dist {
+	vals := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+		weights[i] = rng.Float64() + 0.01
+	}
+	return stats.MustNew(vals, weights)
+}
+
+// TestUpdateBoundMonotoneInBudget: the bucketing-error bound the feedback
+// update incurs never increases when the bucket budget grows — the paper's
+// §3.7 "a large number of buckets gives a closer approximation", asserted
+// over randomized priors and samples.
+func TestUpdateBoundMonotoneInBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	budgets := []int{2, 4, 8, 16, 32, 64}
+	for trial := 0; trial < 200; trial++ {
+		prior := randomDist(rng, 2+rng.Intn(20))
+		samples := make([]float64, 1+rng.Intn(30))
+		for i := range samples {
+			samples[i] = rng.Float64() * 1000
+		}
+		prev := math.Inf(1)
+		for _, b := range budgets {
+			_, bound, err := UpdateFromSamples(prior, samples, 4, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bound < 0 || math.IsNaN(bound) {
+				t.Fatalf("trial %d budget %d: invalid bound %v", trial, b, bound)
+			}
+			if bound > prev+1e-9 {
+				t.Fatalf("trial %d: bound rose from %v to %v when budget grew to %d",
+					trial, prev, bound, b)
+			}
+			prev = bound
+		}
+	}
+}
+
+// TestUpdateBoundZeroWhenBudgetSuffices: when the prior-plus-observations
+// mixture already fits the budget, no rebucketing happens and the update is
+// lossless (zero bound).
+func TestUpdateBoundZeroWhenBudgetSuffices(t *testing.T) {
+	prior := stats.MustNew([]float64{100, 400}, []float64{0.5, 0.5})
+	post, bound, err := UpdateFromSamples(prior, []float64{50, 50, 200}, 2, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != 0 {
+		t.Errorf("bound %v, want 0 (mixture support 4 ≤ budget 27)", bound)
+	}
+	if post.Len() > 4 {
+		t.Errorf("posterior support %d, want ≤ 4", post.Len())
+	}
+}
+
+// TestUpdateFixedPoint: feeding back samples that already equal a point
+// prior is a no-op — the posterior is the same point and the update incurs
+// zero bucketing error. Calibration on already-perfect stats changes
+// nothing.
+func TestUpdateFixedPoint(t *testing.T) {
+	prior := stats.Point(64)
+	post, bound, err := UpdateFromSamples(prior, []float64{64, 64, 64, 64}, 4, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != 0 {
+		t.Errorf("bound %v, want 0", bound)
+	}
+	if !post.IsPoint() || post.Min() != 64 {
+		t.Errorf("posterior %v, want point at 64", post)
+	}
+	if post.Mean() != prior.Mean() {
+		t.Errorf("mean moved from %v to %v", prior.Mean(), post.Mean())
+	}
+}
+
+// TestUpdateFromSamplesPosteriorShifts: observations pull the posterior
+// mean toward the empirical mean, more strongly with more samples.
+func TestUpdateFromSamplesPosteriorShifts(t *testing.T) {
+	prior := stats.MustNew([]float64{400, 1200}, []float64{0.7, 0.3})
+	few, _, err := UpdateFromSamples(prior, []float64{10, 10}, 4, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, _, err := UpdateFromSamples(prior, []float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10}, 4, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(many.Mean() < few.Mean() && few.Mean() < prior.Mean()) {
+		t.Errorf("means not ordered: prior %v, few %v, many %v",
+			prior.Mean(), few.Mean(), many.Mean())
+	}
+}
+
+// TestUpdateFromSamplesErrors: nil priors and invalid weights are rejected;
+// empty samples return the prior untouched.
+func TestUpdateFromSamplesErrors(t *testing.T) {
+	if _, _, err := UpdateFromSamples(nil, []float64{1}, 1, 8); err == nil {
+		t.Error("nil prior accepted")
+	}
+	prior := stats.Point(10)
+	if _, _, err := UpdateFromSamples(prior, []float64{1}, -1, 8); err == nil {
+		t.Error("negative prior weight accepted")
+	}
+	post, bound, err := UpdateFromSamples(prior, nil, 1, 8)
+	if err != nil || post != prior || bound != 0 {
+		t.Errorf("empty samples: got %v/%v/%v, want prior/0/nil", post, bound, err)
+	}
+}
+
+// TestFitConstantsProperties: every fitted constant is finite and strictly
+// positive under randomized observations — including adversarial zero,
+// negative-formula, and non-finite entries, which are skipped.
+func TestFitConstantsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	methods := cost.Methods()
+	for trial := 0; trial < 200; trial++ {
+		var obs []StepObs
+		for i := 0; i < rng.Intn(40); i++ {
+			o := StepObs{
+				Method:   methods[rng.Intn(len(methods))],
+				Formula:  (rng.Float64() - 0.1) * 1000,
+				Measured: (rng.Float64() - 0.1) * 1000,
+			}
+			if rng.Intn(10) == 0 {
+				o.Formula = math.NaN()
+			}
+			if rng.Intn(10) == 0 {
+				o.Measured = math.Inf(1)
+			}
+			obs = append(obs, o)
+		}
+		consts := FitConstants(obs)
+		for _, m := range methods {
+			c := consts[m]
+			if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+				t.Fatalf("trial %d: constant for %v is %v", trial, m, c)
+			}
+		}
+	}
+}
+
+// TestFitConstantsPerfectModelIsIdentity: when measured I/O equals the
+// formula on every observation, the least-squares fit is exactly 1 — the
+// calibration is a no-op on an already-perfect cost model.
+func TestFitConstantsPerfectModelIsIdentity(t *testing.T) {
+	var obs []StepObs
+	for i := 1; i <= 20; i++ {
+		f := float64(i * 37)
+		obs = append(obs, StepObs{Method: cost.NestedLoop, Formula: f, Measured: f})
+		obs = append(obs, StepObs{Method: cost.GraceHash, Formula: f * 2, Measured: f * 2})
+	}
+	for m, c := range FitConstants(obs) {
+		if c != 1 {
+			t.Errorf("method %v: constant %v, want exactly 1", m, c)
+		}
+	}
+}
+
+// TestFitConstantsRecoversScale: measured = 2.5 × formula fits c = 2.5.
+func TestFitConstantsRecoversScale(t *testing.T) {
+	var obs []StepObs
+	for i := 1; i <= 10; i++ {
+		f := float64(i * 13)
+		obs = append(obs, StepObs{Method: cost.SortMerge, Formula: f, Measured: 2.5 * f})
+	}
+	if c := FitConstants(obs)[cost.SortMerge]; math.Abs(c-2.5) > 1e-12 {
+		t.Errorf("constant %v, want 2.5", c)
+	}
+}
+
+// TestBlendSelectivity: empty observations keep the prior; a prior equal to
+// the observed Laplace estimate is a fixed point; massive observations
+// dominate; results stay in (0, 1].
+func TestBlendSelectivity(t *testing.T) {
+	if got := BlendSelectivity(0.3, SampleCount{}, 4); got != 0.3 {
+		t.Errorf("empty obs moved prior to %v", got)
+	}
+	obs := SampleCount{K: 299, N: 998} // Laplace = 300/1000 = 0.3
+	if got := BlendSelectivity(0.3, obs, 4); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("fixed point drifted to %v", got)
+	}
+	big := SampleCount{K: 900_000, N: 1_000_000}
+	if got := BlendSelectivity(0.01, big, 4); math.Abs(got-0.9) > 1e-3 {
+		t.Errorf("big observation blended to %v, want ≈ 0.9", got)
+	}
+	if got := BlendSelectivity(0.5, SampleCount{K: 2, N: 2}, 0); got <= 0 || got > 1 {
+		t.Errorf("blend %v outside (0,1]", got)
+	}
+}

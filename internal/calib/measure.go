@@ -1,0 +1,331 @@
+// Measurement: executing optimizer-chosen plans for real and reading off
+// what the optimizer only estimated.
+//
+// Every operator of a plan is executed through internal/engine (real rows)
+// and its page I/O replayed through internal/exec's buffer pool, giving two
+// error signals per query:
+//
+//   - q-error: max(est/real, real/est) of the cardinality at each operator,
+//     aggregated to the plan maximum — the standard estimation-quality
+//     metric.
+//   - P-error: the realized I/O of the chosen plan over the realized I/O of
+//     the plan a true-statistics oracle picks, clamped at 1 — the
+//     plan-quality metric. Estimation error only matters when it flips the
+//     argmin; P-error measures exactly that.
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// QError is the standard cardinality-estimation error max(est/real,
+// real/est), with both sides floored at one row so empty results stay
+// finite.
+func QError(est, real float64) float64 {
+	if est < 1 || math.IsNaN(est) {
+		est = 1
+	}
+	if real < 1 {
+		real = 1
+	}
+	if est > real {
+		return est / real
+	}
+	return real / est
+}
+
+// NodeMeasure pairs one plan operator's estimated and realized sizes.
+type NodeMeasure struct {
+	Node      plan.Node
+	EstRows   float64
+	RealRows  float64
+	RealPages float64
+}
+
+// Measurement is the full execution observation of one plan.
+type Measurement struct {
+	// Nodes lists per-operator estimated vs realized cardinalities,
+	// bottom-up.
+	Nodes []NodeMeasure
+	// QErr is the plan's maximum per-operator q-error (≥ 1).
+	QErr float64
+	// IO is the realized page I/O of the whole plan: closed-form scan
+	// access costs at true selectivities plus replayed join and sort I/O.
+	IO float64
+	// Steps holds the per-join (formula, measured) pairs feeding the
+	// cost-constant regression.
+	Steps []StepObs
+}
+
+// MeasurePlan executes every operator of the plan against the database and
+// replays its I/O at the given buffer-pool capacity (pages). Realized page
+// counts are derived from realized rows at the catalog's pages-per-row
+// density, floored at one page, so join inputs reflect what actually flowed
+// between operators rather than what the optimizer predicted.
+func MeasurePlan(db engine.DB, root plan.Node, capacity int) (*Measurement, error) {
+	if capacity < 3 {
+		capacity = 3
+	}
+	m := &Measurement{QErr: 1}
+	realPages := map[plan.Node]float64{}
+	ppr := map[plan.Node]float64{}
+	var werr error
+	plan.Walk(root, func(n plan.Node) {
+		if werr != nil {
+			return
+		}
+		switch v := n.(type) {
+		case *plan.Scan:
+			rel, err := engine.Execute(db, v)
+			if err != nil {
+				werr = err
+				return
+			}
+			real := float64(rel.NumRows())
+			density := 1.0
+			if v.BaseRows > 0 && v.BasePages > 0 {
+				density = v.BasePages / v.BaseRows
+			}
+			ppr[n] = density
+			realPages[n] = pageCount(real, density)
+			m.Nodes = append(m.Nodes, NodeMeasure{n, v.Rows, real, realPages[n]})
+			m.IO += scanRealizedIO(v, real)
+			if q := QError(v.Rows, real); q > m.QErr {
+				m.QErr = q
+			}
+		case *plan.Join:
+			rel, err := engine.Execute(db, v)
+			if err != nil {
+				werr = err
+				return
+			}
+			real := float64(rel.NumRows())
+			ppr[n] = ppr[v.Left] + ppr[v.Right]
+			realPages[n] = pageCount(real, ppr[n])
+			m.Nodes = append(m.Nodes, NodeMeasure{n, v.Rows, real, realPages[n]})
+			step := exec.Step{
+				Method: v.Method,
+				Outer:  int(realPages[v.Left]),
+				Inner:  int(realPages[v.Right]),
+			}
+			io, err := exec.ReplayStep(capacity, step)
+			if err != nil {
+				werr = err
+				return
+			}
+			m.Steps = append(m.Steps, StepObs{
+				Method:   v.Method,
+				Formula:  step.Formula(float64(capacity)),
+				Measured: float64(io.Total()),
+			})
+			m.IO += float64(io.Total())
+			if q := QError(v.Rows, real); q > m.QErr {
+				m.QErr = q
+			}
+		case *plan.Sort:
+			ppr[n] = ppr[v.Input]
+			realPages[n] = realPages[v.Input]
+			io, err := exec.ReplaySort(capacity, int(realPages[v.Input]))
+			if err != nil {
+				werr = err
+				return
+			}
+			m.IO += float64(io.Total())
+		default:
+			werr = fmt.Errorf("calib: cannot measure node %T", n)
+		}
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	return m, nil
+}
+
+// pageCount converts realized rows at a pages-per-row density into a page
+// count, floored at one page (even an empty intermediate occupies a page
+// frame when materialized).
+func pageCount(rows, ppr float64) float64 {
+	p := math.Ceil(rows * ppr)
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// scanRealizedIO prices a scan at its *true* selectivity: the page I/O the
+// access path actually performs given how many rows really qualified.
+func scanRealizedIO(s *plan.Scan, realRows float64) float64 {
+	if s.Method == plan.IndexScan {
+		sel := 1.0
+		if s.BaseRows > 0 {
+			sel = realRows / s.BaseRows
+		}
+		if sel <= 0 {
+			sel = 1 / (s.BaseRows + 1)
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		return cost.IndexScanCost(sel, s.BasePages, s.BaseRows, s.IndexHeight, s.IndexClustered)
+	}
+	return cost.SeqScanCost(s.BasePages)
+}
+
+// TrueStats holds directly measured selectivities for one query over a
+// materialized database: the ground truth the optimizer's estimates are
+// judged against and the observations the feedback path folds back in.
+type TrueStats struct {
+	// JoinSel[i] counts matched pairs over examined pairs for q.Joins[i],
+	// measured on inputs with the query's filters applied.
+	JoinSel []SampleCount
+	// SelSel[i] counts retained rows over base rows for q.Selections[i],
+	// measured on the full base table.
+	SelSel []SampleCount
+}
+
+// MeasureTrueStats measures every predicate of the query against the
+// database: filter selectivities as kept-of-total row counts, join
+// selectivities as matched-of-examined pair counts over the filtered
+// inputs (the |A' ⋈ B'| / (|A'|·|B'|) definition the optimizer's estimates
+// target).
+func MeasureTrueStats(db engine.DB, q *query.SPJ) (*TrueStats, error) {
+	filtered := map[string]*engine.Relation{}
+	for _, t := range q.Tables {
+		rel, ok := db[t]
+		if !ok {
+			return nil, fmt.Errorf("calib: no data for table %q", t)
+		}
+		f, err := applyFilters(rel, q, t)
+		if err != nil {
+			return nil, err
+		}
+		filtered[t] = f
+	}
+	ts := &TrueStats{}
+	for _, s := range q.Selections {
+		rel := db[s.Col.Table]
+		idx := rel.ColIndex(s.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("calib: selection column %s absent", s.Col)
+		}
+		var k int64
+		for _, row := range rel.Rows {
+			if evalSelection(row[idx], s) {
+				k++
+			}
+		}
+		ts.SelSel = append(ts.SelSel, SampleCount{K: k, N: int64(len(rel.Rows))})
+	}
+	for _, p := range q.Joins {
+		l, r := filtered[p.Left.Table], filtered[p.Right.Table]
+		li, ri := l.ColIndex(p.Left), r.ColIndex(p.Right)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("calib: join columns %s absent", p)
+		}
+		counts := map[float64]int64{}
+		for _, row := range r.Rows {
+			counts[row[ri]]++
+		}
+		var k int64
+		for _, row := range l.Rows {
+			k += counts[row[li]]
+		}
+		n := int64(len(l.Rows)) * int64(len(r.Rows))
+		ts.JoinSel = append(ts.JoinSel, SampleCount{K: k, N: n})
+	}
+	return ts, nil
+}
+
+// applyFilters returns the table's rows with every selection of the query
+// that targets it applied.
+func applyFilters(rel *engine.Relation, q *query.SPJ, table string) (*engine.Relation, error) {
+	out := &engine.Relation{Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		keep := true
+		for _, s := range q.Selections {
+			if s.Col.Table != table {
+				continue
+			}
+			idx := rel.ColIndex(s.Col)
+			if idx < 0 {
+				return nil, fmt.Errorf("calib: selection column %s absent", s.Col)
+			}
+			if !evalSelection(row[idx], s) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// evalSelection evaluates one comparison predicate on a value.
+func evalSelection(v float64, s query.Selection) bool {
+	switch s.Op {
+	case query.EQ:
+		return v == s.Value
+	case query.LT:
+		return v < s.Value
+	case query.LE:
+		return v <= s.Value
+	case query.GT:
+		return v > s.Value
+	case query.GE:
+		return v >= s.Value
+	default:
+		return false
+	}
+}
+
+// TrueQuery returns a copy of the query with every predicate selectivity
+// replaced by its measured truth (Laplace-smoothed) and distributions
+// collapsed to the measurement — the query a true-statistics oracle
+// optimizes.
+func TrueQuery(q *query.SPJ, ts *TrueStats) *query.SPJ {
+	out := &query.SPJ{Tables: append([]string{}, q.Tables...)}
+	for i, p := range q.Joins {
+		p.Selectivity = ts.JoinSel[i].Laplace()
+		p.SelDist = nil
+		out.Joins = append(out.Joins, p)
+	}
+	for i, s := range q.Selections {
+		s.Selectivity = ts.SelSel[i].Laplace()
+		out.Selections = append(out.Selections, s)
+	}
+	if q.OrderBy != nil {
+		ob := *q.OrderBy
+		out.OrderBy = &ob
+	}
+	return out
+}
+
+// ApplyFeedback folds the measured predicate statistics into the query's
+// believed selectivities in place: point estimates shrink toward the
+// observations (BlendSelectivity), and join predicates that carried a
+// selectivity distribution get the sampling posterior of the measurement
+// (catalog.SelectivityDistFromSample — wide for few examined pairs, tight
+// for many). Already-correct beliefs are fixed points of the point update.
+func ApplyFeedback(q *query.SPJ, ts *TrueStats, priorWeight float64) {
+	for i := range q.Joins {
+		q.Joins[i].Selectivity = BlendSelectivity(q.Joins[i].Selectivity, ts.JoinSel[i], priorWeight)
+		if q.Joins[i].SelDist != nil && ts.JoinSel[i].N > 0 {
+			if d, err := catalog.SelectivityDistFromSample(ts.JoinSel[i].K, ts.JoinSel[i].N); err == nil {
+				q.Joins[i].SelDist = d
+			}
+		}
+	}
+	for i := range q.Selections {
+		q.Selections[i].Selectivity = BlendSelectivity(q.Selections[i].Selectivity, ts.SelSel[i], priorWeight)
+	}
+}

@@ -1,0 +1,181 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/opt"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// tinyDB builds a two-table database with exactly known predicate truths:
+// a.id enumerates 1..8; b.fk is 1 for six rows and 2 for two rows; b.val
+// is 10·fk.
+func tinyDB() engine.DB {
+	a := &engine.Relation{Cols: []query.ColumnRef{
+		{Table: "a", Column: "id"},
+	}}
+	for i := 1; i <= 8; i++ {
+		a.Rows = append(a.Rows, []float64{float64(i)})
+	}
+	b := &engine.Relation{Cols: []query.ColumnRef{
+		{Table: "b", Column: "fk"}, {Table: "b", Column: "val"},
+	}}
+	for i := 0; i < 6; i++ {
+		b.Rows = append(b.Rows, []float64{1, 10})
+	}
+	b.Rows = append(b.Rows, []float64{2, 20}, []float64{2, 20})
+	return engine.DB{"a": a, "b": b}
+}
+
+// TestMeasureTrueStats: filter and join selectivities come out as exact
+// counts on a hand-built database.
+func TestMeasureTrueStats(t *testing.T) {
+	db := tinyDB()
+	q := &query.SPJ{
+		Tables: []string{"a", "b"},
+		Joins: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "a", Column: "id"},
+			Right:       query.ColumnRef{Table: "b", Column: "fk"},
+			Selectivity: 0.5,
+		}},
+		Selections: []query.Selection{{
+			Col:         query.ColumnRef{Table: "b", Column: "val"},
+			Op:          query.LT,
+			Value:       15,
+			Selectivity: 0.9,
+		}},
+	}
+	ts, err := MeasureTrueStats(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// val < 15 keeps the six fk=1 rows of b's eight.
+	if got := ts.SelSel[0]; got.K != 6 || got.N != 8 {
+		t.Errorf("selection count %+v, want 6/8", got)
+	}
+	// After the filter b has six rows, all fk=1; a.id=1 matches all six, so
+	// k = 6 over 8·6 pairs.
+	if got := ts.JoinSel[0]; got.K != 6 || got.N != 48 {
+		t.Errorf("join count %+v, want 6/48", got)
+	}
+}
+
+// TestTrueQueryCarriesMeasurement: the oracle query gets Laplace-smoothed
+// measured selectivities, point distributions, and leaves the original
+// untouched.
+func TestTrueQueryCarriesMeasurement(t *testing.T) {
+	q := &query.SPJ{
+		Tables: []string{"a", "b"},
+		Joins: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "a", Column: "id"},
+			Right:       query.ColumnRef{Table: "b", Column: "fk"},
+			Selectivity: 0.5,
+		}},
+	}
+	ts := &TrueStats{JoinSel: []SampleCount{{K: 6, N: 48}}}
+	tq := TrueQuery(q, ts)
+	want := 7.0 / 50.0
+	if math.Abs(tq.Joins[0].Selectivity-want) > 1e-12 {
+		t.Errorf("oracle selectivity %v, want %v", tq.Joins[0].Selectivity, want)
+	}
+	if q.Joins[0].Selectivity != 0.5 {
+		t.Error("original query mutated")
+	}
+}
+
+// TestApplyFeedbackConvergesToTruth: after feedback with a large
+// observation count, the query's believed selectivity is close to the
+// measured truth, and applying the same feedback again barely moves it
+// (approximate fixed point).
+func TestApplyFeedbackConvergesToTruth(t *testing.T) {
+	q := &query.SPJ{
+		Tables: []string{"a", "b"},
+		Joins: []query.JoinPred{{
+			Left:        query.ColumnRef{Table: "a", Column: "id"},
+			Right:       query.ColumnRef{Table: "b", Column: "fk"},
+			Selectivity: 0.9,
+		}},
+	}
+	ts := &TrueStats{JoinSel: []SampleCount{{K: 100, N: 10_000}}}
+	ApplyFeedback(q, ts, 4)
+	after1 := q.Joins[0].Selectivity
+	if math.Abs(after1-0.0101) > 0.001 {
+		t.Errorf("selectivity %v after feedback, want ≈ 0.0101", after1)
+	}
+	ApplyFeedback(q, ts, 4)
+	if math.Abs(q.Joins[0].Selectivity-after1) > 1e-3 {
+		t.Errorf("second feedback moved %v to %v", after1, q.Joins[0].Selectivity)
+	}
+}
+
+// TestQError: symmetric, floored at one row, ≥ 1.
+func TestQError(t *testing.T) {
+	if q := QError(10, 100); q != 10 {
+		t.Errorf("QError(10,100) = %v", q)
+	}
+	if q := QError(100, 10); q != 10 {
+		t.Errorf("QError(100,10) = %v", q)
+	}
+	if q := QError(0, 0); q != 1 {
+		t.Errorf("QError(0,0) = %v", q)
+	}
+	if q := QError(math.NaN(), 5); q != 5 {
+		t.Errorf("QError(NaN,5) = %v", q)
+	}
+}
+
+// TestMeasurePlanOnGeneratedWorkload: a real optimizer-chosen plan over a
+// generated skewed database measures positive I/O, q-error ≥ 1, one
+// regression pair per join, and realized root rows equal to an independent
+// execution of the same plan.
+func TestMeasurePlanOnGeneratedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cat := workload.RandomCatalog(rng, workload.CatalogSpec{
+		NumTables: 3, MinPages: 4, MaxPages: 16, RowsPerPage: 5,
+		FKDistinctFrac: 0.34,
+	})
+	db, err := engine.GenerateDBWith(rng, cat, 0, engine.GenSpec{
+		Columns: map[string]engine.ColumnGen{"fk": {Model: engine.ColZipf, Skew: 1.3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := workload.RandomQuery(rng, cat, workload.QuerySpec{NumRels: 3, SelectionProb: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := MeasureTrueStats(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.SystemR(cat, TrueQuery(q, ts), opt.Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := MeasurePlan(db, res.Plan, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.QErr < 1 {
+		t.Errorf("q-error %v < 1", meas.QErr)
+	}
+	if meas.IO <= 0 {
+		t.Errorf("realized I/O %v, want > 0", meas.IO)
+	}
+	if want := 2; len(meas.Steps) != want {
+		t.Errorf("%d regression pairs, want %d", len(meas.Steps), want)
+	}
+	root, err := engine.Execute(db, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := meas.Nodes[len(meas.Nodes)-1]
+	if last.RealRows != float64(root.NumRows()) {
+		t.Errorf("root realized rows %v, independent execution %d",
+			last.RealRows, root.NumRows())
+	}
+}

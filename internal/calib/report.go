@@ -1,0 +1,103 @@
+// Trajectory reporting: per-round error percentiles and their rendering.
+package calib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// RoundStats summarizes one measured round of the closed loop.
+type RoundStats struct {
+	// Round is the 0-based round index; round 0 is the uncalibrated
+	// baseline, every later round runs on the previous round's feedback.
+	Round int
+	// QErr* are percentiles of the per-query plan q-error (≥ 1).
+	QErrMedian, QErrP90, QErrMax float64
+	// PErr* are percentiles of the per-query P-error: realized I/O of the
+	// chosen plan over the true-statistics oracle's plan (≥ 1).
+	PErrMedian, PErrP90, PErrMax float64
+	// ModelErr is the mean relative error of the calibrated cost model
+	// (c_m · formula vs measured I/O) with the constants in force this
+	// round.
+	ModelErr float64
+	// Constants are the per-method cost-model constants in force this
+	// round (identity in round 0).
+	Constants map[cost.Method]float64
+	// MemBound is the bucketing-error bound incurred by this round's
+	// memory-posterior update.
+	MemBound float64
+}
+
+// Report is a full calibration trajectory.
+type Report struct {
+	// Queries is the workload size (queries measured per round).
+	Queries int
+	// Strategy names the optimizer under calibration.
+	Strategy string
+	// Rounds holds one entry per measured round, in order.
+	Rounds []RoundStats
+}
+
+// First and Last return the baseline and final rounds.
+func (r *Report) First() RoundStats { return r.Rounds[0] }
+
+// Last returns the final round.
+func (r *Report) Last() RoundStats { return r.Rounds[len(r.Rounds)-1] }
+
+// Improved reports whether the trajectory's median q-error and median
+// P-error both ended no worse than they started, with at least one of them
+// strictly better (or both already perfect at 1).
+func (r *Report) Improved() bool {
+	if len(r.Rounds) < 2 {
+		return false
+	}
+	f, l := r.First(), r.Last()
+	qOK := l.QErrMedian < f.QErrMedian || f.QErrMedian == 1
+	pOK := l.PErrMedian < f.PErrMedian || f.PErrMedian == 1
+	return l.QErrMedian <= f.QErrMedian && l.PErrMedian <= f.PErrMedian && qOK && pOK
+}
+
+// Format renders the trajectory as a fixed-width table — the transcript
+// the golden test byte-compares.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "calibration trajectory: %d queries, strategy %s\n", r.Queries, r.Strategy)
+	fmt.Fprintf(&b, "%-5s  %-24s  %-24s  %-9s  %-9s  %s\n",
+		"round", "q-error p50/p90/max", "P-error p50/p90/max", "model-err", "mem-bound", "constants nl/bnl/sm/gh")
+	for _, rs := range r.Rounds {
+		fmt.Fprintf(&b, "%-5d  %7.3f %7.3f %8.3f  %7.3f %7.3f %8.3f  %9.4f  %9.4f  %.3f/%.3f/%.3f/%.3f\n",
+			rs.Round,
+			rs.QErrMedian, rs.QErrP90, rs.QErrMax,
+			rs.PErrMedian, rs.PErrP90, rs.PErrMax,
+			rs.ModelErr, rs.MemBound,
+			rs.Constants[cost.NestedLoop], rs.Constants[cost.BlockNL],
+			rs.Constants[cost.SortMerge], rs.Constants[cost.GraceHash])
+	}
+	if len(r.Rounds) >= 2 {
+		f, l := r.First(), r.Last()
+		fmt.Fprintf(&b, "median q-error %.3f -> %.3f, median P-error %.3f -> %.3f\n",
+			f.QErrMedian, l.QErrMedian, f.PErrMedian, l.PErrMedian)
+	}
+	return b.String()
+}
+
+// percentile returns the p-quantile of xs (nearest-rank); p ≥ 1 returns
+// the maximum, an empty slice returns 0.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -9,12 +9,91 @@ import (
 	"repro/internal/query"
 )
 
+// ColumnModel selects how GenerateDBWith draws a column's values. The
+// classical equivalence tests only ever exercised uniform draws, which means
+// every estimated selectivity was accidentally close to the truth; the
+// skewed and correlated models below exist to make the catalog's
+// independence and uniformity assumptions *wrong* on purpose, so the
+// calibration harness (internal/calib) has real estimation error to measure
+// and repair.
+type ColumnModel int
+
+// Column value models.
+const (
+	// ColUniform draws uniformly from 1..Distinct (the seed behavior).
+	ColUniform ColumnModel = iota
+	// ColZipf draws from a Zipf distribution over 1..Distinct: value 1 is
+	// the most frequent, tail values are rare. Skew is the Zipf exponent.
+	ColZipf
+	// ColCorrelated derives the value from another column of the same row:
+	// with probability Strength the value is a deterministic function of
+	// the source column (source mod Distinct + 1), otherwise an independent
+	// uniform draw. This breaks the optimizer's attribute-independence
+	// assumption between the two columns.
+	ColCorrelated
+)
+
+// String implements fmt.Stringer.
+func (m ColumnModel) String() string {
+	switch m {
+	case ColUniform:
+		return "uniform"
+	case ColZipf:
+		return "zipf"
+	case ColCorrelated:
+		return "correlated"
+	default:
+		return fmt.Sprintf("ColumnModel(%d)", int(m))
+	}
+}
+
+// ColumnGen configures one column's generator.
+type ColumnGen struct {
+	Model ColumnModel
+	// Skew is the Zipf exponent s for ColZipf; values ≤ 1 default to 1.2.
+	Skew float64
+	// CorrelateWith names the source column (same table) for ColCorrelated.
+	CorrelateWith string
+	// Strength is the correlation strength in [0,1] for ColCorrelated: the
+	// probability a row's value is derived from the source instead of drawn
+	// independently. Defaults to 1 (fully determined).
+	Strength float64
+}
+
+// GenSpec maps columns to generators. Keys are "table.column" for one
+// column, or just "column" for every column of that name across tables;
+// the qualified form wins. Columns with no entry draw uniformly.
+type GenSpec struct {
+	Columns map[string]ColumnGen
+}
+
+// lookup resolves the generator for table.column.
+func (s GenSpec) lookup(table, column string) (ColumnGen, bool) {
+	if s.Columns == nil {
+		return ColumnGen{}, false
+	}
+	if g, ok := s.Columns[table+"."+column]; ok {
+		return g, true
+	}
+	g, ok := s.Columns[column]
+	return g, ok
+}
+
 // GenerateDB materializes row data for every table in the catalog,
 // consistent with its statistics: column "id"-like unique columns get
 // 1..Distinct values without repetition (when Distinct == Rows), other
 // columns draw uniformly from 1..Distinct. rowCap truncates huge tables so
 // equivalence tests stay fast; 0 means no cap.
 func GenerateDB(rng *rand.Rand, cat *catalog.Catalog, rowCap int) (DB, error) {
+	return GenerateDBWith(rng, cat, rowCap, GenSpec{})
+}
+
+// GenerateDBWith is GenerateDB with per-column value models: Zipf-skewed
+// and correlated columns as configured by spec. Generation is fully
+// deterministic in rng's seed — the same seed, catalog, and spec always
+// produce byte-identical data (the determinism test asserts this), so every
+// calibration trajectory is replayable.
+func GenerateDBWith(rng *rand.Rand, cat *catalog.Catalog, rowCap int, spec GenSpec) (DB, error) {
 	db := make(DB, cat.Len())
 	for _, name := range cat.Names() {
 		tab, err := cat.Table(name)
@@ -32,18 +111,79 @@ func GenerateDB(rng *rand.Rand, cat *catalog.Catalog, rowCap int) (DB, error) {
 		if len(rel.Cols) == 0 {
 			return nil, fmt.Errorf("engine: table %q has no columns", name)
 		}
+		// Per-column draw state, built once per table. Correlated columns
+		// must come after their source in the row fill, which declaration
+		// order gives us as long as the source is declared first; a source
+		// declared later is rejected.
+		type colState struct {
+			gen      ColumnGen
+			hasGen   bool
+			zipf     *rand.Zipf
+			distinct int64
+			srcIdx   int
+		}
+		states := make([]colState, len(tab.Columns))
+		colIdx := map[string]int{}
+		for c, col := range tab.Columns {
+			colIdx[col.Name] = c
+		}
+		for c, col := range tab.Columns {
+			distinct := col.Distinct
+			if distinct <= 0 {
+				distinct = 10
+			}
+			st := colState{distinct: distinct, srcIdx: -1}
+			if g, ok := spec.lookup(name, col.Name); ok {
+				st.gen, st.hasGen = g, true
+				switch g.Model {
+				case ColZipf:
+					s := g.Skew
+					if s <= 1 {
+						s = 1.2
+					}
+					st.zipf = rand.NewZipf(rng, s, 1, uint64(distinct-1))
+				case ColCorrelated:
+					src, ok := colIdx[g.CorrelateWith]
+					if !ok {
+						return nil, fmt.Errorf("engine: %s.%s correlates with unknown column %q", name, col.Name, g.CorrelateWith)
+					}
+					if src >= c {
+						return nil, fmt.Errorf("engine: %s.%s correlates with %q, which is not declared before it", name, col.Name, g.CorrelateWith)
+					}
+					st.srcIdx = src
+				}
+			}
+			states[c] = st
+		}
 		for r := 0; r < rows; r++ {
 			row := make([]float64, len(tab.Columns))
-			for c, col := range tab.Columns {
-				distinct := col.Distinct
-				if distinct <= 0 {
-					distinct = 10
-				}
-				if distinct >= tab.Rows {
+			for c := range tab.Columns {
+				st := states[c]
+				if st.distinct >= tab.Rows && !st.hasGen {
 					// Unique column: enumerate.
 					row[c] = float64(r + 1)
-				} else {
-					row[c] = float64(rng.Int63n(distinct) + 1)
+					continue
+				}
+				switch {
+				case st.hasGen && st.gen.Model == ColZipf:
+					row[c] = float64(st.zipf.Uint64() + 1)
+				case st.hasGen && st.gen.Model == ColCorrelated:
+					strength := st.gen.Strength
+					if strength <= 0 || strength > 1 {
+						strength = 1
+					}
+					if rng.Float64() < strength {
+						src := int64(row[st.srcIdx])
+						row[c] = float64(mod1(src*2654435761, st.distinct))
+					} else {
+						row[c] = float64(rng.Int63n(st.distinct) + 1)
+					}
+				default:
+					if st.distinct >= tab.Rows {
+						row[c] = float64(r + 1)
+					} else {
+						row[c] = float64(rng.Int63n(st.distinct) + 1)
+					}
 				}
 			}
 			rel.Rows = append(rel.Rows, row)
@@ -51,6 +191,16 @@ func GenerateDB(rng *rand.Rand, cat *catalog.Catalog, rowCap int) (DB, error) {
 		db[name] = rel
 	}
 	return db, nil
+}
+
+// mod1 maps v into 1..m with a multiplicative scramble already applied by
+// the caller, keeping correlated values spread over the whole domain.
+func mod1(v, m int64) int64 {
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r + 1
 }
 
 // Fingerprint returns an order-independent multiset digest of a relation:

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/workload"
+)
+
+func genCatalog(t *testing.T, seed int64) *catalog.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return workload.RandomCatalog(rng, workload.CatalogSpec{
+		NumTables: 3, MinPages: 4, MaxPages: 30, RowsPerPage: 5,
+	})
+}
+
+func skewSpec() GenSpec {
+	return GenSpec{Columns: map[string]ColumnGen{
+		"fk":  {Model: ColZipf, Skew: 1.4},
+		"val": {Model: ColCorrelated, CorrelateWith: "fk", Strength: 0.9},
+	}}
+}
+
+// TestGenerateDBWithSeedDeterminism: the same seed, catalog, and spec
+// produce byte-identical databases — the property every replayable
+// calibration trajectory rests on — and a different seed produces
+// different data.
+func TestGenerateDBWithSeedDeterminism(t *testing.T) {
+	cat := genCatalog(t, 3)
+	gen := func(seed int64) DB {
+		db, err := GenerateDBWith(rand.New(rand.NewSource(seed)), cat, 200, skewSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	a, b := gen(42), gen(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different databases")
+	}
+	c := gen(43)
+	same := true
+	for name, rel := range a {
+		if !reflect.DeepEqual(rel.Rows, c[name].Rows) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+// TestGenerateDBUniformCompatibility: an empty spec reproduces GenerateDB
+// exactly (the seed behavior is the uniform special case).
+func TestGenerateDBUniformCompatibility(t *testing.T) {
+	cat := genCatalog(t, 5)
+	a, err := GenerateDB(rand.New(rand.NewSource(9)), cat, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDBWith(rand.New(rand.NewSource(9)), cat, 150, GenSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("empty spec diverges from GenerateDB")
+	}
+}
+
+// TestZipfColumnIsSkewed: under ColZipf the most frequent value carries far
+// more than its uniform share of the rows, and under ColUniform it does not.
+func TestZipfColumnIsSkewed(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "z", Rows: 4000, Pages: 400,
+		Columns: []*catalog.Column{
+			{Name: "id", Distinct: 4000, Min: 1, Max: 4000},
+			{Name: "fk", Distinct: 50, Min: 1, Max: 50},
+		},
+	})
+	topShare := func(spec GenSpec) float64 {
+		db, err := GenerateDBWith(rand.New(rand.NewSource(1)), cat, 0, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[float64]int{}
+		for _, row := range db["z"].Rows {
+			counts[row[1]]++
+		}
+		top := 0
+		for _, n := range counts {
+			if n > top {
+				top = n
+			}
+		}
+		return float64(top) / float64(len(db["z"].Rows))
+	}
+	uniform := topShare(GenSpec{})
+	zipf := topShare(GenSpec{Columns: map[string]ColumnGen{"fk": {Model: ColZipf, Skew: 1.4}}})
+	if zipf < 3*uniform {
+		t.Errorf("zipf top share %.3f not clearly above uniform %.3f", zipf, uniform)
+	}
+	if zipf < 0.1 {
+		t.Errorf("zipf top share %.3f suspiciously flat", zipf)
+	}
+}
+
+// TestCorrelatedColumnTracksSource: at Strength 1 the correlated column is
+// a deterministic function of its source; at Strength 0.5 roughly half the
+// rows deviate.
+func TestCorrelatedColumnTracksSource(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "c", Rows: 2000, Pages: 200,
+		Columns: []*catalog.Column{
+			{Name: "id", Distinct: 2000, Min: 1, Max: 2000},
+			{Name: "fk", Distinct: 40, Min: 1, Max: 40},
+			{Name: "val", Distinct: 500, Min: 0, Max: 500},
+		},
+	})
+	agree := func(strength float64) float64 {
+		spec := GenSpec{Columns: map[string]ColumnGen{
+			"c.val": {Model: ColCorrelated, CorrelateWith: "fk", Strength: strength},
+		}}
+		db, err := GenerateDBWith(rand.New(rand.NewSource(2)), cat, 0, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := 0
+		for _, row := range db["c"].Rows {
+			if int64(row[2]) == mod1(int64(row[1])*2654435761, 500) {
+				match++
+			}
+		}
+		return float64(match) / float64(len(db["c"].Rows))
+	}
+	if f := agree(1); f != 1 {
+		t.Errorf("strength 1: agreement %.3f, want 1", f)
+	}
+	if f := agree(0.5); f < 0.4 || f > 0.65 {
+		t.Errorf("strength 0.5: agreement %.3f outside [0.4, 0.65]", f)
+	}
+}
+
+// TestCorrelatedColumnErrors: unknown or later-declared sources are
+// rejected rather than silently generating garbage.
+func TestCorrelatedColumnErrors(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "e", Rows: 10, Pages: 1,
+		Columns: []*catalog.Column{
+			{Name: "a", Distinct: 5, Min: 1, Max: 5},
+			{Name: "b", Distinct: 5, Min: 1, Max: 5},
+		},
+	})
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateDBWith(rng, cat, 0, GenSpec{Columns: map[string]ColumnGen{
+		"e.a": {Model: ColCorrelated, CorrelateWith: "nope"},
+	}}); err == nil {
+		t.Error("unknown source column accepted")
+	}
+	if _, err := GenerateDBWith(rng, cat, 0, GenSpec{Columns: map[string]ColumnGen{
+		"e.a": {Model: ColCorrelated, CorrelateWith: "b"},
+	}}); err == nil {
+		t.Error("later-declared source column accepted")
+	}
+}

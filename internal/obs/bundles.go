@@ -131,3 +131,46 @@ func NewReoptMetrics(reg *Registry) *ReoptMetrics {
 		DegradedRuns: reg.Counter("lec_reopt_degraded_runs_total", "Adaptive executions cut short by context cancellation."),
 	}
 }
+
+// CalibMetrics instruments the closed-loop calibration harness
+// (internal/calib): per-round error medians and feedback volumes.
+type CalibMetrics struct {
+	Rounds        *Counter
+	Queries       *Counter
+	ReplayedSteps *Counter
+	MemBound      *Counter
+	QErrMedian    *Gauge
+	PErrMedian    *Gauge
+	ModelErr      *Gauge
+}
+
+// NewCalibMetrics registers the calibration metric family on reg. Returns
+// nil when reg is nil; a nil *CalibMetrics disables all recording.
+func NewCalibMetrics(reg *Registry) *CalibMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &CalibMetrics{
+		Rounds:        reg.Counter("lec_calib_rounds_total", "Calibration rounds measured."),
+		Queries:       reg.Counter("lec_calib_queries_total", "Query executions measured across rounds."),
+		ReplayedSteps: reg.Counter("lec_calib_replayed_steps_total", "Join steps replayed through the buffer pool."),
+		MemBound:      reg.Counter("lec_calib_mem_bound_total", "Accumulated bucketing-error bound of memory-posterior updates."),
+		QErrMedian:    reg.Gauge("lec_calib_qerr_median", "Median plan q-error of the latest round."),
+		PErrMedian:    reg.Gauge("lec_calib_perr_median", "Median P-error of the latest round."),
+		ModelErr:      reg.Gauge("lec_calib_model_err", "Mean relative cost-model error of the latest round."),
+	}
+}
+
+// RecordRound records one calibration round. Safe on a nil receiver.
+func (m *CalibMetrics) RecordRound(qerrMedian, perrMedian, modelErr, memBound float64, queries, steps int) {
+	if m == nil {
+		return
+	}
+	m.Rounds.Inc()
+	m.Queries.Add(float64(queries))
+	m.ReplayedSteps.Add(float64(steps))
+	m.MemBound.Add(memBound)
+	m.QErrMedian.Set(qerrMedian)
+	m.PErrMedian.Set(perrMedian)
+	m.ModelErr.Set(modelErr)
+}

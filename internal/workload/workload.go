@@ -35,6 +35,22 @@ const (
 	Cycle
 )
 
+// Topologies lists the named join-graph shapes in declaration order —
+// the sweep axis of the calibration harness.
+func Topologies() []Topology {
+	return []Topology{Chain, Star, Clique, RandomTree, Cycle}
+}
+
+// ParseTopology parses a topology name as printed by String.
+func ParseTopology(s string) (Topology, error) {
+	for _, t := range Topologies() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown topology %q", s)
+}
+
 // String implements fmt.Stringer.
 func (t Topology) String() string {
 	switch t {
@@ -68,6 +84,13 @@ type CatalogSpec struct {
 	// SizeSpread, when > 0, attaches a size distribution to each table with
 	// the given multiplicative spread (see catalog.SizeDistFromEstimate).
 	SizeSpread float64
+	// FKDistinctFrac, when > 0, fixes each table's fk distinct count to
+	// this fraction of its rows. The default draws the fraction from
+	// [0.001, 0.051), which on the tiny tables the execution tests
+	// materialize collapses to 2 distinct values and makes join fan-out
+	// explode; the calibration harness sets ~1/3 so materialized joins stay
+	// small enough to execute.
+	FKDistinctFrac float64
 }
 
 func (s CatalogSpec) withDefaults() CatalogSpec {
@@ -102,7 +125,11 @@ func RandomCatalog(rng *rand.Rand, spec CatalogSpec) *catalog.Catalog {
 		pages := math.Exp(logMin + rng.Float64()*(logMax-logMin))
 		pages = math.Floor(pages)
 		rows := int64(pages * spec.RowsPerPage)
-		distinctFK := int64(float64(rows) * (0.001 + rng.Float64()*0.05))
+		fkFrac := 0.001 + rng.Float64()*0.05
+		if spec.FKDistinctFrac > 0 {
+			fkFrac = spec.FKDistinctFrac
+		}
+		distinctFK := int64(float64(rows) * fkFrac)
 		if distinctFK < 2 {
 			distinctFK = 2
 		}
