@@ -62,7 +62,7 @@ fleet-chaos:
 # from GOMAXPROCS). For the multi-core scaling sweep run
 # `go test -bench=BenchmarkDPCoreParallel -cpu 1,2,4 ./internal/opt`.
 bench:
-	$(GO) test -bench=BenchmarkDPCore -benchmem -cpu=1 -run=^$$ ./internal/opt
+	$(GO) test -bench='BenchmarkDPCore|BenchmarkTieredPlanning' -benchmem -cpu=1 -run=^$$ ./internal/opt
 
 # Combined coverage over the optimizer core, the serving layer, the
 # observability package, and the calibration harness; fails below
@@ -74,11 +74,12 @@ cover:
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
-# Re-run BenchmarkDPCore and compare against the checked-in baseline with
-# median-ratio normalization (see cmd/benchsmoke): a uniformly slower machine
-# passes, a single benchmark drifting >30% from its peers fails.
+# Re-run the DP-core and tiered-planning benchmarks and compare against the
+# checked-in baseline with median-ratio normalization (see cmd/benchsmoke): a
+# uniformly slower machine passes, a single benchmark drifting >30% from its
+# peers fails.
 bench-smoke:
-	$(GO) test -bench=BenchmarkDPCore -benchmem -cpu=1 -run=^$$ ./internal/opt > /tmp/lec-bench-cur.txt; \
+	$(GO) test -bench='BenchmarkDPCore|BenchmarkTieredPlanning' -benchmem -cpu=1 -run=^$$ ./internal/opt > /tmp/lec-bench-cur.txt; \
 		status=$$?; cat /tmp/lec-bench-cur.txt; exit $$status
 	$(GO) run ./cmd/benchsmoke -base internal/opt/testdata/dpcore_bench_baseline.txt -cur /tmp/lec-bench-cur.txt
 

@@ -126,6 +126,7 @@ func run(args []string, out, errOut io.Writer) error {
 	workers := fs.Int("workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
 	parallelism := fs.Int("parallelism", 1, "per-request engine parallelism ceiling, degraded toward 1 as worker slots fill")
 	enum := fs.String("enum", "exhaustive", "subset-lattice enumerator for every request: exhaustive|connected")
+	tier := fs.String("tier", "dp", "planning tier: dp (always full search), auto (greedy fast path with risk-triggered escalation), greedy (never escalate)")
 	queue := fs.Int("queue", 0, "queued requests beyond workers before shedding (0 = default 64)")
 	cache := fs.Int("cache", 0, "plan cache capacity (0 = default 512, negative disables)")
 	timeout := fs.Duration("timeout", 5*time.Second, "default per-request optimization deadline")
@@ -169,13 +170,17 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tierMode, err := lec.ParseTier(*tier)
+	if err != nil {
+		return err
+	}
 	d.svc = serve.New(cat, serve.Config{
 		Workers:        *workers,
 		Parallelism:    *parallelism,
 		QueueDepth:     *queue,
 		CacheCapacity:  *cache,
 		DefaultTimeout: *timeout,
-		Options:        lec.Options{Enumeration: enumMode},
+		Options:        lec.Options{Enumeration: enumMode, Tier: tierMode},
 		Metrics:        d.reg,
 	})
 
@@ -358,6 +363,9 @@ type decisionJSON struct {
 	Degraded      bool    `json:"degraded,omitempty"`
 	DegradeReason string  `json:"degrade_reason,omitempty"`
 	DegradeRung   string  `json:"degrade_rung,omitempty"`
+	Tier          string  `json:"tier,omitempty"`
+	TierReason    string  `json:"tier_reason,omitempty"`
+	TierGap       float64 `json:"tier_gap,omitempty"`
 	Plan          string  `json:"plan"`
 }
 
@@ -481,6 +489,9 @@ func fleetResponse(rep *fleet.Reply) optimizeResponse {
 			Degraded:      pd.Degraded,
 			DegradeReason: pd.DegradeReason,
 			DegradeRung:   pd.DegradeRung,
+			Tier:          pd.Tier,
+			TierReason:    pd.TierReason,
+			TierGap:       pd.TierGap,
 			Plan:          pd.Plan,
 		}
 		out.Cached = rep.Peer.Cached
@@ -547,7 +558,12 @@ func toDecisionJSON(dec *lec.Decision) decisionJSON {
 		P95:          dec.Risk.P95,
 		Degraded:     dec.Degraded,
 		DegradeRung:  dec.DegradeRung,
+		Tier:         dec.Tier,
+		TierReason:   dec.TierReason,
 		Plan:         dec.Explain(),
+	}
+	if !math.IsNaN(dec.TierGap) && !math.IsInf(dec.TierGap, 0) && dec.TierGap > 0 {
+		out.TierGap = dec.TierGap
 	}
 	if dec.Degraded {
 		out.DegradeReason = dec.DegradeReason.String()

@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -107,6 +108,7 @@ func run(args []string, out, errOut io.Writer) error {
 	budget := fs.Int("budget", 0, "max cost-formula evaluations per optimization; on exhaustion a degraded fallback plan is returned (0 = unlimited)")
 	parallel := fs.Int("parallel", 1, "DP search parallelism: worker goroutines per level (0 = GOMAXPROCS); plans are identical at any setting")
 	enum := fs.String("enum", "exhaustive", "subset-lattice enumerator: exhaustive|connected (connected skips cross-join subsets; falls back to exhaustive on disconnected join graphs)")
+	tier := fs.String("tier", "dp", "planning tier: dp (always full search), auto (greedy fast path with risk-triggered escalation to the DP), greedy (serve the fast path unconditionally)")
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: lecopt (-demo | -catalog <file>) [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -196,7 +198,11 @@ serving:
 	if err != nil {
 		return fmt.Errorf("%w: %w", errUsage, err)
 	}
-	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}, Trace: *trace, Parallelism: *parallel, Enumeration: enumMode})
+	tierMode, err := lec.ParseTier(*tier)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	o := lec.NewWithOptions(cat, lec.Options{Budget: lec.Budget{MaxCostEvals: *budget}, Trace: *trace, Parallelism: *parallel, Enumeration: enumMode, Tier: tierMode})
 	fmt.Fprintf(out, "query:  %s\nmemory: %s\n\n", queryText, dm)
 
 	if *choice {
@@ -242,7 +248,7 @@ serving:
 			}
 		}
 		if *explain {
-			printStats(out, d)
+			printStats(out, d, *budget, *parallel)
 		}
 		if *simulate > 0 {
 			rep, err := d.Simulate(*simulate, 1)
@@ -274,7 +280,7 @@ serving:
 	tw.Flush()
 	fmt.Fprintf(out, "\nbest plan (%v):\n%s", ds[0].Strategy, ds[0].Explain())
 	if *explain {
-		printStats(out, ds[0])
+		printStats(out, ds[0], *budget, *parallel)
 	}
 	return nil
 }
@@ -292,15 +298,19 @@ func warnDegraded(errOut io.Writer, d *lec.Decision) {
 	}
 }
 
-// printStats renders the unified engine's instrumentation counters.
-func printStats(out io.Writer, d *lec.Decision) {
+// printStats renders the unified engine's instrumentation counters, headed
+// by the provenance block: which path produced the plan (tier or degradation
+// rung), why, and the budget state. The block prints for every plan — full
+// DP searches, degraded anytime fallbacks, and tier-zero greedy serves alike
+// — so the explain output never loses its planning context when the engine
+// took a shortcut.
+func printStats(out io.Writer, d *lec.Decision, budget, parallel int) {
 	s := d.Stats
+	fmt.Fprint(out, "origin: ", provenance(d, budget), "\n")
 	fmt.Fprintf(out, "search: %d subsets, %d join steps, %d cost evals, %d prunes\n",
 		s.Subsets, s.JoinSteps, s.CostEvals, s.Prunes)
-	if s.SubsetsEnumerated > 0 {
-		fmt.Fprintf(out, "enum:   %v; %d lattice subsets emitted, %d skipped as disconnected\n",
-			d.Enumeration, s.SubsetsEnumerated, s.SubsetsSkipped)
-	}
+	fmt.Fprintf(out, "enum:   %v; %d lattice subsets emitted, %d skipped as disconnected; parallelism %d\n",
+		d.Enumeration, s.SubsetsEnumerated, s.SubsetsSkipped, parallel)
 	fmt.Fprintf(out, "memo:   %d hits; arena: %d nodes, %d hits, %d built\n",
 		s.MemoHits, s.ArenaSize, s.ArenaHits, s.PlansBuilt)
 	if s.MergeCombos > 0 {
@@ -311,6 +321,38 @@ func printStats(out io.Writer, d *lec.Decision) {
 		fmt.Fprintf(out, "faults: %d non-finite costs, %d recovered panics, %d degradations\n",
 			s.NonFiniteCosts, s.PanicsRecovered, s.Degradations)
 	}
+}
+
+// provenance renders the one-line plan origin: tier taken (with escalation
+// or serve reason and the expected-cost gap vs the lower bound when known),
+// the degradation rung, and how much of the configured budget the run spent.
+func provenance(d *lec.Decision, budget int) string {
+	tier, reason := d.Tier, d.TierReason
+	if tier == "" {
+		tier = "dp"
+	}
+	if reason == "" {
+		reason = "configured"
+	}
+	line := fmt.Sprintf("tier %s (%s", tier, reason)
+	if !math.IsNaN(d.TierGap) && !math.IsInf(d.TierGap, 0) && d.TierGap > 0 {
+		line += fmt.Sprintf("; greedy %.1f%% above the expected-cost lower bound", 100*d.TierGap)
+	}
+	line += ")"
+	rung := d.DegradeRung
+	if rung == "" {
+		rung = "full-search"
+	}
+	line += "; rung " + rung
+	if d.Degraded {
+		line += fmt.Sprintf(" (%v)", d.DegradeReason)
+	}
+	if budget > 0 {
+		line += fmt.Sprintf("; budget %d/%d cost evals", d.Stats.CostEvals, budget)
+	} else {
+		line += fmt.Sprintf("; budget %d cost evals (unlimited)", d.Stats.CostEvals)
+	}
+	return line
 }
 
 func parseStrategy(s string) (lec.Strategy, error) {

@@ -66,6 +66,11 @@ const (
 	// pushes). A drop loses only warmth, never correctness: the receiver
 	// serves its first request cold and re-optimizes.
 	FleetHandoff Site = "fleet/handoff"
+	// TierGreedy fires once per tier-zero greedy planning attempt, before
+	// any planning work. A panic, NaN or Inf here simulates a broken greedy
+	// planner; the tier controller must fall through to the DP path with a
+	// typed escalation reason, never crash or serve a corrupted plan.
+	TierGreedy Site = "tier/greedy"
 )
 
 // Kind is the failure a rule injects at its site.

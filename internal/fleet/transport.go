@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/serve"
@@ -120,6 +121,9 @@ type WireDecision struct {
 	Degraded      bool    `json:"degraded,omitempty"`
 	DegradeReason string  `json:"degrade_reason,omitempty"`
 	DegradeRung   string  `json:"degrade_rung,omitempty"`
+	Tier          string  `json:"tier,omitempty"`
+	TierReason    string  `json:"tier_reason,omitempty"`
+	TierGap       float64 `json:"tier_gap,omitempty"`
 	Plan          string  `json:"plan"`
 }
 
@@ -143,7 +147,12 @@ func ToWire(r *serve.Response) WireResponse {
 			P95:          d.Risk.P95,
 			Degraded:     d.Degraded,
 			DegradeRung:  d.DegradeRung,
+			Tier:         d.Tier,
+			TierReason:   d.TierReason,
 			Plan:         d.Explain(),
+		}
+		if !math.IsNaN(d.TierGap) && !math.IsInf(d.TierGap, 0) && d.TierGap > 0 {
+			out.Decision.TierGap = d.TierGap
 		}
 		if d.Degraded {
 			out.Decision.DegradeReason = d.DegradeReason.String()

@@ -48,6 +48,57 @@ type OptMetrics struct {
 	ParallelRuns       *Counter
 	WorkerBusySeconds  *Counter
 	BarrierWaitSeconds *Counter
+
+	// Tier is the tiered-planning bundle (nil when the registry is nil).
+	Tier *TierMetrics
+}
+
+// TierMetrics instruments the tiered optimizer: how often the greedy tier
+// served, why escalations to the DP happened, per-tier planning latency, and
+// the realized regret of the greedy plan when both tiers ran. The registry
+// has no label support, so the escalation reason is encoded in the metric
+// name.
+type TierMetrics struct {
+	GreedyServed *Counter
+	Escalations  *Counter
+
+	// Per-reason escalation counters (see opt's tier reason strings).
+	EscalationForced      *Counter
+	EscalationGap         *Counter
+	EscalationVariance    *Counter
+	EscalationLevelSet    *Counter
+	EscalationObjective   *Counter
+	EscalationFault       *Counter
+	EscalationUnplannable *Counter
+
+	// Planning latency per tier: the greedy attempt's wall time (recorded
+	// whether it served or escalated) and, on escalation, the DP's wall time.
+	GreedySeconds *Histogram
+	DPSeconds     *Histogram
+
+	// Regret is greedyCost/dpCost − 1, observed only on escalations where
+	// both costs are finite — how much worse the greedy plan would have been.
+	Regret *Histogram
+}
+
+// newTierMetrics registers the tiered-planning metric family on reg.
+func newTierMetrics(reg *Registry, phase []float64) *TierMetrics {
+	// Regret is a ratio, not a latency; buckets cover "free" through 100×.
+	regret := []float64{0, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 100}
+	return &TierMetrics{
+		GreedyServed:          reg.Counter("lec_tier_greedy_served_total", "Optimizations served by the greedy tier without running the DP."),
+		Escalations:           reg.Counter("lec_tier_escalations_total", "Optimizations escalated from the greedy tier to the DP."),
+		EscalationForced:      reg.Counter("lec_tier_escalation_forced_total", "Escalations forced by configuration (tier pinned to dp)."),
+		EscalationGap:         reg.Counter("lec_tier_escalation_gap_total", "Escalations triggered by the expected-cost gap vs the lower bound."),
+		EscalationVariance:    reg.Counter("lec_tier_escalation_variance_total", "Escalations triggered by the greedy plan's cost variance."),
+		EscalationLevelSet:    reg.Counter("lec_tier_escalation_levelset_total", "Escalations triggered by probability mass near a cost level-set boundary."),
+		EscalationObjective:   reg.Counter("lec_tier_escalation_objective_total", "Escalations because the configured objective/coster has no greedy scoring."),
+		EscalationFault:       reg.Counter("lec_tier_escalation_fault_total", "Escalations because the greedy planner faulted (panic, NaN/Inf, cancellation)."),
+		EscalationUnplannable: reg.Counter("lec_tier_escalation_unplannable_total", "Escalations because the greedy planner found no admissible plan."),
+		GreedySeconds:         reg.Histogram("lec_tier_greedy_seconds", "Greedy-tier planning latency per attempt.", phase),
+		DPSeconds:             reg.Histogram("lec_tier_dp_seconds", "DP planning latency per escalated optimization.", phase),
+		Regret:                reg.Histogram("lec_tier_regret", "Greedy-vs-DP realized regret (greedy/dp − 1) on escalations.", regret),
+	}
 }
 
 // OptPhaseMetrics is one enumerator's mirror of the per-phase histograms.
@@ -107,6 +158,7 @@ func NewOptMetrics(reg *Registry) *OptMetrics {
 		ParallelRuns:       reg.Counter("lec_opt_parallel_runs_total", "Optimization runs executed by the level-synchronized parallel driver."),
 		WorkerBusySeconds:  reg.Counter("lec_opt_worker_busy_seconds_total", "Summed per-worker busy time of parallel DP levels."),
 		BarrierWaitSeconds: reg.Counter("lec_opt_barrier_wait_seconds_total", "Summed worker-slot idle time at parallel DP level barriers."),
+		Tier:               newTierMetrics(reg, phase),
 	}
 }
 

@@ -101,6 +101,15 @@ type Options struct {
 	// meters advance in schedule order. Algorithm B's top-c search and the
 	// pipelined space always run sequentially.
 	Parallelism int
+	// Tier selects the tiered-planning mode (see tier.go): TierDP (the zero
+	// value — always run the configured DP search), TierAuto (serve the
+	// greedy fast path when its risk signals clear the TierRisk thresholds,
+	// escalate to the DP otherwise), or TierGreedy (pin planning to the
+	// greedy tier; the DP runs only on greedy faults).
+	Tier Tier
+	// TierRisk sets the escalation thresholds TierAuto applies; zero fields
+	// take the Default* values in tier.go.
+	TierRisk TierRisk
 }
 
 // DefaultBudget is the default Algorithm D rebucketing budget.
@@ -182,6 +191,12 @@ type Counters struct {
 	// ArenaHits counts node constructions served from the arena instead of
 	// allocating a duplicate.
 	ArenaHits int
+	// TierGreedyServed counts optimizations the greedy tier answered without
+	// running the DP.
+	TierGreedyServed int
+	// TierEscalations counts optimizations the tier controller escalated
+	// from the greedy tier to the DP.
+	TierEscalations int
 }
 
 // Add accumulates other into c. Running totals sum; the gauges
@@ -206,6 +221,8 @@ func (c *Counters) Add(other Counters) {
 	if other.ArenaSize > c.ArenaSize {
 		c.ArenaSize = other.ArenaSize
 	}
+	c.TierGreedyServed += other.TierGreedyServed
+	c.TierEscalations += other.TierEscalations
 }
 
 // Context carries everything the optimizers share: the catalog, the query,
@@ -339,6 +356,26 @@ func NewContext(cat *catalog.Catalog, q *query.SPJ, opts Options) (*Context, err
 	ctx.subsetRowDist = newDistMemo(ctx.sizing)
 	ctx.bucketErr = &errMemo{sz: ctx.sizing}
 	return ctx, nil
+}
+
+// beginSizeProbe puts the subset-size memos into probe mode for a phase
+// that touches only O(n²) subsets (the greedy planning tier): the lazy
+// first allocation then uses a small sparse table instead of NaN-filling a
+// dense 2^n array whose fill alone would dwarf the phase. A no-op when the
+// dense tables are small enough to be cheaper than any hashing.
+func (ctx *Context) beginSizeProbe() {
+	if !ctx.sizing.dense || ctx.sizing.n <= denseSmallMaxRels {
+		return
+	}
+	ctx.subsetRows.probe = true
+	ctx.subsetPages.probe = true
+}
+
+// endSizeProbe restores the sized memo layout before a full DP run,
+// migrating any probe-phase entries into the dense tables.
+func (ctx *Context) endSizeProbe() {
+	ctx.subsetRows.settle()
+	ctx.subsetPages.settle()
 }
 
 // relPredRef is one entry of the per-relation predicate index: the Q.Joins

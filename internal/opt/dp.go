@@ -37,6 +37,18 @@ type Result struct {
 	// the requested Options.Enumeration, except that EnumConnected reports
 	// EnumExhaustive when the disconnected-graph fallback engaged.
 	Enumeration Enumeration
+	// Tier names the planning tier that produced the plan when tiered
+	// planning was enabled (Options.Tier ≠ TierDP): TierNameGreedy for the
+	// served fast path, TierNameDP after an escalation. Empty when the tier
+	// controller did not run.
+	Tier string
+	// TierReason says why that tier answered: "low-risk"/"forced" for a
+	// served greedy plan, or the escalation trigger ("gap", "variance",
+	// "level-set", "objective", "fault", "unplannable") for a DP run.
+	TierReason string
+	// TierGap is the greedy plan's relative expected-cost gap vs the
+	// admissible lower bound (greedy/LB − 1), when it was computed.
+	TierGap float64
 	// Trace is the structured decision trace, populated only when
 	// Options.Trace is set. Single-search strategies (SystemR, Algorithms
 	// C/C-dynamic/D, the LSC plans) record per-subset decisions and every

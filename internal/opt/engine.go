@@ -191,6 +191,10 @@ type Optimizer struct {
 	topt      topTab       // the current run's top-c table
 	scanTops  [][]topEntry // per-relation sorted access paths (top-c)
 	scanTopsC int          // the c scanTops was truncated to
+
+	// tier is the current run's tiered-planning outcome (see tier.go);
+	// reset at the top of every optimizeCtxInner.
+	tier tierState
 }
 
 // NewOptimizer builds an engine for one query under one configuration.

@@ -145,6 +145,10 @@ func stampTrace(tr *obs.Trace, res *Result) {
 // buckets are skipped — they would only replay the greedy fallback.
 func algorithmACandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, *obs.Trace, degradeInfo, error) {
 	var deg degradeInfo
+	// The b per-bucket searches build the candidate pool; a greedy tier
+	// serving individual buckets would defeat the pool, so tiering applies
+	// at the strategy level, not here.
+	opts.Tier = TierDP
 	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
 	if err != nil {
 		return nil, Counters{}, nil, deg, err
@@ -232,6 +236,8 @@ func AlgorithmBCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts 
 // contributes the guaranteed candidate.
 func algorithmBCandidatesCtx(rc context.Context, cat *catalog.Catalog, q *query.SPJ, opts Options, dm *stats.Dist) ([]plan.Node, Counters, *obs.Trace, degradeInfo, error) {
 	var deg degradeInfo
+	// Same as algorithm A: the bucket searches never tier individually.
+	opts.Tier = TierDP
 	eng, err := NewOptimizer(cat, q, opts, Config{Coster: FixedParams{Mem: dm.Value(0)}})
 	if err != nil {
 		return nil, Counters{}, nil, deg, err

@@ -333,13 +333,20 @@ func (o *Optimizer) OptimizeCtx(rc context.Context) (*Result, error) {
 	if res != nil {
 		res.Enumeration = o.ctx.enumEff
 	}
+	o.stampTier(res)
 	o.ctx.flushMetrics()
 	o.ctx.attachTrace(res)
 	return res, err
 }
 
 func (o *Optimizer) optimizeCtxInner(rc context.Context) (*Result, error) {
+	o.tier = tierState{}
 	o.ctx.beginRun(rc)
+	if o.ctx.Opts.Tier != TierDP {
+		if res, served := o.tierGate(); served {
+			return res, nil
+		}
+	}
 	res, err := o.runPrimary()
 
 	// Clean completion. A run that had to discard poisoned candidates is

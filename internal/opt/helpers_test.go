@@ -11,7 +11,7 @@ import (
 )
 
 // randInstance generates a random catalog + query for conformance tests.
-func randInstance(t *testing.T, seed int64, n int, shape workload.Topology, orderBy bool) (*catalog.Catalog, *query.SPJ) {
+func randInstance(t testing.TB, seed int64, n int, shape workload.Topology, orderBy bool) (*catalog.Catalog, *query.SPJ) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	cat := workload.RandomCatalog(rng, workload.CatalogSpec{NumTables: n})

@@ -116,6 +116,10 @@ func (ctx *Context) flushMetrics() {
 	m.NonFiniteCosts.Add(float64(d.NonFiniteCosts - mark.NonFiniteCosts))
 	m.Degradations.Add(float64(d.Degradations - mark.Degradations))
 	m.PanicsRecovered.Add(float64(d.PanicsRecovered - mark.PanicsRecovered))
+	if m.Tier != nil {
+		m.Tier.GreedyServed.Add(float64(d.TierGreedyServed - mark.TierGreedyServed))
+		m.Tier.Escalations.Add(float64(d.TierEscalations - mark.TierEscalations))
+	}
 	bErr := ctx.bucketErr.total()
 	m.BucketErrBound.Add(bErr - ctx.bucketErrMark)
 	// Re-mark so a session that flushes twice (e.g. a bucket loop followed

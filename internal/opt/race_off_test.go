@@ -1,0 +1,5 @@
+//go:build !race
+
+package opt
+
+const raceEnabled = false

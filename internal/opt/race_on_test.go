@@ -1,0 +1,8 @@
+//go:build race
+
+package opt
+
+// raceEnabled reports whether the race detector is compiled in; latency
+// assertions are skipped under -race because instrumentation inflates
+// per-operation cost by an order of magnitude.
+const raceEnabled = true

@@ -1,0 +1,147 @@
+package opt
+
+// Fault-matrix tests for the tier/greedy fault-injection site: a broken
+// greedy planner — panic, injected non-finite score, or a stall that eats
+// the request deadline — must make the tier controller fall through to the
+// DP path with the typed "fault" escalation reason, never crash the request
+// or serve a corrupted plan. Run under -race via the repo's race target.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// TestTierGreedyPanicFallsThroughToDP: an injected panic inside the greedy
+// planner is recovered, counted, and escalated; the DP serves the same plan
+// a fault-free TierDP run would.
+func TestTierGreedyPanicFallsThroughToDP(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	faultinject.Enable(faultinject.New(1, faultinject.Rule{
+		Site: faultinject.TierGreedy, Kind: faultinject.KindPanic, After: 1, Every: 1,
+	}))
+	t.Cleanup(faultinject.Disable)
+
+	eng, err := NewOptimizer(cat, q, Options{Tier: TierAuto}, Config{Coster: StaticParams{Mem: dm}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Optimize()
+	if err != nil {
+		t.Fatalf("panic in greedy tier surfaced as error: %v", err)
+	}
+	if res.Tier != TierNameDP || res.TierReason != TierEscFault {
+		t.Fatalf("tier=%q reason=%q, want dp/%s", res.Tier, res.TierReason, TierEscFault)
+	}
+	if res.Count.PanicsRecovered == 0 {
+		t.Error("recovered panic not counted")
+	}
+	if res.Count.TierEscalations != 1 {
+		t.Errorf("TierEscalations = %d, want 1", res.Count.TierEscalations)
+	}
+	if err := plan.Validate(res.Plan); err != nil {
+		t.Fatalf("DP fallback plan invalid: %v", err)
+	}
+
+	faultinject.Disable()
+	refEng, err := NewOptimizer(cat, q, Options{}, Config{Coster: StaticParams{Mem: dm}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refEng.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != ref.Cost {
+		t.Errorf("post-fault DP cost %v != clean DP cost %v", res.Cost, ref.Cost)
+	}
+}
+
+// TestTierGreedyNonFiniteFallsThroughToDP: injected NaN/Inf/drop at the
+// site mean the greedy score cannot be trusted; the controller escalates
+// with the fault reason — even when the tier is pinned to greedy.
+func TestTierGreedyNonFiniteFallsThroughToDP(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	for _, kind := range []faultinject.Kind{faultinject.KindNaN, faultinject.KindInf, faultinject.KindDrop} {
+		for _, tier := range []Tier{TierAuto, TierGreedy} {
+			faultinject.Enable(faultinject.New(1, faultinject.Rule{
+				Site: faultinject.TierGreedy, Kind: kind, After: 1, Every: 1,
+			}))
+			eng, err := NewOptimizer(cat, q, Options{Tier: tier}, Config{Coster: StaticParams{Mem: dm}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Optimize()
+			faultinject.Disable()
+			if err != nil {
+				t.Fatalf("kind %v tier %v: %v", kind, tier, err)
+			}
+			if res.Tier != TierNameDP || res.TierReason != TierEscFault {
+				t.Fatalf("kind %v tier %v: tier=%q reason=%q, want dp/%s",
+					kind, tier, res.Tier, res.TierReason, TierEscFault)
+			}
+			if err := plan.Validate(res.Plan); err != nil {
+				t.Fatalf("kind %v tier %v: DP fallback plan invalid: %v", kind, tier, err)
+			}
+		}
+	}
+}
+
+// TestTierGreedyStallEscalatesAndDegrades: a stall that outlives the
+// request deadline makes the greedy attempt a fault (planning a stale
+// request would waste the DP's budget); the run then descends the engine's
+// anytime degradation ladder and still returns a valid plan — the tier
+// fast path composes with, rather than replaces, the fail-soft machinery.
+func TestTierGreedyStallEscalatesAndDegrades(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	faultinject.Enable(faultinject.New(1, faultinject.Rule{
+		Site: faultinject.TierGreedy, Kind: faultinject.KindStall, After: 1, Every: 1,
+		Sleep: 60 * time.Millisecond,
+	}))
+	t.Cleanup(faultinject.Disable)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	eng, err := NewOptimizer(cat, q, Options{Tier: TierAuto}, Config{Coster: StaticParams{Mem: dm}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.OptimizeCtx(ctx)
+	if err != nil {
+		t.Fatalf("stalled request should degrade, not fail: %v", err)
+	}
+	if res.Tier != TierNameDP || res.TierReason != TierEscFault {
+		t.Fatalf("tier=%q reason=%q, want dp/%s", res.Tier, res.TierReason, TierEscFault)
+	}
+	if !res.Degraded {
+		t.Error("expired deadline after the stall should produce a degraded plan")
+	}
+	if err := plan.Validate(res.Plan); err != nil {
+		t.Fatalf("degraded fallback plan invalid: %v", err)
+	}
+}
+
+// TestTierCleanRunUnaffectedBySiteRegistration: with no injector enabled
+// the site check is free and TierAuto behaves identically to a run without
+// the fault machinery armed at all.
+func TestTierCleanRunUnaffectedBySiteRegistration(t *testing.T) {
+	cat, q, dm := workload.Example11()
+	eng, err := NewOptimizer(cat, q, Options{Tier: TierAuto}, Config{Coster: StaticParams{Mem: dm}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier == "" {
+		t.Fatal("TierAuto run carries no tier outcome")
+	}
+	if res.Count.PanicsRecovered != 0 {
+		t.Errorf("clean run recovered %d panics", res.Count.PanicsRecovered)
+	}
+}

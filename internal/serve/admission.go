@@ -42,14 +42,23 @@ type Rung struct {
 	// Budget replaces (well, tightens — it never loosens) Options.Budget
 	// for requests admitted at this rung.
 	Budget lec.Budget
+	// Tier is the minimum planning tier forced on requests admitted at
+	// this rung (see lec.Tier; higher tiers are cheaper). It composes with
+	// the configured Options.Tier via forceTier — the ladder can push a
+	// request toward the greedy fast path but never pull a greedy-pinned
+	// service back into the DP.
+	Tier lec.Tier
 	// Name labels the rung in Response.Pressure and the stats.
 	Name string
 }
 
 // DefaultLadder builds the standard two-step pressure ladder for a queue
 // of the given depth: light pressure caps work near the cost of a full
-// medium-size search; heavy pressure forces the engine straight toward
-// its greedy fallback rung.
+// medium-size search and lets the tier controller serve greedy plans when
+// the risk signals allow; heavy pressure forces every request onto the
+// greedy tier before shedding, so the service degrades plan quality —
+// with the DP still reachable only through the engine's own fault
+// fallbacks — before it degrades availability.
 func DefaultLadder(queueDepth int) []Rung {
 	light := queueDepth / 4
 	if light < 1 {
@@ -60,9 +69,20 @@ func DefaultLadder(queueDepth int) []Rung {
 		heavy = light + 1
 	}
 	return []Rung{
-		{Depth: light, Budget: lec.Budget{MaxCostEvals: 20000}, Name: "tightened"},
-		{Depth: heavy, Budget: lec.Budget{MaxCostEvals: 200}, Name: "degraded"},
+		{Depth: light, Budget: lec.Budget{MaxCostEvals: 20000}, Tier: lec.TierAuto, Name: "tightened"},
+		{Depth: heavy, Budget: lec.Budget{MaxCostEvals: 200}, Tier: lec.TierGreedy, Name: "degraded"},
 	}
+}
+
+// forceTier composes the configured tier with a pressure rung's: tiers are
+// ordered DP < Auto < Greedy by cheapness, so the maximum keeps whichever
+// side demands less work. Pressure can cheapen planning, never make a
+// request pay for a fuller search than the service was configured for.
+func forceTier(base, rung lec.Tier) lec.Tier {
+	if rung > base {
+		return rung
+	}
+	return base
 }
 
 // admit blocks until the request holds a worker slot, sheds it, or its

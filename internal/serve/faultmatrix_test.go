@@ -166,11 +166,11 @@ func TestRetryBacksOffTransientFailures(t *testing.T) {
 	svc := New(cat, Config{Retry: RetryConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond}})
 	var calls atomic.Int64
 	real := svc.runner
-	svc.runner = func(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (*lec.Decision, error) {
+	svc.runner = func(ctx context.Context, q *query.SPJ, req Request, rung Rung) (*lec.Decision, error) {
 		if calls.Add(1) < 3 {
 			return nil, fmt.Errorf("%w: injected transient", lec.ErrBudgetExhausted)
 		}
-		return real(ctx, q, req, b)
+		return real(ctx, q, req, rung)
 	}
 	r, err := svc.Optimize(context.Background(), Request{Query: q, Env: lec.Environment{Memory: dm}, Strategy: lec.AlgorithmC})
 	if err != nil {
@@ -191,7 +191,7 @@ func TestRetryStopsOnNonTransient(t *testing.T) {
 	cat, q, dm := workload.Example11()
 	svc := New(cat, Config{Retry: RetryConfig{MaxAttempts: 5, BaseBackoff: time.Microsecond}})
 	var calls atomic.Int64
-	svc.runner = func(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (*lec.Decision, error) {
+	svc.runner = func(ctx context.Context, q *query.SPJ, req Request, rung Rung) (*lec.Decision, error) {
 		calls.Add(1)
 		return nil, fmt.Errorf("%w: not worth retrying", lec.ErrInvalidQuery)
 	}
@@ -211,7 +211,7 @@ func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
 	cat, q, dm := workload.Example11()
 	svc := New(cat, Config{Retry: RetryConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond}})
 	var calls atomic.Int64
-	svc.runner = func(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (*lec.Decision, error) {
+	svc.runner = func(ctx context.Context, q *query.SPJ, req Request, rung Rung) (*lec.Decision, error) {
 		calls.Add(1)
 		return nil, fmt.Errorf("%w: still transient", lec.ErrBudgetExhausted)
 	}

@@ -68,10 +68,10 @@ func transient(err error) bool {
 // runWithRetry is run wrapped in the backoff loop. Retries stop as soon as
 // the error is not transient, attempts run out, or the request context
 // cannot absorb the backoff sleep.
-func (s *Service) runWithRetry(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (*lec.Decision, error) {
+func (s *Service) runWithRetry(ctx context.Context, q *query.SPJ, req Request, rung Rung) (*lec.Decision, error) {
 	backoff := s.cfg.Retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
-		dec, err := s.runner(ctx, q, req, b)
+		dec, err := s.runner(ctx, q, req, rung)
 		if err == nil || !transient(err) || attempt >= s.cfg.Retry.MaxAttempts {
 			return dec, err
 		}

@@ -186,10 +186,10 @@ type Service struct {
 
 	draining atomic.Bool
 	clock    func() time.Time // stubbed in breaker tests
-	// runner executes one engine run; it is (*Service).run except in
-	// white-box tests that need to script failure sequences the real
-	// engine cannot produce deterministically.
-	runner func(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (*lec.Decision, error)
+	// runner executes one engine run under a pressure rung; it is
+	// (*Service).run except in white-box tests that need to script failure
+	// sequences the real engine cannot produce deterministically.
+	runner func(ctx context.Context, q *query.SPJ, req Request, rung Rung) (*lec.Decision, error)
 
 	c counters
 	m *serveMetrics // nil when Config.Metrics is nil
@@ -362,7 +362,7 @@ func (s *Service) optimizeLeader(ctx context.Context, q *query.SPJ, req Request,
 		return nil, fmt.Errorf("%w (configuration %q)", ErrCircuitOpen, bkey)
 	}
 
-	dec, err := s.runWithRetry(ctx, q, req, rung.Budget)
+	dec, err := s.runWithRetry(ctx, q, req, rung)
 	if err != nil {
 		if errors.Is(err, lec.ErrInternal) {
 			if br.fail(s.clock(), s.cfg.Breaker) {
@@ -409,10 +409,10 @@ func (s *Service) effectiveParallelism() int {
 }
 
 // run executes one engine run under the catalog read lock, with the
-// pressure rung's budget folded into the configured options. Worker
-// panics (including injected ones) surface as lec.ErrInternal so the
-// breaker sees them.
-func (s *Service) run(ctx context.Context, q *query.SPJ, req Request, b lec.Budget) (dec *lec.Decision, err error) {
+// pressure rung's budget and tier floor folded into the configured
+// options. Worker panics (including injected ones) surface as
+// lec.ErrInternal so the breaker sees them.
+func (s *Service) run(ctx context.Context, q *query.SPJ, req Request, rung Rung) (dec *lec.Decision, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			dec, err = nil, fmt.Errorf("%w: serving worker panic: %v", lec.ErrInternal, p)
@@ -422,7 +422,8 @@ func (s *Service) run(ctx context.Context, q *query.SPJ, req Request, b lec.Budg
 	defer s.catMu.RUnlock()
 	faultinject.Check(faultinject.ServeOptimize)
 	opts := s.cfg.Options
-	opts.Budget = tightenBudget(opts.Budget, b)
+	opts.Budget = tightenBudget(opts.Budget, rung.Budget)
+	opts.Tier = forceTier(opts.Tier, rung.Tier)
 	opts.Parallelism = s.effectiveParallelism()
 	s.c.optimizations.Add(1)
 	dec, err = lec.NewWithOptions(s.cat, opts).OptimizeContext(ctx, q, req.Env, req.Strategy)
@@ -468,6 +469,7 @@ func (s *Service) compare(ctx context.Context, req Request) ([]*lec.Decision, er
 	faultinject.Check(faultinject.ServeOptimize)
 	opts := s.cfg.Options
 	opts.Budget = tightenBudget(opts.Budget, rung.Budget)
+	opts.Tier = forceTier(opts.Tier, rung.Tier)
 	opts.Parallelism = s.effectiveParallelism()
 	s.c.optimizations.Add(1)
 	ds, err := lec.NewWithOptions(s.cat, opts).CompareContext(ctx, q, req.Env)
@@ -521,6 +523,9 @@ func (s *Service) traceRun(ctx context.Context, req Request) (dec *lec.Decision,
 	faultinject.Check(faultinject.ServeOptimize)
 	opts := s.cfg.Options
 	opts.Budget = tightenBudget(opts.Budget, rung.Budget)
+	// The trace IS the per-subset DP record; a greedy-served plan has none.
+	// Diagnostic reads pin the DP tier so they always observe the search.
+	opts.Tier = lec.TierDP
 	opts.Parallelism = s.effectiveParallelism()
 	opts.Trace = true
 	s.c.optimizations.Add(1)
@@ -666,6 +671,9 @@ type Stats struct {
 	// Enumeration names the configured subset-lattice enumerator
 	// (Config.Options.Enumeration) every admitted run plans under.
 	Enumeration string
+	// Tier names the configured base planning tier (Config.Options.Tier)
+	// requests start from; the pressure ladder may force cheaper tiers.
+	Tier string
 	// Search accumulates the engine's own instrumentation counters
 	// (subsets, cost evals, prunes, fault events) across every run.
 	Search opt.Stats
@@ -687,6 +695,7 @@ func (s *Service) Stats() Stats {
 	st.ConfiguredParallelism = s.cfg.Parallelism
 	st.EffectiveParallelism = s.effectiveParallelism()
 	st.Enumeration = s.cfg.Options.Enumeration.String()
+	st.Tier = s.cfg.Options.Tier.String()
 	st.CacheHits, st.CacheMisses, st.Coalesced, st.Evictions, st.Invalidations = s.cache.counters()
 	st.BreakerTrips, st.BreakerResets = s.breakers.counts()
 	s.c.searchMu.Lock()

@@ -22,6 +22,7 @@ package lec
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/catalog"
@@ -153,6 +154,18 @@ type Decision struct {
 	// the configured Options.Enumeration, unless the connected enumerator
 	// fell back to exhaustive for a disconnected join graph.
 	Enumeration Enumeration
+	// Tier names the planning tier that answered when tiered planning was
+	// enabled (Options.Tier ≠ TierDP): "greedy" for the served fast path,
+	// "dp" after an escalation. Empty when tiering was off or the strategy
+	// routes around the tier controller (the multi-bucket candidate pools).
+	Tier string
+	// TierReason says why that tier answered: "low-risk"/"forced" for a
+	// served greedy plan, or the escalation trigger ("gap", "variance",
+	// "level-set", "objective", "fault", "unplannable").
+	TierReason string
+	// TierGap is the greedy plan's relative expected-cost gap vs the
+	// admissible lower bound (greedy/LB − 1), when computed.
+	TierGap float64
 	// Trace is the structured decision trace — per-subset winner/runner-up
 	// decisions and every finished root candidate — populated only when
 	// Options.Trace is set. Render it with Trace.Render() or serialize it
@@ -166,6 +179,13 @@ func (d *Decision) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %v\nexpected cost: %.0f page I/Os (std %.0f, p95 %.0f)\n",
 		d.Strategy, d.ExpectedCost, d.Risk.StdDev, d.Risk.P95)
+	if d.Tier != "" {
+		fmt.Fprintf(&b, "tier: %s (%s", d.Tier, d.TierReason)
+		if !math.IsNaN(d.TierGap) && !math.IsInf(d.TierGap, 0) && d.TierGap >= 0 {
+			fmt.Fprintf(&b, "; greedy %.1f%% above the expected-cost lower bound", 100*d.TierGap)
+		}
+		b.WriteString(")\n")
+	}
 	if d.Degraded {
 		rung := d.DegradeRung
 		if rung == "" {
@@ -248,6 +268,9 @@ func (o *Optimizer) newDecision(s Strategy, res *opt.Result, q *query.SPJ, env E
 		DegradeReason: res.Reason,
 		DegradeRung:   res.Rung,
 		Enumeration:   res.Enumeration,
+		Tier:          res.Tier,
+		TierReason:    res.TierReason,
+		TierGap:       res.TierGap,
 		Trace:         res.Trace,
 		env:           env,
 	}
@@ -281,6 +304,9 @@ func (o *Optimizer) optimizeAggregate(ctx context.Context, q *query.SPJ, env Env
 		DegradeReason: res.Reason,
 		DegradeRung:   res.Rung,
 		Enumeration:   res.Enumeration,
+		Tier:          res.Tier,
+		TierReason:    res.TierReason,
+		TierGap:       res.TierGap,
 		env:           env,
 	}, nil
 }
@@ -370,6 +396,11 @@ type (
 	// OptMetrics is the engine's registry-backed metric bundle (see
 	// Options.Metrics and obs.NewOptMetrics).
 	OptMetrics = obs.OptMetrics
+	// Tier selects the tiered-planning mode (see Options.Tier): TierDP,
+	// TierAuto, or TierGreedy.
+	Tier = opt.Tier
+	// TierRisk sets TierAuto's escalation thresholds (see Options.TierRisk).
+	TierRisk = opt.TierRisk
 )
 
 // Engine spaces.
@@ -400,9 +431,20 @@ const (
 	EnumConnected  = opt.EnumConnected
 )
 
+// Tiered-planning modes (see Options.Tier).
+const (
+	TierDP     = opt.TierDP
+	TierAuto   = opt.TierAuto
+	TierGreedy = opt.TierGreedy
+)
+
 // ParseEnumeration parses an enumerator name ("exhaustive", "connected";
 // "" means exhaustive) for flag and config surfaces.
 func ParseEnumeration(s string) (Enumeration, error) { return opt.ParseEnumeration(s) }
+
+// ParseTier parses a tier name ("dp", "auto", "greedy"; "" means dp) for
+// flag and config surfaces.
+func ParseTier(s string) (Tier, error) { return opt.ParseTier(s) }
 
 // OptimizeSearch plans a query block with an explicit Space × Objective
 // configuration of the unified engine. The environment supplies the coster:
